@@ -1,0 +1,40 @@
+//! Figure 2 as a Criterion benchmark: Apriori (Alg 3.1) vs max-subpattern
+//! hit-set (Alg 3.2) as MAX-PAT-LENGTH grows, at the paper's p = 50,
+//! |F1| = 12. The paper's curves — hit-set flat, Apriori linear in the
+//! pattern length — fall out of the per-point timings.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppm_bench::figure2_series;
+use ppm_core::{apriori, hitset, MineConfig};
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2");
+    let config = MineConfig::new(0.6).unwrap();
+    // Criterion repeats each point many times, so use a 50k series (the
+    // `experiments` binary runs the paper's full 100k/500k sweep once).
+    let length = 50_000;
+    for mpl in [2usize, 6, 10] {
+        let series = figure2_series(length, mpl);
+        group.bench_with_input(BenchmarkId::new("apriori", mpl), &mpl, |b, _| {
+            b.iter(|| black_box(apriori::mine(&series, 50, &config).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("hitset", mpl), &mpl, |b, _| {
+            b.iter(|| black_box(hitset::mine(&series, 50, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_figure2
+}
+criterion_main!(benches);

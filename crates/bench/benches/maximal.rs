@@ -1,0 +1,37 @@
+//! Experiment E8 as a Criterion benchmark: full frequent-set derivation vs
+//! the hit-set × MaxMiner hybrid for maximal-pattern mining (§4's proposed
+//! combination), as the planted pattern lengthens and the full frequent
+//! set grows like 2^L.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppm_bench::figure2_series;
+use ppm_core::{hitset, maximal, MineConfig};
+
+fn bench_maximal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal");
+    let config = MineConfig::new(0.6).unwrap();
+    for mpl in [4usize, 8, 10] {
+        let series = figure2_series(50_000, mpl);
+        group.bench_with_input(BenchmarkId::new("full_derivation", mpl), &mpl, |b, _| {
+            b.iter(|| black_box(hitset::mine(&series, 50, &config).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("maxminer_hybrid", mpl), &mpl, |b, _| {
+            b.iter(|| black_box(maximal::mine_maximal(&series, 50, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_maximal
+}
+criterion_main!(benches);

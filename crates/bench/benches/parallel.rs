@@ -1,0 +1,41 @@
+//! Parallel-mining scaling benchmark: the partitioned two-scan miner
+//! against the sequential hit-set miner on a large series.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppm_bench::figure2_series;
+use ppm_core::parallel::mine_parallel;
+use ppm_core::{hitset, MineConfig};
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_mining");
+    let series = figure2_series(200_000, 6);
+    let config = MineConfig::new(0.6).unwrap();
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(hitset::mine(&series, 50, &config).unwrap()))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(mine_parallel(&series, 50, &config, threads).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_parallel
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Substrate micro-benchmarks: the first scan (F1 counting), segment
+//! projection through the letter alphabet, and the binary storage codec —
+//! the building blocks whose costs the §3 analyses take as given.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ppm_bench::figure2_series;
+use ppm_core::{scan_frequent_letters, MineConfig};
+use ppm_datagen::SyntheticSpec;
+use ppm_timeseries::storage::binary;
+use ppm_timeseries::FeatureCatalog;
+
+fn bench_scan1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan1");
+    let config = MineConfig::new(0.6).unwrap();
+    for length in [50_000usize, 200_000] {
+        let series = figure2_series(length, 6);
+        group.throughput(Throughput::Elements(length as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| black_box(scan_frequent_letters(&series, 50, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    let data = SyntheticSpec::table1(100_000, 50, 6, 12).generate();
+    let bytes = binary::encode_series(&data.series, &data.catalog);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(binary::encode_series(&data.series, &data.catalog)))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(binary::decode_series(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_stream_format(c: &mut Criterion) {
+    use ppm_timeseries::storage::stream::{FileSource, StreamWriter};
+    use ppm_timeseries::SeriesSource as _;
+
+    let mut group = c.benchmark_group("stream_format");
+    let data = SyntheticSpec::table1(100_000, 50, 6, 12).generate();
+    let dir = std::env::temp_dir().join(format!("ppm-bench-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.ppmstream");
+    StreamWriter::create(&path, &data.catalog)
+        .and_then(|w| w.write_series(&data.series))
+        .unwrap();
+    let bytes = std::fs::metadata(&path).unwrap().len();
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("write_100k", |b| {
+        let out = dir.join("write.ppmstream");
+        b.iter(|| {
+            StreamWriter::create(&out, &data.catalog)
+                .and_then(|w| w.write_series(&data.series))
+                .unwrap();
+        })
+    });
+    group.bench_function("scan_100k", |b| {
+        let mut src = FileSource::open(&path).unwrap();
+        b.iter(|| {
+            let mut total = 0usize;
+            src.scan(&mut |_, feats| total += feats.len()).unwrap();
+            black_box(total)
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("series_builder");
+    let data = SyntheticSpec::table1(100_000, 50, 6, 12).generate();
+    let instants: Vec<Vec<ppm_timeseries::FeatureId>> =
+        data.series.iter().map(|i| i.to_vec()).collect();
+    group.throughput(Throughput::Elements(instants.len() as u64));
+    group.bench_function("push_instants_100k", |b| {
+        b.iter(|| {
+            let mut builder = ppm_timeseries::SeriesBuilder::with_capacity(
+                instants.len(),
+                data.series.total_features(),
+            );
+            for inst in &instants {
+                builder.push_instant(inst.iter().copied());
+            }
+            black_box(builder.finish())
+        })
+    });
+    // Catalog interning throughput.
+    group.bench_function("catalog_intern_10k", |b| {
+        let names: Vec<String> = (0..10_000).map(|i| format!("feature-{i}")).collect();
+        b.iter(|| {
+            let mut cat = FeatureCatalog::new();
+            for n in &names {
+                cat.intern(n);
+            }
+            black_box(cat.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_scan1, bench_storage, bench_stream_format, bench_builder
+}
+criterion_main!(benches);

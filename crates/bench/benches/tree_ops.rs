@@ -1,0 +1,91 @@
+//! Experiment E7 as a Criterion benchmark: max-subpattern tree operations
+//! in isolation — hit insertion throughput (Algorithm 4.1) and the two
+//! candidate-counting strategies of Algorithm 4.2 (the paper's pruned
+//! trie walk vs a flat scan of the distinct hits).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppm_core::hitset::MaxSubpatternTree;
+use ppm_core::LetterSet;
+
+/// Deterministic pseudo-random hit patterns over `universe` letters.
+fn make_hits(universe: usize, count: usize) -> Vec<LetterSet> {
+    let mut x: u64 = 0x243f6a8885a308d3;
+    (0..count)
+        .map(|_| {
+            let mut set = LetterSet::new(universe);
+            // 2..=universe letters per hit, biased long (like real hits).
+            for i in 0..universe {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if !(x >> 33).is_multiple_of(3) {
+                    set.insert(i);
+                }
+            }
+            if set.len() < 2 {
+                set.insert(0);
+                set.insert(1);
+            }
+            set
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_insert");
+    for universe in [12usize, 24, 48] {
+        let hits = make_hits(universe, 2_000);
+        group.bench_with_input(BenchmarkId::from_parameter(universe), &universe, |b, _| {
+            b.iter(|| {
+                let mut tree = MaxSubpatternTree::new(LetterSet::full(universe));
+                for h in &hits {
+                    tree.insert(h);
+                }
+                black_box(tree.node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_count");
+    let universe = 16;
+    let hits = make_hits(universe, 4_000);
+    let mut tree = MaxSubpatternTree::new(LetterSet::full(universe));
+    for h in &hits {
+        tree.insert(h);
+    }
+    let candidates: Vec<LetterSet> = (0..universe)
+        .flat_map(|a| (a + 1..universe).map(move |b| (a, b)))
+        .map(|(a, b)| LetterSet::from_indices(universe, [a, b]))
+        .collect();
+
+    group.bench_function("walk", |b| {
+        b.iter(|| {
+            let total: u64 =
+                candidates.iter().map(|p| tree.count_superpatterns_walk(p)).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let total: u64 =
+                candidates.iter().map(|p| tree.count_superpatterns_linear(p)).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_insert, bench_count_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,378 @@
+//! Regenerates every table and figure of the paper's evaluation, plus the
+//! analysis-backed experiments indexed in DESIGN.md.
+//!
+//! ```text
+//! experiments [all|table1|figure1|figure2|scans|space|multiperiod|maximal|derive|disk|extensions] [--quick]
+//! ```
+//!
+//! `--quick` shrinks series lengths so the whole suite finishes in well
+//! under a minute; the default sizes match the paper (100k and 500k).
+
+use ppm_bench::*;
+use ppm_core::hitset::MaxSubpatternTree;
+use ppm_core::multi::PeriodRange;
+use ppm_core::perfect::mine_perfect;
+use ppm_core::{hitset, scan_frequent_letters, LetterSet, MineConfig};
+use ppm_datagen::{noise, SyntheticSpec};
+use ppm_timeseries::window;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_owned();
+
+    let run = |name: &str| which == "all" || which == name;
+    let mut ran = false;
+
+    if run("table1") {
+        table1(quick);
+        ran = true;
+    }
+    if run("figure1") {
+        figure1();
+        ran = true;
+    }
+    if run("figure2") {
+        figure2(quick);
+        ran = true;
+    }
+    if run("scans") {
+        scans(quick);
+        ran = true;
+    }
+    if run("space") {
+        space(quick);
+        ran = true;
+    }
+    if run("multiperiod") {
+        multiperiod(quick);
+        ran = true;
+    }
+    if run("maximal") {
+        maximal_exp(quick);
+        ran = true;
+    }
+    if run("derive") {
+        derive_ablation(quick);
+        ran = true;
+    }
+    if run("disk") {
+        disk(quick);
+        ran = true;
+    }
+    if run("extensions") {
+        extensions(quick);
+        ran = true;
+    }
+    if !ran {
+        eprintln!(
+            "unknown experiment {which:?}; expected one of all, table1, figure1, \
+             figure2, scans, space, multiperiod, maximal, derive, disk, extensions"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Table 1 — parameters of the synthetic time series, validated by mining
+/// the generator's own output.
+fn table1(quick: bool) {
+    banner("TABLE 1 — synthetic generator parameters (requested vs mined)");
+    // Quick mode shrinks lengths but keeps every row at >= 400 whole
+    // segments — below that, sampling noise can push a 0.65-confidence
+    // letter across the 0.6 threshold and the self-check would flake.
+    let rows = run_table1(if quick {
+        &[
+            (20_000, 50, 4, 12),
+            (20_000, 50, 8, 12),
+            (50_000, 50, 6, 12),
+            (10_000, 20, 5, 10),
+            (40_000, 100, 10, 20),
+        ]
+    } else {
+        &[
+            (100_000, 50, 4, 12),
+            (100_000, 50, 8, 12),
+            (500_000, 50, 6, 12),
+            (50_000, 20, 5, 10),
+            (100_000, 100, 10, 20),
+        ]
+    });
+    println!(
+        "{:>8} {:>6} {:>15} {:>6} | {:>12} {:>17} {:>10}",
+        "LENGTH", "p", "MAX-PAT-LENGTH", "|F1|", "mined |F1|", "mined MAX-PAT-LEN", "feat/slot"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>6} {:>15} {:>6} | {:>12} {:>17} {:>10.2}",
+            r.length, r.period, r.max_pat_length, r.f1_count, r.recovered_f1,
+            r.recovered_max_len, r.mean_features
+        );
+        assert_eq!(r.recovered_f1, r.f1_count);
+        assert_eq!(r.recovered_max_len, r.max_pat_length);
+    }
+    println!("All parameters recovered exactly.");
+}
+
+/// Figure 1 — the max-subpattern tree worked example (§4, Examples 4.2/4.3).
+fn figure1() {
+    banner("FIGURE 1 — max-subpattern tree for C_max = a{b1,b2}*d* (published counts)");
+    let set = |idx: &[usize]| LetterSet::from_indices(4, idx.iter().copied());
+    let mut tree = MaxSubpatternTree::new(LetterSet::full(4));
+    let nodes: &[(&str, &[usize], u64)] = &[
+        ("a{b1,b2}*d*", &[0, 1, 2, 3], 10),
+        ("*{b1,b2}*d*", &[1, 2, 3], 50),
+        ("a{b1,b2}***", &[0, 1, 2], 40),
+        ("ab2*d*", &[0, 2, 3], 32),
+        ("ab1*d*", &[0, 1, 3], 0),
+        ("*b1*d*", &[1, 3], 8),
+        ("*b2*d*", &[2, 3], 0),
+        ("*{b1,b2}***", &[1, 2], 19),
+        ("a**d*", &[0, 3], 5),
+        ("ab2***", &[0, 2], 2),
+        ("ab1***", &[0, 1], 18),
+    ];
+    for (_, letters, count) in nodes {
+        tree.insert_with_count(&set(letters), *count);
+    }
+    println!("{:<14} {:>6} {:>20}", "node", "count", "derived frequency");
+    for (name, letters, count) in nodes {
+        let freq = tree.count_superpatterns_walk(&set(letters));
+        println!("{name:<14} {count:>6} {freq:>20}");
+    }
+    // Example 4.3's published frequencies.
+    let expect: &[(&[usize], u64)] = &[
+        (&[1, 3], 68),
+        (&[2, 3], 92),
+        (&[1, 2], 119),
+        (&[0, 3], 47),
+        (&[0, 2], 84),
+        (&[0, 1], 68),
+        (&[1, 2, 3], 60),
+        (&[0, 1, 2], 50),
+    ];
+    for (letters, freq) in expect {
+        assert_eq!(tree.count_superpatterns_walk(&set(letters)), *freq);
+    }
+    println!("Example 4.3 frequencies {{68, 68, 47, 119, 92, 84}} and {{60, 50}} verified.");
+}
+
+/// Figure 2 — Apriori vs max-subpattern hit-set runtime as MAX-PAT-LENGTH
+/// grows; p = 50, |F1| = 12; LENGTH ∈ {100k, 500k}.
+fn figure2(quick: bool) {
+    banner("FIGURE 2 — run time vs MAX-PAT-LENGTH (p=50, |F1|=12, min_conf=0.6)");
+    let lengths: &[usize] = if quick { &[20_000, 100_000] } else { &[100_000, 500_000] };
+    let mpls = [2usize, 4, 6, 8, 10];
+    for &length in lengths {
+        println!("\nLENGTH = {length}");
+        println!(
+            "{:>15} {:>12} {:>12} {:>9} {:>8} {:>8} {:>9}",
+            "MAX-PAT-LENGTH", "Apriori(s)", "HitSet(s)", "speedup", "A-scans", "H-scans", "patterns"
+        );
+        for r in run_figure2(length, &mpls) {
+            assert_eq!(r.recovered_max_len, r.max_pat_length);
+            println!(
+                "{:>15} {:>12.3} {:>12.3} {:>8.2}x {:>8} {:>8} {:>9}",
+                r.max_pat_length,
+                r.apriori_secs,
+                r.hitset_secs,
+                r.apriori_secs / r.hitset_secs,
+                r.apriori_scans,
+                r.hitset_scans,
+                r.patterns
+            );
+        }
+    }
+    println!(
+        "\nShape check (paper): HitSet ~flat, Apriori ~linear in MAX-PAT-LENGTH,\n\
+         ~2x gain at L=6 growing with L; both scale ~5x from 100k to 500k."
+    );
+}
+
+/// E4 — scan counts (the paper's §3 analyses).
+fn scans(quick: bool) {
+    banner("E4 — series scans per algorithm (analysis of Algorithms 3.1/3.2)");
+    let length = if quick { 20_000 } else { 100_000 };
+    println!("{:>15} {:>14} {:>13}", "MAX-PAT-LENGTH", "Apriori scans", "HitSet scans");
+    for r in run_scans(length, &[2, 4, 6, 8, 10]) {
+        println!("{:>15} {:>14} {:>13}", r.max_pat_length, r.apriori, r.hitset);
+        assert_eq!(r.hitset, 2);
+        assert_eq!(r.apriori, r.max_pat_length);
+    }
+    println!("HitSet: always 2. Apriori: 1 + one per level 2..=MAX-PAT-LENGTH (the final");
+    println!("level holds a single maximal pattern, so its join yields no further scan).");
+}
+
+/// E5 — Property 3.2 buffer bound.
+fn space(quick: bool) {
+    banner("E5 — hit-set size vs the Property 3.2 bound min(m, 2^|F1| - 1)");
+    let length = if quick { 20_000 } else { 100_000 };
+    println!(
+        "{:>6} {:>10} {:>14} {:>11} {:>12}",
+        "|F1|", "segments", "distinct hits", "tree nodes", "bound"
+    );
+    for r in run_space(length, 50, &[4, 6, 8, 10, 12, 16]) {
+        println!(
+            "{:>6} {:>10} {:>14} {:>11} {:>12}",
+            r.f1_count, r.segments, r.distinct_hits, r.tree_nodes, r.bound
+        );
+    }
+    println!("All runs satisfied the bound (asserted).");
+}
+
+/// E6 — multi-period: looping (Alg 3.3) vs shared (Alg 3.4).
+fn multiperiod(quick: bool) {
+    banner("E6 — multi-period mining: looping (Alg 3.3) vs shared (Alg 3.4)");
+    let length = if quick { 20_000 } else { 100_000 };
+    println!(
+        "{:>8} {:>12} {:>11} {:>13} {:>12}",
+        "periods", "looping(s)", "shared(s)", "loop scans", "shared scans"
+    );
+    for r in run_multiperiod(length, &[1, 3, 6, 12, 20]) {
+        println!(
+            "{:>8} {:>12.3} {:>11.3} {:>13} {:>12}",
+            r.periods, r.looping_secs, r.shared_secs, r.looping_scans, r.shared_scans
+        );
+        assert_eq!(r.shared_scans, 2);
+    }
+    println!("Shared mining holds at 2 scans regardless of the range width.");
+}
+
+/// E8 — maximal mining hybrid (§4's proposed MaxMiner combination).
+fn maximal_exp(quick: bool) {
+    banner("E8 — frequent vs closed vs maximal pattern mining");
+    let length = if quick { 20_000 } else { 100_000 };
+    println!(
+        "{:>15} {:>9} {:>12} {:>10} {:>9} {:>8} {:>8} {:>12}",
+        "MAX-PAT-LENGTH", "full(s)", "maxminer(s)", "closed(s)", "frequent", "closed",
+        "maximal", "tree probes"
+    );
+    for r in run_maximal(length, &[2, 4, 6, 8, 10]) {
+        println!(
+            "{:>15} {:>9.3} {:>12.3} {:>10.3} {:>9} {:>8} {:>8} {:>12}",
+            r.max_pat_length, r.full_secs, r.maxminer_secs, r.closed_secs, r.frequent,
+            r.closed, r.maximal, r.maxminer_probes
+        );
+    }
+    println!("Look-ahead keeps probe counts near-linear while the frequent set grows 2^L;");
+    println!("the closed set compresses the frequent set losslessly.");
+}
+
+/// E7 — derivation counting ablation: tree walk vs linear scan.
+fn derive_ablation(quick: bool) {
+    banner("E7 — ablation: tree-walk vs linear-scan candidate counting");
+    let lengths: &[usize] =
+        if quick { &[10_000, 50_000] } else { &[50_000, 100_000, 250_000, 500_000] };
+    println!(
+        "{:>9} {:>10} {:>11} {:>14}",
+        "LENGTH", "walk(s)", "linear(s)", "distinct hits"
+    );
+    for r in run_derivation_ablation(lengths) {
+        println!(
+            "{:>9} {:>10.3} {:>11.3} {:>14}",
+            r.length, r.walk_secs, r.linear_secs, r.distinct_hits
+        );
+    }
+}
+
+/// E10 — disk-resident mining: the §5 argument that scans are the cost.
+fn disk(quick: bool) {
+    banner("E10 — disk-resident mining (streaming .ppmstream, every scan is file I/O)");
+    let length = if quick { 50_000 } else { 200_000 };
+    println!(
+        "{:>15} {:>12} {:>12} {:>9} {:>12} {:>12} {:>10}",
+        "MAX-PAT-LENGTH", "Apriori(s)", "HitSet(s)", "speedup", "A file scans", "H file scans",
+        "file MB"
+    );
+    for r in run_disk(length, &[2, 4, 6, 8, 10]) {
+        println!(
+            "{:>15} {:>12.3} {:>12.3} {:>8.2}x {:>12} {:>12} {:>10.1}",
+            r.max_pat_length,
+            r.apriori_secs,
+            r.hitset_secs,
+            r.apriori_secs / r.hitset_secs,
+            r.apriori_scans,
+            r.hitset_scans,
+            r.file_bytes as f64 / 1e6
+        );
+        assert_eq!(r.hitset_scans, 2);
+    }
+    println!("Every Apriori level re-reads the file; the hit-set method never exceeds 2 reads.");
+}
+
+/// E9 — the §6 extensions: perturbation tolerance and taxonomy drill-down.
+fn extensions(quick: bool) {
+    banner("E9 — extensions: perturbation tolerance & multi-level mining");
+    let scale = if quick { 4 } else { 1 };
+
+    // Perturbation: plant a clean period-24 structure, jitter it, compare
+    // the recovered frequent letters with and without slot enlargement.
+    let spec = SyntheticSpec::table1(48_000 / scale, 24, 4, 8);
+    let data = spec.generate();
+    let config = MineConfig::new(spec.recommended_min_conf()).unwrap();
+    let clean = scan_frequent_letters(&data.series, 24, &config).unwrap();
+    println!("\nPerturbation (slot enlargement, §6):");
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "jitter prob", "exact letters", "enlarged letters"
+    );
+    for prob in [0.0, 0.25, 0.5, 0.75] {
+        let jittered = noise::jitter(&data.series, 1, prob, 1234);
+        let exact = scan_frequent_letters(&jittered, 24, &config).unwrap();
+        let enlarged =
+            scan_frequent_letters(&window::enlarge_slots(&jittered, 1), 24, &config).unwrap();
+        println!(
+            "{:>12.2} {:>14} {:>16}",
+            prob,
+            exact.alphabet.len(),
+            enlarged.alphabet.len()
+        );
+    }
+    println!("(clean series: {} letters)", clean.alphabet.len());
+
+    // Perfect-periodicity baseline with cycle elimination, on a series
+    // with a genuinely perfect letter: the synthetic backbone fires at
+    // 0.85, so overlay one feature that holds in *every* period-24 cycle.
+    let perfect_series = {
+        let marker = ppm_timeseries::FeatureId::from_raw(90_000);
+        let mut b = ppm_timeseries::SeriesBuilder::new();
+        for (t, inst) in data.series.iter().enumerate() {
+            if t % 24 == 5 {
+                b.push_instant(inst.iter().copied().chain([marker]));
+            } else {
+                b.push_instant(inst.iter().copied());
+            }
+        }
+        b.finish()
+    };
+    println!("\nPerfect periodicity with cycle elimination ([12]-style baseline):");
+    let perfect = mine_perfect(&perfect_series, PeriodRange::new(20, 28).unwrap()).unwrap();
+    for p in perfect {
+        println!(
+            "  period {:>2}: {:>2} perfect letters, examined {:>4}/{} segments",
+            p.period,
+            p.alphabet.len(),
+            p.segments_examined,
+            p.segment_count
+        );
+    }
+
+    // Sanity: a single long-period mining at confidence 1 matches the
+    // perfect miner (checked in tests; demonstrated here).
+    let full = hitset::mine(&perfect_series, 24, &MineConfig::new(1.0).unwrap()).unwrap();
+    println!(
+        "\nhitset::mine at min_conf=1.0 agrees: {} letter(s) ({} pattern(s)) at period 24.",
+        full.alphabet.len(),
+        full.len()
+    );
+}

@@ -1,0 +1,57 @@
+//! `ppm convert` — transcode between the text and binary series formats.
+
+use std::io::Write;
+
+use crate::args::Parsed;
+use crate::error::CliError;
+
+/// Runs the command.
+pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.required("input")?;
+    let output = args.required("out")?;
+    let (series, catalog) = super::load_series(input)?;
+    super::save_series(output, &series, &catalog)?;
+    writeln!(
+        out,
+        "converted {input} -> {output} ({} instants, {} features)",
+        series.len(),
+        catalog.len()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::testutil::{run_cli, sample_series_file, temp_path};
+
+    #[test]
+    fn binary_to_text_and_back() {
+        let bin = sample_series_file("ppms");
+        let txt = temp_path("conv", "txt");
+        let bin2 = temp_path("conv2", "ppms");
+        run_cli(&format!("convert --input {} --out {}", bin.display(), txt.display())).unwrap();
+        run_cli(&format!("convert --input {} --out {}", txt.display(), bin2.display()))
+            .unwrap();
+        let (a, _) = crate::cmd::load_series(bin.to_str().unwrap()).unwrap();
+        let (b, _) = crate::cmd::load_series(bin2.to_str().unwrap()).unwrap();
+        assert_eq!(a.len(), b.len());
+        // Same feature multiset per instant (ids may be renumbered).
+        assert_eq!(a.total_features(), b.total_features());
+        for p in [bin, txt, bin2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn text_output_is_readable() {
+        let bin = sample_series_file("ppms");
+        let txt = temp_path("conv-read", "txt");
+        run_cli(&format!("convert --input {} --out {}", bin.display(), txt.display())).unwrap();
+        let content = std::fs::read_to_string(&txt).unwrap();
+        assert!(content.contains("alpha"));
+        assert!(content.contains('-'));
+        for p in [bin, txt] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

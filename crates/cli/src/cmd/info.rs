@@ -1,0 +1,50 @@
+//! `ppm info` — series summary statistics.
+
+use std::io::Write;
+
+use crate::args::Parsed;
+use crate::error::CliError;
+
+/// Runs the command.
+pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.required("input")?;
+    let (series, catalog) = super::load_series(input)?;
+    let stats = series.stats();
+    writeln!(out, "file:                 {input}")?;
+    writeln!(out, "instants:             {}", stats.instants)?;
+    writeln!(out, "feature occurrences:  {}", stats.total_features)?;
+    writeln!(out, "catalog size:         {}", catalog.len())?;
+    writeln!(out, "mean features/slot:   {:.3}", stats.mean_features_per_instant)?;
+    writeln!(out, "max features/slot:    {}", stats.max_features_per_instant)?;
+    writeln!(out, "empty slots:          {}", stats.empty_instants)?;
+    for period in [24usize, 168] {
+        if period <= stats.instants {
+            writeln!(
+                out,
+                "whole segments @p={period}: {}",
+                series.period_count(period)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::testutil::{run_cli, sample_series_file};
+
+    #[test]
+    fn prints_stats() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!("info --input {}", path.display())).unwrap();
+        assert!(text.contains("instants:             90"));
+        assert!(text.contains("catalog size:         2"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = run_cli("info --input /definitely/not/here.ppms").unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+}

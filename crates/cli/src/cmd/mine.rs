@@ -1,0 +1,312 @@
+//! `ppm mine` — single-period mining with optional constraints.
+
+use std::io::Write;
+
+use ppm_core::closed::mine_closed;
+use ppm_core::constraints::{mine_constrained, Constraints};
+use ppm_core::maximal::mine_maximal;
+use ppm_core::parallel::mine_parallel;
+use ppm_core::streaming::{mine_apriori_streaming, mine_hitset_streaming};
+use ppm_core::{mine, Algorithm, MineConfig, MiningResult, Pattern};
+use ppm_timeseries::storage::stream::FileSource;
+
+use crate::args::Parsed;
+use crate::error::CliError;
+
+/// Runs the command.
+pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.required("input")?;
+    let period: usize = args.required_parsed("period")?;
+    let min_conf: f64 = args.required_parsed("min-conf")?;
+    let limit: usize = args.parsed_or("limit", 20)?;
+    let algorithm = args.get("algorithm").unwrap_or("hitset");
+
+    let config = MineConfig::new(min_conf)?;
+
+    // Out-of-core mode: stream a .ppmstream file; never materialize it.
+    if args.switch("stream") {
+        if super::format_of(input) != super::Format::Stream {
+            return Err(CliError::Usage(
+                "--stream requires a .ppmstream input (see `ppm convert`)".into(),
+            ));
+        }
+        let mut source = FileSource::open(input)?;
+        let catalog = source.catalog().clone();
+        let result = match algorithm {
+            "apriori" => mine_apriori_streaming(&mut source, period, &config)?,
+            "hitset" => mine_hitset_streaming(&mut source, period, &config)?,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--stream supports --algorithm apriori|hitset, not {other:?}"
+                )))
+            }
+        };
+        writeln!(out, "streamed {} file scans from {input}", result.stats.series_scans)?;
+        return print_result(&result, &catalog, period, min_conf, limit, out);
+    }
+
+    let (series, catalog) = super::load_series(input)?;
+
+    // Maximal-only mode short-circuits (it has its own result shape).
+    if args.switch("maximal") {
+        let result = mine_maximal(&series, period, &config)?;
+        writeln!(
+            out,
+            "{} maximal patterns (period {period}, {} segments, min_conf {min_conf}):",
+            result.maximal.len(),
+            result.segment_count
+        )?;
+        for fp in result.maximal.iter().take(limit) {
+            let pattern = Pattern::from_letter_set(&result.alphabet, &fp.letters);
+            writeln!(
+                out,
+                "  {}  count={} conf={:.3}",
+                pattern.display(&catalog),
+                fp.count,
+                fp.count as f64 / result.segment_count as f64
+            )?;
+        }
+        return Ok(());
+    }
+
+    // Closed-only mode: the lossless compression of the frequent set.
+    if args.switch("closed") {
+        let result = mine_closed(&series, period, &config)?;
+        writeln!(
+            out,
+            "{} closed patterns (period {period}, {} segments, min_conf {min_conf}):",
+            result.closed.len(),
+            result.segment_count
+        )?;
+        for fp in result.closed.iter().take(limit) {
+            let pattern = Pattern::from_letter_set(&result.alphabet, &fp.letters);
+            writeln!(
+                out,
+                "  {}  count={} conf={:.3}",
+                pattern.display(&catalog),
+                fp.count,
+                fp.count as f64 / result.segment_count as f64
+            )?;
+        }
+        return Ok(());
+    }
+
+    let offsets = args.parsed_list::<usize>("offsets")?;
+    let max_letters = args.get("max-letters").map(|_| args.required_parsed("max-letters"));
+    let constrained = offsets.is_some() || max_letters.is_some();
+
+    let result = if constrained {
+        let mut c = Constraints::none();
+        if let Some(o) = offsets {
+            c = c.at_offsets(o);
+        }
+        if let Some(m) = max_letters {
+            c = c.max_letters(m?);
+        }
+        mine_constrained(&series, period, &config, &c)?
+    } else {
+        match algorithm {
+            "apriori" => mine(&series, period, &config, Algorithm::Apriori)?,
+            "hitset" => mine(&series, period, &config, Algorithm::HitSet)?,
+            "parallel" => {
+                let threads: usize = args.parsed_or("threads", 4)?;
+                mine_parallel(&series, period, &config, threads)?
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown --algorithm {other:?} (apriori|hitset|parallel)"
+                )))
+            }
+        }
+    };
+
+    if args.switch("tsv") {
+        write!(out, "{}", ppm_core::export::patterns_tsv(&result, &catalog))?;
+        return Ok(());
+    }
+    print_result(&result, &catalog, period, min_conf, limit, out)
+}
+
+/// Shared frequent-pattern report.
+fn print_result(
+    result: &MiningResult,
+    catalog: &ppm_timeseries::FeatureCatalog,
+    period: usize,
+    min_conf: f64,
+    limit: usize,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{} frequent patterns (period {period}, {} segments, min_conf {min_conf}, \
+         {} scans); showing up to {limit}, longest first:",
+        result.len(),
+        result.segment_count,
+        result.stats.series_scans
+    )?;
+    let mut rows: Vec<_> = result.frequent.iter().collect();
+    rows.sort_by(|a, b| b.letters.len().cmp(&a.letters.len()).then(b.count.cmp(&a.count)));
+    for fp in rows.into_iter().take(limit) {
+        let pattern = Pattern::from_letter_set(&result.alphabet, &fp.letters);
+        writeln!(
+            out,
+            "  {}  count={} conf={:.3}",
+            pattern.display(catalog),
+            fp.count,
+            fp.count as f64 / result.segment_count as f64
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::testutil::{run_cli, sample_series_file};
+
+    #[test]
+    fn mines_the_sample() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("frequent patterns"), "{text}");
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("2 scans"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn all_algorithms_agree_in_output_counts() {
+        let path = sample_series_file("ppms");
+        let base = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6",
+            path.display()
+        ))
+        .unwrap();
+        let first_line = base.lines().next().unwrap().to_owned();
+        for algo in ["apriori", "parallel"] {
+            let text = run_cli(&format!(
+                "mine --input {} --period 3 --min-conf 0.6 --algorithm {algo}",
+                path.display()
+            ))
+            .unwrap();
+            let n = |s: &str| s.split(' ').next().unwrap().to_owned();
+            assert_eq!(
+                n(text.lines().next().unwrap()),
+                n(&first_line),
+                "{algo} disagrees"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn maximal_mode() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --maximal",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("maximal patterns"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn constrained_mode_filters_offsets() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --offsets 0 --max-letters 1",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("alpha"), "{text}");
+        assert!(!text.contains("beta"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tsv_output_is_machine_readable() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --tsv",
+            path.display()
+        ))
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "pattern\tletters\tl_length\tcount\tconfidence");
+        assert!(lines.len() > 1);
+        assert!(lines[1..].iter().all(|l| l.split('\t').count() == 5), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn closed_mode() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --closed",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("closed patterns"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stream_mode_mines_out_of_core() {
+        let path = sample_series_file("ppmstream");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --stream",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("streamed 2 file scans"), "{text}");
+        assert!(text.contains("alpha"), "{text}");
+        // Apriori streams too, with more scans.
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --stream --algorithm apriori",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("file scans"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stream_mode_requires_stream_format() {
+        let path = sample_series_file("ppms");
+        let err = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --stream",
+            path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_algorithm_is_usage_error() {
+        let path = sample_series_file("ppms");
+        let err = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --algorithm magic",
+            path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_confidence_is_mining_error() {
+        let path = sample_series_file("ppms");
+        let err = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 7",
+            path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        std::fs::remove_file(path).ok();
+    }
+}

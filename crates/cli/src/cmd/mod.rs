@@ -1,0 +1,143 @@
+//! Command implementations.
+
+pub mod convert;
+pub mod evolve;
+pub mod generate;
+pub mod info;
+pub mod mine;
+pub mod perfect;
+pub mod rules;
+pub mod sweep;
+
+use std::path::Path;
+
+use ppm_timeseries::storage::{self, stream};
+use ppm_timeseries::{FeatureCatalog, FeatureSeries};
+
+use crate::error::CliError;
+
+/// Series file formats, chosen by extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Line-oriented text (`.txt`).
+    Text,
+    /// Block binary (`.ppms` and anything unrecognized).
+    Binary,
+    /// Record-streaming binary (`.ppmstream`).
+    Stream,
+}
+
+/// Detects the format of `path` from its extension.
+pub fn format_of(path: &str) -> Format {
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some(ext) if ext.eq_ignore_ascii_case("txt") => Format::Text,
+        Some(ext) if ext.eq_ignore_ascii_case("ppmstream") => Format::Stream,
+        _ => Format::Binary,
+    }
+}
+
+/// Loads a series (and catalog) from `path` in whatever format the
+/// extension indicates. Streaming files are materialized.
+pub fn load_series(path: &str) -> Result<(FeatureSeries, FeatureCatalog), CliError> {
+    match format_of(path) {
+        Format::Text => {
+            let text = std::fs::read_to_string(path)?;
+            let mut catalog = FeatureCatalog::new();
+            let series = storage::parse_series(&text, &mut catalog)?;
+            Ok((series, catalog))
+        }
+        Format::Binary => Ok(storage::read_series(path)?),
+        Format::Stream => {
+            let source = stream::FileSource::open(path)?;
+            let series = source.materialize()?;
+            let catalog = source.catalog().clone();
+            Ok((series, catalog))
+        }
+    }
+}
+
+/// Saves a series to `path` in the format its extension indicates.
+pub fn save_series(
+    path: &str,
+    series: &FeatureSeries,
+    catalog: &FeatureCatalog,
+) -> Result<(), CliError> {
+    match format_of(path) {
+        Format::Text => {
+            std::fs::write(path, storage::render_series(series, catalog))?;
+            Ok(())
+        }
+        Format::Binary => {
+            storage::write_series(path, series, catalog)?;
+            Ok(())
+        }
+        Format::Stream => {
+            stream::StreamWriter::create(path, catalog)?.write_series(series)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers shared by command tests.
+
+    use super::*;
+    use ppm_timeseries::SeriesBuilder;
+
+    /// A unique temp path with the given extension.
+    pub fn temp_path(tag: &str, ext: &str) -> std::path::PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "ppm-cli-test-{}-{tag}-{n}.{ext}",
+            std::process::id()
+        ))
+    }
+
+    /// Writes a simple periodic series (period 3: alpha at 0 always, beta
+    /// at 1 in 2/3 of segments) to a temp file; returns the path.
+    pub fn sample_series_file(ext: &str) -> std::path::PathBuf {
+        let mut catalog = FeatureCatalog::new();
+        let a = catalog.intern("alpha");
+        let b = catalog.intern("beta");
+        let mut builder = SeriesBuilder::new();
+        for j in 0..30 {
+            builder.push_instant([a]);
+            builder.push_instant(if j % 3 != 0 { vec![b] } else { vec![] });
+            builder.push_instant([]);
+        }
+        let series = builder.finish();
+        let path = temp_path("sample", ext);
+        save_series(path.to_str().unwrap(), &series, &catalog).unwrap();
+        path
+    }
+
+    /// Runs the CLI end to end, capturing stdout.
+    pub fn run_cli(line: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        let mut out = Vec::new();
+        crate::run(&argv, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn all_formats_round_trip_through_helpers() {
+        for ext in ["txt", "ppms", "ppmstream"] {
+            let path = sample_series_file(ext);
+            let (series, catalog) = load_series(path.to_str().unwrap()).unwrap();
+            assert_eq!(series.len(), 90, "{ext}");
+            assert!(catalog.get("alpha").is_some(), "{ext}");
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(format_of("a.txt"), Format::Text);
+        assert_eq!(format_of("a.TXT"), Format::Text);
+        assert_eq!(format_of("a.ppms"), Format::Binary);
+        assert_eq!(format_of("a.ppmstream"), Format::Stream);
+        assert_eq!(format_of("noext"), Format::Binary);
+    }
+}

@@ -1,0 +1,92 @@
+//! `ppm sweep` — multi-period mining over a range (Algs 3.3/3.4).
+
+use std::io::Write;
+
+use ppm_core::multi::{mine_periods_looping, mine_periods_shared, PeriodRange};
+use ppm_core::{Algorithm, MineConfig};
+
+use crate::args::Parsed;
+use crate::error::CliError;
+
+/// Runs the command.
+pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.required("input")?;
+    let from: usize = args.required_parsed("from")?;
+    let to: usize = args.required_parsed("to")?;
+    let min_conf: f64 = args.required_parsed("min-conf")?;
+
+    let (series, _catalog) = super::load_series(input)?;
+    let config = MineConfig::new(min_conf)?;
+    let range = PeriodRange::new(from, to)?;
+
+    let result = if args.switch("looping") {
+        mine_periods_looping(&series, range, &config, Algorithm::HitSet)?
+    } else {
+        mine_periods_shared(&series, range, &config)?
+    };
+
+    writeln!(
+        out,
+        "periods {from}..={to}, min_conf {min_conf}, {} total series scans \
+         ({}):",
+        result.total_scans,
+        if args.switch("looping") { "looping, Alg 3.3" } else { "shared, Alg 3.4" }
+    )?;
+    writeln!(out, "{:>8} {:>10} {:>9} {:>14}", "period", "patterns", "|F1|", "max pattern")?;
+    for r in &result.results {
+        writeln!(
+            out,
+            "{:>8} {:>10} {:>9} {:>14}",
+            r.period,
+            r.len(),
+            r.alphabet.len(),
+            r.max_l_length()
+        )?;
+    }
+    if let Some(best) = result.densest_period() {
+        writeln!(out, "densest period: {best}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::testutil::{run_cli, sample_series_file};
+
+    #[test]
+    fn shared_sweep_reports_two_scans() {
+        let path = sample_series_file("ppms");
+        let text =
+            run_cli(&format!("sweep --input {} --from 2 --to 6 --min-conf 0.6", path.display()))
+                .unwrap();
+        assert!(text.contains("2 total series scans"), "{text}");
+        // Period 6 (a multiple of the planted 3) sees the letters twice
+        // per segment, so it is densest; period 3 itself has 3 patterns.
+        assert!(text.contains("densest period: 6"), "{text}");
+        let p3 = text.lines().find(|l| l.trim_start().starts_with("3 ")).unwrap();
+        assert!(p3.contains(" 3 "), "{p3}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn looping_sweep_scales_scans() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --looping",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("10 total series scans"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn inverted_range_is_rejected() {
+        let path = sample_series_file("ppms");
+        let err =
+            run_cli(&format!("sweep --input {} --from 6 --to 2 --min-conf 0.6", path.display()))
+                .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,70 @@
+//! CLI error type.
+
+use std::fmt;
+
+/// Errors surfaced to the terminal with exit code 1 (or 2 for usage).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown command, missing/invalid flag.
+    Usage(String),
+    /// I/O failure reading or writing files or the terminal.
+    Io(std::io::Error),
+    /// Failure from the series substrate.
+    Series(ppm_timeseries::Error),
+    /// Failure from the mining layer.
+    Mining(ppm_core::Error),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Series(e) => write!(f, "series error: {e}"),
+            CliError::Mining(e) => write!(f, "mining error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<ppm_timeseries::Error> for CliError {
+    fn from(e: ppm_timeseries::Error) -> Self {
+        CliError::Series(e)
+    }
+}
+
+impl From<ppm_core::Error> for CliError {
+    fn from(e: ppm_core::Error) -> Self {
+        CliError::Mining(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        let io: CliError = std::io::Error::other("boom").into();
+        assert_eq!(io.exit_code(), 1);
+        assert!(io.to_string().contains("boom"));
+    }
+}

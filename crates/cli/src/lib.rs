@@ -1,0 +1,75 @@
+//! `ppm` — a command-line partial periodic pattern miner.
+//!
+//! Thin, testable command layer over the workspace libraries:
+//!
+//! ```text
+//! ppm generate --length 100000 --period 50 --max-pat-length 6 --f1 12 --out data.ppms
+//! ppm info     --input data.ppms
+//! ppm mine     --input data.ppms --period 50 --min-conf 0.6 [--algorithm hitset] [--limit 20]
+//! ppm sweep    --input data.ppms --from 40 --to 60 --min-conf 0.6 [--looping]
+//! ppm perfect  --input data.ppms --from 40 --to 60
+//! ppm convert  --input data.txt --out data.ppms
+//! ```
+//!
+//! Series files are the binary `.ppms` format of
+//! [`ppm_timeseries::storage::binary`], or the line-oriented text format
+//! when the extension is `.txt`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod cmd;
+mod error;
+
+pub use error::CliError;
+
+use std::io::Write;
+
+/// Entry point shared by the binary and the tests: parses `argv` (without
+/// the program name) and runs the selected command, writing human output
+/// to `out`.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = args::Parsed::parse(argv)?;
+    match parsed.command.as_str() {
+        "generate" => cmd::generate::run(&parsed, out),
+        "info" => cmd::info::run(&parsed, out),
+        "mine" => cmd::mine::run(&parsed, out),
+        "sweep" => cmd::sweep::run(&parsed, out),
+        "perfect" => cmd::perfect::run(&parsed, out),
+        "convert" => cmd::convert::run(&parsed, out),
+        "rules" => cmd::rules::run(&parsed, out),
+        "evolve" => cmd::evolve::run(&parsed, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", usage())?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The top-level usage text.
+pub fn usage() -> &'static str {
+    "ppm — partial periodic pattern mining (Han, Dong & Yin, ICDE 1999)
+
+USAGE:
+  ppm generate --length N --period P --max-pat-length L --f1 K --out FILE [--seed S]
+  ppm info     --input FILE
+  ppm mine     --input FILE --period P --min-conf C
+               [--algorithm apriori|hitset|parallel] [--threads N] [--stream]
+               [--max-letters M] [--offsets 1,2,3] [--limit N] [--tsv]
+               [--maximal | --closed]
+  ppm sweep    --input FILE --from P1 --to P2 --min-conf C [--looping]
+  ppm perfect  --input FILE --from P1 --to P2
+  ppm rules    --input FILE --period P --min-conf C [--min-rule-conf R] [--tsv]
+  ppm evolve   --input FILE --period P --min-conf C --window W [--stride S]
+  ppm convert  --input FILE --out FILE
+  ppm help
+
+Series files by extension: .ppms (block binary, checksummed), .ppmstream
+(record streaming, minable out of core with --stream), .txt (one instant
+per line, features space-separated, '-' = empty)."
+}

@@ -1,0 +1,15 @@
+//! `ppm` binary entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match ppm_cli::run(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("ppm: {err}");
+            ExitCode::from(err.exit_code() as u8)
+        }
+    }
+}

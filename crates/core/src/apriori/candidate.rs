@@ -1,0 +1,198 @@
+//! Level-wise candidate generation: the classic prefix join with full
+//! subset pruning, over sorted letter-index vectors.
+
+use std::collections::HashSet;
+
+/// Generates the `(k+1)`-letter candidates from the frequent `k`-letter
+/// patterns (each a strictly ascending letter-index vector).
+///
+/// `frequent` must be sorted lexicographically (miners keep levels sorted).
+/// Two patterns sharing their first `k−1` letters join into a candidate;
+/// the candidate survives only if *all* of its `k`-subsets are frequent
+/// (Property 3.1).
+pub fn join_candidates(frequent: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    if frequent.is_empty() {
+        return Vec::new();
+    }
+    let k = frequent[0].len();
+    debug_assert!(frequent.iter().all(|p| p.len() == k));
+    debug_assert!(frequent.windows(2).all(|w| w[0] < w[1]), "frequent level must be sorted");
+
+    let lookup: HashSet<&[u32]> = frequent.iter().map(Vec::as_slice).collect();
+    let mut out = Vec::new();
+    let mut scratch = Vec::with_capacity(k);
+
+    for i in 0..frequent.len() {
+        for j in i + 1..frequent.len() {
+            let (a, b) = (&frequent[i], &frequent[j]);
+            if a[..k - 1] != b[..k - 1] {
+                break; // sorted order: no further j shares the prefix
+            }
+            // a < b lexicographically and equal prefixes => a[k-1] < b[k-1].
+            let mut cand = a.clone();
+            cand.push(b[k - 1]);
+            // Prune: every k-subset must be frequent. The two subsets
+            // missing cand[k] and cand[k-1] are a and b themselves.
+            let ok = (0..k - 1).all(|drop| {
+                scratch.clear();
+                scratch.extend(cand.iter().enumerate().filter(|&(p, _)| p != drop).map(|(_, &l)| l));
+                lookup.contains(scratch.as_slice())
+            });
+            if ok {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+/// Calls `visit` with every `k`-combination of `items`, in lexicographic
+/// order. Used by the adaptive candidate counter to enumerate the
+/// `k`-subsets of a segment's projected letter set.
+pub fn for_each_combination<T: Copy>(items: &[T], k: usize, mut visit: impl FnMut(&[T])) {
+    if k == 0 || k > items.len() {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    let mut buf: Vec<T> = idx.iter().map(|&i| items[i]).collect();
+    let n = items.len();
+    loop {
+        visit(&buf);
+        // Advance the combination (standard odometer).
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return;
+            }
+            pos -= 1;
+            if idx[pos] != pos + n - k {
+                break;
+            }
+            if pos == 0 {
+                return;
+            }
+        }
+        idx[pos] += 1;
+        for p in pos + 1..k {
+            idx[p] = idx[p - 1] + 1;
+        }
+        for p in pos..k {
+            buf[p] = items[idx[p]];
+        }
+    }
+}
+
+/// Number of `k`-combinations of `n` items, saturating at `u64::MAX`.
+pub(crate) fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_level1_produces_all_pairs() {
+        let l1 = vec![vec![0], vec![1], vec![2]];
+        let got = join_candidates(&l1);
+        assert_eq!(got, vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+    }
+
+    #[test]
+    fn join_prunes_missing_subsets() {
+        // {0,1}, {0,2}, {1,2} all frequent -> {0,1,2} survives.
+        let l2 = vec![vec![0, 1], vec![0, 2], vec![1, 2]];
+        assert_eq!(join_candidates(&l2), vec![vec![0, 1, 2]]);
+        // Without {1,2} the candidate must be pruned.
+        let l2 = vec![vec![0, 1], vec![0, 2]];
+        assert!(join_candidates(&l2).is_empty());
+    }
+
+    #[test]
+    fn join_respects_prefix_grouping() {
+        // {0,1} and {2,3} share no prefix: no candidate.
+        let l2 = vec![vec![0, 1], vec![2, 3]];
+        assert!(join_candidates(&l2).is_empty());
+    }
+
+    #[test]
+    fn join_empty_input() {
+        assert!(join_candidates(&[]).is_empty());
+    }
+
+    #[test]
+    fn join_output_is_sorted_and_unique() {
+        let l1: Vec<Vec<u32>> = (0..6).map(|i| vec![i]).collect();
+        let pairs = join_candidates(&l1);
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        let triples = join_candidates(&pairs);
+        assert!(triples.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(triples.len(), binomial(6, 3) as usize);
+    }
+
+    #[test]
+    fn combinations_enumerate_lexicographically() {
+        let mut seen = Vec::new();
+        for_each_combination(&[1, 2, 3, 4], 2, |c| seen.push(c.to_vec()));
+        assert_eq!(
+            seen,
+            vec![
+                vec![1, 2],
+                vec![1, 3],
+                vec![1, 4],
+                vec![2, 3],
+                vec![2, 4],
+                vec![3, 4]
+            ]
+        );
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        let mut count = 0;
+        for_each_combination(&[1, 2, 3], 0, |_| count += 1);
+        assert_eq!(count, 0);
+        for_each_combination(&[1, 2, 3], 4, |_| count += 1);
+        assert_eq!(count, 0);
+        for_each_combination(&[7], 1, |c| {
+            assert_eq!(c, &[7]);
+            count += 1;
+        });
+        assert_eq!(count, 1);
+        let mut full = Vec::new();
+        for_each_combination(&[1, 2, 3], 3, |c| full.push(c.to_vec()));
+        assert_eq!(full, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        for n in 0..8usize {
+            let items: Vec<usize> = (0..n).collect();
+            for k in 1..=n {
+                let mut count = 0u64;
+                for_each_combination(&items, k, |_| count += 1);
+                assert_eq!(count, binomial(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(64, 32), 1_832_624_140_942_590_534);
+        assert_eq!(binomial(200, 100), u64::MAX); // saturates
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the mining layer.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by mining configuration and execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The confidence threshold must lie in `(0, 1]`.
+    InvalidConfidence {
+        /// The offending value.
+        value: f64,
+    },
+    /// A period of zero, or longer than the series, was requested.
+    InvalidPeriod {
+        /// The offending period.
+        period: usize,
+        /// Length of the series it was applied to.
+        series_len: usize,
+    },
+    /// An empty or inverted period range was requested.
+    InvalidPeriodRange {
+        /// Lower bound.
+        lo: usize,
+        /// Upper bound.
+        hi: usize,
+    },
+    /// A pattern string could not be parsed.
+    PatternParse {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// A pattern's period disagrees with the mining period.
+    PeriodMismatch {
+        /// The pattern's period.
+        pattern_period: usize,
+        /// The expected period.
+        expected: usize,
+    },
+    /// An error bubbled up from the time-series substrate.
+    Series(ppm_timeseries::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfidence { value } => {
+                write!(f, "min confidence must be in (0, 1], got {value}")
+            }
+            Error::InvalidPeriod { period, series_len } => write!(
+                f,
+                "invalid period {period} for series of length {series_len}"
+            ),
+            Error::InvalidPeriodRange { lo, hi } => {
+                write!(f, "invalid period range {lo}..={hi}")
+            }
+            Error::PatternParse { detail } => write!(f, "pattern parse error: {detail}"),
+            Error::PeriodMismatch { pattern_period, expected } => write!(
+                f,
+                "pattern has period {pattern_period}, expected {expected}"
+            ),
+            Error::Series(e) => write!(f, "series error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Series(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ppm_timeseries::Error> for Error {
+    fn from(e: ppm_timeseries::Error) -> Self {
+        // Surface period problems under our own variant so callers can match
+        // on a single error shape regardless of which layer noticed first.
+        match e {
+            ppm_timeseries::Error::InvalidPeriod { period, series_len } => {
+                Error::InvalidPeriod { period, series_len }
+            }
+            other => Error::Series(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::InvalidConfidence { value: 1.5 }.to_string().contains("1.5"));
+        assert!(Error::InvalidPeriodRange { lo: 5, hi: 2 }.to_string().contains("5..=2"));
+        assert!(Error::PeriodMismatch { pattern_period: 3, expected: 4 }
+            .to_string()
+            .contains("period 3"));
+    }
+
+    #[test]
+    fn series_period_errors_are_remapped() {
+        let e: Error =
+            ppm_timeseries::Error::InvalidPeriod { period: 0, series_len: 9 }.into();
+        assert!(matches!(e, Error::InvalidPeriod { period: 0, series_len: 9 }));
+    }
+}

@@ -1,0 +1,306 @@
+//! Mining partial periodicity under **evolution** (paper §6).
+//!
+//! "Perturbation may happen from period to period" — and beyond jitter
+//! (handled by [`crate::perturb`]), behaviours *drift*: Jim switches from
+//! the morning paper to a podcast, the evening power peak moves with the
+//! season. The paper flags "mining partial periodicity with perturbation
+//! and evolution" as the robustness extension.
+//!
+//! [`mine_windows`] slides a window of whole period segments across the
+//! series, mines each window with the hit-set method, and stitches the
+//! per-window confidences into [`PatternTrack`]s so callers can classify
+//! patterns as stable, emerging, or declining — the vocabulary of concept
+//! drift applied to partial periodicity.
+//!
+//! ```
+//! use ppm_core::evolution::{mine_windows, Drift, WindowSpec};
+//! use ppm_core::MineConfig;
+//! use ppm_timeseries::{FeatureCatalog, SeriesBuilder};
+//!
+//! // A habit that appears halfway through the series.
+//! let mut catalog = FeatureCatalog::new();
+//! let gym = catalog.intern("gym");
+//! let mut builder = SeriesBuilder::new();
+//! for day in 0..40 {
+//!     builder.push_instant(if day >= 20 { vec![gym] } else { vec![] });
+//!     builder.push_instant([]);
+//! }
+//! let series = builder.finish();
+//!
+//! let out = mine_windows(
+//!     &series, 2, &MineConfig::new(0.8).unwrap(), WindowSpec::new(10, 10).unwrap(),
+//! ).unwrap();
+//! let track = out.track_of(&[(0, gym)]).unwrap();
+//! assert_eq!(track.classify(out.window_count()), Drift::Emerging);
+//! ```
+
+use std::collections::HashMap;
+
+use ppm_timeseries::{FeatureId, FeatureSeries};
+
+use crate::error::{Error, Result};
+use crate::hitset;
+use crate::scan::MineConfig;
+
+/// Sliding-window parameters, in whole period segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window width in segments (≥ 1).
+    pub segments: usize,
+    /// Stride between window starts in segments (≥ 1).
+    pub stride: usize,
+}
+
+impl WindowSpec {
+    /// Creates a spec; both fields must be ≥ 1.
+    pub fn new(segments: usize, stride: usize) -> Result<Self> {
+        if segments == 0 || stride == 0 {
+            return Err(Error::PatternParse {
+                detail: format!("window segments {segments} and stride {stride} must be >= 1"),
+            });
+        }
+        Ok(WindowSpec { segments, stride })
+    }
+}
+
+/// The life of one pattern across the windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternTrack {
+    /// The pattern's letters as `(offset, feature)` pairs, sorted — window
+    /// alphabets differ, so tracks use the symbolic identity.
+    pub letters: Vec<(usize, FeatureId)>,
+    /// Confidence per window; `None` where the pattern was not frequent.
+    pub confidences: Vec<Option<f64>>,
+}
+
+impl PatternTrack {
+    /// Number of windows in which the pattern was frequent.
+    pub fn presence(&self) -> usize {
+        self.confidences.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// First window index where the pattern was frequent.
+    pub fn first_seen(&self) -> Option<usize> {
+        self.confidences.iter().position(Option::is_some)
+    }
+
+    /// Last window index where the pattern was frequent.
+    pub fn last_seen(&self) -> Option<usize> {
+        self.confidences.iter().rposition(Option::is_some)
+    }
+
+    /// Drift classification against the window count.
+    pub fn classify(&self, windows: usize) -> Drift {
+        let first = self.first_seen();
+        let last = self.last_seen();
+        match (first, last) {
+            (Some(0), Some(l)) if l == windows - 1 && self.presence() == windows => {
+                Drift::Stable
+            }
+            (Some(f), Some(l)) if l == windows - 1 && f > 0 => Drift::Emerging,
+            (Some(0), Some(l)) if l < windows - 1 => Drift::Vanished,
+            _ => Drift::Intermittent,
+        }
+    }
+}
+
+/// How a pattern's presence evolved across the windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drift {
+    /// Frequent in every window.
+    Stable,
+    /// Absent at the start, frequent at the end.
+    Emerging,
+    /// Frequent at the start, absent at the end.
+    Vanished,
+    /// Present with gaps, or confined to the middle.
+    Intermittent,
+}
+
+/// The result of windowed mining.
+#[derive(Debug, Clone)]
+pub struct EvolutionResult {
+    /// The period mined.
+    pub period: usize,
+    /// `(first segment, segment count)` per window, in order.
+    pub windows: Vec<(usize, usize)>,
+    /// One track per pattern that was frequent in at least one window.
+    pub tracks: Vec<PatternTrack>,
+}
+
+impl EvolutionResult {
+    /// Number of windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Tracks with the given drift class.
+    pub fn with_drift(&self, drift: Drift) -> impl Iterator<Item = &PatternTrack> {
+        let n = self.window_count();
+        self.tracks.iter().filter(move |t| t.classify(n) == drift)
+    }
+
+    /// Looks up the track of a specific letter set.
+    pub fn track_of(&self, letters: &[(usize, FeatureId)]) -> Option<&PatternTrack> {
+        let mut key = letters.to_vec();
+        key.sort_unstable();
+        self.tracks.iter().find(|t| t.letters == key)
+    }
+}
+
+/// Mines each sliding window with the hit-set method and stitches pattern
+/// confidences across windows.
+pub fn mine_windows(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+    window: WindowSpec,
+) -> Result<EvolutionResult> {
+    if period == 0 || period > series.len() {
+        return Err(Error::InvalidPeriod { period, series_len: series.len() });
+    }
+    let total_segments = series.len() / period;
+    if window.segments > total_segments {
+        return Err(Error::InvalidPeriod {
+            period: window.segments * period,
+            series_len: series.len(),
+        });
+    }
+
+    let mut windows = Vec::new();
+    let mut start = 0;
+    while start + window.segments <= total_segments {
+        windows.push((start, window.segments));
+        start += window.stride;
+    }
+
+    // Mine every window, recording per-pattern confidence.
+    let mut table: HashMap<Vec<(usize, FeatureId)>, Vec<Option<f64>>> = HashMap::new();
+    for (w, &(first, count)) in windows.iter().enumerate() {
+        let sub = series.slice(first * period, (first + count) * period);
+        let result = hitset::mine(&sub, period, config)?;
+        for fp in &result.frequent {
+            let mut key: Vec<(usize, FeatureId)> =
+                fp.letters.iter().map(|i| result.alphabet.letter(i)).collect();
+            key.sort_unstable();
+            let track = table.entry(key).or_insert_with(|| vec![None; windows.len()]);
+            track[w] = Some(fp.confidence(result.segment_count));
+        }
+    }
+
+    let mut tracks: Vec<PatternTrack> = table
+        .into_iter()
+        .map(|(letters, confidences)| PatternTrack { letters, confidences })
+        .collect();
+    tracks.sort_by(|a, b| a.letters.cmp(&b.letters));
+    Ok(EvolutionResult { period, windows, tracks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::SeriesBuilder;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    /// 60 segments of period 3: f0 periodic throughout; f1 only in the
+    /// first half; f2 only in the second half.
+    fn drifting_series() -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        for j in 0..60 {
+            b.push_instant([fid(0)]);
+            b.push_instant(if j < 30 { vec![fid(1)] } else { vec![] });
+            b.push_instant(if j >= 30 { vec![fid(2)] } else { vec![] });
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn tracks_classify_drift() {
+        let s = drifting_series();
+        let config = MineConfig::new(0.8).unwrap();
+        let out =
+            mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
+        assert_eq!(out.window_count(), 6);
+
+        let stable = out.track_of(&[(0, fid(0))]).unwrap();
+        assert_eq!(stable.classify(6), Drift::Stable);
+        assert_eq!(stable.presence(), 6);
+
+        let vanished = out.track_of(&[(1, fid(1))]).unwrap();
+        assert_eq!(vanished.classify(6), Drift::Vanished);
+        assert_eq!(vanished.last_seen(), Some(2));
+
+        let emerging = out.track_of(&[(2, fid(2))]).unwrap();
+        assert_eq!(emerging.classify(6), Drift::Emerging);
+        assert_eq!(emerging.first_seen(), Some(3));
+    }
+
+    #[test]
+    fn confidences_are_per_window() {
+        let s = drifting_series();
+        let config = MineConfig::new(0.8).unwrap();
+        let out =
+            mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
+        let stable = out.track_of(&[(0, fid(0))]).unwrap();
+        for c in &stable.confidences {
+            assert_eq!(*c, Some(1.0));
+        }
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let s = drifting_series();
+        let config = MineConfig::new(0.8).unwrap();
+        let out =
+            mine_windows(&s, 3, &config, WindowSpec::new(20, 10).unwrap()).unwrap();
+        // Starts at 0, 10, 20, 30, 40 — window 40 covers segments 40..60.
+        assert_eq!(out.window_count(), 5);
+        assert_eq!(out.windows[1], (10, 20));
+        // The half-and-half letters are frequent only where their half
+        // dominates the window.
+        let vanished = out.track_of(&[(1, fid(1))]).unwrap();
+        assert_eq!(vanished.presence(), 2); // windows [0..20) and [10..30)
+    }
+
+    #[test]
+    fn with_drift_filters() {
+        let s = drifting_series();
+        let config = MineConfig::new(0.8).unwrap();
+        let out =
+            mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
+        let n = out.window_count();
+        assert!(out.with_drift(Drift::Stable).count() >= 1);
+        for t in out.with_drift(Drift::Emerging) {
+            assert!(t.first_seen().unwrap() > 0);
+            assert_eq!(t.last_seen().unwrap(), n - 1);
+        }
+    }
+
+    #[test]
+    fn multi_letter_patterns_are_tracked() {
+        // f0 and f1 co-occur for the first 30 segments only.
+        let s = drifting_series();
+        let config = MineConfig::new(0.8).unwrap();
+        let out =
+            mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
+        let pair = out.track_of(&[(0, fid(0)), (1, fid(1))]).unwrap();
+        assert_eq!(pair.classify(6), Drift::Vanished);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let s = drifting_series();
+        let config = MineConfig::new(0.8).unwrap();
+        assert!(WindowSpec::new(0, 1).is_err());
+        assert!(WindowSpec::new(1, 0).is_err());
+        // Window longer than the series.
+        assert!(
+            mine_windows(&s, 3, &config, WindowSpec::new(100, 1).unwrap()).is_err()
+        );
+        // Bad period.
+        assert!(mine_windows(&s, 0, &config, WindowSpec::new(5, 5).unwrap()).is_err());
+    }
+}

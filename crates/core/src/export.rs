@@ -1,0 +1,138 @@
+//! Tabular export of mining results.
+//!
+//! Experiment pipelines want machine-readable output; this module renders
+//! results as TSV (tab-separated, one row per pattern/rule, header first).
+//! Feature names are sanitized — tabs and newlines become spaces — so rows
+//! always parse back.
+
+use ppm_timeseries::FeatureCatalog;
+
+use crate::pattern::Pattern;
+use crate::result::MiningResult;
+use crate::rules::PeriodicRule;
+
+fn sanitize(s: &str) -> String {
+    s.replace(['\t', '\n', '\r'], " ")
+}
+
+/// Renders all frequent patterns as TSV:
+/// `pattern, letters, l_length, count, confidence`.
+pub fn patterns_tsv(result: &MiningResult, catalog: &FeatureCatalog) -> String {
+    let mut out = String::from("pattern\tletters\tl_length\tcount\tconfidence\n");
+    for fp in &result.frequent {
+        let pattern = Pattern::from_letter_set(&result.alphabet, &fp.letters);
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{:.6}\n",
+            sanitize(&pattern.display(catalog).to_string()),
+            fp.letters.len(),
+            result.alphabet.l_length_of(&fp.letters),
+            fp.count,
+            fp.confidence(result.segment_count),
+        ));
+    }
+    out
+}
+
+/// Renders rules as TSV:
+/// `antecedent, consequent, support_count, confidence`.
+pub fn rules_tsv(
+    rules: &[PeriodicRule],
+    result: &MiningResult,
+    catalog: &FeatureCatalog,
+) -> String {
+    let mut out = String::from("antecedent\tconsequent\tsupport_count\tconfidence\n");
+    for rule in rules {
+        let ante = Pattern::from_letter_set(&result.alphabet, &rule.antecedent);
+        let (offset, feature) = result.alphabet.letter(rule.consequent);
+        out.push_str(&format!(
+            "{}\t{}@{}\t{}\t{:.6}\n",
+            sanitize(&ante.display(catalog).to_string()),
+            sanitize(&catalog.name_or_placeholder(feature)),
+            offset,
+            rule.support_count,
+            rule.confidence,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::SeriesBuilder;
+
+    use crate::rules::generate_rules;
+    use crate::scan::MineConfig;
+
+    fn mined() -> (MiningResult, FeatureCatalog) {
+        let mut catalog = FeatureCatalog::new();
+        let a = catalog.intern("alpha");
+        let b = catalog.intern("beta");
+        let mut builder = SeriesBuilder::new();
+        for j in 0..10 {
+            builder.push_instant([a]);
+            builder.push_instant(if j % 2 == 0 { vec![b] } else { vec![] });
+        }
+        let series = builder.finish();
+        let result =
+            crate::hitset::mine(&series, 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        (result, catalog)
+    }
+
+    #[test]
+    fn patterns_tsv_has_one_row_per_pattern() {
+        let (result, catalog) = mined();
+        let tsv = patterns_tsv(&result, &catalog);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), result.len() + 1);
+        assert_eq!(lines[0], "pattern\tletters\tl_length\tcount\tconfidence");
+        // Every data row has exactly 5 tab-separated fields.
+        for row in &lines[1..] {
+            assert_eq!(row.split('\t').count(), 5, "{row}");
+        }
+        assert!(tsv.contains("alpha"));
+    }
+
+    #[test]
+    fn rules_tsv_round_trips_fields() {
+        let (result, catalog) = mined();
+        let rules = generate_rules(&result, 0.0);
+        let tsv = rules_tsv(&rules, &result, &catalog);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), rules.len() + 1);
+        for (row, rule) in lines[1..].iter().zip(&rules) {
+            let fields: Vec<&str> = row.split('\t').collect();
+            assert_eq!(fields.len(), 4);
+            assert_eq!(fields[2].parse::<u64>().unwrap(), rule.support_count);
+            let conf: f64 = fields[3].parse().unwrap();
+            assert!((conf - rule.confidence).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let mut catalog = FeatureCatalog::new();
+        let weird = catalog.intern("has\ttab");
+        let mut builder = SeriesBuilder::new();
+        for _ in 0..4 {
+            builder.push_instant([weird]);
+        }
+        let series = builder.finish();
+        let result =
+            crate::hitset::mine(&series, 1, &MineConfig::new(0.9).unwrap()).unwrap();
+        let tsv = patterns_tsv(&result, &catalog);
+        for row in tsv.lines().skip(1) {
+            assert_eq!(row.split('\t').count(), 5, "{row}");
+        }
+        assert!(tsv.contains("has tab"));
+    }
+
+    #[test]
+    #[allow(clippy::redundant_clone)]
+    fn empty_result_is_header_only() {
+        let (mut result, catalog) = mined();
+        result.frequent.clear();
+        assert_eq!(patterns_tsv(&result, &catalog).lines().count(), 1);
+        assert_eq!(rules_tsv(&[], &result, &catalog).lines().count(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Algorithm 4.2: deriving all frequent patterns from the max-subpattern
+//! tree.
+//!
+//! Candidates are generated level-wise exactly as in Apriori (Property 3.1
+//! holds regardless of how counting is done), but counting never touches
+//! the series again: the frequency of a candidate is the sum of the counts
+//! of its superpattern hits in the tree — the node's own count plus those
+//! of its *reachable ancestors* in the paper's formulation.
+//!
+//! Two counting strategies are exposed for the ablation study (DESIGN.md
+//! experiment E7):
+//!
+//! * [`CountStrategy::TreeWalk`] — the paper's pruned trie traversal;
+//! * [`CountStrategy::LinearScan`] — a flat pass over the distinct hits
+//!   with one bitset subset test each.
+
+use crate::apriori::join_candidates;
+use crate::hitset::tree::MaxSubpatternTree;
+use crate::letters::LetterSet;
+use crate::result::FrequentPattern;
+use crate::scan::Scan1;
+use crate::stats::MiningStats;
+
+/// How candidate counts are extracted from the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountStrategy {
+    /// Pruned traversal of the trie (paper §4). Skips whole subtrees that
+    /// drop a letter of the candidate.
+    #[default]
+    TreeWalk,
+    /// Flat scan over the nodes with count > 0.
+    LinearScan,
+}
+
+impl CountStrategy {
+    /// Counts the superpattern hits of `p` under this strategy.
+    pub fn count(self, tree: &MaxSubpatternTree, p: &LetterSet) -> u64 {
+        match self {
+            CountStrategy::TreeWalk => tree.count_superpatterns_walk(p),
+            CountStrategy::LinearScan => tree.count_superpatterns_linear(p),
+        }
+    }
+}
+
+/// Derives every frequent pattern with ≥ 2 letters from the tree,
+/// level-wise from the frequent 1-patterns of `scan1`. Appends to
+/// `frequent` and updates `stats`; returns nothing else — 1-letter patterns
+/// are the caller's responsibility (their exact counts come from scan 1).
+pub fn derive_frequent(
+    tree: &MaxSubpatternTree,
+    scan1: &Scan1,
+    strategy: CountStrategy,
+    frequent: &mut Vec<FrequentPattern>,
+    stats: &mut MiningStats,
+) {
+    let n_letters = scan1.alphabet.len();
+    let mut level: Vec<Vec<u32>> = (0..n_letters as u32).map(|i| vec![i]).collect();
+    let mut k = 1;
+    stats.max_level = stats.max_level.max(1);
+    while !level.is_empty() {
+        let candidates = join_candidates(&level);
+        stats.candidates_generated += candidates.len() as u64;
+        if candidates.is_empty() {
+            break;
+        }
+        k += 1;
+        stats.max_level = stats.max_level.max(k);
+        let mut next_level = Vec::new();
+        for cand in candidates {
+            let set =
+                LetterSet::from_indices(n_letters, cand.iter().map(|&l| l as usize));
+            stats.subset_tests += 1;
+            let count = strategy.count(tree, &set);
+            if count >= scan1.min_count {
+                frequent.push(FrequentPattern { letters: set, count });
+                next_level.push(cand);
+            }
+        }
+        level = next_level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::letters::Alphabet;
+    use crate::scan::MineConfig;
+    use ppm_timeseries::FeatureId;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn scan1_with(n: usize, m: usize, min_conf: f64) -> Scan1 {
+        let alphabet = Alphabet::new(n, (0..n).map(|i| (i, fid(i as u32))));
+        let config = MineConfig::new(min_conf).unwrap();
+        Scan1 {
+            min_count: config.min_count(m),
+            letter_counts: vec![m as u64; n],
+            segment_count: m,
+            alphabet,
+        }
+    }
+
+    fn set(n: usize, idx: &[usize]) -> LetterSet {
+        LetterSet::from_indices(n, idx.iter().copied())
+    }
+
+    #[test]
+    fn derives_from_single_dominant_hit() {
+        // 10 segments all hitting {0,1,2}: every subset of {0,1,2} with
+        // >= 2 letters is frequent with count 10.
+        let scan1 = scan1_with(4, 10, 0.5);
+        let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+        for _ in 0..10 {
+            tree.insert(&set(4, &[0, 1, 2]));
+        }
+        for strategy in [CountStrategy::TreeWalk, CountStrategy::LinearScan] {
+            let mut frequent = Vec::new();
+            let mut stats = MiningStats::default();
+            derive_frequent(&tree, &scan1, strategy, &mut frequent, &mut stats);
+            // {0,1} {0,2} {1,2} {0,1,2}: 4 multi-letter patterns.
+            assert_eq!(frequent.len(), 4, "{strategy:?}");
+            assert!(frequent.iter().all(|f| f.count == 10));
+            assert_eq!(stats.max_level, 3);
+        }
+    }
+
+    #[test]
+    fn threshold_prunes_levels() {
+        let scan1 = scan1_with(3, 10, 0.75); // min_count = 8
+        let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+        for _ in 0..5 {
+            tree.insert(&set(3, &[0, 1]));
+        }
+        for _ in 0..4 {
+            tree.insert(&set(3, &[0, 1, 2]));
+        }
+        let mut frequent = Vec::new();
+        let mut stats = MiningStats::default();
+        derive_frequent(&tree, &scan1, CountStrategy::TreeWalk, &mut frequent, &mut stats);
+        // {0,1}: 5 + 4 = 9 >= 8 frequent; {0,2}, {1,2}: 4 < 8; {0,1,2}: 4.
+        assert_eq!(frequent.len(), 1);
+        assert_eq!(frequent[0].letters, set(3, &[0, 1]));
+        assert_eq!(frequent[0].count, 9);
+    }
+
+    #[test]
+    fn strategies_agree_on_scattered_hits() {
+        let scan1 = scan1_with(6, 40, 0.1); // min_count = 4
+        let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+        let hits: &[&[usize]] = &[
+            &[0, 1],
+            &[0, 1, 2],
+            &[3, 4, 5],
+            &[0, 3],
+            &[1, 2, 4],
+            &[0, 1, 2, 3, 4, 5],
+            &[2, 5],
+        ];
+        for (i, h) in hits.iter().enumerate() {
+            for _ in 0..=i {
+                tree.insert(&set(6, h));
+            }
+        }
+        let run = |strategy| {
+            let mut frequent = Vec::new();
+            let mut stats = MiningStats::default();
+            derive_frequent(&tree, &scan1, strategy, &mut frequent, &mut stats);
+            frequent.sort_by_key(|f| f.letters.iter().collect::<Vec<_>>());
+            frequent
+        };
+        let a = run(CountStrategy::TreeWalk);
+        let b = run(CountStrategy::LinearScan);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_tree_yields_nothing() {
+        let scan1 = scan1_with(3, 10, 0.5);
+        let tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+        let mut frequent = Vec::new();
+        let mut stats = MiningStats::default();
+        derive_frequent(&tree, &scan1, CountStrategy::TreeWalk, &mut frequent, &mut stats);
+        assert!(frequent.is_empty());
+        // Candidates were still generated at level 2 (and rejected).
+        assert_eq!(stats.candidates_generated, 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Algorithm 3.2: single-period mining via the max-subpattern hit set.
+
+use ppm_timeseries::FeatureSeries;
+
+use crate::error::Result;
+use crate::hitset::derive::{derive_frequent, CountStrategy};
+use crate::hitset::tree::MaxSubpatternTree;
+use crate::letters::LetterSet;
+use crate::result::{FrequentPattern, MiningResult};
+use crate::scan::{scan_frequent_letters, MineConfig, Scan1};
+use crate::stats::MiningStats;
+
+/// Mines all frequent partial periodic patterns of `period` in `series`
+/// with the max-subpattern hit-set method (paper Algorithm 3.2), using the
+/// default tree-walk counting strategy.
+///
+/// Exactly **two** scans of the series are performed, independent of the
+/// period and of the length of the longest frequent pattern.
+pub fn mine(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    mine_with_strategy(series, period, config, CountStrategy::default())
+}
+
+/// [`mine`] with an explicit counting strategy (used by the ablation
+/// benches to compare the paper's tree traversal with a flat scan).
+pub fn mine_with_strategy(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+    strategy: CountStrategy,
+) -> Result<MiningResult> {
+    // Scan 1: frequent 1-patterns and C_max.
+    let scan1 = scan_frequent_letters(series, period, config)?;
+    let mut stats = MiningStats { series_scans: 1, max_level: 1, ..Default::default() };
+
+    // Scan 2: register each segment's maximal hit subpattern.
+    let tree = build_tree(series, &scan1, &mut stats);
+    stats.series_scans += 1;
+    stats.tree_nodes = tree.node_count();
+    stats.distinct_hits = tree.distinct_hits();
+    stats.hit_insertions = tree.total_hits();
+
+    // Derivation: 1-letter counts from scan 1, the rest from the tree.
+    let n_letters = scan1.alphabet.len();
+    let mut frequent: Vec<FrequentPattern> = scan1
+        .letter_counts
+        .iter()
+        .enumerate()
+        .map(|(idx, &count)| FrequentPattern {
+            letters: LetterSet::from_indices(n_letters, [idx]),
+            count,
+        })
+        .collect();
+    derive_frequent(&tree, &scan1, strategy, &mut frequent, &mut stats);
+
+    let mut result = MiningResult {
+        period,
+        segment_count: scan1.segment_count,
+        min_confidence: config.min_confidence(),
+        min_count: scan1.min_count,
+        alphabet: scan1.alphabet,
+        frequent,
+        stats,
+    };
+    result.sort();
+    Ok(result)
+}
+
+/// The second scan: projects every whole segment onto the frequent-letter
+/// alphabet and inserts hits with at least two letters into the tree
+/// (1-letter hits carry no information beyond scan 1; empty hits none).
+pub(crate) fn build_tree(
+    series: &FeatureSeries,
+    scan1: &Scan1,
+    _stats: &mut MiningStats,
+) -> MaxSubpatternTree {
+    let period = scan1.alphabet.period();
+    let m = scan1.segment_count;
+    let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+    let mut hit = scan1.alphabet.empty_set();
+    for j in 0..m {
+        hit.clear();
+        for offset in 0..period {
+            scan1.alphabet.project_instant(
+                offset,
+                series.instant(j * period + offset),
+                &mut hit,
+            );
+        }
+        if hit.len() >= 2 {
+            tree.insert(&hit);
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::{FeatureCatalog, FeatureId, SeriesBuilder};
+
+    use crate::pattern::Pattern;
+    use crate::stats::hit_set_bound;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    /// The paper's §2 example series "a{b,c}b aeb ace d", period 3.
+    fn example_series(cat: &mut FeatureCatalog) -> FeatureSeries {
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let c = cat.intern("c");
+        let e = cat.intern("e");
+        let d = cat.intern("d");
+        let mut builder = SeriesBuilder::new();
+        builder.push_instant([a]);
+        builder.push_instant([b, c]);
+        builder.push_instant([b]);
+        builder.push_instant([a]);
+        builder.push_instant([e]);
+        builder.push_instant([b]);
+        builder.push_instant([a]);
+        builder.push_instant([c]);
+        builder.push_instant([e]);
+        builder.push_instant([d]);
+        builder.finish()
+    }
+
+    #[test]
+    fn mines_paper_example_identically_to_apriori() {
+        let mut cat = FeatureCatalog::new();
+        let series = example_series(&mut cat);
+        let config = MineConfig::new(0.6).unwrap();
+        let hitset = mine(&series, 3, &config).unwrap();
+        let apriori = crate::apriori::mine(&series, 3, &config).unwrap();
+        assert_eq!(hitset.frequent, apriori.frequent);
+        // Spot-check: a*b frequent with count 2.
+        let a_star_b = Pattern::parse("a * b", &mut cat).unwrap();
+        assert_eq!(hitset.count_of(&a_star_b), Some(2));
+    }
+
+    #[test]
+    fn always_two_scans() {
+        let mut b = SeriesBuilder::new();
+        for t in 0..300u32 {
+            // A long embedded pattern so Apriori would need many levels.
+            b.push_instant([fid(t % 10)]);
+        }
+        let s = b.finish();
+        let result = mine(&s, 10, &MineConfig::new(0.9).unwrap()).unwrap();
+        assert_eq!(result.stats.series_scans, 2);
+        assert_eq!(result.max_letter_count(), 10);
+        // Apriori needs 10 scans on the same input: one for F1 plus one per
+        // level 2..=10 (the level-10 join yields no candidates, so no
+        // further scan happens).
+        let apriori = crate::apriori::mine(&s, 10, &MineConfig::new(0.9).unwrap()).unwrap();
+        assert_eq!(apriori.stats.series_scans, 10);
+        assert_eq!(apriori.frequent, result.frequent);
+    }
+
+    #[test]
+    fn hit_set_respects_property_3_2_bound() {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 7;
+        for _ in 0..400 {
+            let mut inst = Vec::new();
+            for f in 0..4u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 33).is_multiple_of(2) {
+                    inst.push(fid(f));
+                }
+            }
+            b.push_instant(inst);
+        }
+        let s = b.finish();
+        let result = mine(&s, 8, &MineConfig::new(0.2).unwrap()).unwrap();
+        let m = result.segment_count as u64;
+        let f1 = result.alphabet.len() as u32;
+        assert!(
+            (result.stats.distinct_hits as u64) <= hit_set_bound(m, f1),
+            "distinct hits {} exceed bound {}",
+            result.stats.distinct_hits,
+            hit_set_bound(m, f1)
+        );
+        assert!(result.stats.hit_insertions <= m);
+    }
+
+    #[test]
+    fn one_letter_hits_are_not_inserted() {
+        // Segments contain at most one frequent letter: tree stays trivial.
+        let mut b = SeriesBuilder::new();
+        for _ in 0..5 {
+            b.push_instant([fid(0)]);
+            b.push_instant([]);
+        }
+        let s = b.finish();
+        let result = mine(&s, 2, &MineConfig::new(0.8).unwrap()).unwrap();
+        assert_eq!(result.stats.hit_insertions, 0);
+        assert_eq!(result.stats.tree_nodes, 1); // just the root
+        assert_eq!(result.len(), 1); // the 1-pattern f0 at offset 0
+    }
+
+    #[test]
+    fn empty_alphabet_short_circuits() {
+        let mut b = SeriesBuilder::new();
+        for t in 0..10u32 {
+            b.push_instant([fid(t)]);
+        }
+        let s = b.finish();
+        let result = mine(&s, 2, &MineConfig::new(0.9).unwrap()).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.stats.series_scans, 2);
+    }
+}

@@ -1,0 +1,490 @@
+//! The letter alphabet and bitset pattern encoding.
+//!
+//! After the first scan finds `F1` (the frequent 1-patterns), every pattern
+//! of interest is a subpattern of the *candidate max-pattern* `C_max` — the
+//! union of `F1` (paper §3.1.2). A **letter** is one `(offset, feature)`
+//! pair of `C_max`; letters are numbered densely in `(offset, feature)`
+//! order, which is exactly the canonical "missing-letter order" the
+//! max-subpattern tree of §4 traverses.
+//!
+//! A pattern over `C_max` is then just a set of letter indices — a
+//! [`LetterSet`] bitset — and the heavy operations of the mining algorithms
+//! (subset tests for matching, intersections for hit computation) become a
+//! few word-wide instructions.
+
+use std::fmt;
+
+use ppm_timeseries::FeatureId;
+
+/// The alphabet of frequent letters for one period: the positions and
+/// features of `C_max`, densely numbered in `(offset, feature)` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    period: usize,
+    /// Sorted by `(offset, feature)`; index in this vec == letter index.
+    letters: Vec<(u32, FeatureId)>,
+    /// `offset_starts[o]..offset_starts[o+1]` indexes `letters` for offset o.
+    offset_starts: Vec<u32>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet from `(offset, feature)` pairs for a period.
+    ///
+    /// Pairs may arrive unsorted or duplicated; offsets must be `< period`.
+    ///
+    /// # Panics
+    /// Panics if any offset is out of range (an internal-contract violation:
+    /// scan code only produces in-range offsets).
+    pub fn new(period: usize, pairs: impl IntoIterator<Item = (usize, FeatureId)>) -> Self {
+        let mut letters: Vec<(u32, FeatureId)> = pairs
+            .into_iter()
+            .map(|(o, f)| {
+                assert!(o < period, "offset {o} out of range for period {period}");
+                (o as u32, f)
+            })
+            .collect();
+        letters.sort_unstable();
+        letters.dedup();
+        let mut offset_starts = Vec::with_capacity(period + 1);
+        let mut cursor = 0u32;
+        for o in 0..period as u32 {
+            offset_starts.push(cursor);
+            while (cursor as usize) < letters.len() && letters[cursor as usize].0 == o {
+                cursor += 1;
+            }
+        }
+        offset_starts.push(cursor);
+        Alphabet { period, letters, offset_starts }
+    }
+
+    /// The mining period this alphabet belongs to.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Number of letters `n_L = |F1|`.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Whether the alphabet is empty (no frequent 1-patterns).
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// The `(offset, feature)` of letter `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()`.
+    pub fn letter(&self, idx: usize) -> (usize, FeatureId) {
+        let (o, f) = self.letters[idx];
+        (o as usize, f)
+    }
+
+    /// The letter index of `(offset, feature)`, if it is frequent.
+    pub fn index_of(&self, offset: usize, feature: FeatureId) -> Option<usize> {
+        if offset >= self.period {
+            return None;
+        }
+        let lo = self.offset_starts[offset] as usize;
+        let hi = self.offset_starts[offset + 1] as usize;
+        self.letters[lo..hi]
+            .binary_search_by_key(&feature, |&(_, f)| f)
+            .ok()
+            .map(|i| lo + i)
+    }
+
+    /// The contiguous range of letter indices at `offset`.
+    pub fn letters_at(&self, offset: usize) -> std::ops::Range<usize> {
+        self.offset_starts[offset] as usize..self.offset_starts[offset + 1] as usize
+    }
+
+    /// Iterates `(letter_index, offset, feature)` in letter order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, FeatureId)> + '_ {
+        self.letters.iter().enumerate().map(|(i, &(o, f))| (i, o as usize, f))
+    }
+
+    /// A fresh, empty [`LetterSet`] sized for this alphabet.
+    pub fn empty_set(&self) -> LetterSet {
+        LetterSet::new(self.len())
+    }
+
+    /// The full letter set — the candidate max-pattern `C_max`.
+    pub fn full_set(&self) -> LetterSet {
+        LetterSet::full(self.len())
+    }
+
+    /// The L-length of `set` under this alphabet: the number of *distinct
+    /// offsets* carrying at least one letter. Two letters at the same
+    /// offset (a brace-set position) count once.
+    pub fn l_length_of(&self, set: &LetterSet) -> usize {
+        let mut distinct = 0;
+        let mut last_offset = usize::MAX;
+        for idx in set.iter() {
+            let (o, _) = self.letter(idx);
+            if o != last_offset {
+                distinct += 1;
+                last_offset = o;
+            }
+        }
+        distinct
+    }
+
+    /// Projects one period segment's instant (`offset`, feature slice) into
+    /// `set`: sets the bit of every frequent letter present.
+    pub fn project_instant(&self, offset: usize, features: &[FeatureId], set: &mut LetterSet) {
+        let range = self.letters_at(offset);
+        if range.is_empty() || features.is_empty() {
+            return;
+        }
+        // Merge-walk the two sorted lists (both are sorted by feature id).
+        let letters = &self.letters[range.clone()];
+        let mut li = 0;
+        let mut fi = 0;
+        while li < letters.len() && fi < features.len() {
+            match letters[li].1.cmp(&features[fi]) {
+                std::cmp::Ordering::Less => li += 1,
+                std::cmp::Ordering::Greater => fi += 1,
+                std::cmp::Ordering::Equal => {
+                    set.insert(range.start + li);
+                    li += 1;
+                    fi += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A set of letter indices over an [`Alphabet`], stored as a fixed-width
+/// bitset. All sets drawn from the same alphabet have the same width, so
+/// subset/intersection tests are straight word loops.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LetterSet {
+    /// Number of valid bits (the alphabet size this set was created for).
+    universe: u32,
+    words: Box<[u64]>,
+}
+
+impl LetterSet {
+    /// An empty set over a universe of `n` letters.
+    pub fn new(n: usize) -> Self {
+        LetterSet { universe: n as u32, words: vec![0u64; n.div_ceil(64)].into_boxed_slice() }
+    }
+
+    /// The full set `{0, …, n−1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::new(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from indices (any order, duplicates fine).
+    pub fn from_indices(n: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(n);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The universe size this set was created for.
+    pub fn universe(&self) -> usize {
+        self.universe as usize
+    }
+
+    /// Inserts letter `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the universe.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.universe as usize, "letter {i} outside universe {}", self.universe);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes letter `i` (no-op if absent).
+    pub fn remove(&mut self, i: usize) {
+        if i < self.universe as usize {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Whether letter `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.universe as usize && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of letters present (the pattern's L-length).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no letters are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &LetterSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(other.words.iter()).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn is_superset(&self, other: &LetterSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the sets share no letters.
+    pub fn is_disjoint(&self, other: &LetterSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(other.words.iter()).all(|(&a, &b)| a & b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &LetterSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &LetterSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &LetterSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// `self \ other` as a new set.
+    pub fn difference(&self, other: &LetterSet) -> LetterSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Clears all bits, keeping the allocation.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Iterates present letter indices in ascending order.
+    pub fn iter(&self) -> LetterIter<'_> {
+        LetterIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// The smallest present letter, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for LetterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending iterator over the letters of a [`LetterSet`].
+#[derive(Debug, Clone)]
+pub struct LetterIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for LetterIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    #[test]
+    fn alphabet_orders_letters_canonically() {
+        let a = Alphabet::new(3, [(2, fid(5)), (0, fid(9)), (0, fid(1)), (2, fid(5))]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.letter(0), (0, fid(1)));
+        assert_eq!(a.letter(1), (0, fid(9)));
+        assert_eq!(a.letter(2), (2, fid(5)));
+        assert_eq!(a.period(), 3);
+    }
+
+    #[test]
+    fn alphabet_index_lookup() {
+        let a = Alphabet::new(4, [(1, fid(3)), (1, fid(7)), (3, fid(0))]);
+        assert_eq!(a.index_of(1, fid(3)), Some(0));
+        assert_eq!(a.index_of(1, fid(7)), Some(1));
+        assert_eq!(a.index_of(3, fid(0)), Some(2));
+        assert_eq!(a.index_of(1, fid(5)), None);
+        assert_eq!(a.index_of(0, fid(3)), None);
+        assert_eq!(a.index_of(9, fid(3)), None); // out-of-range offset
+    }
+
+    #[test]
+    fn letters_at_ranges() {
+        let a = Alphabet::new(3, [(0, fid(0)), (0, fid(1)), (2, fid(2))]);
+        assert_eq!(a.letters_at(0), 0..2);
+        assert_eq!(a.letters_at(1), 2..2);
+        assert_eq!(a.letters_at(2), 2..3);
+    }
+
+    #[test]
+    fn project_instant_sets_present_letters() {
+        let a = Alphabet::new(2, [(0, fid(1)), (0, fid(3)), (1, fid(1))]);
+        let mut s = a.empty_set();
+        a.project_instant(0, &[fid(0), fid(1), fid(2)], &mut s);
+        assert!(s.contains(0)); // (0, f1)
+        assert!(!s.contains(1)); // f3 absent
+        assert!(!s.contains(2)); // wrong offset
+        a.project_instant(1, &[fid(1)], &mut s);
+        assert!(s.contains(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn alphabet_rejects_out_of_range_offsets() {
+        Alphabet::new(2, [(2, fid(0))]);
+    }
+
+    #[test]
+    fn letterset_basic_ops() {
+        let mut s = LetterSet::new(130); // force 3 words
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        s.remove(64);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn letterset_subset_relations() {
+        let a = LetterSet::from_indices(10, [1, 3, 5]);
+        let b = LetterSet::from_indices(10, [1, 3]);
+        let c = LetterSet::from_indices(10, [2]);
+        assert!(b.is_subset(&a));
+        assert!(a.is_superset(&b));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_subset(&a));
+        assert!(c.is_disjoint(&a));
+        assert!(!b.is_disjoint(&a));
+    }
+
+    #[test]
+    fn letterset_algebra() {
+        let mut a = LetterSet::from_indices(8, [0, 1, 2]);
+        let b = LetterSet::from_indices(8, [2, 3]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let d = a.difference(&LetterSet::from_indices(8, [3]));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![2]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn letterset_full_and_first() {
+        let f = LetterSet::full(70);
+        assert_eq!(f.len(), 70);
+        assert_eq!(f.first(), Some(0));
+        assert_eq!(LetterSet::new(70).first(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_universe_panics() {
+        LetterSet::new(5).insert(5);
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let s = LetterSet::from_indices(200, [63, 64, 127, 128, 199]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn eq_and_hash_by_content() {
+        use std::collections::HashSet;
+        let a = LetterSet::from_indices(9, [1, 2]);
+        let b = LetterSet::from_indices(9, [2, 1, 1]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn debug_renders_indices() {
+        let s = LetterSet::from_indices(9, [4, 7]);
+        assert_eq!(format!("{s:?}"), "{4, 7}");
+    }
+
+    #[test]
+    fn l_length_counts_distinct_offsets() {
+        // Letters 0 and 1 share offset 0; letter 2 sits at offset 2.
+        let a = Alphabet::new(3, [(0, fid(1)), (0, fid(2)), (2, fid(3))]);
+        assert_eq!(a.l_length_of(&LetterSet::from_indices(3, [0, 1])), 1);
+        assert_eq!(a.l_length_of(&LetterSet::from_indices(3, [0, 2])), 2);
+        assert_eq!(a.l_length_of(&LetterSet::from_indices(3, [0, 1, 2])), 2);
+        assert_eq!(a.l_length_of(&LetterSet::new(3)), 0);
+    }
+
+    #[test]
+    fn project_instant_empty_inputs_are_noops() {
+        let a = Alphabet::new(2, [(0, fid(1))]);
+        let mut s = a.empty_set();
+        a.project_instant(0, &[], &mut s);
+        assert!(s.is_empty());
+        a.project_instant(1, &[fid(1)], &mut s); // no letters at offset 1
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_alphabet_behaves() {
+        let a = Alphabet::new(4, std::iter::empty());
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.full_set().len(), 0);
+        assert_eq!(a.index_of(0, fid(0)), None);
+        assert_eq!(a.iter().count(), 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Maximal frequent pattern mining.
+//!
+//! §4 of the paper closes by observing that users often want only the
+//! *maximal* frequent patterns, that Bayardo's MaxMiner [B98] is a good fit
+//! — except that MaxMiner re-scans the database per level — and that "the
+//! mixture of the max-subpattern hit set method and the MaxMiner can get
+//! rid of this problem". This module implements exactly that hybrid:
+//! MaxMiner's look-ahead search, with all candidate counting answered from
+//! the max-subpattern tree, so the series is still scanned only twice.
+
+use ppm_timeseries::FeatureSeries;
+
+use crate::error::Result;
+use crate::hitset::{build_tree, MaxSubpatternTree};
+use crate::letters::{Alphabet, LetterSet};
+use crate::result::{FrequentPattern, MiningResult};
+use crate::scan::{scan_frequent_letters, MineConfig, Scan1};
+use crate::stats::MiningStats;
+
+/// Output of maximal-pattern mining.
+#[derive(Debug, Clone)]
+pub struct MaximalResult {
+    /// The mined period.
+    pub period: usize,
+    /// Number of whole segments `m`.
+    pub segment_count: usize,
+    /// Count threshold used.
+    pub min_count: u64,
+    /// The frequent-letter alphabet.
+    pub alphabet: Alphabet,
+    /// The maximal frequent patterns (no frequent proper superpattern),
+    /// sorted by (letter count, letters).
+    pub maximal: Vec<FrequentPattern>,
+    /// Instrumentation (two scans; `subset_tests` counts tree lookups).
+    pub stats: MiningStats,
+}
+
+/// Mines only the **maximal** frequent patterns of `period` using the
+/// hit-set × MaxMiner hybrid. Equivalent to filtering
+/// [`MiningResult::maximal`] out of a full [`crate::hitset::mine`] run, but
+/// prunes the search with MaxMiner's look-ahead: whenever `head ∪ tail` is
+/// frequent, the whole subtree below `head` collapses to a single answer.
+pub fn mine_maximal(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MaximalResult> {
+    let scan1 = scan_frequent_letters(series, period, config)?;
+    let mut stats = MiningStats { series_scans: 1, max_level: 1, ..Default::default() };
+    let tree = build_tree(series, &scan1, &mut stats);
+    stats.series_scans += 1;
+    stats.tree_nodes = tree.node_count();
+    stats.distinct_hits = tree.distinct_hits();
+    stats.hit_insertions = tree.total_hits();
+
+    let maximal = max_miner(&tree, &scan1, &mut stats);
+
+    Ok(MaximalResult {
+        period,
+        segment_count: scan1.segment_count,
+        min_count: scan1.min_count,
+        alphabet: scan1.alphabet,
+        maximal,
+        stats,
+    })
+}
+
+/// Counts a pattern of any size: 0 letters → `m` (matches everything),
+/// 1 letter → the exact scan-1 count, otherwise the tree.
+///
+/// The 1-letter special case matters: segments whose projection has a
+/// single letter are *not* inserted in the tree (paper §4), so their counts
+/// only exist in scan 1.
+fn count_any(tree: &MaxSubpatternTree, scan1: &Scan1, set: &LetterSet) -> u64 {
+    match set.len() {
+        0 => scan1.segment_count as u64,
+        1 => scan1.letter_counts[set.first().expect("non-empty")],
+        _ => tree.count_superpatterns_walk(set),
+    }
+}
+
+/// MaxMiner search over the letter alphabet with tree-backed counting.
+fn max_miner(
+    tree: &MaxSubpatternTree,
+    scan1: &Scan1,
+    stats: &mut MiningStats,
+) -> Vec<FrequentPattern> {
+    let n = scan1.alphabet.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Order items by ascending support: expanding rare letters first keeps
+    // tails long where look-ahead succeeds most often (Bayardo's heuristic).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| scan1.letter_counts[i as usize]);
+
+    struct Group {
+        head: Vec<u32>,
+        tail: Vec<u32>,
+    }
+    let mut frontier = vec![Group { head: Vec::new(), tail: order }];
+    let mut candidates: Vec<(LetterSet, u64)> = Vec::new();
+
+    let set_of = |letters: &[u32]| {
+        LetterSet::from_indices(n, letters.iter().map(|&l| l as usize))
+    };
+
+    while let Some(group) = frontier.pop() {
+        // Look-ahead: if head ∪ tail is frequent, everything below is
+        // subsumed by it.
+        let mut whole: Vec<u32> = group.head.clone();
+        whole.extend_from_slice(&group.tail);
+        let whole_set = set_of(&whole);
+        stats.subset_tests += 1;
+        let whole_count = count_any(tree, scan1, &whole_set);
+        if whole_count >= scan1.min_count {
+            candidates.push((whole_set, whole_count));
+            continue;
+        }
+
+        // Expand: extend head by each tail item, keeping only items that
+        // stay frequent with the extended head in the new tail.
+        for (i, &item) in group.tail.iter().enumerate() {
+            let mut head = group.head.clone();
+            head.push(item);
+            let head_set = set_of(&head);
+            stats.subset_tests += 1;
+            let head_count = count_any(tree, scan1, &head_set);
+            if head_count < scan1.min_count {
+                continue;
+            }
+            let mut tail = Vec::new();
+            for &later in &group.tail[i + 1..] {
+                let mut probe = head.clone();
+                probe.push(later);
+                stats.subset_tests += 1;
+                if count_any(tree, scan1, &set_of(&probe)) >= scan1.min_count {
+                    tail.push(later);
+                }
+            }
+            stats.max_level = stats.max_level.max(head.len());
+            if tail.is_empty() {
+                candidates.push((head_set, head_count));
+            } else {
+                frontier.push(Group { head, tail });
+            }
+        }
+    }
+
+    // Subsumption filter: keep only true maximal patterns, dedup first.
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0.len()));
+    candidates.dedup_by(|a, b| a.0 == b.0);
+    let mut maximal: Vec<FrequentPattern> = Vec::new();
+    for (set, count) in candidates {
+        if !maximal.iter().any(|kept| set.is_subset(&kept.letters)) {
+            maximal.push(FrequentPattern { letters: set, count });
+        }
+    }
+    maximal.sort_by(|a, b| {
+        a.letters
+            .len()
+            .cmp(&b.letters.len())
+            .then_with(|| a.letters.iter().collect::<Vec<_>>().cmp(&b.letters.iter().collect()))
+    });
+    maximal
+}
+
+/// Reference implementation: the maximal patterns of a full mining result
+/// (cloned). Used to validate [`mine_maximal`] and available to callers who
+/// already hold a complete [`MiningResult`].
+pub fn maximal_of(result: &MiningResult) -> Vec<FrequentPattern> {
+    result.maximal().into_iter().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::{FeatureId, SeriesBuilder};
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn assert_same_maximal(series: &FeatureSeries, period: usize, min_conf: f64) {
+        let config = MineConfig::new(min_conf).unwrap();
+        let full = crate::hitset::mine(series, period, &config).unwrap();
+        let mut expect = maximal_of(&full);
+        expect.sort_by(|a, b| {
+            a.letters.len().cmp(&b.letters.len()).then_with(|| {
+                a.letters.iter().collect::<Vec<_>>().cmp(&b.letters.iter().collect())
+            })
+        });
+        let got = mine_maximal(series, period, &config).unwrap();
+        // The letter universes of the two runs are identical (same scan 1),
+        // so FrequentPattern equality is meaningful.
+        assert_eq!(got.maximal, expect, "min_conf={min_conf} period={period}");
+    }
+
+    #[test]
+    fn single_long_pattern_collapses_via_lookahead() {
+        let mut b = SeriesBuilder::new();
+        for _ in 0..10 {
+            for o in 0..6u32 {
+                b.push_instant([fid(o)]);
+            }
+        }
+        let s = b.finish();
+        let config = MineConfig::new(0.9).unwrap();
+        let got = mine_maximal(&s, 6, &config).unwrap();
+        assert_eq!(got.maximal.len(), 1);
+        assert_eq!(got.maximal[0].letters.len(), 6);
+        assert_eq!(got.maximal[0].count, 10);
+        // Look-ahead should have answered near-immediately: far fewer
+        // lookups than the 2^6 subsets a naive search would count.
+        assert!(got.stats.subset_tests < 20, "tests = {}", got.stats.subset_tests);
+        assert_same_maximal(&s, 6, 0.9);
+    }
+
+    #[test]
+    fn fragmented_patterns_match_reference() {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 5;
+        for _ in 0..240 {
+            let mut inst = Vec::new();
+            for f in 0..5u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (x >> 33).is_multiple_of(3) {
+                    inst.push(fid(f));
+                }
+            }
+            b.push_instant(inst);
+        }
+        let s = b.finish();
+        for conf in [0.2, 0.35, 0.5, 0.8] {
+            assert_same_maximal(&s, 6, conf);
+        }
+    }
+
+    #[test]
+    fn single_letters_can_be_maximal() {
+        // Two letters that never co-occur in a segment.
+        let mut b = SeriesBuilder::new();
+        for j in 0..10 {
+            if j % 2 == 0 {
+                b.push_instant([fid(0)]);
+                b.push_instant([]);
+            } else {
+                b.push_instant([]);
+                b.push_instant([fid(1)]);
+            }
+        }
+        let s = b.finish();
+        let config = MineConfig::new(0.5).unwrap();
+        let got = mine_maximal(&s, 2, &config).unwrap();
+        assert_eq!(got.maximal.len(), 2);
+        assert!(got.maximal.iter().all(|p| p.letters.len() == 1));
+        assert_same_maximal(&s, 2, 0.5);
+    }
+
+    #[test]
+    fn empty_series_alphabet() {
+        let mut b = SeriesBuilder::new();
+        for t in 0..8u32 {
+            b.push_instant([fid(t)]);
+        }
+        let s = b.finish();
+        let got = mine_maximal(&s, 2, &MineConfig::new(0.9).unwrap()).unwrap();
+        assert!(got.maximal.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Algorithm 3.4: shared mining of multiple periods in two scans.
+
+use std::collections::HashMap;
+
+use ppm_timeseries::{FeatureId, FeatureSeries};
+
+use crate::error::Result;
+use crate::hitset::derive::{derive_frequent, CountStrategy};
+use crate::hitset::MaxSubpatternTree;
+use crate::letters::{Alphabet, LetterSet};
+use crate::multi::{MultiPeriodResult, PeriodRange};
+use crate::result::{FrequentPattern, MiningResult};
+use crate::scan::{MineConfig, Scan1};
+use crate::stats::MiningStats;
+
+/// Mines every period in `range` with **two physical scans total** (paper
+/// Algorithm 3.4): the first pass accumulates per-period letter counts for
+/// all periods simultaneously; the second pass feeds every period's
+/// max-subpattern tree as segments complete. Memory grows with the number
+/// of periods (one count table and one tree each), which is the trade the
+/// paper describes.
+pub fn mine_periods_shared(
+    series: &FeatureSeries,
+    range: PeriodRange,
+    config: &MineConfig,
+) -> Result<MultiPeriodResult> {
+    let periods: Vec<usize> = range.iter().filter(|&p| p <= series.len()).collect();
+    if periods.is_empty() {
+        return Ok(MultiPeriodResult { results: Vec::new(), total_scans: 0 });
+    }
+    let n = series.len();
+
+    // ---- Scan 1: per-period (offset, feature) counts, one physical pass.
+    let mut counts: Vec<HashMap<(u32, FeatureId), u64>> =
+        periods.iter().map(|_| HashMap::new()).collect();
+    let usable: Vec<usize> = periods.iter().map(|&p| (n / p) * p).collect();
+    for t in 0..n {
+        let instant = series.instant(t);
+        if instant.is_empty() {
+            continue;
+        }
+        for (pi, &p) in periods.iter().enumerate() {
+            if t >= usable[pi] {
+                continue;
+            }
+            let offset = (t % p) as u32;
+            for &f in instant {
+                *counts[pi].entry((offset, f)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Materialize a Scan1 per period.
+    let scans: Vec<Scan1> = periods
+        .iter()
+        .zip(&counts)
+        .map(|(&p, table)| {
+            let m = n / p;
+            let min_count = config.min_count(m);
+            let alphabet = Alphabet::new(
+                p,
+                table
+                    .iter()
+                    .filter(|&(_, &c)| c >= min_count)
+                    .map(|(&(o, f), _)| (o as usize, f)),
+            );
+            let letter_counts = (0..alphabet.len())
+                .map(|i| {
+                    let (o, f) = alphabet.letter(i);
+                    table[&(o as u32, f)]
+                })
+                .collect();
+            Scan1 { alphabet, letter_counts, segment_count: m, min_count }
+        })
+        .collect();
+    drop(counts);
+
+    // ---- Scan 2: per-period trees, one physical pass. Each period keeps a
+    // rolling hit buffer that is flushed whenever its segment completes.
+    let mut trees: Vec<MaxSubpatternTree> =
+        scans.iter().map(|s| MaxSubpatternTree::new(s.alphabet.full_set())).collect();
+    let mut hits: Vec<LetterSet> = scans.iter().map(|s| s.alphabet.empty_set()).collect();
+    for t in 0..n {
+        let instant = series.instant(t);
+        for (pi, &p) in periods.iter().enumerate() {
+            if t >= usable[pi] {
+                continue;
+            }
+            let offset = t % p;
+            if !instant.is_empty() {
+                scans[pi].alphabet.project_instant(offset, instant, &mut hits[pi]);
+            }
+            if offset == p - 1 {
+                if hits[pi].len() >= 2 {
+                    trees[pi].insert(&hits[pi]);
+                }
+                hits[pi].clear();
+            }
+        }
+    }
+
+    // ---- Derivation per period (in-memory; no further scans).
+    let mut results = Vec::with_capacity(periods.len());
+    for ((period, scan1), tree) in periods.iter().copied().zip(scans).zip(trees) {
+        let mut stats = MiningStats {
+            series_scans: 2,
+            max_level: 1,
+            tree_nodes: tree.node_count(),
+            distinct_hits: tree.distinct_hits(),
+            hit_insertions: tree.total_hits(),
+            ..Default::default()
+        };
+        let n_letters = scan1.alphabet.len();
+        let mut frequent: Vec<FrequentPattern> = scan1
+            .letter_counts
+            .iter()
+            .enumerate()
+            .map(|(idx, &count)| FrequentPattern {
+                letters: LetterSet::from_indices(n_letters, [idx]),
+                count,
+            })
+            .collect();
+        derive_frequent(&tree, &scan1, CountStrategy::default(), &mut frequent, &mut stats);
+        let mut result = MiningResult {
+            period,
+            segment_count: scan1.segment_count,
+            min_confidence: config.min_confidence(),
+            min_count: scan1.min_count,
+            alphabet: scan1.alphabet,
+            frequent,
+            stats,
+        };
+        result.sort();
+        results.push(result);
+    }
+
+    Ok(MultiPeriodResult { results, total_scans: 2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::SeriesBuilder;
+
+    use crate::multi::mine_periods_looping;
+    use crate::Algorithm;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn mixed_series(n: usize) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 99;
+        for t in 0..n {
+            let mut inst = Vec::new();
+            if t % 3 == 1 {
+                inst.push(fid(0));
+            }
+            if t % 5 == 0 {
+                inst.push(fid(1));
+            }
+            // Sprinkle noise.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if (x >> 60) == 0 {
+                inst.push(fid(2));
+            }
+            b.push_instant(inst);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn shared_equals_looping_for_every_period() {
+        let s = mixed_series(150);
+        let range = PeriodRange::new(2, 8).unwrap();
+        let config = MineConfig::new(0.7).unwrap();
+        let shared = mine_periods_shared(&s, range, &config).unwrap();
+        let looping =
+            mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
+        assert_eq!(shared.results.len(), looping.results.len());
+        for (a, b) in shared.results.iter().zip(&looping.results) {
+            assert_eq!(a.period, b.period);
+            assert_eq!(a.frequent, b.frequent, "period {}", a.period);
+            assert_eq!(a.segment_count, b.segment_count);
+        }
+    }
+
+    #[test]
+    fn shared_uses_exactly_two_scans() {
+        let s = mixed_series(60);
+        let range = PeriodRange::new(2, 10).unwrap();
+        let config = MineConfig::new(0.5).unwrap();
+        let shared = mine_periods_shared(&s, range, &config).unwrap();
+        assert_eq!(shared.total_scans, 2);
+        for r in &shared.results {
+            assert_eq!(r.stats.series_scans, 2);
+        }
+        let looping =
+            mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
+        assert_eq!(looping.total_scans, 2 * shared.results.len());
+    }
+
+    #[test]
+    fn empty_range_after_filtering() {
+        let s = mixed_series(5);
+        let range = PeriodRange::new(10, 12).unwrap();
+        let config = MineConfig::default();
+        let out = mine_periods_shared(&s, range, &config).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.total_scans, 0);
+    }
+
+    #[test]
+    fn single_period_range_matches_single_period_miner() {
+        let s = mixed_series(90);
+        let config = MineConfig::new(0.8).unwrap();
+        let shared =
+            mine_periods_shared(&s, PeriodRange::single(3).unwrap(), &config).unwrap();
+        let single = crate::hitset::mine(&s, 3, &config).unwrap();
+        assert_eq!(shared.results.len(), 1);
+        assert_eq!(shared.results[0].frequent, single.frequent);
+    }
+}

@@ -1,0 +1,234 @@
+//! Parallel max-subpattern hit-set mining.
+//!
+//! Both scans of Algorithm 3.2 are embarrassingly parallel over period
+//! segments: scan 1's per-letter counts are a sum over segments, and scan
+//! 2's hit multiset is a disjoint union. [`mine_parallel`] partitions the
+//! `m` segments across threads, has each thread count letters / build its
+//! own max-subpattern tree, then merges (counts add;
+//! [`MaxSubpatternTree::merge_from`] folds trees). Derivation is unchanged.
+//!
+//! Results are bit-for-bit identical to the sequential miner — asserted by
+//! the tests — because every reduction here is a commutative sum.
+
+use std::collections::HashMap;
+
+use ppm_timeseries::{FeatureId, FeatureSeries};
+
+use crate::error::{Error, Result};
+use crate::hitset::derive::{derive_frequent, CountStrategy};
+use crate::hitset::MaxSubpatternTree;
+use crate::letters::{Alphabet, LetterSet};
+use crate::result::{FrequentPattern, MiningResult};
+use crate::scan::{MineConfig, Scan1};
+use crate::stats::MiningStats;
+
+/// [`crate::hitset::mine`] with both scans partitioned across `threads`
+/// worker threads (clamped to ≥ 1). `threads == 1` falls back to the
+/// sequential code path.
+pub fn mine_parallel(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+    threads: usize,
+) -> Result<MiningResult> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return crate::hitset::mine(series, period, config);
+    }
+    if period == 0 || period > series.len() {
+        return Err(Error::InvalidPeriod { period, series_len: series.len() });
+    }
+    let m = series.len() / period;
+    let min_count = config.min_count(m);
+
+    // Segment ranges per thread (consecutive blocks).
+    let per_thread = m.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|i| (i * per_thread, ((i + 1) * per_thread).min(m)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+
+    // ---- Scan 1, partitioned: each worker counts its segments.
+    let partials: Vec<HashMap<(u32, FeatureId), u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || {
+                    let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
+                    for t in lo * period..hi * period {
+                        let offset = (t % period) as u32;
+                        for &f in series.instant(t) {
+                            *counts.entry((offset, f)).or_insert(0) += 1;
+                        }
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan-1 worker panicked")).collect()
+    });
+    let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
+    for partial in partials {
+        for (k, v) in partial {
+            *counts.entry(k).or_insert(0) += v;
+        }
+    }
+    let alphabet = Alphabet::new(
+        period,
+        counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(&(o, f), _)| (o as usize, f)),
+    );
+    let letter_counts: Vec<u64> = (0..alphabet.len())
+        .map(|i| {
+            let (o, f) = alphabet.letter(i);
+            counts[&(o as u32, f)]
+        })
+        .collect();
+    let scan1 = Scan1 { alphabet, letter_counts, segment_count: m, min_count };
+    let mut stats = MiningStats { series_scans: 2, max_level: 1, ..Default::default() };
+
+    // ---- Scan 2, partitioned: per-thread trees, merged afterwards.
+    let scan1_ref = &scan1;
+    let trees: Vec<MaxSubpatternTree> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || {
+                    let mut tree =
+                        MaxSubpatternTree::new(scan1_ref.alphabet.full_set());
+                    let mut hit = scan1_ref.alphabet.empty_set();
+                    for j in lo..hi {
+                        hit.clear();
+                        for offset in 0..period {
+                            scan1_ref.alphabet.project_instant(
+                                offset,
+                                series.instant(j * period + offset),
+                                &mut hit,
+                            );
+                        }
+                        if hit.len() >= 2 {
+                            tree.insert(&hit);
+                        }
+                    }
+                    tree
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan-2 worker panicked")).collect()
+    });
+    let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+    for partial in &trees {
+        tree.merge_from(partial);
+    }
+    stats.tree_nodes = tree.node_count();
+    stats.distinct_hits = tree.distinct_hits();
+    stats.hit_insertions = tree.total_hits();
+
+    // ---- Derivation (sequential; it is in-memory and cheap relative to
+    // the scans on realistic data).
+    let n_letters = scan1.alphabet.len();
+    let mut frequent: Vec<FrequentPattern> = scan1
+        .letter_counts
+        .iter()
+        .enumerate()
+        .map(|(idx, &count)| FrequentPattern {
+            letters: LetterSet::from_indices(n_letters, [idx]),
+            count,
+        })
+        .collect();
+    derive_frequent(&tree, &scan1, CountStrategy::default(), &mut frequent, &mut stats);
+
+    let mut result = MiningResult {
+        period,
+        segment_count: m,
+        min_confidence: config.min_confidence(),
+        min_count,
+        alphabet: scan1.alphabet,
+        frequent,
+        stats,
+    };
+    result.sort();
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::SeriesBuilder;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn noisy_series(n: usize) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 11;
+        for t in 0..n {
+            let mut inst = Vec::new();
+            if t % 6 == 2 {
+                inst.push(fid(0));
+            }
+            if t % 6 == 4 {
+                inst.push(fid(1));
+            }
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if (x >> 62) == 0 {
+                inst.push(fid(2 + ((x >> 40) % 4) as u32));
+            }
+            b.push_instant(inst);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let s = noisy_series(1200);
+        let config = MineConfig::new(0.4).unwrap();
+        let sequential = crate::hitset::mine(&s, 6, &config).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let parallel = mine_parallel(&s, 6, &config, threads).unwrap();
+            assert_eq!(parallel.frequent, sequential.frequent, "threads={threads}");
+            assert_eq!(parallel.segment_count, sequential.segment_count);
+            assert_eq!(
+                parallel.stats.hit_insertions,
+                sequential.stats.hit_insertions
+            );
+            assert_eq!(parallel.stats.distinct_hits, sequential.stats.distinct_hits);
+        }
+    }
+
+    #[test]
+    fn one_thread_delegates_to_sequential() {
+        let s = noisy_series(120);
+        let config = MineConfig::new(0.5).unwrap();
+        let a = mine_parallel(&s, 6, &config, 1).unwrap();
+        let b = crate::hitset::mine(&s, 6, &config).unwrap();
+        assert_eq!(a.frequent, b.frequent);
+    }
+
+    #[test]
+    fn more_threads_than_segments() {
+        let s = noisy_series(18); // 3 segments of period 6
+        let config = MineConfig::new(0.5).unwrap();
+        let a = mine_parallel(&s, 6, &config, 16).unwrap();
+        let b = crate::hitset::mine(&s, 6, &config).unwrap();
+        assert_eq!(a.frequent, b.frequent);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let s = noisy_series(60);
+        let config = MineConfig::new(0.5).unwrap();
+        assert!(mine_parallel(&s, 6, &config, 0).is_ok());
+    }
+
+    #[test]
+    fn invalid_period_is_rejected() {
+        let s = noisy_series(10);
+        let config = MineConfig::default();
+        assert!(mine_parallel(&s, 0, &config, 4).is_err());
+        assert!(mine_parallel(&s, 11, &config, 4).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! Symbolic partial periodic patterns.
+//!
+//! A pattern of period `p` is a string `s_1 … s_p` where each position is
+//! either the don't-care `*` or a non-empty set of features (paper §2). A
+//! non-`*` position is a **conjunction**: the segment instant must contain
+//! *all* listed features. `a{b1,b2}*d*` from the paper's Figure 1 is a
+//! period-5 pattern whose second position requires both `b1` and `b2`.
+//!
+//! [`Pattern`] is the human-facing form: it keeps feature ids and converts
+//! to and from the dense [`LetterSet`](crate::LetterSet) encoding the
+//! algorithms use internally, and to and from text.
+//!
+//! # Text syntax
+//!
+//! Positions are whitespace-separated; each position is `*`, a bare feature
+//! name, or a brace-set `{name1,name2}`:
+//!
+//! ```text
+//! a {b1,b2} * d *
+//! ```
+
+use std::fmt;
+
+use ppm_timeseries::{FeatureCatalog, FeatureId, Segment};
+
+use crate::error::{Error, Result};
+use crate::letters::{Alphabet, LetterSet};
+
+/// One position of a pattern: `*` or a non-empty conjunction of features.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// The don't-care position, matching any feature set.
+    Star,
+    /// A conjunction of features (sorted, deduplicated, non-empty): the
+    /// instant must contain all of them.
+    Letters(Vec<FeatureId>),
+}
+
+impl Symbol {
+    /// Builds a letters symbol, sorting and deduplicating; empty input
+    /// yields [`Symbol::Star`] (an empty conjunction matches everything).
+    pub fn letters(features: impl IntoIterator<Item = FeatureId>) -> Symbol {
+        let mut v: Vec<FeatureId> = features.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            Symbol::Star
+        } else {
+            Symbol::Letters(v)
+        }
+    }
+
+    /// Whether this is the don't-care symbol.
+    pub fn is_star(&self) -> bool {
+        matches!(self, Symbol::Star)
+    }
+
+    /// The features at this position (`empty` for `*`).
+    pub fn features(&self) -> &[FeatureId] {
+        match self {
+            Symbol::Star => &[],
+            Symbol::Letters(v) => v,
+        }
+    }
+
+    /// Whether the instant feature set `instant` satisfies this symbol.
+    pub fn matches(&self, instant: &[FeatureId]) -> bool {
+        match self {
+            Symbol::Star => true,
+            Symbol::Letters(v) => v.iter().all(|f| instant.binary_search(f).is_ok()),
+        }
+    }
+}
+
+/// A partial periodic pattern: one [`Symbol`] per offset of the period.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    symbols: Vec<Symbol>,
+}
+
+impl Pattern {
+    /// Builds a pattern from symbols. The period is `symbols.len()`.
+    pub fn new(symbols: Vec<Symbol>) -> Pattern {
+        Pattern { symbols }
+    }
+
+    /// The all-`*` pattern of period `p` (matches every segment).
+    pub fn all_star(p: usize) -> Pattern {
+        Pattern { symbols: vec![Symbol::Star; p] }
+    }
+
+    /// The pattern's period `p`.
+    pub fn period(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The symbols, one per offset.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// The L-length: the number of non-`*` positions (paper §2).
+    pub fn l_length(&self) -> usize {
+        self.symbols.iter().filter(|s| !s.is_star()).count()
+    }
+
+    /// Total number of letters (feature occurrences across positions).
+    /// `a{b1,b2}*d*` has L-length 3 but 4 letters.
+    pub fn letter_count(&self) -> usize {
+        self.symbols.iter().map(|s| s.features().len()).sum()
+    }
+
+    /// Whether `self` is a subpattern of `other` (paper §2): same period,
+    /// and at every position `self`'s features ⊆ `other`'s features (with
+    /// `*` as the empty set).
+    pub fn is_subpattern_of(&self, other: &Pattern) -> bool {
+        self.period() == other.period()
+            && self.symbols.iter().zip(&other.symbols).all(|(a, b)| match (a, b) {
+                (Symbol::Star, _) => true,
+                (Symbol::Letters(_), Symbol::Star) => false,
+                (Symbol::Letters(x), Symbol::Letters(y)) => {
+                    x.iter().all(|f| y.binary_search(f).is_ok())
+                }
+            })
+    }
+
+    /// Whether this pattern is true in (matches) `segment` (paper §2).
+    ///
+    /// # Panics
+    /// Panics if the segment's period differs from the pattern's.
+    pub fn matches_segment(&self, segment: &Segment<'_>) -> bool {
+        assert_eq!(
+            segment.period(),
+            self.period(),
+            "segment period {} != pattern period {}",
+            segment.period(),
+            self.period()
+        );
+        self.symbols.iter().enumerate().all(|(o, sym)| sym.matches(segment.at(o)))
+    }
+
+    /// Encodes this pattern as a [`LetterSet`] over `alphabet`. Returns
+    /// `None` if any letter is not in the alphabet (i.e. the pattern is not
+    /// a subpattern of `C_max` and therefore cannot be frequent).
+    pub fn to_letter_set(&self, alphabet: &Alphabet) -> Option<LetterSet> {
+        if self.period() != alphabet.period() {
+            return None;
+        }
+        let mut set = alphabet.empty_set();
+        for (offset, sym) in self.symbols.iter().enumerate() {
+            for &f in sym.features() {
+                set.insert(alphabet.index_of(offset, f)?);
+            }
+        }
+        Some(set)
+    }
+
+    /// Decodes a [`LetterSet`] over `alphabet` back into a symbolic pattern.
+    pub fn from_letter_set(alphabet: &Alphabet, set: &LetterSet) -> Pattern {
+        let mut per_offset: Vec<Vec<FeatureId>> = vec![Vec::new(); alphabet.period()];
+        for idx in set.iter() {
+            let (offset, f) = alphabet.letter(idx);
+            per_offset[offset].push(f);
+        }
+        Pattern {
+            symbols: per_offset.into_iter().map(Symbol::letters).collect(),
+        }
+    }
+
+    /// Parses the text syntax (see module docs), interning names.
+    pub fn parse(text: &str, catalog: &mut FeatureCatalog) -> Result<Pattern> {
+        let mut symbols = Vec::new();
+        for tok in text.split_whitespace() {
+            if tok == "*" {
+                symbols.push(Symbol::Star);
+            } else if let Some(inner) = tok.strip_prefix('{') {
+                let inner = inner.strip_suffix('}').ok_or_else(|| Error::PatternParse {
+                    detail: format!("unterminated brace set {tok:?}"),
+                })?;
+                let feats: Vec<FeatureId> = inner
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|name| catalog.intern(name))
+                    .collect();
+                if feats.is_empty() {
+                    return Err(Error::PatternParse {
+                        detail: format!("empty brace set {tok:?}"),
+                    });
+                }
+                symbols.push(Symbol::letters(feats));
+            } else if tok.contains('}') || tok.contains(',') {
+                return Err(Error::PatternParse {
+                    detail: format!("malformed position token {tok:?}"),
+                });
+            } else {
+                symbols.push(Symbol::Letters(vec![catalog.intern(tok)]));
+            }
+        }
+        if symbols.is_empty() {
+            return Err(Error::PatternParse { detail: "empty pattern".into() });
+        }
+        Ok(Pattern { symbols })
+    }
+
+    /// Renders the pattern with names from `catalog` (see module docs for
+    /// the syntax). Unknown ids render as `f{raw}` placeholders.
+    pub fn display<'a>(&'a self, catalog: &'a FeatureCatalog) -> PatternDisplay<'a> {
+        PatternDisplay { pattern: self, catalog }
+    }
+
+    /// Renders in the paper's compact juxtaposed style (`a{b1,b2}*d*`):
+    /// positions are not separated. Only unambiguous for single-character
+    /// feature names; intended for small didactic examples.
+    pub fn display_compact(&self, catalog: &FeatureCatalog) -> String {
+        let mut out = String::new();
+        for sym in &self.symbols {
+            match sym {
+                Symbol::Star => out.push('*'),
+                Symbol::Letters(v) if v.len() == 1 => {
+                    out.push_str(&catalog.name_or_placeholder(v[0]));
+                }
+                Symbol::Letters(v) => {
+                    out.push('{');
+                    for (i, f) in v.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&catalog.name_or_placeholder(*f));
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Display adapter returned by [`Pattern::display`].
+pub struct PatternDisplay<'a> {
+    pattern: &'a Pattern,
+    catalog: &'a FeatureCatalog,
+}
+
+impl fmt::Display for PatternDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, sym) in self.pattern.symbols.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            match sym {
+                Symbol::Star => f.write_str("*")?,
+                Symbol::Letters(v) if v.len() == 1 => {
+                    f.write_str(&self.catalog.name_or_placeholder(v[0]))?;
+                }
+                Symbol::Letters(v) => {
+                    f.write_str("{")?;
+                    for (j, feat) in v.iter().enumerate() {
+                        if j > 0 {
+                            f.write_str(",")?;
+                        }
+                        f.write_str(&self.catalog.name_or_placeholder(*feat))?;
+                    }
+                    f.write_str("}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::SeriesBuilder;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    #[test]
+    fn symbol_letters_normalizes() {
+        let s = Symbol::letters([fid(3), fid(1), fid(3)]);
+        assert_eq!(s.features(), &[fid(1), fid(3)]);
+        assert!(Symbol::letters([]).is_star());
+    }
+
+    #[test]
+    fn symbol_matching_is_conjunctive() {
+        let s = Symbol::letters([fid(1), fid(3)]);
+        assert!(s.matches(&[fid(0), fid(1), fid(3)]));
+        assert!(!s.matches(&[fid(1)]));
+        assert!(Symbol::Star.matches(&[]));
+    }
+
+    #[test]
+    fn l_length_and_letter_count() {
+        // a {b1,b2} * d *  — the paper's Figure 1 root.
+        let p = Pattern::new(vec![
+            Symbol::letters([fid(0)]),
+            Symbol::letters([fid(1), fid(2)]),
+            Symbol::Star,
+            Symbol::letters([fid(3)]),
+            Symbol::Star,
+        ]);
+        assert_eq!(p.period(), 5);
+        assert_eq!(p.l_length(), 3);
+        assert_eq!(p.letter_count(), 4);
+        assert_eq!(Pattern::all_star(4).l_length(), 0);
+    }
+
+    #[test]
+    fn subpattern_relation_matches_paper_example() {
+        // From §2: a*b* and a**{b,c} are subpatterns of a{b,c}b{d,e}... we
+        // use the simpler canonical checks here.
+        let mut cat = FeatureCatalog::new();
+        let sup = Pattern::parse("a {b,c} b {d,e}", &mut cat).unwrap();
+        let sub1 = Pattern::parse("a * b *", &mut cat).unwrap();
+        let sub2 = Pattern::parse("a * * {d,e}", &mut cat).unwrap();
+        let not_sub = Pattern::parse("a d b *", &mut cat).unwrap();
+        assert!(sub1.is_subpattern_of(&sup));
+        assert!(sub2.is_subpattern_of(&sup));
+        assert!(!not_sub.is_subpattern_of(&sup));
+        assert!(!sup.is_subpattern_of(&sub1));
+        assert!(sup.is_subpattern_of(&sup));
+        // Different periods are never subpatterns.
+        let short = Pattern::parse("a *", &mut cat).unwrap();
+        assert!(!short.is_subpattern_of(&sup));
+    }
+
+    #[test]
+    fn matches_segment_per_paper_example_2_1() {
+        // §2 Example 2.1: pattern a*b has frequency count 2 in a{b,c}baebaced.
+        let mut cat = FeatureCatalog::new();
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let c = cat.intern("c");
+        let e = cat.intern("e");
+        let d = cat.intern("d");
+        let mut builder = SeriesBuilder::new();
+        // a {b,c} b | a e b | a c e | d
+        builder.push_instant([a]);
+        builder.push_instant([b, c]);
+        builder.push_instant([b]);
+        builder.push_instant([a]);
+        builder.push_instant([e]);
+        builder.push_instant([b]);
+        builder.push_instant([a]);
+        builder.push_instant([c]);
+        builder.push_instant([e]);
+        builder.push_instant([d]);
+        let series = builder.finish();
+        let segs = series.segments(3).unwrap();
+        assert_eq!(segs.count(), 3);
+
+        let mut cat2 = cat.clone();
+        let pat = Pattern::parse("a * b", &mut cat2).unwrap();
+        let matches: usize =
+            segs.iter().filter(|s| pat.matches_segment(s)).count();
+        assert_eq!(matches, 2);
+
+        // §2: frequency of a** in the same series is 3.
+        let pat2 = Pattern::parse("a * *", &mut cat2).unwrap();
+        assert_eq!(segs.iter().filter(|s| pat2.matches_segment(s)).count(), 3);
+    }
+
+    #[test]
+    fn letter_set_round_trip() {
+        let alpha = Alphabet::new(3, [(0, fid(1)), (1, fid(2)), (1, fid(3)), (2, fid(4))]);
+        let p = Pattern::new(vec![
+            Symbol::letters([fid(1)]),
+            Symbol::letters([fid(2), fid(3)]),
+            Symbol::Star,
+        ]);
+        let set = p.to_letter_set(&alpha).unwrap();
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let back = Pattern::from_letter_set(&alpha, &set);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn to_letter_set_rejects_foreign_letters() {
+        let alpha = Alphabet::new(2, [(0, fid(1))]);
+        let p = Pattern::new(vec![Symbol::letters([fid(9)]), Symbol::Star]);
+        assert!(p.to_letter_set(&alpha).is_none());
+        // Period mismatch also rejects.
+        let p2 = Pattern::new(vec![Symbol::letters([fid(1)])]);
+        assert!(p2.to_letter_set(&alpha).is_none());
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let mut cat = FeatureCatalog::new();
+        let p = Pattern::parse("a {b1,b2} * d *", &mut cat).unwrap();
+        assert_eq!(p.period(), 5);
+        assert_eq!(p.l_length(), 3);
+        let text = p.display(&cat).to_string();
+        assert_eq!(text, "a {b1,b2} * d *");
+        let p2 = Pattern::parse(&text, &mut cat).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn compact_display_matches_paper_style() {
+        let mut cat = FeatureCatalog::new();
+        let p = Pattern::parse("a {b1,b2} * d *", &mut cat).unwrap();
+        assert_eq!(p.display_compact(&cat), "a{b1,b2}*d*");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        let mut cat = FeatureCatalog::new();
+        assert!(Pattern::parse("", &mut cat).is_err());
+        assert!(Pattern::parse("{a", &mut cat).is_err());
+        assert!(Pattern::parse("{}", &mut cat).is_err());
+        assert!(Pattern::parse("a}b", &mut cat).is_err());
+        assert!(Pattern::parse("a,b", &mut cat).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "segment period")]
+    fn matches_segment_rejects_period_mismatch() {
+        let mut b = SeriesBuilder::new();
+        for _ in 0..4 {
+            b.push_instant([fid(0)]);
+        }
+        let series = b.finish();
+        let segs = series.segments(2).unwrap();
+        Pattern::all_star(3).matches_segment(&segs.segment(0));
+    }
+
+    #[test]
+    fn all_star_matches_everything() {
+        let mut b = SeriesBuilder::new();
+        for t in 0..6u32 {
+            b.push_instant([fid(t)]);
+        }
+        let series = b.finish();
+        let segs = series.segments(3).unwrap();
+        let star = Pattern::all_star(3);
+        assert!(segs.iter().all(|s| star.matches_segment(&s)));
+        assert_eq!(star.letter_count(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_space_inside_braces() {
+        // Whitespace splits tokens, so "{x, y}" becomes the unterminated
+        // token "{x," — it must be rejected, not silently misparsed.
+        let mut cat = FeatureCatalog::new();
+        assert!(Pattern::parse("{x, y} *", &mut cat).is_err());
+        // The no-space form is the supported spelling.
+        assert!(Pattern::parse("{x,y} *", &mut cat).is_ok());
+    }
+}

@@ -1,0 +1,176 @@
+//! Periodic association rules.
+//!
+//! §6 of the paper lists "mining periodic association rules based on
+//! partial periodicity" among the natural follow-ons. A periodic rule
+//! reads: *in a period segment, if the antecedent pattern holds, the
+//! consequent letter also holds with probability `confidence`* — e.g. "on
+//! days when Jim buys coffee at 7:00, he reads the paper at 7:30 with
+//! confidence 0.93".
+//!
+//! Rules are generated from a completed [`MiningResult`] without touching
+//! the series: for every frequent pattern `P` (≥ 2 letters) and every
+//! letter `ℓ ∈ P`, the rule `P \ {ℓ} ⇒ ℓ` has confidence
+//! `count(P) / count(P \ {ℓ})`. The antecedent's count is always available
+//! because subpatterns of frequent patterns are frequent (Property 3.1).
+
+use std::collections::HashMap;
+
+use ppm_timeseries::FeatureCatalog;
+
+use crate::letters::LetterSet;
+use crate::pattern::Pattern;
+use crate::result::MiningResult;
+
+/// One periodic association rule `antecedent ⇒ consequent letter`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicRule {
+    /// The antecedent pattern (≥ 1 letter).
+    pub antecedent: LetterSet,
+    /// The single letter added by the consequent.
+    pub consequent: usize,
+    /// Frequency count of antecedent ∪ {consequent} (the rule's support).
+    pub support_count: u64,
+    /// `count(antecedent ∪ {consequent}) / count(antecedent)`.
+    pub confidence: f64,
+}
+
+impl PeriodicRule {
+    /// Renders the rule using the result's alphabet and a catalog, e.g.
+    /// `coffee * * => * paper *  (conf 0.93, support 28)`.
+    pub fn display(&self, result: &MiningResult, catalog: &FeatureCatalog) -> String {
+        let ante = Pattern::from_letter_set(&result.alphabet, &self.antecedent);
+        let cons = Pattern::from_letter_set(
+            &result.alphabet,
+            &LetterSet::from_indices(self.antecedent.universe(), [self.consequent]),
+        );
+        format!(
+            "{} => {}  (conf {:.3}, support {})",
+            ante.display(catalog),
+            cons.display(catalog),
+            self.confidence,
+            self.support_count
+        )
+    }
+}
+
+/// Generates all single-consequent periodic rules whose confidence is at
+/// least `min_rule_confidence`, sorted by descending confidence then
+/// descending support.
+pub fn generate_rules(result: &MiningResult, min_rule_confidence: f64) -> Vec<PeriodicRule> {
+    let counts: HashMap<&LetterSet, u64> =
+        result.frequent.iter().map(|fp| (&fp.letters, fp.count)).collect();
+
+    let mut rules = Vec::new();
+    for fp in &result.frequent {
+        if fp.letters.len() < 2 {
+            continue;
+        }
+        for letter in fp.letters.iter() {
+            let mut antecedent = fp.letters.clone();
+            antecedent.remove(letter);
+            let ante_count = counts
+                .get(&antecedent)
+                .copied()
+                .expect("subpattern of a frequent pattern must be frequent (Property 3.1)");
+            let confidence = fp.count as f64 / ante_count as f64;
+            if confidence >= min_rule_confidence {
+                rules.push(PeriodicRule {
+                    antecedent,
+                    consequent: letter,
+                    support_count: fp.count,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("confidences are finite")
+            .then(b.support_count.cmp(&a.support_count))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::{FeatureId, SeriesBuilder};
+
+    use crate::scan::MineConfig;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    /// f0 at offset 0 in every segment; f1 at offset 1 in 3 of 4 segments,
+    /// always alongside f0.
+    fn series() -> ppm_timeseries::FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        for j in 0..8 {
+            b.push_instant([fid(0)]);
+            b.push_instant(if j % 4 == 0 { vec![] } else { vec![fid(1)] });
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn rule_confidence_is_conditional() {
+        let result =
+            crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let rules = generate_rules(&result, 0.0);
+        // Two rules from the pair {f0@0, f1@1}: f0 => f1 (6/8) and
+        // f1 => f0 (6/6 = 1.0).
+        assert_eq!(rules.len(), 2);
+        let perfect = &rules[0];
+        assert!((perfect.confidence - 1.0).abs() < 1e-12);
+        assert_eq!(perfect.support_count, 6);
+        let partial = &rules[1];
+        assert!((partial.confidence - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_filters_rules() {
+        let result =
+            crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let rules = generate_rules(&result, 0.9);
+        assert_eq!(rules.len(), 1);
+        assert!((rules[0].confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence() {
+        let result =
+            crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let rules = generate_rules(&result, 0.0);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let mut cat = ppm_timeseries::FeatureCatalog::new();
+        cat.intern("coffee");
+        cat.intern("paper");
+        let result =
+            crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let rules = generate_rules(&result, 0.9);
+        let text = rules[0].display(&result, &cat);
+        assert!(text.contains("=>"), "{text}");
+        assert!(text.contains("conf 1.000"), "{text}");
+    }
+
+    #[test]
+    fn no_rules_from_singleton_patterns() {
+        // A series where only 1-letter patterns are frequent.
+        let mut b = SeriesBuilder::new();
+        for j in 0..8 {
+            b.push_instant([fid(0)]);
+            b.push_instant(if j % 2 == 0 { vec![fid(1)] } else { vec![] });
+        }
+        let result =
+            crate::hitset::mine(&b.finish(), 2, &MineConfig::new(0.9).unwrap()).unwrap();
+        assert!(generate_rules(&result, 0.0).is_empty());
+    }
+}

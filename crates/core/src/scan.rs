@@ -1,0 +1,221 @@
+//! Scan 1: finding the frequent 1-patterns (`F1`).
+//!
+//! Both mining algorithms share the same first pass over the series
+//! (Step 1 of Algorithms 3.1 and 3.2): accumulate a frequency count for
+//! every `(offset, feature)` pair across whole period segments, then keep
+//! the pairs whose confidence reaches the threshold. The survivors form the
+//! letter [`Alphabet`] — the candidate max-pattern `C_max`.
+
+use std::collections::HashMap;
+
+use ppm_timeseries::{FeatureId, FeatureSeries};
+
+use crate::error::{Error, Result};
+use crate::letters::Alphabet;
+
+/// The confidence threshold for mining, validated to lie in `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MineConfig {
+    min_confidence: f64,
+}
+
+impl MineConfig {
+    /// Creates a config; `min_confidence` must be in `(0, 1]`.
+    pub fn new(min_confidence: f64) -> Result<Self> {
+        if !(min_confidence > 0.0 && min_confidence <= 1.0) {
+            return Err(Error::InvalidConfidence { value: min_confidence });
+        }
+        Ok(MineConfig { min_confidence })
+    }
+
+    /// The confidence threshold.
+    pub fn min_confidence(&self) -> f64 {
+        self.min_confidence
+    }
+
+    /// The smallest frequency count that meets the threshold for `m` whole
+    /// segments: the least integer `c` with `c ≥ min_conf · m`, computed
+    /// robustly against floating-point boundary error.
+    pub fn min_count(&self, m: usize) -> u64 {
+        let raw = self.min_confidence * m as f64;
+        let mut c = raw.ceil() as u64;
+        // `ceil` may overshoot when `raw` is an integer perturbed upward by
+        // rounding (e.g. 0.8 * 5 → 4.000000000000001): step back if c−1
+        // already meets the threshold up to 1 ulp-ish tolerance.
+        if c > 0 && (c - 1) as f64 + 1e-9 >= raw {
+            c -= 1;
+        }
+        c.max(1)
+    }
+}
+
+impl Default for MineConfig {
+    /// A permissive default threshold of 0.5.
+    fn default() -> Self {
+        MineConfig { min_confidence: 0.5 }
+    }
+}
+
+/// Output of the first scan: the frequent-letter alphabet and exact counts.
+#[derive(Debug, Clone)]
+pub struct Scan1 {
+    /// The frequent letters (`C_max`), canonically ordered.
+    pub alphabet: Alphabet,
+    /// Exact frequency count per letter, indexed by letter index.
+    pub letter_counts: Vec<u64>,
+    /// Number of whole period segments `m`.
+    pub segment_count: usize,
+    /// The count threshold derived from the confidence threshold.
+    pub min_count: u64,
+}
+
+/// Performs scan 1 for a single period: one pass over the first `m·p`
+/// instants, counting each `(offset, feature)` occurrence, then filtering
+/// by the threshold.
+pub fn scan_frequent_letters(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+) -> Result<Scan1> {
+    if period == 0 || period > series.len() {
+        return Err(Error::InvalidPeriod { period, series_len: series.len() });
+    }
+    let m = series.len() / period;
+    let min_count = config.min_count(m);
+
+    let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
+    for t in 0..m * period {
+        let offset = (t % period) as u32;
+        for &f in series.instant(t) {
+            *counts.entry((offset, f)).or_insert(0) += 1;
+        }
+    }
+
+    let frequent = counts
+        .iter()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(&(o, f), _)| (o as usize, f));
+    let alphabet = Alphabet::new(period, frequent);
+    let letter_counts = (0..alphabet.len())
+        .map(|i| {
+            let (o, f) = alphabet.letter(i);
+            counts[&(o as u32, f)]
+        })
+        .collect();
+
+    Ok(Scan1 { alphabet, letter_counts, segment_count: m, min_count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::SeriesBuilder;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    #[test]
+    fn config_validates_range() {
+        assert!(MineConfig::new(0.0).is_err());
+        assert!(MineConfig::new(-0.1).is_err());
+        assert!(MineConfig::new(1.0001).is_err());
+        assert!(MineConfig::new(f64::NAN).is_err());
+        assert!(MineConfig::new(1.0).is_ok());
+        assert!(MineConfig::new(0.001).is_ok());
+    }
+
+    #[test]
+    fn min_count_boundaries() {
+        let c = MineConfig::new(0.8).unwrap();
+        assert_eq!(c.min_count(5), 4); // 0.8 * 5 = 4 exactly
+        assert_eq!(c.min_count(10), 8);
+        assert_eq!(c.min_count(11), 9); // 8.8 -> 9
+        let c = MineConfig::new(1.0).unwrap();
+        assert_eq!(c.min_count(7), 7);
+        let c = MineConfig::new(0.001).unwrap();
+        assert_eq!(c.min_count(5), 1); // tiny thresholds still need 1 hit
+        let third = MineConfig::new(1.0 / 3.0).unwrap();
+        assert_eq!(third.min_count(3), 1);
+        assert_eq!(third.min_count(4), 2); // 1.33 -> 2
+    }
+
+    #[test]
+    fn scan_counts_letters_per_offset() {
+        // Period 2, 3 whole segments: feature 7 at offset 0 in all three,
+        // feature 8 at offset 1 in one.
+        let mut b = SeriesBuilder::new();
+        b.push_instant([fid(7)]);
+        b.push_instant([fid(8)]);
+        b.push_instant([fid(7)]);
+        b.push_instant([]);
+        b.push_instant([fid(7)]);
+        b.push_instant([]);
+        let s = b.finish();
+        let cfg = MineConfig::new(0.9).unwrap();
+        let scan = scan_frequent_letters(&s, 2, &cfg).unwrap();
+        assert_eq!(scan.segment_count, 3);
+        assert_eq!(scan.min_count, 3);
+        assert_eq!(scan.alphabet.len(), 1);
+        assert_eq!(scan.alphabet.letter(0), (0, fid(7)));
+        assert_eq!(scan.letter_counts, vec![3]);
+    }
+
+    #[test]
+    fn scan_ignores_partial_tail_segment() {
+        // 5 instants, period 2 -> m = 2; instant 4 is in the tail.
+        let mut b = SeriesBuilder::new();
+        for _ in 0..4 {
+            b.push_instant([fid(1)]);
+        }
+        b.push_instant([fid(99)]);
+        let s = b.finish();
+        let cfg = MineConfig::new(0.5).unwrap();
+        let scan = scan_frequent_letters(&s, 2, &cfg).unwrap();
+        assert_eq!(scan.segment_count, 2);
+        // fid(99) must not appear even as a counted letter.
+        assert!(scan
+            .alphabet
+            .iter()
+            .all(|(_, _, f)| f == fid(1)));
+    }
+
+    #[test]
+    fn scan_same_feature_distinct_offsets_are_distinct_letters() {
+        let mut b = SeriesBuilder::new();
+        for _ in 0..3 {
+            b.push_instant([fid(4)]);
+            b.push_instant([fid(4)]);
+        }
+        let s = b.finish();
+        let cfg = MineConfig::new(1.0).unwrap();
+        let scan = scan_frequent_letters(&s, 2, &cfg).unwrap();
+        assert_eq!(scan.alphabet.len(), 2);
+        assert_eq!(scan.alphabet.letter(0), (0, fid(4)));
+        assert_eq!(scan.alphabet.letter(1), (1, fid(4)));
+        assert_eq!(scan.letter_counts, vec![3, 3]);
+    }
+
+    #[test]
+    fn scan_rejects_bad_period() {
+        let mut b = SeriesBuilder::new();
+        b.push_instant([fid(0)]);
+        let s = b.finish();
+        let cfg = MineConfig::default();
+        assert!(scan_frequent_letters(&s, 0, &cfg).is_err());
+        assert!(scan_frequent_letters(&s, 2, &cfg).is_err());
+    }
+
+    #[test]
+    fn empty_alphabet_when_nothing_frequent() {
+        let mut b = SeriesBuilder::new();
+        // Every instant has a unique feature: nothing repeats.
+        for t in 0..8u32 {
+            b.push_instant([fid(t)]);
+        }
+        let s = b.finish();
+        let cfg = MineConfig::new(0.9).unwrap();
+        let scan = scan_frequent_letters(&s, 2, &cfg).unwrap();
+        assert!(scan.alphabet.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Mining statistics and the paper's analytical bounds.
+//!
+//! Every miner fills a [`MiningStats`] so experiments can report the
+//! quantities the paper analyses in §3: number of full scans over the time
+//! series, candidates generated, tree sizes, and the Property 3.2 buffer
+//! bound for the max-subpattern hit set.
+
+/// Instrumentation collected while mining.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MiningStats {
+    /// Complete scans over the time series performed by the algorithm.
+    /// Apriori (Alg 3.1) needs one per level; the hit-set method (Alg 3.2)
+    /// and shared multi-period mining (Alg 3.4) need exactly 2.
+    pub series_scans: usize,
+    /// Candidate patterns generated across all levels (L-length ≥ 2).
+    pub candidates_generated: u64,
+    /// Candidate-versus-data subset tests performed while counting.
+    pub subset_tests: u64,
+    /// Total nodes in the max-subpattern tree, counting 0-count interior
+    /// nodes (0 for Apriori).
+    pub tree_nodes: usize,
+    /// Distinct max-subpatterns hit (nodes with count > 0; 0 for Apriori).
+    pub distinct_hits: usize,
+    /// Total hit insertions into the tree — one per period segment whose
+    /// hit pattern has ≥ 2 letters (0 for Apriori).
+    pub hit_insertions: u64,
+    /// Deepest level (pattern letter count) at which mining generated
+    /// candidates.
+    pub max_level: usize,
+}
+
+impl MiningStats {
+    /// Merges another stats record into this one (used when aggregating
+    /// multi-period runs). `series_scans` adds; `max_level` takes the max.
+    pub fn absorb(&mut self, other: &MiningStats) {
+        self.series_scans += other.series_scans;
+        self.candidates_generated += other.candidates_generated;
+        self.subset_tests += other.subset_tests;
+        self.tree_nodes += other.tree_nodes;
+        self.distinct_hits += other.distinct_hits;
+        self.hit_insertions += other.hit_insertions;
+        self.max_level = self.max_level.max(other.max_level);
+    }
+}
+
+/// Property 3.2: the size of the max-subpattern hit set is bounded by
+/// `min(m, 2^|F1| − 1)`, where `m` is the number of whole periods and
+/// `|F1|` the number of frequent 1-patterns. Saturates instead of
+/// overflowing for large `f1_len`.
+pub fn hit_set_bound(m: u64, f1_len: u32) -> u64 {
+    let combinatorial = if f1_len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << f1_len) - 1
+    };
+    m.min(combinatorial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_matches_paper_worked_examples() {
+        // §3.1.2: "if we found 500 frequent 1-patterns when calculating
+        // yearly periodic patterns for 100 years, the buffer size needed is
+        // at most 100" …
+        assert_eq!(hit_set_bound(100, 500), 100);
+        // "… if we found 8 frequent 1-patterns for … 100 years, the buffer
+        // size needed is at most 2^8 − 1 = 255" (m = 100 < 255 would bind
+        // first; the paper's point is the combinatorial term, so test it
+        // directly with a large m).
+        assert_eq!(hit_set_bound(1_000_000, 8), 255);
+    }
+
+    #[test]
+    fn bound_edges() {
+        assert_eq!(hit_set_bound(0, 10), 0);
+        assert_eq!(hit_set_bound(10, 0), 0); // 2^0 - 1 = 0 hits possible
+        assert_eq!(hit_set_bound(u64::MAX, 64), u64::MAX);
+        assert_eq!(hit_set_bound(5, 63), 5);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = MiningStats { series_scans: 2, max_level: 3, ..Default::default() };
+        let b = MiningStats {
+            series_scans: 2,
+            candidates_generated: 10,
+            max_level: 5,
+            tree_nodes: 7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.series_scans, 4);
+        assert_eq!(a.candidates_generated, 10);
+        assert_eq!(a.max_level, 5);
+        assert_eq!(a.tree_nodes, 7);
+    }
+}

@@ -1,0 +1,318 @@
+//! Out-of-core mining over a [`SeriesSource`].
+//!
+//! §5 of the paper: "In general, the time series of features may need to be
+//! stored on disk … there would be a large amount of extra disk-IO
+//! associated with Apriori, but not with max-subpattern hit-set since it
+//! only requires two scans." These miners make that claim testable: they
+//! consume any [`SeriesSource`] — in particular the disk-streaming
+//! [`ppm_timeseries::storage::stream::FileSource`] — and *every* pass over
+//! the data is a physical re-scan of the source. The reported
+//! `stats.series_scans` is taken from the source itself.
+//!
+//! Results are identical to the in-memory miners (tested); only the data
+//! movement differs.
+
+use std::collections::HashMap;
+
+use ppm_timeseries::{FeatureId, SeriesSource};
+
+use crate::apriori::{for_each_combination, join_candidates};
+use crate::error::{Error, Result};
+use crate::hitset::derive::{derive_frequent, CountStrategy};
+use crate::hitset::MaxSubpatternTree;
+use crate::letters::{Alphabet, LetterSet};
+use crate::result::{FrequentPattern, MiningResult};
+use crate::scan::{MineConfig, Scan1};
+use crate::stats::MiningStats;
+
+/// Scan 1 over a source: one physical pass.
+pub fn scan_frequent_letters_streaming(
+    source: &mut dyn SeriesSource,
+    period: usize,
+    config: &MineConfig,
+) -> Result<Scan1> {
+    let n = source.instant_count();
+    if period == 0 || period > n {
+        return Err(Error::InvalidPeriod { period, series_len: n });
+    }
+    let m = n / period;
+    let usable = m * period;
+    let min_count = config.min_count(m);
+
+    let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
+    source.scan(&mut |t, features| {
+        if t < usable {
+            let offset = (t % period) as u32;
+            for &f in features {
+                *counts.entry((offset, f)).or_insert(0) += 1;
+            }
+        }
+    })?;
+
+    let alphabet = Alphabet::new(
+        period,
+        counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(&(o, f), _)| (o as usize, f)),
+    );
+    let letter_counts = (0..alphabet.len())
+        .map(|i| {
+            let (o, f) = alphabet.letter(i);
+            counts[&(o as u32, f)]
+        })
+        .collect();
+    Ok(Scan1 { alphabet, letter_counts, segment_count: m, min_count })
+}
+
+/// Algorithm 3.2 over a source: exactly two physical passes.
+pub fn mine_hitset_streaming(
+    source: &mut dyn SeriesSource,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    let scans_before = source.scans_performed();
+    let scan1 = scan_frequent_letters_streaming(source, period, config)?;
+    let m = scan1.segment_count;
+    let usable = m * period;
+
+    // Pass 2: segment hits straight into the tree.
+    let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+    {
+        let mut hit = scan1.alphabet.empty_set();
+        let alphabet = &scan1.alphabet;
+        let tree = &mut tree;
+        source.scan(&mut |t, features| {
+            if t >= usable {
+                return;
+            }
+            let offset = t % period;
+            alphabet.project_instant(offset, features, &mut hit);
+            if offset == period - 1 {
+                if hit.len() >= 2 {
+                    tree.insert(&hit);
+                }
+                hit.clear();
+            }
+        })?;
+    }
+
+    let mut stats = MiningStats {
+        series_scans: source.scans_performed() - scans_before,
+        max_level: 1,
+        tree_nodes: tree.node_count(),
+        distinct_hits: tree.distinct_hits(),
+        hit_insertions: tree.total_hits(),
+        ..Default::default()
+    };
+
+    let n_letters = scan1.alphabet.len();
+    let mut frequent: Vec<FrequentPattern> = scan1
+        .letter_counts
+        .iter()
+        .enumerate()
+        .map(|(idx, &count)| FrequentPattern {
+            letters: LetterSet::from_indices(n_letters, [idx]),
+            count,
+        })
+        .collect();
+    derive_frequent(&tree, &scan1, CountStrategy::default(), &mut frequent, &mut stats);
+
+    let mut result = MiningResult {
+        period,
+        segment_count: m,
+        min_confidence: config.min_confidence(),
+        min_count: scan1.min_count,
+        alphabet: scan1.alphabet,
+        frequent,
+        stats,
+    };
+    result.sort();
+    Ok(result)
+}
+
+/// Algorithm 3.1 over a source: one physical pass per level.
+pub fn mine_apriori_streaming(
+    source: &mut dyn SeriesSource,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    let scans_before = source.scans_performed();
+    let scan1 = scan_frequent_letters_streaming(source, period, config)?;
+    let m = scan1.segment_count;
+    let usable = m * period;
+    let n_letters = scan1.alphabet.len();
+
+    let mut stats = MiningStats { max_level: 1, ..Default::default() };
+    let mut frequent: Vec<FrequentPattern> = scan1
+        .letter_counts
+        .iter()
+        .enumerate()
+        .map(|(idx, &count)| FrequentPattern {
+            letters: LetterSet::from_indices(n_letters, [idx]),
+            count,
+        })
+        .collect();
+
+    let mut level: Vec<Vec<u32>> = (0..n_letters as u32).map(|i| vec![i]).collect();
+    let mut k = 1;
+    while !level.is_empty() {
+        let candidates = join_candidates(&level);
+        stats.candidates_generated += candidates.len() as u64;
+        if candidates.is_empty() {
+            break;
+        }
+        k += 1;
+        stats.max_level = k;
+
+        // One physical pass counting this level's candidates.
+        let by_pattern: HashMap<&[u32], usize> =
+            candidates.iter().enumerate().map(|(i, c)| (c.as_slice(), i)).collect();
+        let candidate_sets: Vec<LetterSet> = candidates
+            .iter()
+            .map(|c| LetterSet::from_indices(n_letters, c.iter().map(|&l| l as usize)))
+            .collect();
+        let mut counts = vec![0u64; candidates.len()];
+        {
+            let alphabet = &scan1.alphabet;
+            let mut projection = alphabet.empty_set();
+            let mut proj_letters: Vec<u32> = Vec::new();
+            let counts = &mut counts;
+            let subset_tests = &mut stats.subset_tests;
+            source.scan(&mut |t, features| {
+                if t >= usable {
+                    return;
+                }
+                let offset = t % period;
+                alphabet.project_instant(offset, features, &mut projection);
+                if offset == period - 1 {
+                    let present = projection.len();
+                    if present >= k {
+                        let enumerate_cost = crate::apriori::binomial(present, k);
+                        if enumerate_cost <= candidates.len() as u64 {
+                            proj_letters.clear();
+                            proj_letters.extend(projection.iter().map(|l| l as u32));
+                            for_each_combination(&proj_letters, k, |combo| {
+                                *subset_tests += 1;
+                                if let Some(&i) = by_pattern.get(combo) {
+                                    counts[i] += 1;
+                                }
+                            });
+                        } else {
+                            for (i, cset) in candidate_sets.iter().enumerate() {
+                                *subset_tests += 1;
+                                if cset.is_subset(&projection) {
+                                    counts[i] += 1;
+                                }
+                            }
+                        }
+                    }
+                    projection.clear();
+                }
+            })?;
+        }
+
+        let mut next_level = Vec::new();
+        for (cand, count) in candidates.into_iter().zip(counts) {
+            if count >= scan1.min_count {
+                frequent.push(FrequentPattern {
+                    letters: LetterSet::from_indices(
+                        n_letters,
+                        cand.iter().map(|&l| l as usize),
+                    ),
+                    count,
+                });
+                next_level.push(cand);
+            }
+        }
+        level = next_level;
+    }
+    stats.series_scans = source.scans_performed() - scans_before;
+
+    let mut result = MiningResult {
+        period,
+        segment_count: m,
+        min_confidence: config.min_confidence(),
+        min_count: scan1.min_count,
+        alphabet: scan1.alphabet,
+        frequent,
+        stats,
+    };
+    result.sort();
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::{FeatureSeries, MemorySource, SeriesBuilder};
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn sample(n: usize) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 21;
+        for t in 0..n {
+            let mut inst = Vec::new();
+            if t % 5 == 1 {
+                inst.push(fid(0));
+            }
+            if t % 5 == 3 {
+                inst.push(fid(1));
+            }
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+            if (x >> 61) == 0 {
+                inst.push(fid(2));
+            }
+            b.push_instant(inst);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn streaming_hitset_equals_in_memory() {
+        let s = sample(600);
+        let config = MineConfig::new(0.5).unwrap();
+        let expect = crate::hitset::mine(&s, 5, &config).unwrap();
+        let mut src = MemorySource::new(&s);
+        let got = mine_hitset_streaming(&mut src, 5, &config).unwrap();
+        assert_eq!(got.frequent, expect.frequent);
+        assert_eq!(got.stats.series_scans, 2);
+        assert_eq!(src.scans_performed(), 2);
+    }
+
+    #[test]
+    fn streaming_apriori_equals_in_memory() {
+        let s = sample(600);
+        let config = MineConfig::new(0.5).unwrap();
+        let expect = crate::apriori::mine(&s, 5, &config).unwrap();
+        let mut src = MemorySource::new(&s);
+        let got = mine_apriori_streaming(&mut src, 5, &config).unwrap();
+        assert_eq!(got.frequent, expect.frequent);
+        assert_eq!(got.stats.series_scans, expect.stats.series_scans);
+        assert_eq!(src.scans_performed(), expect.stats.series_scans);
+    }
+
+    #[test]
+    fn scan1_matches_in_memory() {
+        let s = sample(300);
+        let config = MineConfig::new(0.4).unwrap();
+        let expect = crate::scan::scan_frequent_letters(&s, 5, &config).unwrap();
+        let mut src = MemorySource::new(&s);
+        let got = scan_frequent_letters_streaming(&mut src, 5, &config).unwrap();
+        assert_eq!(got.alphabet, expect.alphabet);
+        assert_eq!(got.letter_counts, expect.letter_counts);
+        assert_eq!(got.segment_count, expect.segment_count);
+    }
+
+    #[test]
+    fn rejects_bad_period() {
+        let s = sample(10);
+        let config = MineConfig::default();
+        let mut src = MemorySource::new(&s);
+        assert!(mine_hitset_streaming(&mut src, 0, &config).is_err());
+        assert!(mine_hitset_streaming(&mut src, 11, &config).is_err());
+    }
+}

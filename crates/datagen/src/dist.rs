@@ -1,0 +1,158 @@
+//! Poisson and exponential samplers.
+//!
+//! The paper's synthetic generator (§5.1) sizes its potentially frequent
+//! 1-patterns with a Poisson distribution and places patterns into the
+//! series with exponentially distributed weights. These two samplers are
+//! implemented here over the plain [`rand`] core traits — small enough that
+//! pulling in a distributions crate is not justified.
+
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with the given mean (Knuth's
+/// multiplication method — exact, O(λ) per draw, fine for the small means
+/// used by the generator).
+///
+/// # Panics
+/// Panics if `mean` is not finite and positive.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean > 0.0, "Poisson mean must be positive, got {mean}");
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.random();
+    let mut count = 0u64;
+    while product > limit {
+        count += 1;
+        product *= rng.random::<f64>();
+    }
+    count
+}
+
+/// Samples an exponentially distributed value with the given rate `λ`
+/// (mean `1/λ`), by inversion.
+///
+/// # Panics
+/// Panics if `rate` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive, got {rate}");
+    let u: f64 = rng.random();
+    // 1 - u is in (0, 1]; ln of it is finite.
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples `n` exponential weights and normalizes them to probabilities in
+/// `[lo, hi]` by affine rescaling (largest weight maps to `hi`, smallest to
+/// `lo`). Used to assign per-pattern placement probabilities.
+pub fn exponential_probabilities<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    lo: f64,
+    hi: f64,
+) -> Vec<f64> {
+    assert!(lo <= hi && lo >= 0.0 && hi <= 1.0, "bad probability band [{lo}, {hi}]");
+    if n == 0 {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = (0..n).map(|_| exponential(rng, 1.0)).collect();
+    let min = weights.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < f64::EPSILON {
+        return vec![(lo + hi) / 2.0; n];
+    }
+    weights.iter().map(|w| lo + (w - min) / (max - min) * (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for mean in [0.5, 2.0, 6.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let empirical = sum as f64 / n as f64;
+            assert!(
+                (empirical - mean).abs() < 0.1 * mean + 0.05,
+                "mean {mean}: got {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_variance_is_close_to_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean = 4.0;
+        let n = 20_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(&mut rng, mean)).collect();
+        let emp_mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - emp_mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - mean).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for rate in [0.5, 1.0, 4.0] {
+            let n = 20_000;
+            let sum: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum();
+            let empirical = sum / n as f64;
+            let expect = 1.0 / rate;
+            assert!(
+                (empirical - expect).abs() < 0.05 * expect + 0.01,
+                "rate {rate}: got {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_and_finite() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = exponential(&mut rng, 2.0);
+            assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_in_band() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ps = exponential_probabilities(&mut rng, 50, 0.2, 0.45);
+        assert_eq!(ps.len(), 50);
+        for &p in &ps {
+            assert!((0.2..=0.45 + 1e-12).contains(&p), "{p}");
+        }
+        // The extremes are attained by the rescaling.
+        let max = ps.iter().copied().fold(f64::MIN, f64::max);
+        let min = ps.iter().copied().fold(f64::MAX, f64::min);
+        assert!((max - 0.45).abs() < 1e-9);
+        assert!((min - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(exponential_probabilities(&mut rng, 0, 0.1, 0.2).is_empty());
+        let one = exponential_probabilities(&mut rng, 1, 0.1, 0.3);
+        assert_eq!(one, vec![0.2]); // single weight: midpoint
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_rejects_bad_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        poisson(&mut rng, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_bad_rate() {
+        let mut rng = StdRng::seed_from_u64(8);
+        exponential(&mut rng, -1.0);
+    }
+}

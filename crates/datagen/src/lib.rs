@@ -1,0 +1,25 @@
+//! Workload generators for partial periodic pattern mining.
+//!
+//! * [`synthetic`] — the randomized generator of the paper's performance
+//!   study (§5.1 / Table 1): potentially frequent 1-patterns composed from
+//!   a feature vocabulary, sizes driven by a Poisson distribution, placed
+//!   into the series with exponentially distributed weights. Parameters are
+//!   the paper's: `LENGTH`, the period `p`, `MAX-PAT-LENGTH`, and `|F1|`.
+//! * [`workloads`] — small scripted domain scenarios used by the examples:
+//!   Jim's daily routine (the paper's §1 motivating example), household
+//!   power consumption (numeric, to be discretized), and stock movements
+//!   (the inter-transaction-rule motivation the paper cites).
+//! * [`noise`] — perturbation injection (jitter, drops, spurious features)
+//!   for exercising the §6 robustness machinery.
+//! * [`dist`] — the Poisson and exponential samplers the generator uses,
+//!   implemented directly over [`rand`] so the dependency set stays small.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod noise;
+pub mod synthetic;
+pub mod workloads;
+
+pub use synthetic::{GeneratedSeries, SyntheticSpec};

@@ -1,0 +1,162 @@
+//! Jim's daily routine — the paper's motivating example.
+//!
+//! The paper opens with: "Jim reads the Vancouver Sun newspaper from 7:00
+//! to 7:30 every weekday morning but his activities at other times do not
+//! have much regularity." This workload scripts exactly that: a weekly
+//! series on an hourly grid (`period = 168` hours) with habits that hold on
+//! some days with some reliability, drowned in irregular filler activity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ppm_timeseries::{FeatureCatalog, FeatureId, FeatureSeries, SeriesBuilder};
+
+/// Hours per day on the grid.
+pub const HOURS_PER_DAY: usize = 24;
+/// Hours per week — the natural mining period for weekday habits.
+pub const WEEK: usize = 7 * HOURS_PER_DAY;
+
+/// One scripted habit: an activity at a fixed hour on a set of weekdays.
+#[derive(Debug, Clone)]
+pub struct Habit {
+    /// Activity name (interned as a feature).
+    pub activity: String,
+    /// Hour of day, `0..24`.
+    pub hour: usize,
+    /// Days of week the habit applies to (0 = Monday … 6 = Sunday).
+    pub days: Vec<usize>,
+    /// Probability the habit is actually observed on an applicable day.
+    pub reliability: f64,
+}
+
+impl Habit {
+    /// Convenience constructor.
+    pub fn new(activity: &str, hour: usize, days: &[usize], reliability: f64) -> Self {
+        assert!(hour < HOURS_PER_DAY, "hour {hour} out of range");
+        assert!(days.iter().all(|&d| d < 7), "day out of range");
+        assert!((0.0..=1.0).contains(&reliability));
+        Habit {
+            activity: activity.to_owned(),
+            hour,
+            days: days.to_vec(),
+            reliability,
+        }
+    }
+
+    /// Weekdays-only habit (Mon–Fri).
+    pub fn weekdays(activity: &str, hour: usize, reliability: f64) -> Self {
+        Self::new(activity, hour, &[0, 1, 2, 3, 4], reliability)
+    }
+}
+
+/// Generates `weeks` weeks of hourly activity from `habits`, plus
+/// unstructured filler activities drawn at `filler_prob` per hour from a
+/// pool of `filler_pool` names.
+pub fn generate(
+    weeks: usize,
+    habits: &[Habit],
+    filler_pool: usize,
+    filler_prob: f64,
+    seed: u64,
+    catalog: &mut FeatureCatalog,
+) -> FeatureSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let habit_features: Vec<FeatureId> =
+        habits.iter().map(|h| catalog.intern(&h.activity)).collect();
+    let fillers: Vec<FeatureId> = (0..filler_pool)
+        .map(|i| catalog.intern(&format!("errand-{i}")))
+        .collect();
+
+    let mut builder = SeriesBuilder::with_capacity(weeks * WEEK, weeks * WEEK);
+    for _week in 0..weeks {
+        for day in 0..7 {
+            for hour in 0..HOURS_PER_DAY {
+                let mut observed: Vec<FeatureId> = Vec::new();
+                for (habit, &feature) in habits.iter().zip(&habit_features) {
+                    if habit.hour == hour
+                        && habit.days.contains(&day)
+                        && rng.random::<f64>() < habit.reliability
+                    {
+                        observed.push(feature);
+                    }
+                }
+                if !fillers.is_empty() && rng.random::<f64>() < filler_prob {
+                    observed.push(fillers[rng.random_range(0..fillers.len())]);
+                }
+                builder.push_instant(observed);
+            }
+        }
+    }
+    builder.finish()
+}
+
+/// The canonical "Jim" scenario from the paper's introduction.
+pub fn jim_schedule() -> Vec<Habit> {
+    vec![
+        Habit::weekdays("read-vancouver-sun", 7, 0.95),
+        Habit::weekdays("coffee", 7, 0.9),
+        Habit::weekdays("commute", 8, 0.92),
+        Habit::weekdays("lunch-cafeteria", 12, 0.7),
+        Habit::new("grocery-run", 10, &[5], 0.8), // Saturdays
+        Habit::new("hockey-game", 19, &[2], 0.6), // Wednesday evenings
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_has_week_granularity() {
+        let mut cat = FeatureCatalog::new();
+        let s = generate(4, &jim_schedule(), 10, 0.3, 1, &mut cat);
+        assert_eq!(s.len(), 4 * WEEK);
+    }
+
+    #[test]
+    fn habits_land_on_their_hour() {
+        let mut cat = FeatureCatalog::new();
+        let habits = vec![Habit::weekdays("newspaper", 7, 1.0)];
+        let s = generate(3, &habits, 0, 0.0, 2, &mut cat);
+        let paper = cat.get("newspaper").unwrap();
+        for week in 0..3 {
+            for day in 0..7 {
+                let t = week * WEEK + day * HOURS_PER_DAY + 7;
+                let expect = day < 5;
+                assert_eq!(s.contains(t, paper), expect, "week {week} day {day}");
+            }
+        }
+    }
+
+    #[test]
+    fn reliability_thins_observations() {
+        let mut cat = FeatureCatalog::new();
+        let habits = vec![Habit::weekdays("flaky", 9, 0.5)];
+        let s = generate(40, &habits, 0, 0.0, 3, &mut cat);
+        let f = cat.get("flaky").unwrap();
+        let hits = s.iter().filter(|inst| inst.contains(&f)).count();
+        // 40 weeks * 5 weekdays = 200 opportunities at 50%.
+        assert!((70..=130).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn filler_is_unstructured() {
+        let mut cat = FeatureCatalog::new();
+        let s = generate(2, &[], 5, 1.0, 4, &mut cat);
+        // Every hour has exactly one filler errand.
+        assert!(s.iter().all(|inst| inst.len() == 1));
+        assert_eq!(cat.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "hour")]
+    fn habit_rejects_bad_hour() {
+        Habit::new("x", 24, &[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "day")]
+    fn habit_rejects_bad_day() {
+        Habit::new("x", 0, &[7], 1.0);
+    }
+}

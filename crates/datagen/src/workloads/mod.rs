@@ -1,0 +1,18 @@
+//! Scripted domain workloads for the examples and extension experiments.
+//!
+//! These are deliberately human-readable scenarios (unlike
+//! [`crate::synthetic`], which is a parameter-sweep instrument):
+//!
+//! * [`activity`] — Jim's daily routine, the paper's §1 motivating example
+//!   ("Jim reads the Vancouver Sun from 7:00 to 7:30 every weekday
+//!   morning"), on an hourly grid with a weekly period.
+//! * [`power`] — household power draw: a numeric series with daily shape
+//!   and weekend effects, meant to be discretized (paper §6).
+//! * [`stock`] — a random-walk price series with planted weekday drift,
+//!   exposed as movement features (up/down/flat), after the
+//!   inter-transaction stock-movement motivation the paper cites.
+
+pub mod activity;
+pub mod power;
+pub mod retail;
+pub mod stock;

@@ -1,0 +1,167 @@
+//! Retail-transactions workload.
+//!
+//! The cyclic-association-rules line of work the paper builds on (Özden et
+//! al., which the paper's §1 discusses at length) mines periodicity in
+//! store transactions: "coffee and doughnuts sell together every morning",
+//! "beer peaks on Fridays". This generator scripts daily item-set
+//! transactions on an hourly grid with weekly structure, emitted as a raw
+//! **event log** so the `ppm_timeseries::events` ETL path gets exercised
+//! end to end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ppm_timeseries::events::EventLog;
+use ppm_timeseries::{FeatureCatalog, FeatureId};
+
+/// Hours per day of store opening used by the grid.
+pub const HOURS_PER_DAY: u64 = 24;
+
+/// One scripted selling pattern: items that sell together in a given hour
+/// on given weekdays.
+#[derive(Debug, Clone)]
+pub struct SalesPattern {
+    /// Item names sold together.
+    pub items: Vec<String>,
+    /// Hour of day the basket occurs, `0..24`.
+    pub hour: u64,
+    /// Days of week (0 = Monday … 6 = Sunday).
+    pub days: Vec<usize>,
+    /// Probability the basket occurs on an applicable day.
+    pub reliability: f64,
+}
+
+impl SalesPattern {
+    /// Convenience constructor.
+    pub fn new(items: &[&str], hour: u64, days: &[usize], reliability: f64) -> Self {
+        assert!(hour < HOURS_PER_DAY);
+        assert!(days.iter().all(|&d| d < 7));
+        assert!((0.0..=1.0).contains(&reliability));
+        SalesPattern {
+            items: items.iter().map(|s| (*s).to_owned()).collect(),
+            hour,
+            days: days.to_vec(),
+            reliability,
+        }
+        .normalize()
+    }
+
+    fn normalize(mut self) -> Self {
+        self.items.sort();
+        self.items.dedup();
+        self
+    }
+}
+
+/// The canonical store script: morning coffee+doughnut, Friday beer,
+/// weekend brunch.
+pub fn store_script() -> Vec<SalesPattern> {
+    vec![
+        SalesPattern::new(&["coffee", "doughnut"], 8, &[0, 1, 2, 3, 4], 0.9),
+        SalesPattern::new(&["beer", "chips"], 18, &[4], 0.85),
+        SalesPattern::new(&["eggs", "bacon"], 10, &[5, 6], 0.8),
+        SalesPattern::new(&["milk"], 17, &[0, 1, 2, 3, 4, 5, 6], 0.75),
+    ]
+}
+
+/// Generates `days` days of transactions as a raw event log (timestamps in
+/// hours since an epoch at Monday 00:00), with `noise_per_hour` expected
+/// random single-item sales drawn from `noise_items`.
+pub fn generate_events(
+    days: usize,
+    patterns: &[SalesPattern],
+    noise_items: usize,
+    noise_per_hour: f64,
+    seed: u64,
+    catalog: &mut FeatureCatalog,
+) -> EventLog {
+    assert!((0.0..=1.0).contains(&noise_per_hour), "noise_per_hour is a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pattern_features: Vec<Vec<FeatureId>> = patterns
+        .iter()
+        .map(|p| p.items.iter().map(|i| catalog.intern(i)).collect())
+        .collect();
+    let noise: Vec<FeatureId> = (0..noise_items)
+        .map(|i| catalog.intern(&format!("sku-{i:03}")))
+        .collect();
+
+    let mut log = EventLog::new();
+    for day in 0..days as u64 {
+        let weekday = (day % 7) as usize;
+        for hour in 0..HOURS_PER_DAY {
+            let ts = day * HOURS_PER_DAY + hour;
+            for (pattern, features) in patterns.iter().zip(&pattern_features) {
+                if pattern.hour == hour
+                    && pattern.days.contains(&weekday)
+                    && rng.random::<f64>() < pattern.reliability
+                {
+                    for &f in features {
+                        log.record(ts, f);
+                    }
+                }
+            }
+            if !noise.is_empty() && rng.random::<f64>() < noise_per_hour {
+                log.record(ts, noise[rng.random_range(0..noise.len())]);
+            }
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_cover_the_requested_days() {
+        let mut cat = FeatureCatalog::new();
+        let log = generate_events(14, &store_script(), 10, 0.3, 1, &mut cat);
+        let (min, max) = log.span().unwrap();
+        assert!(max < 14 * HOURS_PER_DAY);
+        assert!(min < HOURS_PER_DAY * 2);
+    }
+
+    #[test]
+    fn baskets_sell_together() {
+        let mut cat = FeatureCatalog::new();
+        let patterns = vec![SalesPattern::new(&["coffee", "doughnut"], 8, &[0], 1.0)];
+        let log = generate_events(21, &patterns, 0, 0.0, 2, &mut cat);
+        let series = log.to_series(0, 1, 21 * 24).unwrap().0;
+        let coffee = cat.get("coffee").unwrap();
+        let doughnut = cat.get("doughnut").unwrap();
+        // Mondays at 8: both items; 3 Mondays in 21 days.
+        let mut hits = 0;
+        for day in 0..21usize {
+            let t = day * 24 + 8;
+            let has = series.contains(t, coffee);
+            assert_eq!(has, series.contains(t, doughnut), "basket split at day {day}");
+            if has {
+                assert_eq!(day % 7, 0, "basket on a non-Monday");
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn reliability_and_noise_are_bounded() {
+        let mut cat = FeatureCatalog::new();
+        let log = generate_events(70, &store_script(), 5, 0.5, 3, &mut cat);
+        // Noise rate: ~0.5/hour over 70*24 hours.
+        let hours = 70 * 24;
+        assert!(log.len() > hours / 4, "suspiciously few events: {}", log.len());
+        assert!(log.len() < hours * 4, "suspiciously many events: {}", log.len());
+    }
+
+    #[test]
+    fn pattern_items_are_sorted_and_deduped() {
+        let p = SalesPattern::new(&["b", "a", "b"], 0, &[0], 1.0);
+        assert_eq!(p.items, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_hour() {
+        SalesPattern::new(&["x"], 24, &[0], 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Stock-movement workload.
+//!
+//! The paper cites stock movement (Lu, Han & Feng's inter-transaction
+//! rules) as a motivating numeric domain. This generator produces a daily
+//! random-walk price with a planted intra-week drift pattern (e.g. a
+//! "Friday fade"), plus a helper that converts prices into the categorical
+//! up/down/flat movement features mining operates on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ppm_timeseries::{FeatureCatalog, FeatureSeries, SeriesBuilder};
+
+/// Trading days per week (the natural mining period).
+pub const TRADING_WEEK: usize = 5;
+
+/// Generates `days` daily closing prices: geometric random walk with a
+/// per-weekday drift (`weekday_drift[d]` for `d = day % 5`), starting at
+/// `start_price`.
+pub fn prices(days: usize, start_price: f64, weekday_drift: [f64; 5], seed: u64) -> Vec<f64> {
+    assert!(start_price > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(days);
+    let mut price = start_price;
+    for day in 0..days {
+        let drift = weekday_drift[day % TRADING_WEEK];
+        let shock = (rng.random::<f64>() - 0.5) * 0.01;
+        price *= 1.0 + drift + shock;
+        out.push(price);
+    }
+    out
+}
+
+/// A drift profile with a reliable Monday rise and Friday fade.
+pub fn weekly_profile() -> [f64; 5] {
+    [0.012, 0.0, 0.0, 0.0, -0.012]
+}
+
+/// Converts daily prices into movement features: one of `up`, `down`,
+/// `flat` per day, thresholded at `flat_band` relative change. The first
+/// day compares against itself and is always `flat`.
+pub fn movements(
+    prices: &[f64],
+    flat_band: f64,
+    catalog: &mut FeatureCatalog,
+) -> FeatureSeries {
+    let up = catalog.intern("up");
+    let down = catalog.intern("down");
+    let flat = catalog.intern("flat");
+    let mut builder = SeriesBuilder::with_capacity(prices.len(), prices.len());
+    let mut prev = prices.first().copied().unwrap_or(1.0);
+    for &p in prices {
+        let change = (p - prev) / prev;
+        let feature = if change > flat_band {
+            up
+        } else if change < -flat_band {
+            down
+        } else {
+            flat
+        };
+        builder.push_instant([feature]);
+        prev = p;
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_are_positive() {
+        let p = prices(500, 100.0, weekly_profile(), 1);
+        assert_eq!(p.len(), 500);
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn planted_drift_shows_up_in_movements() {
+        let p = prices(1_000, 100.0, weekly_profile(), 2);
+        let mut cat = FeatureCatalog::new();
+        let s = movements(&p, 0.004, &mut cat);
+        let up = cat.get("up").unwrap();
+        let down = cat.get("down").unwrap();
+        // Mondays (day % 5 == 0) are mostly up, Fridays mostly down.
+        let m = s.len() / TRADING_WEEK;
+        let monday_up =
+            (0..m).filter(|j| s.contains(j * TRADING_WEEK, up)).count() as f64 / m as f64;
+        let friday_down = (0..m)
+            .filter(|j| s.contains(j * TRADING_WEEK + 4, down))
+            .count() as f64
+            / m as f64;
+        assert!(monday_up > 0.8, "monday up rate {monday_up}");
+        assert!(friday_down > 0.8, "friday down rate {friday_down}");
+    }
+
+    #[test]
+    fn movements_partition_days() {
+        let p = prices(300, 50.0, [0.0; 5], 3);
+        let mut cat = FeatureCatalog::new();
+        let s = movements(&p, 0.002, &mut cat);
+        assert_eq!(s.len(), 300);
+        assert!(s.iter().all(|inst| inst.len() == 1));
+    }
+
+    #[test]
+    fn first_day_is_flat() {
+        let p = vec![10.0, 20.0];
+        let mut cat = FeatureCatalog::new();
+        let s = movements(&p, 0.01, &mut cat);
+        assert_eq!(s.instant(0), &[cat.get("flat").unwrap()]);
+        assert_eq!(s.instant(1), &[cat.get("up").unwrap()]);
+    }
+
+    #[test]
+    fn empty_prices_yield_empty_series() {
+        let mut cat = FeatureCatalog::new();
+        assert!(movements(&[], 0.01, &mut cat).is_empty());
+    }
+}

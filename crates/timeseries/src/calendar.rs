@@ -1,0 +1,198 @@
+//! Calendar grids: mapping human time (day-of-week, hour) to period
+//! offsets and back.
+//!
+//! Mining "natural periods — annually, quarterly, monthly, weekly, daily,
+//! or hourly" (paper §3.2) means constantly translating between period
+//! offsets and human labels. [`WeeklyGrid`] and [`DailyGrid`] centralize
+//! that translation for the two grids the examples and CLI use.
+
+use std::fmt;
+
+/// Three-letter day names, Monday-first (offset 0 = Monday's first slot).
+pub const DAY_NAMES: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+/// A week of `slots_per_day` slots per day; the natural mining period is
+/// `7 * slots_per_day`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeeklyGrid {
+    slots_per_day: usize,
+}
+
+impl WeeklyGrid {
+    /// A grid with the given number of slots per day (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `slots_per_day == 0`.
+    pub fn new(slots_per_day: usize) -> Self {
+        assert!(slots_per_day > 0, "slots_per_day must be >= 1");
+        WeeklyGrid { slots_per_day }
+    }
+
+    /// The hourly grid (24 slots/day, period 168).
+    pub fn hourly() -> Self {
+        Self::new(24)
+    }
+
+    /// Slots per day.
+    pub fn slots_per_day(&self) -> usize {
+        self.slots_per_day
+    }
+
+    /// The mining period: slots per week.
+    pub fn period(&self) -> usize {
+        7 * self.slots_per_day
+    }
+
+    /// The offset of `(day, slot)`; day 0 = Monday.
+    ///
+    /// # Panics
+    /// Panics when `day >= 7` or `slot >= slots_per_day`.
+    pub fn offset(&self, day: usize, slot: usize) -> usize {
+        assert!(day < 7, "day {day} out of range");
+        assert!(slot < self.slots_per_day, "slot {slot} out of range");
+        day * self.slots_per_day + slot
+    }
+
+    /// The `(day, slot)` of an offset.
+    ///
+    /// # Panics
+    /// Panics when `offset >= period()`.
+    pub fn day_slot(&self, offset: usize) -> (usize, usize) {
+        assert!(offset < self.period(), "offset {offset} out of range");
+        (offset / self.slots_per_day, offset % self.slots_per_day)
+    }
+
+    /// Human label for an offset, e.g. `Mon 07h` on the hourly grid or
+    /// `Tue slot 3` on other grids.
+    pub fn label(&self, offset: usize) -> OffsetLabel {
+        let (day, slot) = self.day_slot(offset);
+        OffsetLabel { day, slot, hourly: self.slots_per_day == 24 }
+    }
+
+    /// The offsets covering one whole day (for constraint queries).
+    pub fn day_offsets(&self, day: usize) -> std::ops::Range<usize> {
+        assert!(day < 7, "day {day} out of range");
+        day * self.slots_per_day..(day + 1) * self.slots_per_day
+    }
+
+    /// The offsets of a given slot across all seven days.
+    pub fn slot_offsets(&self, slot: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(slot < self.slots_per_day, "slot {slot} out of range");
+        (0..7).map(move |d| d * self.slots_per_day + slot)
+    }
+}
+
+/// A day of `period` slots; offsets are the slots themselves. Exists for
+/// symmetry with [`WeeklyGrid`] in generic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DailyGrid {
+    slots: usize,
+}
+
+impl DailyGrid {
+    /// A daily grid of `slots` slots (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "slots must be >= 1");
+        DailyGrid { slots }
+    }
+
+    /// The hourly day.
+    pub fn hourly() -> Self {
+        Self::new(24)
+    }
+
+    /// The mining period.
+    pub fn period(&self) -> usize {
+        self.slots
+    }
+
+    /// Human label, e.g. `07h` for the hourly day, `slot 3` otherwise.
+    pub fn label(&self, offset: usize) -> String {
+        assert!(offset < self.slots, "offset {offset} out of range");
+        if self.slots == 24 {
+            format!("{offset:02}h")
+        } else {
+            format!("slot {offset}")
+        }
+    }
+}
+
+/// Display adapter for a weekly offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffsetLabel {
+    day: usize,
+    slot: usize,
+    hourly: bool,
+}
+
+impl fmt::Display for OffsetLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hourly {
+            write!(f, "{} {:02}h", DAY_NAMES[self.day], self.slot)
+        } else {
+            write!(f, "{} slot {}", DAY_NAMES[self.day], self.slot)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekly_round_trip() {
+        let g = WeeklyGrid::hourly();
+        assert_eq!(g.period(), 168);
+        for offset in 0..g.period() {
+            let (d, s) = g.day_slot(offset);
+            assert_eq!(g.offset(d, s), offset);
+        }
+    }
+
+    #[test]
+    fn labels_read_naturally() {
+        let g = WeeklyGrid::hourly();
+        assert_eq!(g.label(7).to_string(), "Mon 07h");
+        assert_eq!(g.label(24 + 13).to_string(), "Tue 13h");
+        assert_eq!(g.label(6 * 24 + 23).to_string(), "Sun 23h");
+        let coarse = WeeklyGrid::new(8);
+        assert_eq!(coarse.label(9).to_string(), "Tue slot 1");
+    }
+
+    #[test]
+    fn day_and_slot_offsets() {
+        let g = WeeklyGrid::new(4);
+        assert_eq!(g.day_offsets(0), 0..4);
+        assert_eq!(g.day_offsets(6), 24..28);
+        assert_eq!(g.slot_offsets(2).collect::<Vec<_>>(), vec![2, 6, 10, 14, 18, 22, 26]);
+    }
+
+    #[test]
+    fn daily_grid_labels() {
+        let d = DailyGrid::hourly();
+        assert_eq!(d.period(), 24);
+        assert_eq!(d.label(7), "07h");
+        assert_eq!(DailyGrid::new(10).label(3), "slot 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "day")]
+    fn weekly_rejects_bad_day() {
+        WeeklyGrid::hourly().offset(7, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn weekly_rejects_bad_offset() {
+        WeeklyGrid::hourly().day_slot(168);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots")]
+    fn zero_slots_rejected() {
+        DailyGrid::new(0);
+    }
+}

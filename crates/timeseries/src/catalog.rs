@@ -1,0 +1,195 @@
+//! Feature identifiers and the string-interning catalog.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for a feature (a categorical "letter" of the series
+/// alphabet, in the paper's terminology).
+///
+/// Ids are handed out contiguously from 0 by [`FeatureCatalog::intern`], so
+/// they can index arrays directly via [`FeatureId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FeatureId(u32);
+
+impl FeatureId {
+    /// Builds a feature id from a raw `u32`.
+    ///
+    /// Normally ids come from a [`FeatureCatalog`]; this constructor exists
+    /// for storage deserialization and synthetic generators that manage
+    /// their own dense id spaces.
+    pub fn from_raw(raw: u32) -> Self {
+        FeatureId(raw)
+    }
+
+    /// The raw `u32` backing this id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FeatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Interns feature names to dense [`FeatureId`]s and resolves them back.
+///
+/// The mining layer never touches strings: workloads intern their feature
+/// vocabulary once and the algorithms operate on ids. Ids are assigned in
+/// first-intern order starting at 0.
+///
+/// ```
+/// use ppm_timeseries::FeatureCatalog;
+///
+/// let mut cat = FeatureCatalog::new();
+/// let a = cat.intern("read-newspaper");
+/// let b = cat.intern("drink-coffee");
+/// assert_ne!(a, b);
+/// assert_eq!(cat.intern("read-newspaper"), a); // idempotent
+/// assert_eq!(cat.name(a), Some("read-newspaper"));
+/// assert_eq!(cat.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FeatureCatalog {
+    names: Vec<String>,
+    by_name: HashMap<String, FeatureId>,
+}
+
+impl FeatureCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a catalog with `n` synthetic features named `f0..f{n-1}`.
+    ///
+    /// Convenient for generators and benchmarks that only need an id space.
+    pub fn with_synthetic_features(n: usize) -> Self {
+        let mut cat = Self::new();
+        for i in 0..n {
+            cat.intern(&format!("f{i}"));
+        }
+        cat
+    }
+
+    /// Interns `name`, returning its id. Repeated calls with the same name
+    /// return the same id.
+    pub fn intern(&mut self, name: &str) -> FeatureId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = FeatureId(u32::try_from(self.names.len()).expect("catalog overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name without inserting.
+    pub fn get(&self, name: &str) -> Option<FeatureId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its name, or `None` if the id was never
+    /// interned here.
+    pub fn name(&self, id: FeatureId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Resolves an id, falling back to the `f{raw}` placeholder for ids from
+    /// foreign catalogs. Useful in diagnostics that must never fail.
+    pub fn name_or_placeholder(&self, id: FeatureId) -> String {
+        match self.name(id) {
+            Some(n) => n.to_owned(),
+            None => format!("f{}", id.raw()),
+        }
+    }
+
+    /// Number of distinct features interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (FeatureId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut cat = FeatureCatalog::new();
+        let ids: Vec<_> = (0..100).map(|i| cat.intern(&format!("feat-{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(cat.len(), 100);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut cat = FeatureCatalog::new();
+        let a = cat.intern("x");
+        let b = cat.intern("y");
+        assert_eq!(cat.intern("x"), a);
+        assert_eq!(cat.intern("y"), b);
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut cat = FeatureCatalog::new();
+        assert_eq!(cat.get("missing"), None);
+        let id = cat.intern("present");
+        assert_eq!(cat.get("present"), Some(id));
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut cat = FeatureCatalog::new();
+        let id = cat.intern("power-high");
+        assert_eq!(cat.name(id), Some("power-high"));
+        assert_eq!(cat.name(FeatureId::from_raw(99)), None);
+        assert_eq!(cat.name_or_placeholder(FeatureId::from_raw(99)), "f99");
+    }
+
+    #[test]
+    fn synthetic_features_are_named_fi() {
+        let cat = FeatureCatalog::with_synthetic_features(3);
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.get("f0"), Some(FeatureId::from_raw(0)));
+        assert_eq!(cat.get("f2"), Some(FeatureId::from_raw(2)));
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut cat = FeatureCatalog::new();
+        cat.intern("a");
+        cat.intern("b");
+        let collected: Vec<_> = cat.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FeatureId::from_raw(7).to_string(), "f7");
+    }
+}

@@ -1,0 +1,296 @@
+//! Discretization of numeric time series into categorical features.
+//!
+//! The paper (§6) notes that numeric series — "such as stock or power
+//! consumption fluctuation" — are mined by examining the value distribution
+//! and discretizing into single- or multiple-level categorical data. This
+//! module provides the standard schemes:
+//!
+//! * [`Discretizer::equal_width`] — `k` bins of equal value span;
+//! * [`Discretizer::equal_depth`] — `k` quantile bins of (approximately)
+//!   equal population;
+//! * [`discretize_multi_level`] — a coarse *and* a fine binning emitted
+//!   together, so multi-level mining can drill down (paper §6).
+//!
+//! Each bin becomes one feature (e.g. `power[2/5]`); discretizing a numeric
+//! series yields a [`FeatureSeries`] with exactly one feature per instant
+//! (or several, for the multi-level variant).
+
+use crate::catalog::{FeatureCatalog, FeatureId};
+use crate::error::{Error, Result};
+use crate::series::{FeatureSeries, SeriesBuilder};
+
+/// A fitted binning of a numeric domain into `k` labelled intervals.
+///
+/// Bin `i` covers `[edge[i], edge[i+1])`, except the last bin, which is
+/// closed on the right so the maximum value is representable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    /// `k + 1` ascending bin edges.
+    edges: Vec<f64>,
+    /// Label stem used when interning bin features (`stem[i/k]`).
+    stem: String,
+}
+
+impl Discretizer {
+    /// Fits `bins` equal-width intervals spanning `[min, max]` of `values`.
+    pub fn equal_width(stem: &str, values: &[f64], bins: usize) -> Result<Self> {
+        validate(stem, values, bins)?;
+        let (lo, hi) = min_max(values);
+        let mut edges = Vec::with_capacity(bins + 1);
+        if lo == hi {
+            // Degenerate constant series: one bin swallowing everything.
+            edges.push(lo);
+            edges.push(hi);
+            for _ in 1..bins {
+                edges.push(hi);
+            }
+        } else {
+            let width = (hi - lo) / bins as f64;
+            for i in 0..=bins {
+                edges.push(lo + width * i as f64);
+            }
+            // Guard against floating-point drift on the last edge.
+            edges[bins] = hi;
+        }
+        Ok(Discretizer { edges, stem: stem.to_owned() })
+    }
+
+    /// Fits `bins` equal-depth (quantile) intervals of `values`.
+    ///
+    /// Heavily duplicated values can make some quantile edges coincide; the
+    /// fitted binning then has fewer *effective* bins but assignment remains
+    /// total and deterministic.
+    pub fn equal_depth(stem: &str, values: &[f64], bins: usize) -> Result<Self> {
+        validate(stem, values, bins)?;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len();
+        let mut edges = Vec::with_capacity(bins + 1);
+        edges.push(sorted[0]);
+        for i in 1..bins {
+            let rank = (i * n) / bins;
+            edges.push(sorted[rank.min(n - 1)]);
+        }
+        edges.push(sorted[n - 1]);
+        // Edges must be non-decreasing; enforce in case of adversarial fp.
+        for i in 1..edges.len() {
+            if edges[i] < edges[i - 1] {
+                edges[i] = edges[i - 1];
+            }
+        }
+        Ok(Discretizer { edges, stem: stem.to_owned() })
+    }
+
+    /// Number of bins `k`.
+    pub fn bins(&self) -> usize {
+        self.edges.len() - 1
+    }
+
+    /// The fitted edges (`k + 1` ascending values).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Assigns a value to its bin index in `0..k`.
+    ///
+    /// Values outside the fitted range clamp to the first/last bin, so the
+    /// discretizer can be fitted on one window and applied to another.
+    pub fn bin_of(&self, value: f64) -> usize {
+        let k = self.bins();
+        if value <= self.edges[0] {
+            return 0;
+        }
+        if value >= self.edges[k] {
+            return k - 1;
+        }
+        // partition_point: first edge strictly greater than value.
+        let idx = self.edges.partition_point(|&e| e <= value);
+        (idx - 1).min(k - 1)
+    }
+
+    /// Interns the `k` bin features into `catalog`, returning their ids in
+    /// bin order. Feature names look like `power[2/5]`.
+    pub fn intern_features(&self, catalog: &mut FeatureCatalog) -> Vec<FeatureId> {
+        let k = self.bins();
+        (0..k).map(|i| catalog.intern(&format!("{}[{}/{}]", self.stem, i, k))).collect()
+    }
+
+    /// Discretizes `values` into a categorical [`FeatureSeries`] with one
+    /// bin feature per instant.
+    pub fn apply(&self, values: &[f64], catalog: &mut FeatureCatalog) -> FeatureSeries {
+        let ids = self.intern_features(catalog);
+        let mut builder = SeriesBuilder::with_capacity(values.len(), values.len());
+        for &v in values {
+            builder.push_instant([ids[self.bin_of(v)]]);
+        }
+        builder.finish()
+    }
+}
+
+/// Discretizes `values` at two granularities simultaneously: a coarse level
+/// (`coarse_bins`) and a fine level (`fine_bins`). Each instant carries
+/// **both** its coarse and fine bin features, enabling multi-level partial
+/// periodicity mining (paper §6): mine the coarse level first, then drill
+/// into the fine features.
+pub fn discretize_multi_level(
+    stem: &str,
+    values: &[f64],
+    coarse_bins: usize,
+    fine_bins: usize,
+    catalog: &mut FeatureCatalog,
+) -> Result<(FeatureSeries, Discretizer, Discretizer)> {
+    if coarse_bins >= fine_bins {
+        return Err(Error::InvalidDiscretization {
+            detail: format!("coarse bins {coarse_bins} must be < fine bins {fine_bins}"),
+        });
+    }
+    let coarse = Discretizer::equal_width(&format!("{stem}:L1"), values, coarse_bins)?;
+    let fine = Discretizer::equal_width(&format!("{stem}:L2"), values, fine_bins)?;
+    let coarse_ids = coarse.intern_features(catalog);
+    let fine_ids = fine.intern_features(catalog);
+    let mut builder = SeriesBuilder::with_capacity(values.len(), values.len() * 2);
+    for &v in values {
+        builder.push_instant([coarse_ids[coarse.bin_of(v)], fine_ids[fine.bin_of(v)]]);
+    }
+    Ok((builder.finish(), coarse, fine))
+}
+
+fn validate(stem: &str, values: &[f64], bins: usize) -> Result<()> {
+    if bins == 0 {
+        return Err(Error::InvalidDiscretization { detail: "bins must be >= 1".into() });
+    }
+    if values.is_empty() {
+        return Err(Error::InvalidDiscretization { detail: "no values to fit".into() });
+    }
+    if stem.is_empty() {
+        return Err(Error::InvalidDiscretization { detail: "empty feature stem".into() });
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(Error::InvalidDiscretization { detail: "NaN in input values".into() });
+    }
+    Ok(())
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_bins_partition_the_range() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Discretizer::equal_width("x", &values, 4).unwrap();
+        assert_eq!(d.bins(), 4);
+        assert_eq!(d.bin_of(0.0), 0);
+        assert_eq!(d.bin_of(24.0), 0);
+        assert_eq!(d.bin_of(25.0), 1);
+        assert_eq!(d.bin_of(99.0), 3);
+        // Out-of-range clamps.
+        assert_eq!(d.bin_of(-5.0), 0);
+        assert_eq!(d.bin_of(1e9), 3);
+    }
+
+    #[test]
+    fn equal_depth_balances_population() {
+        // 0..100 uniformly: each of 4 quantile bins should get ~25 values.
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Discretizer::equal_depth("x", &values, 4).unwrap();
+        let mut counts = [0usize; 4];
+        for &v in &values {
+            counts[d.bin_of(v)] += 1;
+        }
+        for c in counts {
+            assert!((20..=30).contains(&c), "unbalanced bins: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn equal_depth_handles_heavy_duplicates() {
+        let mut values = vec![1.0; 90];
+        values.extend([2.0; 10]);
+        let d = Discretizer::equal_depth("x", &values, 4).unwrap();
+        // Assignment stays total even with coincident edges.
+        for &v in &values {
+            assert!(d.bin_of(v) < d.bins());
+        }
+    }
+
+    #[test]
+    fn constant_series_degenerates_gracefully() {
+        let values = vec![7.0; 10];
+        let d = Discretizer::equal_width("x", &values, 3).unwrap();
+        for &v in &values {
+            assert_eq!(d.bin_of(v), 0);
+        }
+    }
+
+    #[test]
+    fn apply_produces_one_feature_per_instant() {
+        let values = vec![0.0, 10.0, 5.0, 9.9];
+        let mut cat = FeatureCatalog::new();
+        let d = Discretizer::equal_width("load", &values, 2).unwrap();
+        let s = d.apply(&values, &mut cat);
+        assert_eq!(s.len(), 4);
+        for t in 0..4 {
+            assert_eq!(s.instant(t).len(), 1);
+        }
+        assert!(cat.get("load[0/2]").is_some());
+        assert!(cat.get("load[1/2]").is_some());
+        // Same bin for 10.0 (max, closed) and 9.9.
+        assert_eq!(s.instant(1), s.instant(3));
+    }
+
+    #[test]
+    fn multi_level_carries_both_granularities() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut cat = FeatureCatalog::new();
+        let (s, coarse, fine) = discretize_multi_level("p", &values, 2, 8, &mut cat).unwrap();
+        assert_eq!(coarse.bins(), 2);
+        assert_eq!(fine.bins(), 8);
+        assert_eq!(s.len(), 50);
+        for t in 0..50 {
+            assert_eq!(s.instant(t).len(), 2, "instant {t} must have coarse+fine");
+        }
+        assert_eq!(cat.len(), 10);
+    }
+
+    #[test]
+    fn multi_level_requires_coarse_lt_fine() {
+        let values = vec![1.0, 2.0];
+        let mut cat = FeatureCatalog::new();
+        assert!(discretize_multi_level("p", &values, 4, 4, &mut cat).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Discretizer::equal_width("x", &[], 3).is_err());
+        assert!(Discretizer::equal_width("x", &[1.0], 0).is_err());
+        assert!(Discretizer::equal_width("", &[1.0], 2).is_err());
+        assert!(Discretizer::equal_width("x", &[1.0, f64::NAN], 2).is_err());
+        assert!(Discretizer::equal_depth("x", &[f64::NAN], 2).is_err());
+    }
+
+    #[test]
+    fn bin_of_is_total_and_in_range() {
+        let values: Vec<f64> = (0..37).map(|i| (i as f64).sin() * 20.0).collect();
+        for bins in 1..8 {
+            let d = Discretizer::equal_width("x", &values, bins).unwrap();
+            for &v in &values {
+                assert!(d.bin_of(v) < bins);
+            }
+            let d = Discretizer::equal_depth("x", &values, bins).unwrap();
+            for &v in &values {
+                assert!(d.bin_of(v) < bins);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared by the time-series substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by series construction, storage, and derivation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// A stored series file is malformed or was truncated.
+    Corrupt {
+        /// Human-readable description of what check failed.
+        detail: String,
+    },
+    /// A text import line could not be parsed.
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// A period of zero, or one longer than the series, was requested.
+    InvalidPeriod {
+        /// The offending period.
+        period: usize,
+        /// The length of the series it was applied to.
+        series_len: usize,
+    },
+    /// A feature id not present in the catalog was referenced.
+    UnknownFeature {
+        /// The raw id that failed to resolve.
+        id: u32,
+    },
+    /// Discretization was asked to produce zero bins or received no data.
+    InvalidDiscretization {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// A taxonomy edge would create a cycle or orphan.
+    InvalidTaxonomy {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corrupt { detail } => write!(f, "corrupt series file: {detail}"),
+            Error::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+            Error::InvalidPeriod { period, series_len } => write!(
+                f,
+                "invalid period {period} for series of length {series_len} \
+                 (need 1 <= period <= length)"
+            ),
+            Error::UnknownFeature { id } => write!(f, "feature id {id} not in catalog"),
+            Error::InvalidDiscretization { detail } => {
+                write!(f, "invalid discretization: {detail}")
+            }
+            Error::InvalidTaxonomy { detail } => write!(f, "invalid taxonomy: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidPeriod { period: 0, series_len: 10 };
+        assert!(e.to_string().contains("invalid period 0"));
+        let e = Error::Parse { line: 3, detail: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = Error::Corrupt { detail: "bad magic".into() };
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: Error = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("eof"));
+    }
+}

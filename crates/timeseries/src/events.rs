@@ -1,0 +1,212 @@
+//! Event-log ETL: building feature series from timestamped observations.
+//!
+//! The paper's §2 starts from "a sequence of N timestamped datasets … for
+//! each time instant, let D_t be a set of features derived from the dataset
+//! collected at the instant". Real inputs are rarely pre-gridded: they are
+//! event logs `(timestamp, feature)`. [`EventLog`] bins such a log onto a
+//! fixed-width time grid, producing the [`FeatureSeries`] the miners
+//! consume, and reports what was dropped.
+//!
+//! Timestamps are plain `u64` ticks (seconds, milliseconds — whatever the
+//! source uses); the binning only needs an origin and a slot width in the
+//! same unit.
+
+use crate::catalog::FeatureId;
+use crate::error::{Error, Result};
+use crate::series::{FeatureSeries, SeriesBuilder};
+
+/// An accumulating log of `(timestamp, feature)` observations.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<(u64, FeatureId)>,
+}
+
+/// Summary of a [`EventLog::to_series`] conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinReport {
+    /// Events before the origin (dropped).
+    pub before_origin: usize,
+    /// Events at or after the end of the grid (dropped).
+    pub after_end: usize,
+    /// Events binned into the series.
+    pub binned: usize,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, timestamp: u64, feature: FeatureId) {
+        self.events.push((timestamp, feature));
+    }
+
+    /// Records many observations.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = (u64, FeatureId)>) {
+        self.events.extend(events);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The timestamp span `(min, max)` of the recorded events.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        let min = self.events.iter().map(|&(t, _)| t).min()?;
+        let max = self.events.iter().map(|&(t, _)| t).max()?;
+        Some((min, max))
+    }
+
+    /// Bins the log onto a grid of `slots` slots of `slot_width` ticks
+    /// starting at `origin`. Events before the origin or past the end are
+    /// dropped and reported. Duplicate features within a slot collapse
+    /// (instants are sets).
+    pub fn to_series(
+        &self,
+        origin: u64,
+        slot_width: u64,
+        slots: usize,
+    ) -> Result<(FeatureSeries, BinReport)> {
+        if slot_width == 0 {
+            return Err(Error::InvalidPeriod { period: 0, series_len: slots });
+        }
+        let mut per_slot: Vec<Vec<FeatureId>> = vec![Vec::new(); slots];
+        let mut report = BinReport { before_origin: 0, after_end: 0, binned: 0 };
+        let end = origin + slot_width.saturating_mul(slots as u64);
+        for &(t, f) in &self.events {
+            if t < origin {
+                report.before_origin += 1;
+            } else if t >= end {
+                report.after_end += 1;
+            } else {
+                per_slot[((t - origin) / slot_width) as usize].push(f);
+                report.binned += 1;
+            }
+        }
+        let mut builder =
+            SeriesBuilder::with_capacity(slots, report.binned);
+        for slot in per_slot {
+            builder.push_instant(slot);
+        }
+        Ok((builder.finish(), report))
+    }
+
+    /// Bins the whole log: origin at the earliest event, enough slots to
+    /// cover the latest. Returns an empty series for an empty log.
+    pub fn to_series_auto(&self, slot_width: u64) -> Result<FeatureSeries> {
+        match self.span() {
+            None => Ok(FeatureSeries::empty()),
+            Some((min, max)) => {
+                if slot_width == 0 {
+                    return Err(Error::InvalidPeriod { period: 0, series_len: 0 });
+                }
+                let slots = ((max - min) / slot_width + 1) as usize;
+                let (series, report) = self.to_series(min, slot_width, slots)?;
+                debug_assert_eq!(report.binned, self.len());
+                Ok(series)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    #[test]
+    fn bins_events_into_slots() {
+        let mut log = EventLog::new();
+        log.record(1000, fid(0));
+        log.record(1059, fid(1)); // same slot as 1000 at width 60
+        log.record(1060, fid(2)); // next slot
+        log.record(1180, fid(3)); // slot 3
+        let (series, report) = log.to_series(1000, 60, 4).unwrap();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series.instant(0), &[fid(0), fid(1)]);
+        assert_eq!(series.instant(1), &[fid(2)]);
+        assert!(series.instant(2).is_empty());
+        assert_eq!(series.instant(3), &[fid(3)]);
+        assert_eq!(report.binned, 4);
+    }
+
+    #[test]
+    fn drops_and_reports_out_of_range() {
+        let mut log = EventLog::new();
+        log.record(5, fid(0)); // before origin
+        log.record(100, fid(1)); // in range
+        log.record(400, fid(2)); // after end (origin 100, 2 slots of 100)
+        let (series, report) = log.to_series(100, 100, 2).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(report.before_origin, 1);
+        assert_eq!(report.after_end, 1);
+        assert_eq!(report.binned, 1);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut log = EventLog::new();
+        log.record(10, fid(7));
+        log.record(11, fid(7));
+        let (series, _) = log.to_series(0, 60, 1).unwrap();
+        assert_eq!(series.instant(0), &[fid(7)]);
+    }
+
+    #[test]
+    fn auto_binning_covers_the_span() {
+        let mut log = EventLog::new();
+        log.extend([(50, fid(0)), (170, fid(1)), (290, fid(2))]);
+        let series = log.to_series_auto(60).unwrap();
+        assert_eq!(series.len(), 5); // 50..=290 at width 60
+        assert_eq!(series.instant(0), &[fid(0)]);
+        assert_eq!(series.instant(2), &[fid(1)]);
+        assert_eq!(series.instant(4), &[fid(2)]);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.span(), None);
+        assert!(log.to_series_auto(60).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_width() {
+        let mut log = EventLog::new();
+        log.record(1, fid(0));
+        assert!(log.to_series(0, 0, 5).is_err());
+        assert!(log.to_series_auto(0).is_err());
+    }
+
+    #[test]
+    fn span_reports_min_max() {
+        let mut log = EventLog::new();
+        log.extend([(42, fid(0)), (7, fid(1)), (99, fid(2))]);
+        assert_eq!(log.span(), Some((7, 99)));
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn boundary_timestamps_bin_correctly() {
+        let mut log = EventLog::new();
+        // Exactly at origin, exactly at a slot edge, and one tick before
+        // the end of the grid.
+        log.extend([(100, fid(0)), (160, fid(1)), (219, fid(2)), (220, fid(3))]);
+        let (series, report) = log.to_series(100, 60, 2).unwrap();
+        assert_eq!(series.instant(0), &[fid(0)]);
+        assert_eq!(series.instant(1), &[fid(1), fid(2)]);
+        assert_eq!(report.after_end, 1); // ts 220 == end, exclusive
+    }
+}

@@ -1,0 +1,67 @@
+//! Feature time-series substrate for partial periodic pattern mining.
+//!
+//! This crate provides the data layer that the mining algorithms in
+//! `ppm-core` operate on. The central abstraction, taken from Han, Dong &
+//! Yin (ICDE 1999), is the *feature time series*: a sequence of time
+//! instants `D_1, D_2, …, D_N`, where each `D_t` is a **set of categorical
+//! features** derived from whatever raw data was collected at instant `t`.
+//!
+//! The pieces:
+//!
+//! * [`FeatureCatalog`] — interns feature names into dense [`FeatureId`]s so
+//!   the mining layer works on small integers instead of strings.
+//! * [`FeatureSeries`] — a compact, immutable, CSR-encoded series of feature
+//!   sets, built through [`SeriesBuilder`].
+//! * [`segment`] — period-segment views (`m = ⌊N/p⌋` whole segments of a
+//!   period `p`), the unit over which pattern confidence is defined.
+//! * [`storage`] — a versioned binary on-disk format plus a line-oriented
+//!   text (CSV-like) import/export, so series larger than memory pressure
+//!   allows can be staged on disk as the paper assumes in §5.
+//! * [`discretize`] — turning numeric series (power draw, stock prices, …)
+//!   into single- or multi-level categorical features (paper §6).
+//! * [`taxonomy`] — feature hierarchies for multi-level mining (paper §6).
+//! * [`window`] — slot enlargement for perturbation-tolerant mining
+//!   (paper §6): each instant absorbs the features of its neighbours.
+//!
+//! # Example
+//!
+//! ```
+//! use ppm_timeseries::{FeatureCatalog, SeriesBuilder};
+//!
+//! let mut catalog = FeatureCatalog::new();
+//! let coffee = catalog.intern("coffee");
+//! let paper = catalog.intern("newspaper");
+//!
+//! let mut builder = SeriesBuilder::new();
+//! builder.push_instant([coffee, paper]);
+//! builder.push_instant([coffee]);
+//! builder.push_instant([]);
+//! let series = builder.finish();
+//!
+//! assert_eq!(series.len(), 3);
+//! assert_eq!(series.instant(0), &[coffee, paper]);
+//! assert!(series.instant(2).is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod catalog;
+mod error;
+mod series;
+
+pub mod calendar;
+pub mod discretize;
+pub mod events;
+pub mod segment;
+pub mod source;
+pub mod storage;
+pub mod taxonomy;
+pub mod window;
+
+pub use catalog::{FeatureCatalog, FeatureId};
+pub use error::{Error, Result};
+pub use series::{FeatureSeries, InstantIter, SeriesBuilder, SeriesStats};
+pub use segment::{Segment, SegmentIter, Segments};
+pub use source::{MemorySource, SeriesSource};
+pub use taxonomy::Taxonomy;

@@ -1,0 +1,227 @@
+//! Period-segment views over a series.
+//!
+//! For a period `p`, a series of length `N` contains `m = ⌊N/p⌋` whole
+//! *period segments*: segment `j` covers instants `j·p .. (j+1)·p`
+//! (paper §2). Confidence of a pattern is defined against `m`, so the
+//! trailing partial segment (if any) is ignored, exactly as in the paper.
+
+use crate::catalog::FeatureId;
+use crate::error::{Error, Result};
+use crate::series::FeatureSeries;
+
+/// A borrowed view of a series split into whole period segments.
+#[derive(Debug, Clone, Copy)]
+pub struct Segments<'a> {
+    series: &'a FeatureSeries,
+    period: usize,
+    count: usize,
+}
+
+impl<'a> Segments<'a> {
+    /// Builds the view; fails when `period == 0` or no whole segment fits.
+    pub fn new(series: &'a FeatureSeries, period: usize) -> Result<Self> {
+        if period == 0 || period > series.len() {
+            return Err(Error::InvalidPeriod { period, series_len: series.len() });
+        }
+        Ok(Segments { series, period, count: series.len() / period })
+    }
+
+    /// The period `p`.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// The number of whole segments `m`.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The underlying series.
+    pub fn series(&self) -> &'a FeatureSeries {
+        self.series
+    }
+
+    /// The feature set at offset `offset` within segment `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= count()` or `offset >= period()`.
+    pub fn at(&self, j: usize, offset: usize) -> &'a [FeatureId] {
+        assert!(j < self.count, "segment index {j} out of range {}", self.count);
+        assert!(offset < self.period, "offset {offset} out of range {}", self.period);
+        self.series.instant(j * self.period + offset)
+    }
+
+    /// Iterates over segments in order; each item is a [`Segment`].
+    pub fn iter(&self) -> SegmentIter<'a> {
+        SegmentIter { view: *self, next: 0 }
+    }
+
+    /// The `j`-th segment.
+    pub fn segment(&self, j: usize) -> Segment<'a> {
+        assert!(j < self.count, "segment index {j} out of range {}", self.count);
+        Segment { view: *self, index: j }
+    }
+}
+
+impl<'a> IntoIterator for Segments<'a> {
+    type Item = Segment<'a>;
+    type IntoIter = SegmentIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// One whole period segment: `period()` consecutive instants.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment<'a> {
+    view: Segments<'a>,
+    index: usize,
+}
+
+impl<'a> Segment<'a> {
+    /// The segment's index `j` (0-based).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The period `p` (also the number of instants in this segment).
+    pub fn period(&self) -> usize {
+        self.view.period
+    }
+
+    /// The feature set at `offset` within this segment.
+    pub fn at(&self, offset: usize) -> &'a [FeatureId] {
+        self.view.at(self.index, offset)
+    }
+
+    /// Whether the instant at `offset` contains feature `f`.
+    pub fn contains(&self, offset: usize, f: FeatureId) -> bool {
+        self.at(offset).binary_search(&f).is_ok()
+    }
+
+    /// Iterates the `p` feature sets of this segment in offset order.
+    pub fn instants(&self) -> impl Iterator<Item = &'a [FeatureId]> + '_ {
+        (0..self.view.period).map(move |o| self.at(o))
+    }
+
+    /// The absolute instant index of `offset` within the full series.
+    pub fn absolute(&self, offset: usize) -> usize {
+        self.index * self.view.period + offset
+    }
+}
+
+/// Iterator over the whole segments of a [`Segments`] view.
+#[derive(Debug, Clone)]
+pub struct SegmentIter<'a> {
+    view: Segments<'a>,
+    next: usize,
+}
+
+impl<'a> Iterator for SegmentIter<'a> {
+    type Item = Segment<'a>;
+
+    fn next(&mut self) -> Option<Segment<'a>> {
+        if self.next < self.view.count {
+            let j = self.next;
+            self.next += 1;
+            Some(Segment { view: self.view, index: j })
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.view.count - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for SegmentIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesBuilder;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    /// A series where instant t contains the single feature {t}.
+    fn ramp(n: u32) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        for t in 0..n {
+            b.push_instant([f(t)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn rejects_invalid_periods() {
+        let s = ramp(10);
+        assert!(s.segments(0).is_err());
+        assert!(s.segments(11).is_err());
+        assert!(s.segments(10).is_ok());
+        assert!(s.segments(1).is_ok());
+    }
+
+    #[test]
+    fn whole_segments_only() {
+        let s = ramp(10);
+        let v = s.segments(3).unwrap();
+        assert_eq!(v.count(), 3); // instant 9 is in the ignored tail
+        assert_eq!(v.period(), 3);
+    }
+
+    #[test]
+    fn at_addresses_correct_instants() {
+        let s = ramp(12);
+        let v = s.segments(4).unwrap();
+        assert_eq!(v.at(0, 0), &[f(0)]);
+        assert_eq!(v.at(1, 2), &[f(6)]);
+        assert_eq!(v.at(2, 3), &[f(11)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment index")]
+    fn at_panics_out_of_range_segment() {
+        let s = ramp(8);
+        let v = s.segments(4).unwrap();
+        v.at(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn at_panics_out_of_range_offset() {
+        let s = ramp(8);
+        let v = s.segments(4).unwrap();
+        v.at(0, 4);
+    }
+
+    #[test]
+    fn segment_iteration_covers_all() {
+        let s = ramp(9);
+        let v = s.segments(3).unwrap();
+        let mut seen = Vec::new();
+        for seg in v.iter() {
+            for o in 0..seg.period() {
+                seen.extend(seg.at(o).iter().map(|x| x.raw()));
+            }
+        }
+        assert_eq!(seen, (0..9).collect::<Vec<_>>());
+        assert_eq!(v.iter().len(), 3);
+    }
+
+    #[test]
+    fn segment_contains_and_absolute() {
+        let s = ramp(6);
+        let v = s.segments(3).unwrap();
+        let seg = v.segment(1);
+        assert_eq!(seg.index(), 1);
+        assert!(seg.contains(0, f(3)));
+        assert!(!seg.contains(0, f(0)));
+        assert_eq!(seg.absolute(2), 5);
+        assert_eq!(seg.instants().count(), 3);
+    }
+}

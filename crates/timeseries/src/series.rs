@@ -1,0 +1,439 @@
+//! The compact, immutable feature time series.
+
+use crate::catalog::FeatureId;
+use crate::error::{Error, Result};
+use crate::segment::Segments;
+
+/// An immutable feature time series `D_1, D_2, …, D_N`.
+///
+/// Each instant holds a **set** of features (sorted, deduplicated
+/// [`FeatureId`]s). Storage is CSR-style: one flat feature array plus an
+/// offsets array, so a 500 000-instant series with a handful of features per
+/// instant is a pair of contiguous allocations — cache-friendly for the
+/// repeated full scans the mining algorithms perform.
+///
+/// Build one with [`SeriesBuilder`], or load one via [`crate::storage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureSeries {
+    /// `offsets[t]..offsets[t+1]` indexes `features` for instant `t`.
+    offsets: Vec<usize>,
+    /// Sorted, deduplicated feature ids per instant, concatenated.
+    features: Vec<FeatureId>,
+}
+
+impl FeatureSeries {
+    /// An empty series.
+    pub fn empty() -> Self {
+        FeatureSeries { offsets: vec![0], features: Vec::new() }
+    }
+
+    /// Number of time instants `N`.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the series has no instants.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of feature occurrences across all instants.
+    pub fn total_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The feature set at instant `t` (sorted ascending, no duplicates).
+    ///
+    /// # Panics
+    /// Panics if `t >= self.len()`.
+    pub fn instant(&self, t: usize) -> &[FeatureId] {
+        &self.features[self.offsets[t]..self.offsets[t + 1]]
+    }
+
+    /// The feature set at instant `t`, or `None` past the end.
+    pub fn get(&self, t: usize) -> Option<&[FeatureId]> {
+        if t < self.len() {
+            Some(self.instant(t))
+        } else {
+            None
+        }
+    }
+
+    /// Whether instant `t` contains feature `f` (binary search).
+    pub fn contains(&self, t: usize, f: FeatureId) -> bool {
+        self.instant(t).binary_search(&f).is_ok()
+    }
+
+    /// Iterates over the instants in time order.
+    pub fn iter(&self) -> InstantIter<'_> {
+        InstantIter { series: self, next: 0 }
+    }
+
+    /// A period-segment view of this series for period `p`.
+    ///
+    /// Returns an error if `p == 0` or `p > self.len()` (no whole segment
+    /// would exist).
+    pub fn segments(&self, period: usize) -> Result<Segments<'_>> {
+        Segments::new(self, period)
+    }
+
+    /// The number of whole period segments `m = ⌊N/p⌋` for period `p`,
+    /// without constructing a view. Returns 0 for `p == 0`.
+    pub fn period_count(&self, period: usize) -> usize {
+        self.len().checked_div(period).unwrap_or(0)
+    }
+
+    /// The largest feature id present, or `None` for a featureless series.
+    pub fn max_feature_id(&self) -> Option<FeatureId> {
+        self.features.iter().copied().max()
+    }
+
+    /// Summary statistics used by validation and experiment reports.
+    pub fn stats(&self) -> SeriesStats {
+        let n = self.len();
+        let total = self.total_features();
+        let mut max_per_instant = 0usize;
+        let mut empty_instants = 0usize;
+        for t in 0..n {
+            let k = self.offsets[t + 1] - self.offsets[t];
+            max_per_instant = max_per_instant.max(k);
+            if k == 0 {
+                empty_instants += 1;
+            }
+        }
+        SeriesStats {
+            instants: n,
+            total_features: total,
+            distinct_features: self.max_feature_id().map_or(0, |f| f.index() + 1),
+            mean_features_per_instant: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+            max_features_per_instant: max_per_instant,
+            empty_instants,
+        }
+    }
+
+    /// Reassembles a series from raw CSR parts; used by storage and
+    /// derivation code. Validates monotone offsets and per-instant ordering.
+    pub fn from_raw_parts(offsets: Vec<usize>, features: Vec<FeatureId>) -> Result<Self> {
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(Error::Corrupt { detail: "offsets must start at 0".into() });
+        }
+        if *offsets.last().expect("nonempty") != features.len() {
+            return Err(Error::Corrupt {
+                detail: format!(
+                    "final offset {} != feature count {}",
+                    offsets.last().unwrap(),
+                    features.len()
+                ),
+            });
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err(Error::Corrupt { detail: "offsets must be non-decreasing".into() });
+            }
+            let set = &features[w[0]..w[1]];
+            for pair in set.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(Error::Corrupt {
+                        detail: "instant feature sets must be strictly ascending".into(),
+                    });
+                }
+            }
+        }
+        Ok(FeatureSeries { offsets, features })
+    }
+
+    /// Exposes the raw CSR parts `(offsets, features)`; used by storage.
+    pub fn raw_parts(&self) -> (&[usize], &[FeatureId]) {
+        (&self.offsets, &self.features)
+    }
+
+    /// Returns the series truncated to its first `n` instants.
+    pub fn truncated(&self, n: usize) -> FeatureSeries {
+        self.slice(0, n.min(self.len()))
+    }
+
+    /// Returns a copy of the instants `start..end` as a standalone series.
+    /// Bounds are clamped to the series; an inverted range yields an empty
+    /// series.
+    pub fn slice(&self, start: usize, end: usize) -> FeatureSeries {
+        let start = start.min(self.len());
+        let end = end.clamp(start, self.len());
+        let base = self.offsets[start];
+        let offsets: Vec<usize> =
+            self.offsets[start..=end].iter().map(|&o| o - base).collect();
+        FeatureSeries {
+            features: self.features[base..self.offsets[end]].to_vec(),
+            offsets,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FeatureSeries {
+    type Item = &'a [FeatureId];
+    type IntoIter = InstantIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the instants of a [`FeatureSeries`] in time order.
+#[derive(Debug, Clone)]
+pub struct InstantIter<'a> {
+    series: &'a FeatureSeries,
+    next: usize,
+}
+
+impl<'a> Iterator for InstantIter<'a> {
+    type Item = &'a [FeatureId];
+
+    fn next(&mut self) -> Option<&'a [FeatureId]> {
+        if self.next < self.series.len() {
+            let t = self.next;
+            self.next += 1;
+            Some(self.series.instant(t))
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.series.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for InstantIter<'_> {}
+
+/// Summary statistics of a series, as produced by [`FeatureSeries::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesStats {
+    /// Number of instants `N`.
+    pub instants: usize,
+    /// Total feature occurrences.
+    pub total_features: usize,
+    /// Upper bound on the feature vocabulary (max id + 1).
+    pub distinct_features: usize,
+    /// Mean features per instant.
+    pub mean_features_per_instant: f64,
+    /// Maximum features at any single instant.
+    pub max_features_per_instant: usize,
+    /// Number of instants with an empty feature set.
+    pub empty_instants: usize,
+}
+
+/// Incremental builder for [`FeatureSeries`].
+///
+/// Feature sets pushed per instant are sorted and deduplicated, so callers
+/// can hand over features in any order:
+///
+/// ```
+/// use ppm_timeseries::{FeatureId, SeriesBuilder};
+///
+/// let f = |i| FeatureId::from_raw(i);
+/// let mut b = SeriesBuilder::new();
+/// b.push_instant([f(2), f(0), f(2)]);
+/// let s = b.finish();
+/// assert_eq!(s.instant(0), &[f(0), f(2)]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SeriesBuilder {
+    offsets: Vec<usize>,
+    features: Vec<FeatureId>,
+}
+
+impl SeriesBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SeriesBuilder { offsets: vec![0], features: Vec::new() }
+    }
+
+    /// Creates a builder with capacity hints for `instants` instants holding
+    /// roughly `total_features` feature occurrences.
+    pub fn with_capacity(instants: usize, total_features: usize) -> Self {
+        let mut offsets = Vec::with_capacity(instants + 1);
+        offsets.push(0);
+        SeriesBuilder { offsets, features: Vec::with_capacity(total_features) }
+    }
+
+    /// Appends one instant holding the given feature set (any order,
+    /// duplicates ignored).
+    pub fn push_instant<I>(&mut self, features: I)
+    where
+        I: IntoIterator<Item = FeatureId>,
+    {
+        let start = self.features.len();
+        self.features.extend(features);
+        self.features[start..].sort_unstable();
+        // Deduplicate the tail we just appended.
+        let mut write = start;
+        for read in start..self.features.len() {
+            if write == start || self.features[write - 1] != self.features[read] {
+                self.features[write] = self.features[read];
+                write += 1;
+            }
+        }
+        self.features.truncate(write);
+        self.offsets.push(self.features.len());
+    }
+
+    /// Number of instants pushed so far.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalizes into an immutable [`FeatureSeries`].
+    pub fn finish(self) -> FeatureSeries {
+        FeatureSeries { offsets: self.offsets, features: self.features }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = FeatureSeries::empty();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.total_features(), 0);
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn builder_sorts_and_dedups() {
+        let mut b = SeriesBuilder::new();
+        b.push_instant([f(5), f(1), f(5), f(3), f(1)]);
+        b.push_instant([]);
+        b.push_instant([f(0)]);
+        let s = b.finish();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.instant(0), &[f(1), f(3), f(5)]);
+        assert!(s.instant(1).is_empty());
+        assert_eq!(s.instant(2), &[f(0)]);
+    }
+
+    #[test]
+    fn contains_uses_set_semantics() {
+        let mut b = SeriesBuilder::new();
+        b.push_instant([f(2), f(4), f(9)]);
+        let s = b.finish();
+        assert!(s.contains(0, f(4)));
+        assert!(!s.contains(0, f(3)));
+    }
+
+    #[test]
+    fn iter_matches_instants() {
+        let mut b = SeriesBuilder::new();
+        for t in 0..10u32 {
+            b.push_instant([f(t % 3)]);
+        }
+        let s = b.finish();
+        let via_iter: Vec<Vec<FeatureId>> = s.iter().map(|x| x.to_vec()).collect();
+        let via_index: Vec<Vec<FeatureId>> = (0..10).map(|t| s.instant(t).to_vec()).collect();
+        assert_eq!(via_iter, via_index);
+        assert_eq!(s.iter().len(), 10);
+    }
+
+    #[test]
+    fn period_count_handles_edges() {
+        let mut b = SeriesBuilder::new();
+        for _ in 0..10 {
+            b.push_instant([f(0)]);
+        }
+        let s = b.finish();
+        assert_eq!(s.period_count(0), 0);
+        assert_eq!(s.period_count(3), 3);
+        assert_eq!(s.period_count(10), 1);
+        assert_eq!(s.period_count(11), 0);
+    }
+
+    #[test]
+    fn stats_summarize() {
+        let mut b = SeriesBuilder::new();
+        b.push_instant([f(0), f(7)]);
+        b.push_instant([]);
+        b.push_instant([f(1)]);
+        let s = b.finish();
+        let st = s.stats();
+        assert_eq!(st.instants, 3);
+        assert_eq!(st.total_features, 3);
+        assert_eq!(st.distinct_features, 8); // max id 7 -> bound 8
+        assert_eq!(st.max_features_per_instant, 2);
+        assert_eq!(st.empty_instants, 1);
+        assert!((st.mean_features_per_instant - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        // Valid.
+        let ok = FeatureSeries::from_raw_parts(vec![0, 2, 2], vec![f(0), f(3)]);
+        assert!(ok.is_ok());
+        // Offsets must start at 0.
+        assert!(FeatureSeries::from_raw_parts(vec![1, 2], vec![f(0), f(1)]).is_err());
+        // Final offset must match feature count.
+        assert!(FeatureSeries::from_raw_parts(vec![0, 1], vec![]).is_err());
+        // Offsets must be monotone.
+        assert!(FeatureSeries::from_raw_parts(vec![0, 2, 1], vec![f(0), f(1)]).is_err());
+        // Instant sets must be strictly ascending.
+        assert!(FeatureSeries::from_raw_parts(vec![0, 2], vec![f(1), f(1)]).is_err());
+        assert!(FeatureSeries::from_raw_parts(vec![0, 2], vec![f(2), f(1)]).is_err());
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let mut b = SeriesBuilder::new();
+        b.push_instant([f(0)]);
+        b.push_instant([f(1), f(2)]);
+        b.push_instant([f(3)]);
+        let s = b.finish();
+        let t = s.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.instant(0), &[f(0)]);
+        assert_eq!(t.instant(1), &[f(1), f(2)]);
+        // Truncating past the end is a no-op.
+        assert_eq!(s.truncated(10).len(), 3);
+    }
+
+    #[test]
+    fn slice_extracts_windows() {
+        let mut b = SeriesBuilder::new();
+        for t in 0..6u32 {
+            b.push_instant([f(t), f(t + 10)]);
+        }
+        let s = b.finish();
+        let mid = s.slice(2, 5);
+        assert_eq!(mid.len(), 3);
+        assert_eq!(mid.instant(0), &[f(2), f(12)]);
+        assert_eq!(mid.instant(2), &[f(4), f(14)]);
+        // Clamping and inverted ranges.
+        assert_eq!(s.slice(4, 99).len(), 2);
+        assert_eq!(s.slice(5, 2).len(), 0);
+        assert_eq!(s.slice(99, 100).len(), 0);
+        // A slice is a well-formed standalone series.
+        let (o, ft) = mid.raw_parts();
+        FeatureSeries::from_raw_parts(o.to_vec(), ft.to_vec()).unwrap();
+    }
+
+    #[test]
+    fn round_trip_raw_parts() {
+        let mut b = SeriesBuilder::new();
+        b.push_instant([f(1), f(9)]);
+        b.push_instant([f(4)]);
+        let s = b.finish();
+        let (o, ft) = s.raw_parts();
+        let s2 = FeatureSeries::from_raw_parts(o.to_vec(), ft.to_vec()).unwrap();
+        assert_eq!(s, s2);
+    }
+}

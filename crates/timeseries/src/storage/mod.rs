@@ -1,0 +1,21 @@
+//! On-disk persistence for feature series and catalogs.
+//!
+//! Two formats:
+//!
+//! * [`binary`] — a compact, versioned, checksummed binary format (magic
+//!   `PPMS`), suitable for the large synthetic series of the paper's
+//!   performance study (§5: 100k–500k instants).
+//! * [`text`] — a line-oriented human-editable format (one instant per line,
+//!   features separated by spaces), convenient for examples and fixtures.
+//!
+//! Both formats round-trip a [`crate::FeatureSeries`] exactly; the binary
+//! format additionally embeds the [`crate::FeatureCatalog`] so a file is
+//! self-describing.
+
+pub mod binary;
+pub mod stream;
+pub mod text;
+
+pub use binary::{read_series, write_series};
+pub use stream::{FileSource, StreamWriter};
+pub use text::{parse_series, render_series};

@@ -1,0 +1,397 @@
+//! Streaming (record-oriented) series format and its disk scan source.
+//!
+//! The block format of [`super::binary`] stores all offsets, then all
+//! features — ideal for loading whole, useless for streaming. This format
+//! (`.ppmstream`, magic `PPMS2`) writes one self-delimiting record per
+//! instant so a scan is a single buffered forward read:
+//!
+//! ```text
+//! magic      : [u8; 5] = b"PPMS2"
+//! version    : u32     = 1
+//! n_names    : u32                      catalog
+//! names      : n_names * (u32 len, bytes)
+//! records    : per instant: u16 count, count * u32 feature ids
+//! trailer    : u8 = 0xFF marker, u64 n_instants, u64 FNV-1a of records
+//! ```
+//!
+//! A `count` of `u16::MAX` is the trailer sentinel (a real instant holds at
+//! most `u16::MAX − 1` features, enforced at write time).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::catalog::{FeatureCatalog, FeatureId};
+use crate::error::{Error, Result};
+use crate::series::FeatureSeries;
+use crate::source::SeriesSource;
+
+const MAGIC: &[u8; 5] = b"PPMS2";
+const VERSION: u32 = 1;
+const TRAILER_SENTINEL: u16 = u16::MAX;
+
+#[derive(Debug, Clone)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Incremental writer for the streaming format.
+pub struct StreamWriter {
+    out: BufWriter<File>,
+    hash: Fnv64,
+    instants: u64,
+}
+
+impl StreamWriter {
+    /// Creates `path` and writes the header with `catalog`.
+    pub fn create(path: impl AsRef<Path>, catalog: &FeatureCatalog) -> Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&(catalog.len() as u32).to_le_bytes())?;
+        for (_, name) in catalog.iter() {
+            out.write_all(&(name.len() as u32).to_le_bytes())?;
+            out.write_all(name.as_bytes())?;
+        }
+        Ok(StreamWriter { out, hash: Fnv64::new(), instants: 0 })
+    }
+
+    /// Appends one instant. Features may arrive unsorted; they are written
+    /// sorted and deduplicated.
+    pub fn write_instant(&mut self, features: &[FeatureId]) -> Result<()> {
+        let mut sorted: Vec<u32> = features.iter().map(|f| f.raw()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() >= TRAILER_SENTINEL as usize {
+            return Err(Error::Corrupt {
+                detail: format!("instant with {} features exceeds format limit", sorted.len()),
+            });
+        }
+        let count = (sorted.len() as u16).to_le_bytes();
+        self.out.write_all(&count)?;
+        self.hash.update(&count);
+        for raw in sorted {
+            let bytes = raw.to_le_bytes();
+            self.out.write_all(&bytes)?;
+            self.hash.update(&bytes);
+        }
+        self.instants += 1;
+        Ok(())
+    }
+
+    /// Writes a whole series and finishes the file.
+    pub fn write_series(mut self, series: &FeatureSeries) -> Result<()> {
+        for instant in series.iter() {
+            self.write_instant(instant)?;
+        }
+        self.finish()
+    }
+
+    /// Writes the trailer and flushes.
+    pub fn finish(mut self) -> Result<()> {
+        self.out.write_all(&TRAILER_SENTINEL.to_le_bytes())?;
+        self.out.write_all(&[0xFFu8][..1])?; // marker byte inside trailer
+        self.out.write_all(&self.instants.to_le_bytes())?;
+        self.out.write_all(&self.hash.0.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// A disk-backed [`SeriesSource`]: every [`SeriesSource::scan`] re-opens
+/// the file and streams it front to back, so the number of physical passes
+/// over the data equals `scans_performed()` — exactly the paper's cost
+/// model for disk-resident series.
+#[derive(Debug)]
+pub struct FileSource {
+    path: PathBuf,
+    catalog: FeatureCatalog,
+    instants: u64,
+    scans: usize,
+}
+
+impl FileSource {
+    /// Opens `path`, reading the header and trailer metadata (one pass to
+    /// locate and verify the trailer).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut source = FileSource {
+            path,
+            catalog: FeatureCatalog::new(),
+            instants: 0,
+            scans: 0,
+        };
+        // Validation pass: parse header + all records + trailer.
+        let (catalog, instants) = source.verify()?;
+        source.catalog = catalog;
+        source.instants = instants;
+        Ok(source)
+    }
+
+    /// The embedded catalog.
+    pub fn catalog(&self) -> &FeatureCatalog {
+        &self.catalog
+    }
+
+    /// One full integrity pass: returns (catalog, instant count) or a
+    /// corruption error.
+    fn verify(&self) -> Result<(FeatureCatalog, u64)> {
+        let mut reader = RecordReader::open(&self.path)?;
+        let mut n = 0u64;
+        let mut buf = Vec::new();
+        while reader.next_instant(&mut buf)?.is_some() {
+            n += 1;
+        }
+        let (stated, ok, catalog) = reader.finish()?;
+        if !ok {
+            return Err(Error::Corrupt { detail: "record checksum mismatch".into() });
+        }
+        if stated != n {
+            return Err(Error::Corrupt {
+                detail: format!("trailer states {stated} instants, read {n}"),
+            });
+        }
+        Ok((catalog, n))
+    }
+
+    /// Loads the whole file into an in-memory [`FeatureSeries`].
+    pub fn materialize(&self) -> Result<FeatureSeries> {
+        let mut reader = RecordReader::open(&self.path)?;
+        let mut builder = crate::series::SeriesBuilder::new();
+        let mut buf = Vec::new();
+        while reader.next_instant(&mut buf)?.is_some() {
+            builder.push_instant(buf.iter().copied());
+        }
+        Ok(builder.finish())
+    }
+}
+
+impl SeriesSource for FileSource {
+    fn instant_count(&self) -> usize {
+        self.instants as usize
+    }
+
+    fn scan(&mut self, visit: &mut dyn FnMut(usize, &[FeatureId])) -> Result<()> {
+        self.scans += 1;
+        let mut reader = RecordReader::open(&self.path)?;
+        let mut buf = Vec::new();
+        let mut t = 0usize;
+        while reader.next_instant(&mut buf)?.is_some() {
+            visit(t, &buf);
+            t += 1;
+        }
+        Ok(())
+    }
+
+    fn scans_performed(&self) -> usize {
+        self.scans
+    }
+}
+
+/// Low-level record cursor over an open stream file.
+struct RecordReader {
+    input: BufReader<File>,
+    catalog: FeatureCatalog,
+    hash: Fnv64,
+    done: bool,
+}
+
+impl RecordReader {
+    fn open(path: &Path) -> Result<Self> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 5];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(Error::Corrupt { detail: format!("bad magic {magic:?}") });
+        }
+        let version = read_u32(&mut input)?;
+        if version != VERSION {
+            return Err(Error::Corrupt { detail: format!("unsupported version {version}") });
+        }
+        let n_names = read_u32(&mut input)? as usize;
+        let mut catalog = FeatureCatalog::new();
+        for i in 0..n_names {
+            let len = read_u32(&mut input)? as usize;
+            if len > 1 << 20 {
+                return Err(Error::Corrupt { detail: format!("name {i} too long ({len})") });
+            }
+            let mut bytes = vec![0u8; len];
+            input.read_exact(&mut bytes)?;
+            let name = String::from_utf8(bytes)
+                .map_err(|_| Error::Corrupt { detail: format!("non-utf8 name {i}") })?;
+            catalog.intern(&name);
+        }
+        Ok(RecordReader { input, catalog, hash: Fnv64::new(), done: false })
+    }
+
+    /// Reads the next instant into `buf`; `None` at the trailer.
+    fn next_instant(&mut self, buf: &mut Vec<FeatureId>) -> Result<Option<()>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut count_bytes = [0u8; 2];
+        self.input.read_exact(&mut count_bytes)?;
+        let count = u16::from_le_bytes(count_bytes);
+        if count == TRAILER_SENTINEL {
+            self.done = true;
+            return Ok(None);
+        }
+        self.hash.update(&count_bytes);
+        buf.clear();
+        for _ in 0..count {
+            let mut raw = [0u8; 4];
+            self.input.read_exact(&mut raw)?;
+            self.hash.update(&raw);
+            buf.push(FeatureId::from_raw(u32::from_le_bytes(raw)));
+        }
+        Ok(Some(()))
+    }
+
+    /// Consumes the trailer after the sentinel; returns (stated instant
+    /// count, checksum ok, embedded catalog).
+    fn finish(mut self) -> Result<(u64, bool, FeatureCatalog)> {
+        debug_assert!(self.done, "finish before trailer");
+        let mut marker = [0u8; 1];
+        self.input.read_exact(&mut marker)?;
+        if marker[0] != 0xFF {
+            return Err(Error::Corrupt { detail: "bad trailer marker".into() });
+        }
+        let mut n = [0u8; 8];
+        self.input.read_exact(&mut n)?;
+        let mut sum = [0u8; 8];
+        self.input.read_exact(&mut sum)?;
+        Ok((
+            u64::from_le_bytes(n),
+            u64::from_le_bytes(sum) == self.hash.0,
+            self.catalog,
+        ))
+    }
+}
+
+fn read_u32(input: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    input.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesBuilder;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "ppm-stream-{}-{tag}-{}.ppmstream",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ))
+    }
+
+    fn sample() -> (FeatureSeries, FeatureCatalog) {
+        let mut cat = FeatureCatalog::new();
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let mut builder = SeriesBuilder::new();
+        builder.push_instant([a, b]);
+        builder.push_instant([]);
+        builder.push_instant([b]);
+        builder.push_instant([a]);
+        (builder.finish(), cat)
+    }
+
+    #[test]
+    fn write_then_stream_round_trips() {
+        let (series, cat) = sample();
+        let path = temp("roundtrip");
+        StreamWriter::create(&path, &cat).unwrap().write_series(&series).unwrap();
+        let src = FileSource::open(&path).unwrap();
+        assert_eq!(src.instant_count(), 4);
+        assert_eq!(src.catalog().len(), 2);
+        assert_eq!(src.materialize().unwrap(), series);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scan_visits_in_order_and_counts() {
+        let (series, cat) = sample();
+        let path = temp("scan");
+        StreamWriter::create(&path, &cat).unwrap().write_series(&series).unwrap();
+        let mut src = FileSource::open(&path).unwrap();
+        let mut seen = Vec::new();
+        src.scan(&mut |t, feats| seen.push((t, feats.len()))).unwrap();
+        assert_eq!(seen, vec![(0, 2), (1, 0), (2, 1), (3, 1)]);
+        src.scan(&mut |_, _| {}).unwrap();
+        assert_eq!(src.scans_performed(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn writer_sorts_and_dedups() {
+        let path = temp("sort");
+        let cat = FeatureCatalog::new();
+        let mut w = StreamWriter::create(&path, &cat).unwrap();
+        w.write_instant(&[fid(5), fid(1), fid(5)]).unwrap();
+        w.finish().unwrap();
+        let src = FileSource::open(&path).unwrap();
+        let series = src.materialize().unwrap();
+        assert_eq!(series.instant(0), &[fid(1), fid(5)]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn detects_truncation_and_corruption() {
+        let (series, cat) = sample();
+        let path = temp("corrupt");
+        StreamWriter::create(&path, &cat).unwrap().write_series(&series).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncations.
+        for cut in [3usize, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(FileSource::open(&path).is_err(), "cut {cut} accepted");
+        }
+        // Bit flip in a record (after the header): find a record byte.
+        let mut bad = bytes.clone();
+        let flip = bytes.len() - 20; // inside records/trailer region
+        bad[flip] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(FileSource::open(&path).is_err(), "bit flip accepted");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_series_streams() {
+        let path = temp("empty");
+        let cat = FeatureCatalog::new();
+        StreamWriter::create(&path, &cat)
+            .unwrap()
+            .write_series(&FeatureSeries::empty())
+            .unwrap();
+        let mut src = FileSource::open(&path).unwrap();
+        assert_eq!(src.instant_count(), 0);
+        let mut visited = 0;
+        src.scan(&mut |_, _| visited += 1).unwrap();
+        assert_eq!(visited, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(FileSource::open("/no/such/file.ppmstream").is_err());
+    }
+}

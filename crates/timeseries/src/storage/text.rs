@@ -1,0 +1,141 @@
+//! Line-oriented text format for small series and fixtures.
+//!
+//! One instant per line; feature names separated by whitespace; an empty
+//! line (or a lone `-`) is an instant with no features; `#` starts a
+//! comment. Feature names are interned into the catalog on first sight.
+//!
+//! ```text
+//! # Jim's mornings, hourly slots
+//! coffee newspaper
+//! commute
+//! -
+//! ```
+
+use crate::catalog::FeatureCatalog;
+use crate::error::{Error, Result};
+use crate::series::{FeatureSeries, SeriesBuilder};
+
+/// Parses the text format, interning names into `catalog`.
+pub fn parse_series(input: &str, catalog: &mut FeatureCatalog) -> Result<FeatureSeries> {
+    let mut builder = SeriesBuilder::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let line = line.trim();
+        if line == "-" {
+            builder.push_instant([]);
+            continue;
+        }
+        if line.is_empty() {
+            // Blank (or comment-only) lines are separators, not instants;
+            // an explicit empty instant is spelled `-`.
+            continue;
+        }
+        let mut feats = Vec::new();
+        for tok in line.split_whitespace() {
+            if tok.chars().any(|c| c.is_control()) {
+                return Err(Error::Parse {
+                    line: lineno + 1,
+                    detail: format!("control character in token {tok:?}"),
+                });
+            }
+            feats.push(catalog.intern(tok));
+        }
+        builder.push_instant(feats);
+    }
+    Ok(builder.finish())
+}
+
+/// Renders a series in the text format using `catalog` for names.
+///
+/// Ids missing from the catalog render as `f{raw}` placeholders so output
+/// never fails.
+pub fn render_series(series: &FeatureSeries, catalog: &FeatureCatalog) -> String {
+    let mut out = String::new();
+    for instant in series.iter() {
+        if instant.is_empty() {
+            out.push('-');
+        } else {
+            for (i, f) in instant.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&catalog.name_or_placeholder(*f));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_series() {
+        let mut cat = FeatureCatalog::new();
+        let s = parse_series("coffee newspaper\ncommute\n-\n", &mut cat).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.instant(0).len(), 2);
+        assert_eq!(s.instant(1).len(), 1);
+        assert!(s.instant(2).is_empty());
+        assert_eq!(cat.len(), 3);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let mut cat = FeatureCatalog::new();
+        let s = parse_series("# header\na b # trailing\n# another\nc\n", &mut cat).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.instant(0).len(), 2);
+        assert_eq!(s.instant(1).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_share_ids() {
+        let mut cat = FeatureCatalog::new();
+        let s = parse_series("x\nx\nx y\n", &mut cat).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(s.instant(0), s.instant(1));
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut cat = FeatureCatalog::new();
+        let text = "alpha beta\n-\ngamma\n";
+        let s = parse_series(text, &mut cat).unwrap();
+        let rendered = render_series(&s, &cat);
+        assert_eq!(rendered, text);
+        let mut cat2 = FeatureCatalog::new();
+        let s2 = parse_series(&rendered, &mut cat2).unwrap();
+        assert_eq!(s.len(), s2.len());
+    }
+
+    #[test]
+    fn renders_unknown_ids_as_placeholders() {
+        use crate::catalog::FeatureId;
+        use crate::series::SeriesBuilder;
+        let mut b = SeriesBuilder::new();
+        b.push_instant([FeatureId::from_raw(42)]);
+        let s = b.finish();
+        let cat = FeatureCatalog::new();
+        assert_eq!(render_series(&s, &cat), "f42\n");
+    }
+
+    #[test]
+    fn rejects_control_characters() {
+        let mut cat = FeatureCatalog::new();
+        let err = parse_series("ok\nbad\u{1}tok\n", &mut cat).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_series() {
+        let mut cat = FeatureCatalog::new();
+        let s = parse_series("", &mut cat).unwrap();
+        assert!(s.is_empty());
+    }
+}

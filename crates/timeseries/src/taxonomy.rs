@@ -1,0 +1,221 @@
+//! Feature taxonomies for multi-level partial periodicity mining.
+//!
+//! The paper's §6 sketches multi-level mining: "first mining the periodicity
+//! at a high level, and then progressively drilling-down with the discovered
+//! periodic patterns." A [`Taxonomy`] is a forest over features — each
+//! feature has at most one parent (its generalization) — plus helpers to
+//! *roll a series up* one level so the coarse level can be mined first.
+
+use std::collections::HashMap;
+
+use crate::catalog::{FeatureCatalog, FeatureId};
+use crate::error::{Error, Result};
+use crate::series::{FeatureSeries, SeriesBuilder};
+
+/// A forest of `child → parent` generalization edges over features.
+#[derive(Debug, Default, Clone)]
+pub struct Taxonomy {
+    parent: HashMap<FeatureId, FeatureId>,
+}
+
+impl Taxonomy {
+    /// An empty taxonomy (every feature is its own root).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `parent` as the generalization of `child`.
+    ///
+    /// Fails if `child == parent`, if `child` already has a parent, or if
+    /// the edge would close a cycle.
+    pub fn add_edge(&mut self, child: FeatureId, parent: FeatureId) -> Result<()> {
+        if child == parent {
+            return Err(Error::InvalidTaxonomy { detail: format!("self-edge on {child}") });
+        }
+        if self.parent.contains_key(&child) {
+            return Err(Error::InvalidTaxonomy {
+                detail: format!("{child} already has a parent"),
+            });
+        }
+        // Walk up from `parent`; reaching `child` would close a cycle.
+        let mut cur = parent;
+        loop {
+            if cur == child {
+                return Err(Error::InvalidTaxonomy {
+                    detail: format!("edge {child} -> {parent} closes a cycle"),
+                });
+            }
+            match self.parent.get(&cur) {
+                Some(&up) => cur = up,
+                None => break,
+            }
+        }
+        self.parent.insert(child, parent);
+        Ok(())
+    }
+
+    /// The immediate parent of `f`, if any.
+    pub fn parent(&self, f: FeatureId) -> Option<FeatureId> {
+        self.parent.get(&f).copied()
+    }
+
+    /// The root ancestor of `f` (possibly `f` itself).
+    pub fn root(&self, f: FeatureId) -> FeatureId {
+        let mut cur = f;
+        while let Some(&up) = self.parent.get(&cur) {
+            cur = up;
+        }
+        cur
+    }
+
+    /// All ancestors of `f`, nearest first (excludes `f`).
+    pub fn ancestors(&self, f: FeatureId) -> Vec<FeatureId> {
+        let mut out = Vec::new();
+        let mut cur = f;
+        while let Some(&up) = self.parent.get(&cur) {
+            out.push(up);
+            cur = up;
+        }
+        out
+    }
+
+    /// Depth of `f` below its root (root features have depth 0).
+    pub fn depth(&self, f: FeatureId) -> usize {
+        self.ancestors(f).len()
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the taxonomy has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Rolls a series up one level: every feature with a parent is replaced
+    /// by that parent; root features pass through unchanged. Duplicates
+    /// introduced by merging siblings collapse (instants are sets).
+    pub fn roll_up(&self, series: &FeatureSeries) -> FeatureSeries {
+        let mut builder = SeriesBuilder::with_capacity(series.len(), series.total_features());
+        for instant in series.iter() {
+            builder.push_instant(instant.iter().map(|&f| self.parent(f).unwrap_or(f)));
+        }
+        builder.finish()
+    }
+
+    /// Rolls a series all the way up to root features.
+    pub fn roll_up_to_roots(&self, series: &FeatureSeries) -> FeatureSeries {
+        let mut builder = SeriesBuilder::with_capacity(series.len(), series.total_features());
+        for instant in series.iter() {
+            builder.push_instant(instant.iter().map(|&f| self.root(f)));
+        }
+        builder.finish()
+    }
+
+    /// Builds a taxonomy from `(child, parent)` name pairs, interning names.
+    pub fn from_name_pairs(
+        pairs: &[(&str, &str)],
+        catalog: &mut FeatureCatalog,
+    ) -> Result<Self> {
+        let mut tax = Taxonomy::new();
+        for (child, parent) in pairs {
+            let c = catalog.intern(child);
+            let p = catalog.intern(parent);
+            tax.add_edge(c, p)?;
+        }
+        Ok(tax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    #[test]
+    fn add_edge_and_lookup() {
+        let mut t = Taxonomy::new();
+        t.add_edge(f(1), f(0)).unwrap();
+        t.add_edge(f(2), f(0)).unwrap();
+        assert_eq!(t.parent(f(1)), Some(f(0)));
+        assert_eq!(t.parent(f(0)), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rejects_self_edges_and_reparenting() {
+        let mut t = Taxonomy::new();
+        assert!(t.add_edge(f(1), f(1)).is_err());
+        t.add_edge(f(1), f(0)).unwrap();
+        assert!(t.add_edge(f(1), f(2)).is_err());
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut t = Taxonomy::new();
+        t.add_edge(f(1), f(0)).unwrap();
+        t.add_edge(f(2), f(1)).unwrap();
+        // 0 -> 2 would make 0 -> 2 -> 1 -> 0.
+        assert!(t.add_edge(f(0), f(2)).is_err());
+    }
+
+    #[test]
+    fn root_and_ancestors() {
+        let mut t = Taxonomy::new();
+        t.add_edge(f(2), f(1)).unwrap();
+        t.add_edge(f(1), f(0)).unwrap();
+        assert_eq!(t.root(f(2)), f(0));
+        assert_eq!(t.root(f(0)), f(0));
+        assert_eq!(t.ancestors(f(2)), vec![f(1), f(0)]);
+        assert_eq!(t.depth(f(2)), 2);
+        assert_eq!(t.depth(f(0)), 0);
+    }
+
+    #[test]
+    fn roll_up_replaces_and_merges() {
+        use crate::series::SeriesBuilder;
+        let mut t = Taxonomy::new();
+        // Siblings 1 and 2 generalize to 0.
+        t.add_edge(f(1), f(0)).unwrap();
+        t.add_edge(f(2), f(0)).unwrap();
+        let mut b = SeriesBuilder::new();
+        b.push_instant([f(1), f(2), f(5)]);
+        b.push_instant([f(2)]);
+        let s = b.finish();
+        let up = t.roll_up(&s);
+        assert_eq!(up.instant(0), &[f(0), f(5)]); // siblings merged
+        assert_eq!(up.instant(1), &[f(0)]);
+    }
+
+    #[test]
+    fn roll_up_to_roots_flattens_chains() {
+        use crate::series::SeriesBuilder;
+        let mut t = Taxonomy::new();
+        t.add_edge(f(3), f(2)).unwrap();
+        t.add_edge(f(2), f(1)).unwrap();
+        let mut b = SeriesBuilder::new();
+        b.push_instant([f(3)]);
+        let s = b.finish();
+        assert_eq!(t.roll_up(&s).instant(0), &[f(2)]);
+        assert_eq!(t.roll_up_to_roots(&s).instant(0), &[f(1)]);
+    }
+
+    #[test]
+    fn from_name_pairs_interns() {
+        let mut cat = FeatureCatalog::new();
+        let t = Taxonomy::from_name_pairs(
+            &[("espresso", "coffee"), ("latte", "coffee"), ("coffee", "beverage")],
+            &mut cat,
+        )
+        .unwrap();
+        let espresso = cat.get("espresso").unwrap();
+        let beverage = cat.get("beverage").unwrap();
+        assert_eq!(t.root(espresso), beverage);
+        assert_eq!(t.depth(espresso), 2);
+    }
+}

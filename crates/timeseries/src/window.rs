@@ -1,0 +1,147 @@
+//! Slot enlargement and resampling for perturbation-tolerant mining.
+//!
+//! The paper (§6) proposes two remedies for period-to-period perturbation:
+//! "slightly enlarge the time slot to be examined" and "include the features
+//! happening in the time slots surrounding the one being analyzed." Both
+//! amount to a derived series where each instant absorbs its neighbourhood:
+//!
+//! * [`enlarge_slots`] — `D'_t = D_{t−w} ∪ … ∪ D_{t+w}` (same length);
+//! * [`downsample`] — merge every `k` consecutive instants into one
+//!   (length `⌊N/k⌋`), the "generalized time slot" reading where the slot
+//!   itself becomes coarser.
+
+use crate::error::{Error, Result};
+use crate::series::{FeatureSeries, SeriesBuilder};
+
+/// Derives a series of the same length where instant `t` holds the union of
+/// the original feature sets at `t − half_width ..= t + half_width`
+/// (clamped at the boundaries).
+///
+/// With `half_width == 0` this is an exact copy. A pattern that is "true at
+/// offset i, give or take one slot" in the original becomes exactly true in
+/// the enlarged series with `half_width == 1`.
+pub fn enlarge_slots(series: &FeatureSeries, half_width: usize) -> FeatureSeries {
+    let n = series.len();
+    let mut builder = SeriesBuilder::with_capacity(
+        n,
+        series.total_features() * (2 * half_width + 1).min(n.max(1)),
+    );
+    for t in 0..n {
+        let lo = t.saturating_sub(half_width);
+        let hi = (t + half_width).min(n - 1);
+        let mut merged = Vec::new();
+        for u in lo..=hi {
+            merged.extend_from_slice(series.instant(u));
+        }
+        builder.push_instant(merged);
+    }
+    builder.finish()
+}
+
+/// Merges every `factor` consecutive instants into one coarse instant
+/// holding their union; the trailing partial group is dropped, mirroring the
+/// whole-segment convention of the mining layer.
+///
+/// Fails when `factor == 0`.
+pub fn downsample(series: &FeatureSeries, factor: usize) -> Result<FeatureSeries> {
+    if factor == 0 {
+        return Err(Error::InvalidPeriod { period: 0, series_len: series.len() });
+    }
+    let groups = series.len() / factor;
+    let mut builder = SeriesBuilder::with_capacity(groups, series.total_features());
+    for g in 0..groups {
+        let mut merged = Vec::new();
+        for t in g * factor..(g + 1) * factor {
+            merged.extend_from_slice(series.instant(t));
+        }
+        builder.push_instant(merged);
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::FeatureId;
+    use crate::series::SeriesBuilder;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn ramp(n: u32) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        for t in 0..n {
+            b.push_instant([f(t)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn zero_width_is_identity() {
+        let s = ramp(5);
+        assert_eq!(enlarge_slots(&s, 0), s);
+    }
+
+    #[test]
+    fn enlarge_unions_neighbours() {
+        let s = ramp(5);
+        let e = enlarge_slots(&s, 1);
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.instant(0), &[f(0), f(1)]); // clamped at start
+        assert_eq!(e.instant(2), &[f(1), f(2), f(3)]);
+        assert_eq!(e.instant(4), &[f(3), f(4)]); // clamped at end
+    }
+
+    #[test]
+    fn enlarge_recovers_jittered_events() {
+        // Event fires at offsets 3, 4, 3 in consecutive periods of length 5:
+        // off-by-one jitter that exact matching would miss at offset 3.
+        let mut b = SeriesBuilder::new();
+        for j in 0..3u32 {
+            for o in 0..5u32 {
+                let fire = match j {
+                    1 => o == 4,
+                    _ => o == 3,
+                };
+                if fire {
+                    b.push_instant([f(9)]);
+                } else {
+                    b.push_instant([]);
+                }
+            }
+        }
+        let s = b.finish();
+        let e = enlarge_slots(&s, 1);
+        // After enlargement, offset 3 of every period contains the event.
+        for j in 0..3 {
+            assert!(e.instant(j * 5 + 3).contains(&f(9)), "period {j}");
+        }
+    }
+
+    #[test]
+    fn enlarge_empty_series() {
+        let s = FeatureSeries::empty();
+        assert_eq!(enlarge_slots(&s, 3).len(), 0);
+    }
+
+    #[test]
+    fn downsample_merges_groups() {
+        let s = ramp(7);
+        let d = downsample(&s, 3).unwrap();
+        assert_eq!(d.len(), 2); // instant 6 dropped
+        assert_eq!(d.instant(0), &[f(0), f(1), f(2)]);
+        assert_eq!(d.instant(1), &[f(3), f(4), f(5)]);
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let s = ramp(4);
+        assert_eq!(downsample(&s, 1).unwrap(), s);
+    }
+
+    #[test]
+    fn downsample_rejects_zero() {
+        assert!(downsample(&ramp(4), 0).is_err());
+    }
+}

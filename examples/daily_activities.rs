@@ -1,0 +1,69 @@
+//! The paper's motivating scenario: mining Jim's weekly routine from an
+//! hourly activity log, including perturbation-tolerant mining when the
+//! habits jitter by an hour.
+//!
+//! Run with: `cargo run --example daily_activities`
+
+use partial_periodic::core::scan_frequent_letters;
+use partial_periodic::datagen::noise;
+use partial_periodic::datagen::workloads::activity::{self, jim_schedule, WEEK};
+use partial_periodic::timeseries::calendar::WeeklyGrid;
+use partial_periodic::timeseries::window;
+use partial_periodic::{hitset, FeatureCatalog, MineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut catalog = FeatureCatalog::new();
+    let series = activity::generate(104, &jim_schedule(), 30, 0.35, 7, &mut catalog);
+    println!(
+        "Two years of hourly activity: {} instants, {} observations",
+        series.len(),
+        series.total_features()
+    );
+
+    // Mine the weekly period. A habit on all 5 weekdays with reliability
+    // ~0.9 has weekly confidence ~0.9 per weekday slot.
+    let config = MineConfig::new(0.55)?;
+    let result = hitset::mine(&series, WEEK, &config)?;
+    println!("\n=== Weekly patterns (period = {WEEK} hours, min_conf 0.55) ===");
+    let grid = WeeklyGrid::hourly();
+    let mut shown = 0;
+    for (pattern, count, conf) in result.patterns() {
+        if pattern.l_length() >= 1 && shown < 12 {
+            // Translate offsets into day/hour for readability.
+            let slots: Vec<String> = pattern
+                .symbols()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_star())
+                .map(|(o, s)| {
+                    let names: Vec<&str> = s
+                        .features()
+                        .iter()
+                        .map(|&f| catalog.name(f).unwrap_or("?"))
+                        .collect();
+                    format!("{} {}", grid.label(o), names.join("+"))
+                })
+                .collect();
+            println!("  [{}]  count={count} conf={conf:.2}", slots.join(" | "));
+            shown += 1;
+        }
+    }
+    println!("  ({} patterns total, longest spans {} slots)", result.len(), result.max_l_length());
+
+    // Perturb: events drift by up to one hour. Compare how many habit
+    // letters (frequent 1-patterns) survive with exact matching versus with
+    // the §6 slot-enlargement remedy.
+    let jittered = noise::jitter(&series, 1, 0.5, 99);
+    let exact = scan_frequent_letters(&jittered, WEEK, &config)?;
+    let enlarged = window::enlarge_slots(&jittered, 1);
+    let tolerant = scan_frequent_letters(&enlarged, WEEK, &config)?;
+    println!("\n=== After ±1h jitter on half the events ===");
+    println!("  frequent letters, exact matching:      {:>3}", exact.alphabet.len());
+    println!("  frequent letters, ±1 slot enlargement: {:>3}", tolerant.alphabet.len());
+    println!(
+        "  (clean series had {}; enlargement recovers every habit, and counts \
+         each at up to 3 adjacent offsets)",
+        result.alphabet.len()
+    );
+    Ok(())
+}

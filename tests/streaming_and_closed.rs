@@ -1,0 +1,155 @@
+//! Integration + property tests for the out-of-core path and closed
+//! patterns: stream-format round trips, disk mining equivalence, and the
+//! closed-set compression laws.
+
+use proptest::prelude::*;
+
+use partial_periodic::closed::{closed_of, mine_closed};
+use partial_periodic::streaming::{mine_apriori_streaming, mine_hitset_streaming};
+use partial_periodic::timeseries::storage::stream::{FileSource, StreamWriter};
+use partial_periodic::timeseries::SeriesSource;
+use partial_periodic::{
+    hitset, FeatureCatalog, FeatureId, MineConfig, SeriesBuilder, SyntheticSpec,
+};
+
+fn fid(i: u32) -> FeatureId {
+    FeatureId::from_raw(i)
+}
+
+fn temp(tag: &str) -> std::path::PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "ppm-int-stream-{}-{tag}-{}.ppmstream",
+        std::process::id(),
+        N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any series survives a .ppmstream round trip bit-for-bit.
+    #[test]
+    fn stream_format_round_trips(
+        instants in prop::collection::vec(prop::collection::vec(0u32..300, 0..6), 0..120),
+    ) {
+        let mut b = SeriesBuilder::new();
+        for inst in &instants {
+            b.push_instant(inst.iter().map(|&f| fid(f)));
+        }
+        let series = b.finish();
+        let path = temp("prop");
+        let catalog = FeatureCatalog::with_synthetic_features(300);
+        StreamWriter::create(&path, &catalog)
+            .and_then(|w| w.write_series(&series))
+            .unwrap();
+        let src = FileSource::open(&path).unwrap();
+        prop_assert_eq!(src.instant_count(), series.len());
+        prop_assert_eq!(src.materialize().unwrap(), series);
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Disk mining equals in-memory mining; scan counts are physical.
+    #[test]
+    fn disk_mining_equals_memory(
+        instants in prop::collection::vec(prop::collection::vec(0u32..5, 0..4), 20..80),
+        period in 2usize..6,
+    ) {
+        prop_assume!(instants.len() >= period);
+        let mut b = SeriesBuilder::new();
+        for inst in &instants {
+            b.push_instant(inst.iter().map(|&f| fid(f)));
+        }
+        let series = b.finish();
+        let config = MineConfig::new(0.4).unwrap();
+        let expect = hitset::mine(&series, period, &config).unwrap();
+
+        let path = temp("mine");
+        StreamWriter::create(&path, &FeatureCatalog::new())
+            .and_then(|w| w.write_series(&series))
+            .unwrap();
+
+        let mut src = FileSource::open(&path).unwrap();
+        let got = mine_hitset_streaming(&mut src, period, &config).unwrap();
+        prop_assert_eq!(&got.frequent, &expect.frequent);
+        prop_assert_eq!(src.scans_performed(), 2);
+
+        let mut src = FileSource::open(&path).unwrap();
+        let ap = mine_apriori_streaming(&mut src, period, &config).unwrap();
+        prop_assert_eq!(&ap.frequent, &expect.frequent);
+        prop_assert_eq!(src.scans_performed(), ap.stats.series_scans);
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Closed mining is a lossless compression: every frequent pattern's
+    /// count equals the count of its smallest closed superpattern.
+    #[test]
+    fn closed_set_recovers_all_counts(
+        instants in prop::collection::vec(prop::collection::vec(0u32..5, 0..4), 20..70),
+        period in 2usize..6,
+    ) {
+        prop_assume!(instants.len() >= period);
+        let mut b = SeriesBuilder::new();
+        for inst in &instants {
+            b.push_instant(inst.iter().map(|&f| fid(f)));
+        }
+        let series = b.finish();
+        let config = MineConfig::new(0.35).unwrap();
+        let full = hitset::mine(&series, period, &config).unwrap();
+        let closed = mine_closed(&series, period, &config).unwrap();
+
+        // Direct mining equals filter-based reference.
+        prop_assert_eq!(&closed.closed, &closed_of(&full));
+
+        // Lossless recovery: count(P) = max count over closed ⊇ P.
+        for fp in &full.frequent {
+            let recovered = closed
+                .closed
+                .iter()
+                .filter(|cp| fp.letters.is_subset(&cp.letters))
+                .map(|cp| cp.count)
+                .max();
+            prop_assert_eq!(recovered, Some(fp.count), "pattern {:?}", fp.letters);
+        }
+
+        // Sandwich: maximal ⊆ closed ⊆ frequent.
+        prop_assert!(closed.closed.len() <= full.len());
+        prop_assert!(full.maximal().len() <= closed.closed.len());
+    }
+}
+
+/// The synthetic backbone compresses to a tiny closed set even as the
+/// frequent set explodes.
+#[test]
+fn closed_compression_on_synthetic_data() {
+    let spec = SyntheticSpec::figure2(30_000, 10);
+    let data = spec.generate();
+    let config = MineConfig::new(spec.recommended_min_conf()).unwrap();
+    let full = hitset::mine(&data.series, 50, &config).unwrap();
+    let closed = mine_closed(&data.series, 50, &config).unwrap();
+    assert!(full.len() >= 1000, "frequent set should explode: {}", full.len());
+    assert!(
+        closed.closed.len() < 40,
+        "closed set should stay small: {}",
+        closed.closed.len()
+    );
+    assert_eq!(closed.stats.series_scans, 2);
+}
+
+/// Disk mining at scale: stream a synthetic file and match memory results.
+#[test]
+fn disk_mining_at_scale() {
+    let spec = SyntheticSpec::table1(20_000, 25, 4, 8);
+    let data = spec.generate();
+    let config = MineConfig::new(spec.recommended_min_conf()).unwrap();
+    let path = temp("scale");
+    StreamWriter::create(&path, &data.catalog)
+        .and_then(|w| w.write_series(&data.series))
+        .unwrap();
+    let mut src = FileSource::open(&path).unwrap();
+    let disk = mine_hitset_streaming(&mut src, 25, &config).unwrap();
+    let mem = hitset::mine(&data.series, 25, &config).unwrap();
+    assert_eq!(disk.frequent, mem.frequent);
+    assert_eq!(disk.stats.series_scans, 2);
+    std::fs::remove_file(path).ok();
+}
