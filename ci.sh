@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 verify.
+# Everything here runs offline against the vendored workspace.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> release build, all crates (the ppm binary lives in ppm-cli)"
+cargo build --release --workspace
+
+echo "==> tier-1: test suite"
+cargo test -q
+
+echo "==> workspace test suite (all crates)"
+cargo test --workspace -q
+
+echo "CI green."

@@ -28,10 +28,7 @@ impl Parsed {
                 if name.is_empty() {
                     return Err(CliError::Usage("bare `--` is not a flag".into()));
                 }
-                let value = argv
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -46,7 +43,10 @@ impl Parsed {
             i += 1;
         }
         if parsed.command.is_empty() {
-            return Err(CliError::Usage(format!("no command given\n{}", crate::usage())));
+            return Err(CliError::Usage(format!(
+                "no command given\n{}",
+                crate::usage()
+            )));
         }
         Ok(parsed)
     }
@@ -70,22 +70,17 @@ impl Parsed {
     /// A required parsed flag.
     pub fn required_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
         let raw = self.required(name)?;
-        raw.parse().map_err(|_| {
-            CliError::Usage(format!("flag --{name}: cannot parse {raw:?}"))
-        })
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("flag --{name}: cannot parse {raw:?}")))
     }
 
     /// An optional parsed flag with a default.
-    pub fn parsed_or<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, CliError> {
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::Usage(format!("flag --{name}: cannot parse {raw:?}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{name}: cannot parse {raw:?}"))),
         }
     }
 
@@ -173,7 +168,10 @@ mod tests {
     #[test]
     fn list_flags_split_on_commas() {
         let p = Parsed::parse(&argv("mine --offsets 1,2,3")).unwrap();
-        assert_eq!(p.parsed_list::<usize>("offsets").unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(
+            p.parsed_list::<usize>("offsets").unwrap(),
+            Some(vec![1, 2, 3])
+        );
         let p = Parsed::parse(&argv("mine")).unwrap();
         assert_eq!(p.parsed_list::<usize>("offsets").unwrap(), None);
         let p = Parsed::parse(&argv("mine --offsets 1,x")).unwrap();

@@ -1,0 +1,277 @@
+//! Checkpoint files for resumable multi-period sweeps.
+//!
+//! A long `ppm sweep` over a big series mines one period at a time; losing
+//! the whole run to a crash (or a resource-guard abort) at period 58 of 60
+//! is needless. With `--checkpoint FILE` the sweep records one line per
+//! *completed* period — enough to reprint its summary row without
+//! re-mining — and rewrites the file (via a temp file and rename, so a
+//! crash mid-write cannot corrupt it) after every period. A rerun with the
+//! same input, range, and threshold skips every period already recorded.
+//!
+//! The format is line-oriented text, human-inspectable:
+//!
+//! ```text
+//! ppm-sweep-checkpoint v1
+//! input data.ppms
+//! min_conf 0.6
+//! range 40 60
+//! period 40 12 5 3 2
+//! period 41 9 4 2 2
+//! ```
+//!
+//! where each `period` line is `period patterns |F1| max_len scans`. A
+//! checkpoint written by a *different* sweep (mismatched input, threshold,
+//! or range) is rejected rather than silently ignored, so stale files
+//! cannot masquerade as progress.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use crate::error::CliError;
+
+/// First line of every checkpoint file; bumps on format changes.
+const MAGIC: &str = "ppm-sweep-checkpoint v1";
+
+/// Summary of one fully mined period — everything the sweep report prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodRow {
+    /// The mined period.
+    pub period: usize,
+    /// Number of frequent patterns found.
+    pub patterns: usize,
+    /// Frequent-letter count `|F1|`.
+    pub f1: usize,
+    /// Longest frequent pattern's L-length.
+    pub max_len: usize,
+    /// Series scans the mine performed.
+    pub scans: usize,
+}
+
+/// The persistent state of a checkpointed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCheckpoint {
+    /// The series file the sweep reads.
+    pub input: String,
+    /// The confidence threshold.
+    pub min_conf: f64,
+    /// Low end of the period range (inclusive).
+    pub from: usize,
+    /// High end of the period range (inclusive).
+    pub to: usize,
+    /// Completed periods, in ascending period order.
+    pub rows: Vec<PeriodRow>,
+}
+
+impl SweepCheckpoint {
+    /// An empty checkpoint for a fresh sweep.
+    pub fn new(input: &str, min_conf: f64, from: usize, to: usize) -> Self {
+        SweepCheckpoint {
+            input: input.to_owned(),
+            min_conf,
+            from,
+            to,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Whether this checkpoint belongs to the sweep described by the
+    /// arguments (same input path, threshold, and range).
+    pub fn matches(&self, input: &str, min_conf: f64, from: usize, to: usize) -> bool {
+        self.input == input && self.min_conf == min_conf && self.from == from && self.to == to
+    }
+
+    /// The recorded row for `period`, if that period already completed.
+    pub fn row_for(&self, period: usize) -> Option<&PeriodRow> {
+        self.rows.iter().find(|r| r.period == period)
+    }
+
+    /// Records a completed period, replacing any previous row for it and
+    /// keeping the rows sorted by period.
+    pub fn record(&mut self, row: PeriodRow) {
+        self.rows.retain(|r| r.period != row.period);
+        self.rows.push(row);
+        self.rows.sort_by_key(|r| r.period);
+    }
+
+    /// Serializes to the checkpoint text format.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{MAGIC}");
+        let _ = writeln!(s, "input {}", self.input);
+        let _ = writeln!(s, "min_conf {}", self.min_conf);
+        let _ = writeln!(s, "range {} {}", self.from, self.to);
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "period {} {} {} {} {}",
+                r.period, r.patterns, r.f1, r.max_len, r.scans
+            );
+        }
+        s
+    }
+
+    /// Parses the checkpoint text format. Corrupt checkpoints are an error
+    /// — resuming from garbage would silently skip unmined periods.
+    pub fn parse(text: &str) -> Result<Self, CliError> {
+        let bad = |detail: &str| CliError::Usage(format!("corrupt checkpoint: {detail}"));
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(bad("missing header (is this a ppm sweep checkpoint?)"));
+        }
+        let field = |line: Option<&str>, key: &str| -> Result<String, CliError> {
+            line.and_then(|l| l.strip_prefix(key))
+                .and_then(|v| v.strip_prefix(' '))
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("expected `{key} ...` line")))
+        };
+        let input = field(lines.next(), "input")?;
+        let min_conf: f64 = field(lines.next(), "min_conf")?
+            .parse()
+            .map_err(|_| bad("unparsable min_conf"))?;
+        let range = field(lines.next(), "range")?;
+        let mut range_parts = range.split_whitespace().map(str::parse::<usize>);
+        let (from, to) = match (range_parts.next(), range_parts.next(), range_parts.next()) {
+            (Some(Ok(a)), Some(Ok(b)), None) => (a, b),
+            _ => return Err(bad("unparsable range")),
+        };
+        let mut rows = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let body = line
+                .strip_prefix("period ")
+                .ok_or_else(|| bad(&format!("unexpected line {line:?}")))?;
+            let nums: Vec<usize> = body
+                .split_whitespace()
+                .map(|n| {
+                    n.parse()
+                        .map_err(|_| bad(&format!("unparsable period row {line:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            let [period, patterns, f1, max_len, scans] = nums[..] else {
+                return Err(bad(&format!(
+                    "period row needs 5 fields, got {}",
+                    nums.len()
+                )));
+            };
+            rows.push(PeriodRow {
+                period,
+                patterns,
+                f1,
+                max_len,
+                scans,
+            });
+        }
+        Ok(SweepCheckpoint {
+            input,
+            min_conf,
+            from,
+            to,
+            rows,
+        })
+    }
+
+    /// Loads the checkpoint at `path`; `Ok(None)` when the file does not
+    /// exist yet (a fresh sweep).
+    pub fn load(path: &str) -> Result<Option<Self>, CliError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Atomically writes the checkpoint to `path`: the text goes to a
+    /// sibling temp file which is then renamed over the target, so a crash
+    /// mid-save leaves either the old checkpoint or the new one — never a
+    /// torn file.
+    pub fn save(&self, path: &str) -> Result<(), CliError> {
+        let tmp = format!("{path}.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepCheckpoint {
+        let mut cp = SweepCheckpoint::new("data.ppms", 0.6, 40, 60);
+        cp.record(PeriodRow {
+            period: 41,
+            patterns: 9,
+            f1: 4,
+            max_len: 2,
+            scans: 2,
+        });
+        cp.record(PeriodRow {
+            period: 40,
+            patterns: 12,
+            f1: 5,
+            max_len: 3,
+            scans: 2,
+        });
+        cp
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let cp = sample();
+        let parsed = SweepCheckpoint::parse(&cp.render()).unwrap();
+        assert_eq!(parsed, cp);
+        assert_eq!(parsed.rows[0].period, 40, "rows stay sorted");
+    }
+
+    #[test]
+    fn record_replaces_existing_period() {
+        let mut cp = sample();
+        cp.record(PeriodRow {
+            period: 40,
+            patterns: 99,
+            f1: 5,
+            max_len: 3,
+            scans: 4,
+        });
+        assert_eq!(cp.rows.len(), 2);
+        assert_eq!(cp.row_for(40).unwrap().patterns, 99);
+    }
+
+    #[test]
+    fn matches_checks_all_parameters() {
+        let cp = sample();
+        assert!(cp.matches("data.ppms", 0.6, 40, 60));
+        assert!(!cp.matches("other.ppms", 0.6, 40, 60));
+        assert!(!cp.matches("data.ppms", 0.5, 40, 60));
+        assert!(!cp.matches("data.ppms", 0.6, 41, 60));
+        assert!(!cp.matches("data.ppms", 0.6, 40, 61));
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        assert!(SweepCheckpoint::parse("not a checkpoint").is_err());
+        let truncated_header = "ppm-sweep-checkpoint v1\ninput x\n";
+        assert!(SweepCheckpoint::parse(truncated_header).is_err());
+        let bad_row = format!("{}period 3 nonsense\n", sample().render());
+        assert!(SweepCheckpoint::parse(&bad_row).is_err());
+        let short_row = format!("{}period 3 1 2\n", sample().render());
+        assert!(SweepCheckpoint::parse(&short_row).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip_and_missing_file() {
+        let path = crate::cmd::testutil::temp_path("checkpoint", "ckpt");
+        let path = path.to_str().unwrap().to_owned();
+        assert!(SweepCheckpoint::load(&path).unwrap().is_none());
+        let cp = sample();
+        cp.save(&path).unwrap();
+        assert_eq!(SweepCheckpoint::load(&path).unwrap().unwrap(), cp);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,6 +1,12 @@
 //! `ppm convert` — transcode between the text and binary series formats.
+//!
+//! `--salvage` recovers what it can from a damaged `.ppmstream` file (one
+//! truncated by a crashed writer, say) instead of refusing to read it: the
+//! valid record prefix is extracted and written to the output path.
 
 use std::io::Write;
+
+use ppm_timeseries::storage::salvage_series;
 
 use crate::args::Parsed;
 use crate::error::CliError;
@@ -9,6 +15,30 @@ use crate::error::CliError;
 pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.required("input")?;
     let output = args.required("out")?;
+
+    if args.switch("salvage") {
+        if super::format_of(input) != super::Format::Stream {
+            return Err(CliError::Usage(
+                "--salvage recovers damaged .ppmstream files; other formats \
+                 fail whole-file checksums and cannot be partially recovered"
+                    .into(),
+            ));
+        }
+        let (series, catalog, report) = salvage_series(input)?;
+        super::save_series(output, &series, &catalog)?;
+        writeln!(
+            out,
+            "salvaged {input} -> {output}: {} instants recovered",
+            report.recovered_instants
+        )?;
+        if report.clean {
+            writeln!(out, "file was intact; output is a faithful copy")?;
+        } else {
+            writeln!(out, "damage: {}", report.detail)?;
+        }
+        return Ok(());
+    }
+
     let (series, catalog) = super::load_series(input)?;
     super::save_series(output, &series, &catalog)?;
     writeln!(
@@ -29,9 +59,18 @@ mod tests {
         let bin = sample_series_file("ppms");
         let txt = temp_path("conv", "txt");
         let bin2 = temp_path("conv2", "ppms");
-        run_cli(&format!("convert --input {} --out {}", bin.display(), txt.display())).unwrap();
-        run_cli(&format!("convert --input {} --out {}", txt.display(), bin2.display()))
-            .unwrap();
+        run_cli(&format!(
+            "convert --input {} --out {}",
+            bin.display(),
+            txt.display()
+        ))
+        .unwrap();
+        run_cli(&format!(
+            "convert --input {} --out {}",
+            txt.display(),
+            bin2.display()
+        ))
+        .unwrap();
         let (a, _) = crate::cmd::load_series(bin.to_str().unwrap()).unwrap();
         let (b, _) = crate::cmd::load_series(bin2.to_str().unwrap()).unwrap();
         assert_eq!(a.len(), b.len());
@@ -43,10 +82,64 @@ mod tests {
     }
 
     #[test]
+    fn salvage_recovers_truncated_stream() {
+        let stream = sample_series_file("ppmstream");
+        // Chop the trailer and the last few records off, as a crashed
+        // writer would.
+        let bytes = std::fs::read(&stream).unwrap();
+        std::fs::write(&stream, &bytes[..bytes.len() - 40]).unwrap();
+
+        // A plain convert refuses the damaged file...
+        let rescue = temp_path("salvaged", "ppms");
+        let err = run_cli(&format!(
+            "convert --input {} --out {}",
+            stream.display(),
+            rescue.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+
+        // ...while --salvage recovers the valid prefix.
+        let text = run_cli(&format!(
+            "convert --input {} --out {} --salvage",
+            stream.display(),
+            rescue.display()
+        ))
+        .unwrap();
+        assert!(text.contains("instants recovered"), "{text}");
+        assert!(text.contains("damage:"), "{text}");
+        let (series, catalog) = crate::cmd::load_series(rescue.to_str().unwrap()).unwrap();
+        assert!(!series.is_empty() && series.len() < 90, "a strict prefix");
+        assert!(catalog.get("alpha").is_some());
+        for p in [stream, rescue] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn salvage_requires_stream_input() {
+        let bin = sample_series_file("ppms");
+        let out = temp_path("salvage-bad", "ppms");
+        let err = run_cli(&format!(
+            "convert --input {} --out {} --salvage",
+            bin.display(),
+            out.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(bin).ok();
+    }
+
+    #[test]
     fn text_output_is_readable() {
         let bin = sample_series_file("ppms");
         let txt = temp_path("conv-read", "txt");
-        run_cli(&format!("convert --input {} --out {}", bin.display(), txt.display())).unwrap();
+        run_cli(&format!(
+            "convert --input {} --out {}",
+            bin.display(),
+            txt.display()
+        ))
+        .unwrap();
         let content = std::fs::read_to_string(&txt).unwrap();
         assert!(content.contains("alpha"));
         assert!(content.contains('-'));

@@ -14,8 +14,16 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "instants:             {}", stats.instants)?;
     writeln!(out, "feature occurrences:  {}", stats.total_features)?;
     writeln!(out, "catalog size:         {}", catalog.len())?;
-    writeln!(out, "mean features/slot:   {:.3}", stats.mean_features_per_instant)?;
-    writeln!(out, "max features/slot:    {}", stats.max_features_per_instant)?;
+    writeln!(
+        out,
+        "mean features/slot:   {:.3}",
+        stats.mean_features_per_instant
+    )?;
+    writeln!(
+        out,
+        "max features/slot:    {}",
+        stats.max_features_per_instant
+    )?;
     writeln!(out, "empty slots:          {}", stats.empty_instants)?;
     for period in [24usize, 168] {
         if period <= stats.instants {

@@ -11,10 +11,29 @@ pub mod sweep;
 
 use std::path::Path;
 
+use ppm_core::MineConfig;
 use ppm_timeseries::storage::{self, stream};
 use ppm_timeseries::{FeatureCatalog, FeatureSeries};
 
+use crate::args::Parsed;
 use crate::error::CliError;
+
+/// Applies the shared resource-guard flags — `--deadline-ms` and
+/// `--max-tree-nodes` — to a mining config. Guarded miners abort with a
+/// typed error carrying partial statistics when either limit is hit.
+pub fn apply_guards(args: &Parsed, mut config: MineConfig) -> Result<MineConfig, CliError> {
+    // `switch()` (not `get()`) so a value-less `--deadline-ms` is a usage
+    // error instead of silently disabling the guard the user asked for.
+    if args.switch("deadline-ms") {
+        let ms: u64 = args.required_parsed("deadline-ms")?;
+        config = config.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if args.switch("max-tree-nodes") {
+        let nodes: usize = args.required_parsed("max-tree-nodes")?;
+        config = config.with_max_tree_nodes(nodes);
+    }
+    Ok(config)
+}
 
 /// Series file formats, chosen by extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

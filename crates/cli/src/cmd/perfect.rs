@@ -48,8 +48,11 @@ mod tests {
     #[test]
     fn finds_the_perfect_letter() {
         let path = sample_series_file("ppms");
-        let text =
-            run_cli(&format!("perfect --input {} --from 2 --to 4", path.display())).unwrap();
+        let text = run_cli(&format!(
+            "perfect --input {} --from 2 --to 4",
+            path.display()
+        ))
+        .unwrap();
         // "alpha" holds in every period-3 segment.
         assert!(text.contains("period    3:   1 perfect letters"), "{text}");
         assert!(text.contains("alpha"), "{text}");
@@ -59,8 +62,11 @@ mod tests {
     #[test]
     fn cycle_elimination_is_visible() {
         let path = sample_series_file("ppms");
-        let text =
-            run_cli(&format!("perfect --input {} --from 2 --to 2", path.display())).unwrap();
+        let text = run_cli(&format!(
+            "perfect --input {} --from 2 --to 2",
+            path.display()
+        ))
+        .unwrap();
         // Period 2 has no perfect letter; elimination exits early.
         assert!(text.contains("period    2:   0 perfect letters"), "{text}");
         std::fs::remove_file(path).ok();

@@ -22,7 +22,11 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     let rules = generate_rules(&result, min_rule_conf);
 
     if args.switch("tsv") {
-        write!(out, "{}", ppm_core::export::rules_tsv(&rules, &result, &catalog))?;
+        write!(
+            out,
+            "{}",
+            ppm_core::export::rules_tsv(&rules, &result, &catalog)
+        )?;
         return Ok(());
     }
 

@@ -1,11 +1,20 @@
 //! `ppm sweep` — multi-period mining over a range (Algs 3.3/3.4).
+//!
+//! With `--checkpoint FILE` the sweep mines one period at a time (the
+//! looping strategy of Alg 3.3), records each completed period in the
+//! checkpoint, and on a rerun resumes without re-mining anything already
+//! recorded. Resource-guard aborts (`--deadline-ms`, `--max-tree-nodes`)
+//! degrade gracefully: the periods mined so far are reported and kept in
+//! the checkpoint instead of the whole run dying.
 
 use std::io::Write;
 
 use ppm_core::multi::{mine_periods_looping, mine_periods_shared, PeriodRange};
-use ppm_core::{Algorithm, MineConfig};
+use ppm_core::{hitset, Algorithm, MineConfig};
+use ppm_timeseries::FeatureSeries;
 
 use crate::args::Parsed;
+use crate::checkpoint::{PeriodRow, SweepCheckpoint};
 use crate::error::CliError;
 
 /// Runs the command.
@@ -16,8 +25,22 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     let min_conf: f64 = args.required_parsed("min-conf")?;
 
     let (series, _catalog) = super::load_series(input)?;
-    let config = MineConfig::new(min_conf)?;
+    let config = super::apply_guards(args, MineConfig::new(min_conf)?)?;
     let range = PeriodRange::new(from, to)?;
+
+    if args.switch("checkpoint") {
+        let checkpoint_path = args.required("checkpoint")?;
+        return run_checkpointed(
+            input,
+            from,
+            to,
+            min_conf,
+            checkpoint_path,
+            &series,
+            &config,
+            out,
+        );
+    }
 
     let result = if args.switch("looping") {
         mine_periods_looping(&series, range, &config, Algorithm::HitSet)?
@@ -30,40 +53,160 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
         "periods {from}..={to}, min_conf {min_conf}, {} total series scans \
          ({}):",
         result.total_scans,
-        if args.switch("looping") { "looping, Alg 3.3" } else { "shared, Alg 3.4" }
+        if args.switch("looping") {
+            "looping, Alg 3.3"
+        } else {
+            "shared, Alg 3.4"
+        }
     )?;
-    writeln!(out, "{:>8} {:>10} {:>9} {:>14}", "period", "patterns", "|F1|", "max pattern")?;
-    for r in &result.results {
+    let rows: Vec<PeriodRow> = result
+        .results
+        .iter()
+        .map(|r| PeriodRow {
+            period: r.period,
+            patterns: r.len(),
+            f1: r.alphabet.len(),
+            max_len: r.max_l_length(),
+            scans: r.stats.series_scans,
+        })
+        .collect();
+    print_table(&rows, out)?;
+    Ok(())
+}
+
+/// The shared per-period summary table, plus the densest period.
+fn print_table(rows: &[PeriodRow], out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>9} {:>14}",
+        "period", "patterns", "|F1|", "max pattern"
+    )?;
+    for r in rows {
         writeln!(
             out,
             "{:>8} {:>10} {:>9} {:>14}",
-            r.period,
-            r.len(),
-            r.alphabet.len(),
-            r.max_l_length()
+            r.period, r.patterns, r.f1, r.max_len
         )?;
     }
-    if let Some(best) = result.densest_period() {
-        writeln!(out, "densest period: {best}")?;
+    if let Some(best) = rows.iter().max_by_key(|r| r.patterns) {
+        writeln!(out, "densest period: {}", best.period)?;
+    }
+    Ok(())
+}
+
+/// A checkpointed sweep: one period at a time, resuming from (and updating)
+/// the checkpoint file after every completed period.
+#[allow(clippy::too_many_arguments)]
+fn run_checkpointed(
+    input: &str,
+    from: usize,
+    to: usize,
+    min_conf: f64,
+    checkpoint_path: &str,
+    series: &FeatureSeries,
+    config: &MineConfig,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut checkpoint = match SweepCheckpoint::load(checkpoint_path)? {
+        Some(cp) if cp.matches(input, min_conf, from, to) => {
+            writeln!(
+                out,
+                "resuming from checkpoint {checkpoint_path}: {} of {} periods already mined",
+                cp.rows.len(),
+                to - from + 1
+            )?;
+            cp
+        }
+        Some(_) => {
+            return Err(CliError::Usage(format!(
+                "checkpoint {checkpoint_path} was written by a different sweep \
+                 (input, min-conf, or range mismatch); delete it or choose another path"
+            )))
+        }
+        None => SweepCheckpoint::new(input, min_conf, from, to),
+    };
+
+    let mut mined_now = 0usize;
+    let mut aborted: Option<ppm_core::Error> = None;
+    for period in from..=to {
+        if checkpoint.row_for(period).is_some() {
+            continue;
+        }
+        match hitset::mine(series, period, config) {
+            Ok(r) => {
+                checkpoint.record(PeriodRow {
+                    period,
+                    patterns: r.len(),
+                    f1: r.alphabet.len(),
+                    max_len: r.max_l_length(),
+                    scans: r.stats.series_scans,
+                });
+                checkpoint.save(checkpoint_path)?;
+                mined_now += 1;
+            }
+            // Resource-guard aborts degrade: keep what we have, stop early.
+            Err(e) if e.partial_stats().is_some() => {
+                aborted = Some(e);
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    let total_scans: usize = checkpoint.rows.iter().map(|r| r.scans).sum();
+    writeln!(
+        out,
+        "periods {from}..={to}, min_conf {min_conf}, {total_scans} total series scans \
+         (checkpointed looping; {mined_now} mined now, {} from checkpoint):",
+        checkpoint.rows.len() - mined_now
+    )?;
+    print_table(&checkpoint.rows, out)?;
+
+    match aborted {
+        Some(e) => {
+            // Persist the header even if no period completed, so the rerun
+            // message below is honest and resume Just Works.
+            checkpoint.save(checkpoint_path)?;
+            writeln!(out, "sweep aborted early: {e}")?;
+            writeln!(
+                out,
+                "{} of {} periods completed; progress saved in {checkpoint_path} — \
+                 rerun the same command to resume",
+                checkpoint.rows.len(),
+                to - from + 1
+            )?;
+        }
+        None => {
+            writeln!(
+                out,
+                "sweep complete; checkpoint retained at {checkpoint_path}"
+            )?;
+        }
     }
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::cmd::testutil::{run_cli, sample_series_file};
+    use crate::checkpoint::{PeriodRow, SweepCheckpoint};
+    use crate::cmd::testutil::{run_cli, sample_series_file, temp_path};
 
     #[test]
     fn shared_sweep_reports_two_scans() {
         let path = sample_series_file("ppms");
-        let text =
-            run_cli(&format!("sweep --input {} --from 2 --to 6 --min-conf 0.6", path.display()))
-                .unwrap();
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6",
+            path.display()
+        ))
+        .unwrap();
         assert!(text.contains("2 total series scans"), "{text}");
         // Period 6 (a multiple of the planted 3) sees the letters twice
         // per segment, so it is densest; period 3 itself has 3 patterns.
         assert!(text.contains("densest period: 6"), "{text}");
-        let p3 = text.lines().find(|l| l.trim_start().starts_with("3 ")).unwrap();
+        let p3 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("3 "))
+            .unwrap();
         assert!(p3.contains(" 3 "), "{p3}");
         std::fs::remove_file(path).ok();
     }
@@ -83,10 +226,109 @@ mod tests {
     #[test]
     fn inverted_range_is_rejected() {
         let path = sample_series_file("ppms");
-        let err =
-            run_cli(&format!("sweep --input {} --from 6 --to 2 --min-conf 0.6", path.display()))
-                .unwrap_err();
+        let err = run_cli(&format!(
+            "sweep --input {} --from 6 --to 2 --min-conf 0.6",
+            path.display()
+        ))
+        .unwrap_err();
         assert_eq!(err.exit_code(), 1);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpointed_sweep_matches_looping_sweep() {
+        let path = sample_series_file("ppms");
+        let ckpt = temp_path("sweep-clean", "ckpt");
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --checkpoint {}",
+            path.display(),
+            ckpt.display()
+        ))
+        .unwrap();
+        assert!(text.contains("10 total series scans"), "{text}");
+        assert!(text.contains("5 mined now, 0 from checkpoint"), "{text}");
+        assert!(text.contains("sweep complete"), "{text}");
+        assert!(text.contains("densest period: 6"), "{text}");
+        let cp = SweepCheckpoint::load(ckpt.to_str().unwrap())
+            .unwrap()
+            .unwrap();
+        assert_eq!(cp.rows.len(), 5);
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn resumed_sweep_skips_completed_periods() {
+        let path = sample_series_file("ppms");
+        let ckpt = temp_path("sweep-resume", "ckpt");
+        // Seed the checkpoint with a sentinel row for period 2: its pattern
+        // count (999) could never come from actual mining, so seeing it in
+        // the resumed run's report proves period 2 was NOT re-mined.
+        let mut cp = SweepCheckpoint::new(path.to_str().unwrap(), 0.6, 2, 6);
+        cp.record(PeriodRow {
+            period: 2,
+            patterns: 999,
+            f1: 1,
+            max_len: 1,
+            scans: 2,
+        });
+        cp.save(ckpt.to_str().unwrap()).unwrap();
+
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --checkpoint {}",
+            path.display(),
+            ckpt.display()
+        ))
+        .unwrap();
+        assert!(text.contains("resuming from checkpoint"), "{text}");
+        assert!(text.contains("1 of 5 periods already mined"), "{text}");
+        assert!(text.contains("4 mined now, 1 from checkpoint"), "{text}");
+        assert!(text.contains("999"), "sentinel row must survive: {text}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let path = sample_series_file("ppms");
+        let ckpt = temp_path("sweep-mismatch", "ckpt");
+        let cp = SweepCheckpoint::new("some-other-input.ppms", 0.6, 2, 6);
+        cp.save(ckpt.to_str().unwrap()).unwrap();
+        let err = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --checkpoint {}",
+            path.display(),
+            ckpt.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("different sweep"), "{err}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn deadline_abort_degrades_and_keeps_progress() {
+        let path = sample_series_file("ppms");
+        let ckpt = temp_path("sweep-deadline", "ckpt");
+        // A zero deadline aborts on the very first period, but the command
+        // still succeeds, reporting zero completed periods.
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --checkpoint {} --deadline-ms 0",
+            path.display(),
+            ckpt.display()
+        ))
+        .unwrap();
+        assert!(text.contains("sweep aborted early"), "{text}");
+        assert!(text.contains("0 of 5 periods completed"), "{text}");
+        // Rerunning without the deadline finishes the job from the start.
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --checkpoint {}",
+            path.display(),
+            ckpt.display()
+        ))
+        .unwrap();
+        assert!(text.contains("sweep complete"), "{text}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(ckpt).ok();
     }
 }

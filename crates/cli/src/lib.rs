@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod checkpoint;
 pub mod cmd;
 mod error;
 
@@ -62,14 +63,23 @@ USAGE:
                [--algorithm apriori|hitset|parallel] [--threads N] [--stream]
                [--max-letters M] [--offsets 1,2,3] [--limit N] [--tsv]
                [--maximal | --closed]
+               [--retries N] [--deadline-ms MS] [--max-tree-nodes N]
   ppm sweep    --input FILE --from P1 --to P2 --min-conf C [--looping]
+               [--checkpoint FILE] [--deadline-ms MS] [--max-tree-nodes N]
   ppm perfect  --input FILE --from P1 --to P2
   ppm rules    --input FILE --period P --min-conf C [--min-rule-conf R] [--tsv]
   ppm evolve   --input FILE --period P --min-conf C --window W [--stride S]
-  ppm convert  --input FILE --out FILE
+  ppm convert  --input FILE --out FILE [--salvage]
   ppm help
 
 Series files by extension: .ppms (block binary, checksummed), .ppmstream
 (record streaming, minable out of core with --stream), .txt (one instant
-per line, features space-separated, '-' = empty)."
+per line, features space-separated, '-' = empty).
+
+Resilience: --retries N re-scans a .ppmstream up to N extra times on
+transient I/O errors; --deadline-ms / --max-tree-nodes abort runaway mines
+with a typed error carrying partial statistics; sweep --checkpoint FILE
+records each completed period and resumes after a crash or abort without
+re-mining; convert --salvage recovers the valid record prefix of a
+truncated .ppmstream."
 }

@@ -16,7 +16,10 @@ pub fn join_candidates(frequent: &[Vec<u32>]) -> Vec<Vec<u32>> {
     }
     let k = frequent[0].len();
     debug_assert!(frequent.iter().all(|p| p.len() == k));
-    debug_assert!(frequent.windows(2).all(|w| w[0] < w[1]), "frequent level must be sorted");
+    debug_assert!(
+        frequent.windows(2).all(|w| w[0] < w[1]),
+        "frequent level must be sorted"
+    );
 
     let lookup: HashSet<&[u32]> = frequent.iter().map(Vec::as_slice).collect();
     let mut out = Vec::new();
@@ -35,7 +38,12 @@ pub fn join_candidates(frequent: &[Vec<u32>]) -> Vec<Vec<u32>> {
             // missing cand[k] and cand[k-1] are a and b themselves.
             let ok = (0..k - 1).all(|drop| {
                 scratch.clear();
-                scratch.extend(cand.iter().enumerate().filter(|&(p, _)| p != drop).map(|(_, &l)| l));
+                scratch.extend(
+                    cand.iter()
+                        .enumerate()
+                        .filter(|&(p, _)| p != drop)
+                        .map(|(_, &l)| l),
+                );
                 lookup.contains(scratch.as_slice())
             });
             if ok {

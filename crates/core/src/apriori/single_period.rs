@@ -16,13 +16,13 @@ use crate::stats::MiningStats;
 /// additional full scan of the series per level, terminating when a level
 /// yields no candidates (so the total is at most `period` scans, typically
 /// `max_pattern_length + 1`).
-pub fn mine(
-    series: &FeatureSeries,
-    period: usize,
-    config: &MineConfig,
-) -> Result<MiningResult> {
+pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Result<MiningResult> {
     let scan1 = scan_frequent_letters(series, period, config)?;
-    let mut stats = MiningStats { series_scans: 1, max_level: 1, ..Default::default() };
+    let mut stats = MiningStats {
+        series_scans: 1,
+        max_level: 1,
+        ..Default::default()
+    };
 
     let mut frequent: Vec<FrequentPattern> = Vec::new();
     let n_letters = scan1.alphabet.len();
@@ -54,10 +54,7 @@ pub fn mine(
         for (cand, count) in candidates.into_iter().zip(counts) {
             if count >= scan1.min_count {
                 frequent.push(FrequentPattern {
-                    letters: LetterSet::from_indices(
-                        n_letters,
-                        cand.iter().map(|&l| l as usize),
-                    ),
+                    letters: LetterSet::from_indices(n_letters, cand.iter().map(|&l| l as usize)),
                     count,
                 });
                 next_level.push(cand);
@@ -100,8 +97,11 @@ fn count_candidates(
     let m = scan1.segment_count;
     let mut counts = vec![0u64; candidates.len()];
 
-    let by_pattern: HashMap<&[u32], usize> =
-        candidates.iter().enumerate().map(|(i, c)| (c.as_slice(), i)).collect();
+    let by_pattern: HashMap<&[u32], usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_slice(), i))
+        .collect();
     let candidate_sets: Vec<LetterSet> = candidates
         .iter()
         .map(|c| LetterSet::from_indices(scan1.alphabet.len(), c.iter().map(|&l| l as usize)))
@@ -114,9 +114,11 @@ fn count_candidates(
         // over the raw instants *is* the per-level series scan.
         projection.clear();
         for offset in 0..period {
-            scan1
-                .alphabet
-                .project_instant(offset, series.instant(j * period + offset), &mut projection);
+            scan1.alphabet.project_instant(
+                offset,
+                series.instant(j * period + offset),
+                &mut projection,
+            );
         }
         let present = projection.len();
         if present < k {
@@ -263,7 +265,9 @@ mod tests {
         for _ in 0..60 {
             let mut inst = Vec::new();
             for &f in &feats {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if (x >> 33).is_multiple_of(3) {
                     inst.push(fid(f));
                 }
@@ -275,7 +279,10 @@ mod tests {
         let result = mine(&s, 5, &config).unwrap();
         let segs = s.segments(5).unwrap();
         for (pattern, count, _conf) in result.patterns() {
-            let brute = segs.iter().filter(|seg| pattern.matches_segment(seg)).count() as u64;
+            let brute = segs
+                .iter()
+                .filter(|seg| pattern.matches_segment(seg))
+                .count() as u64;
             assert_eq!(count, brute, "pattern miscounted");
         }
         assert!(!result.is_empty());

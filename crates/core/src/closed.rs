@@ -49,11 +49,7 @@ use crate::stats::MiningStats;
 /// The subtlety this handles: hits with fewer than 2 letters are not stored
 /// in the tree (paper §4), so for 0- and 1-letter inputs the tree's
 /// intersection must be corrected against the exact scan-1 counts.
-pub fn closure(
-    tree: &MaxSubpatternTree,
-    scan1: &Scan1,
-    set: &LetterSet,
-) -> Option<LetterSet> {
+pub fn closure(tree: &MaxSubpatternTree, scan1: &Scan1, set: &LetterSet) -> Option<LetterSet> {
     let m = scan1.segment_count as u64;
     match set.len() {
         0 => {
@@ -125,7 +121,11 @@ pub fn mine_closed(
     use std::collections::HashSet;
 
     let scan1 = scan_frequent_letters(series, period, config)?;
-    let mut stats = MiningStats { series_scans: 1, max_level: 1, ..Default::default() };
+    let mut stats = MiningStats {
+        series_scans: 1,
+        max_level: 1,
+        ..Default::default()
+    };
     let tree = build_tree(series, &scan1, &mut stats);
     stats.series_scans += 1;
     stats.tree_nodes = tree.node_count();
@@ -173,14 +173,19 @@ pub fn mine_closed(
                 }
             }
         }
-        closed.push(FrequentPattern { count: count_of(&current), letters: current });
+        closed.push(FrequentPattern {
+            count: count_of(&current),
+            letters: current,
+        });
     }
 
     closed.sort_by(|a, b| {
-        a.letters
-            .len()
-            .cmp(&b.letters.len())
-            .then_with(|| a.letters.iter().collect::<Vec<_>>().cmp(&b.letters.iter().collect()))
+        a.letters.len().cmp(&b.letters.len()).then_with(|| {
+            a.letters
+                .iter()
+                .collect::<Vec<_>>()
+                .cmp(&b.letters.iter().collect())
+        })
     });
     Ok(ClosedResult {
         period,
@@ -208,10 +213,12 @@ pub fn closed_of(result: &MiningResult) -> Vec<FrequentPattern> {
         .cloned()
         .collect();
     out.sort_by(|a, b| {
-        a.letters
-            .len()
-            .cmp(&b.letters.len())
-            .then_with(|| a.letters.iter().collect::<Vec<_>>().cmp(&b.letters.iter().collect()))
+        a.letters.len().cmp(&b.letters.len()).then_with(|| {
+            a.letters
+                .iter()
+                .collect::<Vec<_>>()
+                .cmp(&b.letters.iter().collect())
+        })
     });
     out
 }
@@ -231,7 +238,9 @@ mod tests {
         for _ in 0..n {
             let mut inst = Vec::new();
             for f in 0..5u32 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if (x >> 33).is_multiple_of(3) {
                     inst.push(fid(f));
                 }
@@ -315,10 +324,7 @@ mod tests {
         };
 
         for mask in 0u32..(1 << n.min(10)) {
-            let set = LetterSet::from_indices(
-                n,
-                (0..n.min(10)).filter(|i| mask & (1 << i) != 0),
-            );
+            let set = LetterSet::from_indices(n, (0..n.min(10)).filter(|i| mask & (1 << i) != 0));
             match closure(&tree, &scan1, &set) {
                 None => assert_eq!(brute_count(&set), 0, "{set:?}"),
                 Some(cl) => {

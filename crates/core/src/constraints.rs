@@ -112,7 +112,10 @@ pub fn mine_constrained(
 ) -> Result<MiningResult> {
     for &(offset, _) in &constraints.required {
         if offset >= period {
-            return Err(Error::InvalidPeriod { period: offset + 1, series_len: period });
+            return Err(Error::InvalidPeriod {
+                period: offset + 1,
+                series_len: period,
+            });
         }
     }
 
@@ -120,18 +123,18 @@ pub fn mine_constrained(
     // letters are always admissible — requiring a letter implies wanting
     // patterns that contain it).
     let scan1_full = scan_frequent_letters(series, period, config)?;
-    let mut stats = MiningStats { series_scans: 1, max_level: 1, ..Default::default() };
+    let mut stats = MiningStats {
+        series_scans: 1,
+        max_level: 1,
+        ..Default::default()
+    };
     let admissible = (0..scan1_full.alphabet.len()).filter(|&i| {
         let (o, f) = scan1_full.alphabet.letter(i);
         constraints.admits(o, f) || constraints.required.contains(&(o, f))
     });
     let kept: Vec<usize> = admissible.collect();
-    let alphabet = Alphabet::new(
-        period,
-        kept.iter().map(|&i| scan1_full.alphabet.letter(i)),
-    );
-    let letter_counts: Vec<u64> =
-        kept.iter().map(|&i| scan1_full.letter_counts[i]).collect();
+    let alphabet = Alphabet::new(period, kept.iter().map(|&i| scan1_full.alphabet.letter(i)));
+    let letter_counts: Vec<u64> = kept.iter().map(|&i| scan1_full.letter_counts[i]).collect();
     let scan1 = Scan1 {
         alphabet,
         letter_counts,
@@ -181,7 +184,10 @@ pub fn mine_constrained(
         if core_count < scan1.min_count {
             return Ok(empty_result(period, config, scan1, stats));
         }
-        frequent.push(FrequentPattern { letters: required.clone(), count: core_count });
+        frequent.push(FrequentPattern {
+            letters: required.clone(),
+            count: core_count,
+        });
     }
 
     let free: Vec<u32> = (0..scan1.alphabet.len() as u32)
@@ -206,7 +212,10 @@ pub fn mine_constrained(
                         count: scan1.letter_counts[l as usize],
                     });
                 } else {
-                    frequent.push(FrequentPattern { letters: set, count });
+                    frequent.push(FrequentPattern {
+                        letters: set,
+                        count,
+                    });
                 }
                 level.push(vec![l]);
             }
@@ -230,7 +239,10 @@ pub fn mine_constrained(
                 for &l in &cand {
                     set.insert(l as usize);
                 }
-                frequent.push(FrequentPattern { letters: set, count });
+                frequent.push(FrequentPattern {
+                    letters: set,
+                    count,
+                });
                 next.push(cand);
             }
         }
@@ -330,9 +342,7 @@ mod tests {
         let expect: Vec<u64> = plain
             .frequent
             .iter()
-            .filter(|fp| {
-                fp.letters.iter().all(|i| plain.alphabet.letter(i).0 <= 1)
-            })
+            .filter(|fp| fp.letters.iter().all(|i| plain.alphabet.letter(i).0 <= 1))
             .map(|fp| fp.count)
             .collect();
         let got_counts: Vec<u64> = got.frequent.iter().map(|fp| fp.count).collect();
@@ -378,8 +388,9 @@ mod tests {
             let matching = plain
                 .frequent
                 .iter()
-                .find(|p| p.letters.iter().collect::<Vec<_>>()
-                    == fp.letters.iter().collect::<Vec<_>>())
+                .find(|p| {
+                    p.letters.iter().collect::<Vec<_>>() == fp.letters.iter().collect::<Vec<_>>()
+                })
                 .expect("constrained pattern must exist unconstrained");
             assert_eq!(matching.count, fp.count);
         }
@@ -418,18 +429,17 @@ mod tests {
     #[test]
     fn max_letters_caps_derivation() {
         let config = MineConfig::new(0.5).unwrap();
-        let capped = mine_constrained(
-            &series(),
-            4,
-            &config,
-            &Constraints::none().max_letters(1),
-        )
-        .unwrap();
+        let capped =
+            mine_constrained(&series(), 4, &config, &Constraints::none().max_letters(1)).unwrap();
         assert!(capped.frequent.iter().all(|fp| fp.letters.len() == 1));
         let plain = unconstrained();
         assert_eq!(
             capped.len(),
-            plain.frequent.iter().filter(|fp| fp.letters.len() == 1).count()
+            plain
+                .frequent
+                .iter()
+                .filter(|fp| fp.letters.len() == 1)
+                .count()
         );
         // Cap below the required set size -> empty.
         let impossible = mine_constrained(

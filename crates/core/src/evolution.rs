@@ -94,9 +94,7 @@ impl PatternTrack {
         let first = self.first_seen();
         let last = self.last_seen();
         match (first, last) {
-            (Some(0), Some(l)) if l == windows - 1 && self.presence() == windows => {
-                Drift::Stable
-            }
+            (Some(0), Some(l)) if l == windows - 1 && self.presence() == windows => Drift::Stable,
             (Some(f), Some(l)) if l == windows - 1 && f > 0 => Drift::Emerging,
             (Some(0), Some(l)) if l < windows - 1 => Drift::Vanished,
             _ => Drift::Intermittent,
@@ -157,7 +155,10 @@ pub fn mine_windows(
     window: WindowSpec,
 ) -> Result<EvolutionResult> {
     if period == 0 || period > series.len() {
-        return Err(Error::InvalidPeriod { period, series_len: series.len() });
+        return Err(Error::InvalidPeriod {
+            period,
+            series_len: series.len(),
+        });
     }
     let total_segments = series.len() / period;
     if window.segments > total_segments {
@@ -180,20 +181,32 @@ pub fn mine_windows(
         let sub = series.slice(first * period, (first + count) * period);
         let result = hitset::mine(&sub, period, config)?;
         for fp in &result.frequent {
-            let mut key: Vec<(usize, FeatureId)> =
-                fp.letters.iter().map(|i| result.alphabet.letter(i)).collect();
+            let mut key: Vec<(usize, FeatureId)> = fp
+                .letters
+                .iter()
+                .map(|i| result.alphabet.letter(i))
+                .collect();
             key.sort_unstable();
-            let track = table.entry(key).or_insert_with(|| vec![None; windows.len()]);
+            let track = table
+                .entry(key)
+                .or_insert_with(|| vec![None; windows.len()]);
             track[w] = Some(fp.confidence(result.segment_count));
         }
     }
 
     let mut tracks: Vec<PatternTrack> = table
         .into_iter()
-        .map(|(letters, confidences)| PatternTrack { letters, confidences })
+        .map(|(letters, confidences)| PatternTrack {
+            letters,
+            confidences,
+        })
         .collect();
     tracks.sort_by(|a, b| a.letters.cmp(&b.letters));
-    Ok(EvolutionResult { period, windows, tracks })
+    Ok(EvolutionResult {
+        period,
+        windows,
+        tracks,
+    })
 }
 
 #[cfg(test)]
@@ -221,8 +234,7 @@ mod tests {
     fn tracks_classify_drift() {
         let s = drifting_series();
         let config = MineConfig::new(0.8).unwrap();
-        let out =
-            mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
+        let out = mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
         assert_eq!(out.window_count(), 6);
 
         let stable = out.track_of(&[(0, fid(0))]).unwrap();
@@ -242,8 +254,7 @@ mod tests {
     fn confidences_are_per_window() {
         let s = drifting_series();
         let config = MineConfig::new(0.8).unwrap();
-        let out =
-            mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
+        let out = mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
         let stable = out.track_of(&[(0, fid(0))]).unwrap();
         for c in &stable.confidences {
             assert_eq!(*c, Some(1.0));
@@ -254,8 +265,7 @@ mod tests {
     fn overlapping_windows() {
         let s = drifting_series();
         let config = MineConfig::new(0.8).unwrap();
-        let out =
-            mine_windows(&s, 3, &config, WindowSpec::new(20, 10).unwrap()).unwrap();
+        let out = mine_windows(&s, 3, &config, WindowSpec::new(20, 10).unwrap()).unwrap();
         // Starts at 0, 10, 20, 30, 40 — window 40 covers segments 40..60.
         assert_eq!(out.window_count(), 5);
         assert_eq!(out.windows[1], (10, 20));
@@ -269,8 +279,7 @@ mod tests {
     fn with_drift_filters() {
         let s = drifting_series();
         let config = MineConfig::new(0.8).unwrap();
-        let out =
-            mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
+        let out = mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
         let n = out.window_count();
         assert!(out.with_drift(Drift::Stable).count() >= 1);
         for t in out.with_drift(Drift::Emerging) {
@@ -284,8 +293,7 @@ mod tests {
         // f0 and f1 co-occur for the first 30 segments only.
         let s = drifting_series();
         let config = MineConfig::new(0.8).unwrap();
-        let out =
-            mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
+        let out = mine_windows(&s, 3, &config, WindowSpec::new(10, 10).unwrap()).unwrap();
         let pair = out.track_of(&[(0, fid(0)), (1, fid(1))]).unwrap();
         assert_eq!(pair.classify(6), Drift::Vanished);
     }
@@ -297,9 +305,7 @@ mod tests {
         assert!(WindowSpec::new(0, 1).is_err());
         assert!(WindowSpec::new(1, 0).is_err());
         // Window longer than the series.
-        assert!(
-            mine_windows(&s, 3, &config, WindowSpec::new(100, 1).unwrap()).is_err()
-        );
+        assert!(mine_windows(&s, 3, &config, WindowSpec::new(100, 1).unwrap()).is_err());
         // Bad period.
         assert!(mine_windows(&s, 0, &config, WindowSpec::new(5, 5).unwrap()).is_err());
     }

@@ -74,8 +74,7 @@ mod tests {
             builder.push_instant(if j % 2 == 0 { vec![b] } else { vec![] });
         }
         let series = builder.finish();
-        let result =
-            crate::hitset::mine(&series, 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let result = crate::hitset::mine(&series, 2, &MineConfig::new(0.5).unwrap()).unwrap();
         (result, catalog)
     }
 
@@ -118,8 +117,7 @@ mod tests {
             builder.push_instant([weird]);
         }
         let series = builder.finish();
-        let result =
-            crate::hitset::mine(&series, 1, &MineConfig::new(0.9).unwrap()).unwrap();
+        let result = crate::hitset::mine(&series, 1, &MineConfig::new(0.9).unwrap()).unwrap();
         let tsv = patterns_tsv(&result, &catalog);
         for row in tsv.lines().skip(1) {
             assert_eq!(row.split('\t').count(), 5, "{row}");

@@ -67,12 +67,14 @@ pub fn derive_frequent(
         stats.max_level = stats.max_level.max(k);
         let mut next_level = Vec::new();
         for cand in candidates {
-            let set =
-                LetterSet::from_indices(n_letters, cand.iter().map(|&l| l as usize));
+            let set = LetterSet::from_indices(n_letters, cand.iter().map(|&l| l as usize));
             stats.subset_tests += 1;
             let count = strategy.count(tree, &set);
             if count >= scan1.min_count {
-                frequent.push(FrequentPattern { letters: set, count });
+                frequent.push(FrequentPattern {
+                    letters: set,
+                    count,
+                });
                 next_level.push(cand);
             }
         }
@@ -138,7 +140,13 @@ mod tests {
         }
         let mut frequent = Vec::new();
         let mut stats = MiningStats::default();
-        derive_frequent(&tree, &scan1, CountStrategy::TreeWalk, &mut frequent, &mut stats);
+        derive_frequent(
+            &tree,
+            &scan1,
+            CountStrategy::TreeWalk,
+            &mut frequent,
+            &mut stats,
+        );
         // {0,1}: 5 + 4 = 9 >= 8 frequent; {0,2}, {1,2}: 4 < 8; {0,1,2}: 4.
         assert_eq!(frequent.len(), 1);
         assert_eq!(frequent[0].letters, set(3, &[0, 1]));
@@ -182,7 +190,13 @@ mod tests {
         let tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
         let mut frequent = Vec::new();
         let mut stats = MiningStats::default();
-        derive_frequent(&tree, &scan1, CountStrategy::TreeWalk, &mut frequent, &mut stats);
+        derive_frequent(
+            &tree,
+            &scan1,
+            CountStrategy::TreeWalk,
+            &mut frequent,
+            &mut stats,
+        );
         assert!(frequent.is_empty());
         // Candidates were still generated at level 2 (and rejected).
         assert_eq!(stats.candidates_generated, 3);

@@ -3,6 +3,7 @@
 use ppm_timeseries::FeatureSeries;
 
 use crate::error::Result;
+use crate::guard::{ResourceGuard, DEADLINE_CHECK_INTERVAL};
 use crate::hitset::derive::{derive_frequent, CountStrategy};
 use crate::hitset::tree::MaxSubpatternTree;
 use crate::letters::LetterSet;
@@ -16,11 +17,7 @@ use crate::stats::MiningStats;
 ///
 /// Exactly **two** scans of the series are performed, independent of the
 /// period and of the length of the longest frequent pattern.
-pub fn mine(
-    series: &FeatureSeries,
-    period: usize,
-    config: &MineConfig,
-) -> Result<MiningResult> {
+pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Result<MiningResult> {
     mine_with_strategy(series, period, config, CountStrategy::default())
 }
 
@@ -32,12 +29,19 @@ pub fn mine_with_strategy(
     config: &MineConfig,
     strategy: CountStrategy,
 ) -> Result<MiningResult> {
+    let guard = ResourceGuard::new(config);
+
     // Scan 1: frequent 1-patterns and C_max.
     let scan1 = scan_frequent_letters(series, period, config)?;
-    let mut stats = MiningStats { series_scans: 1, max_level: 1, ..Default::default() };
+    let mut stats = MiningStats {
+        series_scans: 1,
+        max_level: 1,
+        ..Default::default()
+    };
+    guard.check_deadline(&stats)?;
 
     // Scan 2: register each segment's maximal hit subpattern.
-    let tree = build_tree(series, &scan1, &mut stats);
+    let tree = build_tree_guarded(series, &scan1, &mut stats, &guard)?;
     stats.series_scans += 1;
     stats.tree_nodes = tree.node_count();
     stats.distinct_hits = tree.distinct_hits();
@@ -75,8 +79,22 @@ pub fn mine_with_strategy(
 pub(crate) fn build_tree(
     series: &FeatureSeries,
     scan1: &Scan1,
-    _stats: &mut MiningStats,
+    stats: &mut MiningStats,
 ) -> MaxSubpatternTree {
+    build_tree_guarded(series, scan1, stats, &ResourceGuard::unlimited())
+        .expect("an unlimited guard cannot abort the build")
+}
+
+/// [`build_tree`] with resource guards: the tree budget is checked after
+/// every insert, the deadline once per [`DEADLINE_CHECK_INTERVAL`]
+/// segments. On a violation the partial tree's statistics are folded into
+/// `stats` and the typed guard error is returned.
+pub(crate) fn build_tree_guarded(
+    series: &FeatureSeries,
+    scan1: &Scan1,
+    stats: &mut MiningStats,
+    guard: &ResourceGuard,
+) -> Result<MaxSubpatternTree> {
     let period = scan1.alphabet.period();
     let m = scan1.segment_count;
     let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
@@ -84,17 +102,30 @@ pub(crate) fn build_tree(
     for j in 0..m {
         hit.clear();
         for offset in 0..period {
-            scan1.alphabet.project_instant(
-                offset,
-                series.instant(j * period + offset),
-                &mut hit,
-            );
+            scan1
+                .alphabet
+                .project_instant(offset, series.instant(j * period + offset), &mut hit);
         }
         if hit.len() >= 2 {
             tree.insert(&hit);
+            if guard.tree_over_budget(tree.node_count()) {
+                absorb_tree_stats(stats, &tree);
+                return Err(guard.tree_error(tree.node_count(), stats));
+            }
+        }
+        if j % DEADLINE_CHECK_INTERVAL == 0 && guard.deadline_exceeded() {
+            absorb_tree_stats(stats, &tree);
+            return Err(guard.deadline_error(stats));
         }
     }
-    tree
+    Ok(tree)
+}
+
+/// Records a (possibly partial) tree's size statistics into `stats`.
+fn absorb_tree_stats(stats: &mut MiningStats, tree: &MaxSubpatternTree) {
+    stats.tree_nodes = tree.node_count();
+    stats.distinct_hits = tree.distinct_hits();
+    stats.hit_insertions = tree.total_hits();
 }
 
 #[cfg(test)]
@@ -202,6 +233,70 @@ mod tests {
         assert_eq!(result.stats.hit_insertions, 0);
         assert_eq!(result.stats.tree_nodes, 1); // just the root
         assert_eq!(result.len(), 1); // the 1-pattern f0 at offset 0
+    }
+
+    /// A pseudo-random series with many distinct segment hits, to exercise
+    /// tree growth.
+    fn busy_series(n: usize) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 7;
+        for _ in 0..n {
+            let mut inst = Vec::new();
+            for f in 0..4u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 33).is_multiple_of(2) {
+                    inst.push(fid(f));
+                }
+            }
+            b.push_instant(inst);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn tree_budget_aborts_with_partial_stats() {
+        use crate::error::Error;
+        let s = busy_series(400);
+        let config = MineConfig::new(0.2).unwrap().with_max_tree_nodes(2);
+        let err = mine(&s, 8, &config).unwrap_err();
+        match err {
+            Error::TreeBudgetExceeded {
+                nodes,
+                budget,
+                stats,
+            } => {
+                assert_eq!(budget, 2);
+                assert!(nodes > 2);
+                assert!(stats.hit_insertions >= 1, "partial progress recorded");
+                assert_eq!(stats.series_scans, 1, "aborted during scan 2");
+            }
+            other => panic!("expected TreeBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_aborts_with_typed_error() {
+        use crate::error::Error;
+        let s = busy_series(400);
+        let config = MineConfig::new(0.2)
+            .unwrap()
+            .with_deadline(std::time::Duration::ZERO);
+        let err = mine(&s, 8, &config).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got {err:?}");
+        assert!(err.partial_stats().is_some());
+    }
+
+    #[test]
+    fn generous_guards_leave_results_unchanged() {
+        let s = busy_series(400);
+        let plain = MineConfig::new(0.2).unwrap();
+        let guarded = plain
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_max_tree_nodes(1 << 30);
+        let a = mine(&s, 8, &plain).unwrap();
+        let b = mine(&s, 8, &guarded).unwrap();
+        assert_eq!(a.frequent, b.frequent);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

@@ -43,7 +43,12 @@ impl MaxSubpatternTree {
     /// Creates a tree rooted at the candidate max-pattern `c_max`.
     pub fn new(c_max: LetterSet) -> Self {
         MaxSubpatternTree {
-            nodes: vec![Node { pattern: c_max, count: 0, parent: None, children: Vec::new() }],
+            nodes: vec![Node {
+                pattern: c_max,
+                count: 0,
+                parent: None,
+                children: Vec::new(),
+            }],
             insertions: 0,
         }
     }
@@ -69,8 +74,14 @@ impl MaxSubpatternTree {
     /// by tests that reconstruct published trees node by node (`count` may
     /// be 0 to force creation of an interior node).
     pub fn insert_with_count(&mut self, hit: &LetterSet, count: u64) {
-        debug_assert!(hit.is_subset(self.c_max()), "hit must be a subpattern of C_max");
-        debug_assert!(hit.len() >= 2, "hits with < 2 letters are not stored in the tree");
+        debug_assert!(
+            hit.is_subset(self.c_max()),
+            "hit must be a subpattern of C_max"
+        );
+        debug_assert!(
+            hit.len() >= 2,
+            "hits with < 2 letters are not stored in the tree"
+        );
         let missing = self.c_max().difference(hit);
         let mut cur: NodeId = 0;
         for letter in missing.iter() {
@@ -124,7 +135,10 @@ impl MaxSubpatternTree {
         let mut cur: NodeId = 0;
         for letter in missing.iter() {
             let letter = letter as u32;
-            match self.nodes[cur as usize].children.binary_search_by_key(&letter, |&(l, _)| l) {
+            match self.nodes[cur as usize]
+                .children
+                .binary_search_by_key(&letter, |&(l, _)| l)
+            {
                 Ok(pos) => cur = self.nodes[cur as usize].children[pos].1,
                 Err(_) => return None,
             }
@@ -134,7 +148,10 @@ impl MaxSubpatternTree {
 
     /// Iterates `(pattern, count)` over nodes with count > 0 — the hit set.
     pub fn counted_nodes(&self) -> impl Iterator<Item = (&LetterSet, u64)> {
-        self.nodes.iter().filter(|n| n.count > 0).map(|n| (&n.pattern, n.count))
+        self.nodes
+            .iter()
+            .filter(|n| n.count > 0)
+            .map(|n| (&n.pattern, n.count))
     }
 
     /// The frequency count of a candidate pattern `p`: the sum of the
@@ -428,17 +445,21 @@ mod tests {
 
         // Example 4.3's level-2 frequencies.
         let expect = [
-            (vec![1usize, 3], 68u64),  // *b1*d* = 8 + 0 + 50 + 10
-            (vec![2, 3], 92),          // *b2*d* = 0 + 32 + 50 + 10
-            (vec![1, 2], 119),         // *{b1,b2}*** = 19 + 40 + 50 + 10
-            (vec![0, 3], 47),          // a**d* = 5 + 0 + 32 + 10
-            (vec![0, 2], 84),          // ab2*** = 2 + 32 + 40 + 10
-            (vec![0, 1], 68),          // ab1*** = 18 + 0 + 40 + 10
+            (vec![1usize, 3], 68u64), // *b1*d* = 8 + 0 + 50 + 10
+            (vec![2, 3], 92),         // *b2*d* = 0 + 32 + 50 + 10
+            (vec![1, 2], 119),        // *{b1,b2}*** = 19 + 40 + 50 + 10
+            (vec![0, 3], 47),         // a**d* = 5 + 0 + 32 + 10
+            (vec![0, 2], 84),         // ab2*** = 2 + 32 + 40 + 10
+            (vec![0, 1], 68),         // ab1*** = 18 + 0 + 40 + 10
         ];
         for (letters, freq) in expect {
             let p = set(4, &letters);
             assert_eq!(t.count_superpatterns_walk(&p), freq, "pattern {letters:?}");
-            assert_eq!(t.count_superpatterns_linear(&p), freq, "pattern {letters:?}");
+            assert_eq!(
+                t.count_superpatterns_linear(&p),
+                freq,
+                "pattern {letters:?}"
+            );
         }
         // Level-1 (one letter missing) frequencies from the example:
         // *{b1,b2}*d* = 50 + 10 = 60 and a{b1,b2}*** = 40 + 10 = 50.

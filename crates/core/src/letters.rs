@@ -54,7 +54,11 @@ impl Alphabet {
             }
         }
         offset_starts.push(cursor);
-        Alphabet { period, letters, offset_starts }
+        Alphabet {
+            period,
+            letters,
+            offset_starts,
+        }
     }
 
     /// The mining period this alphabet belongs to.
@@ -101,7 +105,10 @@ impl Alphabet {
 
     /// Iterates `(letter_index, offset, feature)` in letter order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, FeatureId)> + '_ {
-        self.letters.iter().enumerate().map(|(i, &(o, f))| (i, o as usize, f))
+        self.letters
+            .iter()
+            .enumerate()
+            .map(|(i, &(o, f))| (i, o as usize, f))
     }
 
     /// A fresh, empty [`LetterSet`] sized for this alphabet.
@@ -168,7 +175,10 @@ pub struct LetterSet {
 impl LetterSet {
     /// An empty set over a universe of `n` letters.
     pub fn new(n: usize) -> Self {
-        LetterSet { universe: n as u32, words: vec![0u64; n.div_ceil(64)].into_boxed_slice() }
+        LetterSet {
+            universe: n as u32,
+            words: vec![0u64; n.div_ceil(64)].into_boxed_slice(),
+        }
     }
 
     /// The full set `{0, …, n−1}`.
@@ -199,7 +209,11 @@ impl LetterSet {
     /// # Panics
     /// Panics if `i` is outside the universe.
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.universe as usize, "letter {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe as usize,
+            "letter {i} outside universe {}",
+            self.universe
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -228,7 +242,10 @@ impl LetterSet {
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &LetterSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(other.words.iter()).all(|(&a, &b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// Whether `self ⊇ other`.
@@ -239,7 +256,10 @@ impl LetterSet {
     /// Whether the sets share no letters.
     pub fn is_disjoint(&self, other: &LetterSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(other.words.iter()).all(|(&a, &b)| a & b == 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & b == 0)
     }
 
     /// In-place union.
@@ -282,7 +302,11 @@ impl LetterSet {
 
     /// Iterates present letter indices in ascending order.
     pub fn iter(&self) -> LetterIter<'_> {
-        LetterIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        LetterIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// The smallest present letter, if any.

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod guard;
 mod letters;
 mod pattern;
 mod result;

@@ -46,7 +46,11 @@ pub fn mine_maximal(
     config: &MineConfig,
 ) -> Result<MaximalResult> {
     let scan1 = scan_frequent_letters(series, period, config)?;
-    let mut stats = MiningStats { series_scans: 1, max_level: 1, ..Default::default() };
+    let mut stats = MiningStats {
+        series_scans: 1,
+        max_level: 1,
+        ..Default::default()
+    };
     let tree = build_tree(series, &scan1, &mut stats);
     stats.series_scans += 1;
     stats.tree_nodes = tree.node_count();
@@ -98,12 +102,13 @@ fn max_miner(
         head: Vec<u32>,
         tail: Vec<u32>,
     }
-    let mut frontier = vec![Group { head: Vec::new(), tail: order }];
+    let mut frontier = vec![Group {
+        head: Vec::new(),
+        tail: order,
+    }];
     let mut candidates: Vec<(LetterSet, u64)> = Vec::new();
 
-    let set_of = |letters: &[u32]| {
-        LetterSet::from_indices(n, letters.iter().map(|&l| l as usize))
-    };
+    let set_of = |letters: &[u32]| LetterSet::from_indices(n, letters.iter().map(|&l| l as usize));
 
     while let Some(group) = frontier.pop() {
         // Look-ahead: if head ∪ tail is frequent, everything below is
@@ -153,14 +158,19 @@ fn max_miner(
     let mut maximal: Vec<FrequentPattern> = Vec::new();
     for (set, count) in candidates {
         if !maximal.iter().any(|kept| set.is_subset(&kept.letters)) {
-            maximal.push(FrequentPattern { letters: set, count });
+            maximal.push(FrequentPattern {
+                letters: set,
+                count,
+            });
         }
     }
     maximal.sort_by(|a, b| {
-        a.letters
-            .len()
-            .cmp(&b.letters.len())
-            .then_with(|| a.letters.iter().collect::<Vec<_>>().cmp(&b.letters.iter().collect()))
+        a.letters.len().cmp(&b.letters.len()).then_with(|| {
+            a.letters
+                .iter()
+                .collect::<Vec<_>>()
+                .cmp(&b.letters.iter().collect())
+        })
     });
     maximal
 }
@@ -187,7 +197,10 @@ mod tests {
         let mut expect = maximal_of(&full);
         expect.sort_by(|a, b| {
             a.letters.len().cmp(&b.letters.len()).then_with(|| {
-                a.letters.iter().collect::<Vec<_>>().cmp(&b.letters.iter().collect())
+                a.letters
+                    .iter()
+                    .collect::<Vec<_>>()
+                    .cmp(&b.letters.iter().collect())
             })
         });
         let got = mine_maximal(series, period, &config).unwrap();
@@ -212,7 +225,11 @@ mod tests {
         assert_eq!(got.maximal[0].count, 10);
         // Look-ahead should have answered near-immediately: far fewer
         // lookups than the 2^6 subsets a naive search would count.
-        assert!(got.stats.subset_tests < 20, "tests = {}", got.stats.subset_tests);
+        assert!(
+            got.stats.subset_tests < 20,
+            "tests = {}",
+            got.stats.subset_tests
+        );
         assert_same_maximal(&s, 6, 0.9);
     }
 
@@ -223,7 +240,9 @@ mod tests {
         for _ in 0..240 {
             let mut inst = Vec::new();
             for f in 0..5u32 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if (x >> 33).is_multiple_of(3) {
                     inst.push(fid(f));
                 }

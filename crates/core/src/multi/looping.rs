@@ -30,7 +30,10 @@ pub fn mine_periods_looping(
         total_scans += r.stats.series_scans;
         results.push(r);
     }
-    Ok(MultiPeriodResult { results, total_scans })
+    Ok(MultiPeriodResult {
+        results,
+        total_scans,
+    })
 }
 
 #[cfg(test)]
@@ -63,8 +66,7 @@ mod tests {
         let s = two_period_series(120);
         let range = PeriodRange::new(2, 6).unwrap();
         let config = MineConfig::new(0.9).unwrap();
-        let out =
-            mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
+        let out = mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
         assert_eq!(out.results.len(), 5);
         // Period 3 must contain the (0, f0) letter, period 4 the (0, f1).
         let p3 = out.for_period(3).unwrap();
@@ -85,8 +87,7 @@ mod tests {
         let s = two_period_series(60);
         let range = PeriodRange::new(2, 5).unwrap();
         let config = MineConfig::new(0.5).unwrap();
-        let out =
-            mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
+        let out = mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
         assert_eq!(out.total_scans, 2 * 4);
     }
 
@@ -95,8 +96,7 @@ mod tests {
         let s = two_period_series(10);
         let range = PeriodRange::new(8, 15).unwrap();
         let config = MineConfig::new(0.5).unwrap();
-        let out =
-            mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
+        let out = mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
         assert_eq!(out.results.len(), 3); // periods 8, 9, 10
     }
 

@@ -95,7 +95,10 @@ impl MultiPeriodResult {
     /// The period whose mining found the most frequent patterns — a crude
     /// but useful "most periodic" indicator for period discovery.
     pub fn densest_period(&self) -> Option<usize> {
-        self.results.iter().max_by_key(|r| r.len()).map(|r| r.period)
+        self.results
+            .iter()
+            .max_by_key(|r| r.len())
+            .map(|r| r.period)
     }
 }
 

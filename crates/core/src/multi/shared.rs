@@ -26,7 +26,10 @@ pub fn mine_periods_shared(
 ) -> Result<MultiPeriodResult> {
     let periods: Vec<usize> = range.iter().filter(|&p| p <= series.len()).collect();
     if periods.is_empty() {
-        return Ok(MultiPeriodResult { results: Vec::new(), total_scans: 0 });
+        return Ok(MultiPeriodResult {
+            results: Vec::new(),
+            total_scans: 0,
+        });
     }
     let n = series.len();
 
@@ -70,15 +73,22 @@ pub fn mine_periods_shared(
                     table[&(o as u32, f)]
                 })
                 .collect();
-            Scan1 { alphabet, letter_counts, segment_count: m, min_count }
+            Scan1 {
+                alphabet,
+                letter_counts,
+                segment_count: m,
+                min_count,
+            }
         })
         .collect();
     drop(counts);
 
     // ---- Scan 2: per-period trees, one physical pass. Each period keeps a
     // rolling hit buffer that is flushed whenever its segment completes.
-    let mut trees: Vec<MaxSubpatternTree> =
-        scans.iter().map(|s| MaxSubpatternTree::new(s.alphabet.full_set())).collect();
+    let mut trees: Vec<MaxSubpatternTree> = scans
+        .iter()
+        .map(|s| MaxSubpatternTree::new(s.alphabet.full_set()))
+        .collect();
     let mut hits: Vec<LetterSet> = scans.iter().map(|s| s.alphabet.empty_set()).collect();
     for t in 0..n {
         let instant = series.instant(t);
@@ -88,7 +98,9 @@ pub fn mine_periods_shared(
             }
             let offset = t % p;
             if !instant.is_empty() {
-                scans[pi].alphabet.project_instant(offset, instant, &mut hits[pi]);
+                scans[pi]
+                    .alphabet
+                    .project_instant(offset, instant, &mut hits[pi]);
             }
             if offset == p - 1 {
                 if hits[pi].len() >= 2 {
@@ -120,7 +132,13 @@ pub fn mine_periods_shared(
                 count,
             })
             .collect();
-        derive_frequent(&tree, &scan1, CountStrategy::default(), &mut frequent, &mut stats);
+        derive_frequent(
+            &tree,
+            &scan1,
+            CountStrategy::default(),
+            &mut frequent,
+            &mut stats,
+        );
         let mut result = MiningResult {
             period,
             segment_count: scan1.segment_count,
@@ -134,7 +152,10 @@ pub fn mine_periods_shared(
         results.push(result);
     }
 
-    Ok(MultiPeriodResult { results, total_scans: 2 })
+    Ok(MultiPeriodResult {
+        results,
+        total_scans: 2,
+    })
 }
 
 #[cfg(test)]
@@ -176,8 +197,7 @@ mod tests {
         let range = PeriodRange::new(2, 8).unwrap();
         let config = MineConfig::new(0.7).unwrap();
         let shared = mine_periods_shared(&s, range, &config).unwrap();
-        let looping =
-            mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
+        let looping = mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
         assert_eq!(shared.results.len(), looping.results.len());
         for (a, b) in shared.results.iter().zip(&looping.results) {
             assert_eq!(a.period, b.period);
@@ -196,8 +216,7 @@ mod tests {
         for r in &shared.results {
             assert_eq!(r.stats.series_scans, 2);
         }
-        let looping =
-            mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
+        let looping = mine_periods_looping(&s, range, &config, Algorithm::HitSet).unwrap();
         assert_eq!(looping.total_scans, 2 * shared.results.len());
     }
 
@@ -215,8 +234,7 @@ mod tests {
     fn single_period_range_matches_single_period_miner() {
         let s = mixed_series(90);
         let config = MineConfig::new(0.8).unwrap();
-        let shared =
-            mine_periods_shared(&s, PeriodRange::single(3).unwrap(), &config).unwrap();
+        let shared = mine_periods_shared(&s, PeriodRange::single(3).unwrap(), &config).unwrap();
         let single = crate::hitset::mine(&s, 3, &config).unwrap();
         assert_eq!(shared.results.len(), 1);
         assert_eq!(shared.results[0].frequent, single.frequent);

@@ -123,8 +123,7 @@ mod tests {
     fn depth_zero_mines_roots() {
         let (mut cat, tax, series) = setup();
         let config = MineConfig::new(0.9).unwrap();
-        let levels =
-            mine_multilevel(&series, &tax, 2, 0, &config, Algorithm::HitSet).unwrap();
+        let levels = mine_multilevel(&series, &tax, 2, 0, &config, Algorithm::HitSet).unwrap();
         assert_eq!(levels.len(), 1);
         // At the root level, offset 0 is "beverage" in every segment.
         let pat = Pattern::parse("beverage *", &mut cat).unwrap();
@@ -135,8 +134,7 @@ mod tests {
     fn drill_down_refines_until_confidence_breaks() {
         let (mut cat, tax, series) = setup();
         let config = MineConfig::new(0.9).unwrap();
-        let levels =
-            mine_multilevel(&series, &tax, 2, 2, &config, Algorithm::HitSet).unwrap();
+        let levels = mine_multilevel(&series, &tax, 2, 2, &config, Algorithm::HitSet).unwrap();
         // Depth 1: "coffee *" still periodic (every segment); tea at
         // offset 1 only reaches 0.5 and drops out.
         let coffee = Pattern::parse("coffee *", &mut cat).unwrap();
@@ -156,8 +154,7 @@ mod tests {
         // at depth 2 the tea occurrences must have been filtered away
         // entirely: its letter cannot reappear.
         let config = MineConfig::new(0.9).unwrap();
-        let levels =
-            mine_multilevel(&series, &tax, 2, 2, &config, Algorithm::HitSet).unwrap();
+        let levels = mine_multilevel(&series, &tax, 2, 2, &config, Algorithm::HitSet).unwrap();
         let tea = cat.intern("tea");
         assert!(levels[2].result.alphabet.index_of(1, tea).is_none());
     }
@@ -166,8 +163,7 @@ mod tests {
     fn lower_threshold_lets_fine_levels_survive() {
         let (mut cat, tax, series) = setup();
         let config = MineConfig::new(0.4).unwrap();
-        let levels =
-            mine_multilevel(&series, &tax, 2, 2, &config, Algorithm::HitSet).unwrap();
+        let levels = mine_multilevel(&series, &tax, 2, 2, &config, Algorithm::HitSet).unwrap();
         assert_eq!(levels.len(), 3);
         // espresso appears in half the segments at offset 0: conf 0.5 ≥ 0.4.
         let espresso = Pattern::parse("espresso *", &mut cat).unwrap();

@@ -10,11 +10,13 @@
 //! Results are bit-for-bit identical to the sequential miner — asserted by
 //! the tests — because every reduction here is a commutative sum.
 
+use std::any::Any;
 use std::collections::HashMap;
 
 use ppm_timeseries::{FeatureId, FeatureSeries};
 
 use crate::error::{Error, Result};
+use crate::guard::ResourceGuard;
 use crate::hitset::derive::{derive_frequent, CountStrategy};
 use crate::hitset::MaxSubpatternTree;
 use crate::letters::{Alphabet, LetterSet};
@@ -22,9 +24,28 @@ use crate::result::{FrequentPattern, MiningResult};
 use crate::scan::{MineConfig, Scan1};
 use crate::stats::MiningStats;
 
+/// Converts a worker panic payload into the typed [`Error::WorkerPanic`],
+/// so a crashing worker cannot take down the caller. Panic payloads are
+/// `&str` or `String` in practice (that is what `panic!` produces); any
+/// other payload gets a placeholder.
+fn worker_panic(payload: Box<dyn Any + Send>) -> Error {
+    let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    Error::WorkerPanic { detail }
+}
+
 /// [`crate::hitset::mine`] with both scans partitioned across `threads`
 /// worker threads (clamped to ≥ 1). `threads == 1` falls back to the
 /// sequential code path.
+///
+/// A panicking worker is isolated and surfaced as [`Error::WorkerPanic`];
+/// the [`MineConfig`] resource guards are honoured at the merge points
+/// after each scan.
 pub fn mine_parallel(
     series: &FeatureSeries,
     period: usize,
@@ -36,8 +57,12 @@ pub fn mine_parallel(
         return crate::hitset::mine(series, period, config);
     }
     if period == 0 || period > series.len() {
-        return Err(Error::InvalidPeriod { period, series_len: series.len() });
+        return Err(Error::InvalidPeriod {
+            period,
+            series_len: series.len(),
+        });
     }
+    let guard = ResourceGuard::new(config);
     let m = series.len() / period;
     let min_count = config.min_count(m);
 
@@ -65,8 +90,11 @@ pub fn mine_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan-1 worker panicked")).collect()
-    });
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(worker_panic))
+            .collect::<Result<Vec<_>>>()
+    })?;
     let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
     for partial in partials {
         for (k, v) in partial {
@@ -86,8 +114,22 @@ pub fn mine_parallel(
             counts[&(o as u32, f)]
         })
         .collect();
-    let scan1 = Scan1 { alphabet, letter_counts, segment_count: m, min_count };
-    let mut stats = MiningStats { series_scans: 2, max_level: 1, ..Default::default() };
+    let scan1 = Scan1 {
+        alphabet,
+        letter_counts,
+        segment_count: m,
+        min_count,
+    };
+    let mut stats = MiningStats {
+        series_scans: 2,
+        max_level: 1,
+        ..Default::default()
+    };
+    guard.check_deadline(&MiningStats {
+        series_scans: 1,
+        max_level: 1,
+        ..Default::default()
+    })?;
 
     // ---- Scan 2, partitioned: per-thread trees, merged afterwards.
     let scan1_ref = &scan1;
@@ -96,8 +138,7 @@ pub fn mine_parallel(
             .iter()
             .map(|&(lo, hi)| {
                 scope.spawn(move || {
-                    let mut tree =
-                        MaxSubpatternTree::new(scan1_ref.alphabet.full_set());
+                    let mut tree = MaxSubpatternTree::new(scan1_ref.alphabet.full_set());
                     let mut hit = scan1_ref.alphabet.empty_set();
                     for j in lo..hi {
                         hit.clear();
@@ -116,15 +157,25 @@ pub fn mine_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan-2 worker panicked")).collect()
-    });
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(worker_panic))
+            .collect::<Result<Vec<_>>>()
+    })?;
     let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
     for partial in &trees {
         tree.merge_from(partial);
+        if guard.tree_over_budget(tree.node_count()) {
+            stats.tree_nodes = tree.node_count();
+            stats.distinct_hits = tree.distinct_hits();
+            stats.hit_insertions = tree.total_hits();
+            return Err(guard.tree_error(tree.node_count(), &stats));
+        }
     }
     stats.tree_nodes = tree.node_count();
     stats.distinct_hits = tree.distinct_hits();
     stats.hit_insertions = tree.total_hits();
+    guard.check_deadline(&stats)?;
 
     // ---- Derivation (sequential; it is in-memory and cheap relative to
     // the scans on realistic data).
@@ -138,7 +189,13 @@ pub fn mine_parallel(
             count,
         })
         .collect();
-    derive_frequent(&tree, &scan1, CountStrategy::default(), &mut frequent, &mut stats);
+    derive_frequent(
+        &tree,
+        &scan1,
+        CountStrategy::default(),
+        &mut frequent,
+        &mut stats,
+    );
 
     let mut result = MiningResult {
         period,
@@ -222,6 +279,59 @@ mod tests {
         let s = noisy_series(60);
         let config = MineConfig::new(0.5).unwrap();
         assert!(mine_parallel(&s, 6, &config, 0).is_ok());
+    }
+
+    #[test]
+    fn worker_panic_payloads_become_typed_errors() {
+        let e = worker_panic(Box::new("scan-2 worker blew up"));
+        assert!(matches!(&e, Error::WorkerPanic { detail } if detail.contains("blew up")));
+        let e = worker_panic(Box::new(String::from("heap message")));
+        assert!(matches!(&e, Error::WorkerPanic { detail } if detail == "heap message"));
+        let e = worker_panic(Box::new(42usize));
+        assert!(matches!(&e, Error::WorkerPanic { detail } if detail.contains("non-string")));
+    }
+
+    /// Per-instant coin flips on four features: segment hits vary, so the
+    /// merged tree genuinely grows.
+    fn busy_series(n: usize) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 7;
+        for _ in 0..n {
+            let mut inst = Vec::new();
+            for f in 0..4u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 33).is_multiple_of(2) {
+                    inst.push(fid(f));
+                }
+            }
+            b.push_instant(inst);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_honours_tree_budget() {
+        let s = busy_series(1200);
+        let config = MineConfig::new(0.2).unwrap().with_max_tree_nodes(1);
+        let err = mine_parallel(&s, 6, &config, 4).unwrap_err();
+        match err {
+            Error::TreeBudgetExceeded {
+                budget: 1, stats, ..
+            } => {
+                assert!(stats.hit_insertions >= 1);
+            }
+            other => panic!("expected TreeBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_honours_zero_deadline() {
+        let s = noisy_series(1200);
+        let config = MineConfig::new(0.4)
+            .unwrap()
+            .with_deadline(std::time::Duration::ZERO);
+        let err = mine_parallel(&s, 6, &config, 4).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got {err:?}");
     }
 
     #[test]

@@ -86,7 +86,9 @@ impl Pattern {
 
     /// The all-`*` pattern of period `p` (matches every segment).
     pub fn all_star(p: usize) -> Pattern {
-        Pattern { symbols: vec![Symbol::Star; p] }
+        Pattern {
+            symbols: vec![Symbol::Star; p],
+        }
     }
 
     /// The pattern's period `p`.
@@ -115,13 +117,17 @@ impl Pattern {
     /// `*` as the empty set).
     pub fn is_subpattern_of(&self, other: &Pattern) -> bool {
         self.period() == other.period()
-            && self.symbols.iter().zip(&other.symbols).all(|(a, b)| match (a, b) {
-                (Symbol::Star, _) => true,
-                (Symbol::Letters(_), Symbol::Star) => false,
-                (Symbol::Letters(x), Symbol::Letters(y)) => {
-                    x.iter().all(|f| y.binary_search(f).is_ok())
-                }
-            })
+            && self
+                .symbols
+                .iter()
+                .zip(&other.symbols)
+                .all(|(a, b)| match (a, b) {
+                    (Symbol::Star, _) => true,
+                    (Symbol::Letters(_), Symbol::Star) => false,
+                    (Symbol::Letters(x), Symbol::Letters(y)) => {
+                        x.iter().all(|f| y.binary_search(f).is_ok())
+                    }
+                })
     }
 
     /// Whether this pattern is true in (matches) `segment` (paper §2).
@@ -136,7 +142,10 @@ impl Pattern {
             segment.period(),
             self.period()
         );
-        self.symbols.iter().enumerate().all(|(o, sym)| sym.matches(segment.at(o)))
+        self.symbols
+            .iter()
+            .enumerate()
+            .all(|(o, sym)| sym.matches(segment.at(o)))
     }
 
     /// Encodes this pattern as a [`LetterSet`] over `alphabet`. Returns
@@ -198,7 +207,9 @@ impl Pattern {
             }
         }
         if symbols.is_empty() {
-            return Err(Error::PatternParse { detail: "empty pattern".into() });
+            return Err(Error::PatternParse {
+                detail: "empty pattern".into(),
+            });
         }
         Ok(Pattern { symbols })
     }
@@ -206,7 +217,10 @@ impl Pattern {
     /// Renders the pattern with names from `catalog` (see module docs for
     /// the syntax). Unknown ids render as `f{raw}` placeholders.
     pub fn display<'a>(&'a self, catalog: &'a FeatureCatalog) -> PatternDisplay<'a> {
-        PatternDisplay { pattern: self, catalog }
+        PatternDisplay {
+            pattern: self,
+            catalog,
+        }
     }
 
     /// Renders in the paper's compact juxtaposed style (`a{b1,b2}*d*`):
@@ -355,8 +369,7 @@ mod tests {
 
         let mut cat2 = cat.clone();
         let pat = Pattern::parse("a * b", &mut cat2).unwrap();
-        let matches: usize =
-            segs.iter().filter(|s| pat.matches_segment(s)).count();
+        let matches: usize = segs.iter().filter(|s| pat.matches_segment(s)).count();
         assert_eq!(matches, 2);
 
         // §2: frequency of a** in the same series is 3.

@@ -180,8 +180,11 @@ mod tests {
         let out = mine_perfect(&s, PeriodRange::new(2, 6).unwrap()).unwrap();
         assert_eq!(out.len(), 5);
         // Perfect only at periods 3 and 6 (multiples of the plant).
-        let with_patterns: Vec<usize> =
-            out.iter().filter(|p| p.has_pattern()).map(|p| p.period).collect();
+        let with_patterns: Vec<usize> = out
+            .iter()
+            .filter(|p| p.has_pattern())
+            .map(|p| p.period)
+            .collect();
         assert_eq!(with_patterns, vec![3, 6]);
     }
 

@@ -82,8 +82,7 @@ mod tests {
     fn enlargement_recovers_the_event() {
         let s = jittered(30);
         let config = MineConfig::new(0.9).unwrap();
-        let tolerant =
-            mine_with_slot_enlargement(&s, 8, 1, &config, Algorithm::HitSet).unwrap();
+        let tolerant = mine_with_slot_enlargement(&s, 8, 1, &config, Algorithm::HitSet).unwrap();
         // Offset 3 ± 1 always contains the event.
         let mut cat = ppm_timeseries::FeatureCatalog::new();
         cat.intern("f0");
@@ -105,16 +104,12 @@ mod tests {
         let s = jittered(30);
         let config = MineConfig::new(0.1).unwrap();
         let exact = mine(&s, 8, &config, Algorithm::HitSet).unwrap();
-        let wide =
-            mine_with_slot_enlargement(&s, 8, 1, &config, Algorithm::HitSet).unwrap();
+        let wide = mine_with_slot_enlargement(&s, 8, 1, &config, Algorithm::HitSet).unwrap();
         // Every pattern frequent under exact matching stays frequent (with
         // count no smaller) under enlargement.
         for (pattern, count, _) in exact.patterns() {
             let wide_count = wide.count_of(&pattern).unwrap_or(0);
-            assert!(
-                wide_count >= count,
-                "{pattern:?}: {wide_count} < {count}"
-            );
+            assert!(wide_count >= count, "{pattern:?}: {wide_count} < {count}");
         }
     }
 

@@ -66,7 +66,10 @@ impl MiningResult {
             let la = a.letters.len();
             let lb = b.letters.len();
             la.cmp(&lb).then_with(|| {
-                a.letters.iter().collect::<Vec<_>>().cmp(&b.letters.iter().collect())
+                a.letters
+                    .iter()
+                    .collect::<Vec<_>>()
+                    .cmp(&b.letters.iter().collect())
             })
         });
     }
@@ -90,7 +93,9 @@ impl MiningResult {
 
     /// Frequent patterns with L-length exactly `k` (distinct offsets).
     pub fn with_l_length(&self, k: usize) -> impl Iterator<Item = &FrequentPattern> {
-        self.frequent.iter().filter(move |fp| self.alphabet.l_length_of(&fp.letters) == k)
+        self.frequent
+            .iter()
+            .filter(move |fp| self.alphabet.l_length_of(&fp.letters) == k)
     }
 
     /// The maximum L-length over all frequent patterns (the paper's
@@ -105,7 +110,11 @@ impl MiningResult {
 
     /// The largest letter count among frequent patterns.
     pub fn max_letter_count(&self) -> usize {
-        self.frequent.iter().map(|fp| fp.letters.len()).max().unwrap_or(0)
+        self.frequent
+            .iter()
+            .map(|fp| fp.letters.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Looks up the exact count of a symbolic pattern, if it is frequent.
@@ -114,7 +123,10 @@ impl MiningResult {
     /// `None`.
     pub fn count_of(&self, pattern: &Pattern) -> Option<u64> {
         let set = pattern.to_letter_set(&self.alphabet)?;
-        self.frequent.iter().find(|fp| fp.letters == set).map(|fp| fp.count)
+        self.frequent
+            .iter()
+            .find(|fp| fp.letters == set)
+            .map(|fp| fp.count)
     }
 
     /// The *maximal* frequent patterns: those with no frequent proper
@@ -125,8 +137,7 @@ impl MiningResult {
             .iter()
             .filter(|fp| {
                 !self.frequent.iter().any(|other| {
-                    other.letters.len() > fp.letters.len()
-                        && fp.letters.is_subset(&other.letters)
+                    other.letters.len() > fp.letters.len() && fp.letters.is_subset(&other.letters)
                 })
             })
             .collect()
@@ -137,7 +148,12 @@ impl MiningResult {
     pub fn report(&self, catalog: &FeatureCatalog, limit: usize) -> String {
         use std::fmt::Write as _;
         let mut rows: Vec<_> = self.frequent.iter().collect();
-        rows.sort_by(|a, b| b.letters.len().cmp(&a.letters.len()).then(b.count.cmp(&a.count)));
+        rows.sort_by(|a, b| {
+            b.letters
+                .len()
+                .cmp(&a.letters.len())
+                .then(b.count.cmp(&a.count))
+        });
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -198,7 +214,10 @@ mod tests {
 
     #[test]
     fn confidence_divides_by_segments() {
-        let fp = FrequentPattern { letters: LetterSet::new(4), count: 5 };
+        let fp = FrequentPattern {
+            letters: LetterSet::new(4),
+            count: 5,
+        };
         assert!((fp.confidence(10) - 0.5).abs() < 1e-12);
         assert_eq!(fp.confidence(0), 0.0);
     }
@@ -238,8 +257,11 @@ mod tests {
             (vec![0, 2], 5),
             (vec![3], 7),
         ]);
-        let max: Vec<Vec<usize>> =
-            r.maximal().iter().map(|f| f.letters.iter().collect()).collect();
+        let max: Vec<Vec<usize>> = r
+            .maximal()
+            .iter()
+            .map(|f| f.letters.iter().collect())
+            .collect();
         assert!(max.contains(&vec![0, 2]));
         assert!(max.contains(&vec![3]));
         assert!(!max.contains(&vec![0]));

@@ -57,8 +57,11 @@ impl PeriodicRule {
 /// least `min_rule_confidence`, sorted by descending confidence then
 /// descending support.
 pub fn generate_rules(result: &MiningResult, min_rule_confidence: f64) -> Vec<PeriodicRule> {
-    let counts: HashMap<&LetterSet, u64> =
-        result.frequent.iter().map(|fp| (&fp.letters, fp.count)).collect();
+    let counts: HashMap<&LetterSet, u64> = result
+        .frequent
+        .iter()
+        .map(|fp| (&fp.letters, fp.count))
+        .collect();
 
     let mut rules = Vec::new();
     for fp in &result.frequent {
@@ -116,8 +119,7 @@ mod tests {
 
     #[test]
     fn rule_confidence_is_conditional() {
-        let result =
-            crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let result = crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
         let rules = generate_rules(&result, 0.0);
         // Two rules from the pair {f0@0, f1@1}: f0 => f1 (6/8) and
         // f1 => f0 (6/6 = 1.0).
@@ -131,8 +133,7 @@ mod tests {
 
     #[test]
     fn threshold_filters_rules() {
-        let result =
-            crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let result = crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
         let rules = generate_rules(&result, 0.9);
         assert_eq!(rules.len(), 1);
         assert!((rules[0].confidence - 1.0).abs() < 1e-12);
@@ -140,8 +141,7 @@ mod tests {
 
     #[test]
     fn rules_sorted_by_confidence() {
-        let result =
-            crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let result = crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
         let rules = generate_rules(&result, 0.0);
         for w in rules.windows(2) {
             assert!(w[0].confidence >= w[1].confidence);
@@ -153,8 +153,7 @@ mod tests {
         let mut cat = ppm_timeseries::FeatureCatalog::new();
         cat.intern("coffee");
         cat.intern("paper");
-        let result =
-            crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        let result = crate::hitset::mine(&series(), 2, &MineConfig::new(0.5).unwrap()).unwrap();
         let rules = generate_rules(&result, 0.9);
         let text = rules[0].display(&result, &cat);
         assert!(text.contains("=>"), "{text}");
@@ -169,8 +168,7 @@ mod tests {
             b.push_instant([fid(0)]);
             b.push_instant(if j % 2 == 0 { vec![fid(1)] } else { vec![] });
         }
-        let result =
-            crate::hitset::mine(&b.finish(), 2, &MineConfig::new(0.9).unwrap()).unwrap();
+        let result = crate::hitset::mine(&b.finish(), 2, &MineConfig::new(0.9).unwrap()).unwrap();
         assert!(generate_rules(&result, 0.0).is_empty());
     }
 }

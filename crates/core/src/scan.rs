@@ -7,30 +7,71 @@
 //! letter [`Alphabet`] — the candidate max-pattern `C_max`.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use ppm_timeseries::{FeatureId, FeatureSeries};
 
 use crate::error::{Error, Result};
 use crate::letters::Alphabet;
 
-/// The confidence threshold for mining, validated to lie in `(0, 1]`.
+/// Mining configuration: the confidence threshold (validated to lie in
+/// `(0, 1]`) plus optional resource guards — a wall-clock deadline and a
+/// max-subpattern-tree node budget — that abort a runaway mine with a typed
+/// error carrying partial statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MineConfig {
     min_confidence: f64,
+    max_duration: Option<Duration>,
+    max_tree_nodes: Option<usize>,
 }
 
 impl MineConfig {
-    /// Creates a config; `min_confidence` must be in `(0, 1]`.
+    /// Creates a config; `min_confidence` must be in `(0, 1]`. No resource
+    /// guards are set.
     pub fn new(min_confidence: f64) -> Result<Self> {
         if !(min_confidence > 0.0 && min_confidence <= 1.0) {
-            return Err(Error::InvalidConfidence { value: min_confidence });
+            return Err(Error::InvalidConfidence {
+                value: min_confidence,
+            });
         }
-        Ok(MineConfig { min_confidence })
+        Ok(MineConfig {
+            min_confidence,
+            max_duration: None,
+            max_tree_nodes: None,
+        })
+    }
+
+    /// Sets a wall-clock deadline: guarded miners abort with
+    /// [`Error::DeadlineExceeded`](crate::Error::DeadlineExceeded) once
+    /// mining has run for `max_duration`. The check fires at segment
+    /// granularity, so the overrun beyond the deadline is bounded by the
+    /// time to process one segment batch.
+    pub fn with_deadline(mut self, max_duration: Duration) -> Self {
+        self.max_duration = Some(max_duration);
+        self
+    }
+
+    /// Sets a node budget for the max-subpattern tree: guarded miners abort
+    /// with [`Error::TreeBudgetExceeded`](crate::Error::TreeBudgetExceeded)
+    /// as soon as an insert grows the tree past `max_tree_nodes`.
+    pub fn with_max_tree_nodes(mut self, max_tree_nodes: usize) -> Self {
+        self.max_tree_nodes = Some(max_tree_nodes);
+        self
     }
 
     /// The confidence threshold.
     pub fn min_confidence(&self) -> f64 {
         self.min_confidence
+    }
+
+    /// The wall-clock deadline, if one is set.
+    pub fn max_duration(&self) -> Option<Duration> {
+        self.max_duration
+    }
+
+    /// The tree-node budget, if one is set.
+    pub fn max_tree_nodes(&self) -> Option<usize> {
+        self.max_tree_nodes
     }
 
     /// The smallest frequency count that meets the threshold for `m` whole
@@ -50,9 +91,13 @@ impl MineConfig {
 }
 
 impl Default for MineConfig {
-    /// A permissive default threshold of 0.5.
+    /// A permissive default threshold of 0.5 and no resource guards.
     fn default() -> Self {
-        MineConfig { min_confidence: 0.5 }
+        MineConfig {
+            min_confidence: 0.5,
+            max_duration: None,
+            max_tree_nodes: None,
+        }
     }
 }
 
@@ -78,7 +123,10 @@ pub fn scan_frequent_letters(
     config: &MineConfig,
 ) -> Result<Scan1> {
     if period == 0 || period > series.len() {
-        return Err(Error::InvalidPeriod { period, series_len: series.len() });
+        return Err(Error::InvalidPeriod {
+            period,
+            series_len: series.len(),
+        });
     }
     let m = series.len() / period;
     let min_count = config.min_count(m);
@@ -103,7 +151,12 @@ pub fn scan_frequent_letters(
         })
         .collect();
 
-    Ok(Scan1 { alphabet, letter_counts, segment_count: m, min_count })
+    Ok(Scan1 {
+        alphabet,
+        letter_counts,
+        segment_count: m,
+        min_count,
+    })
 }
 
 #[cfg(test)]
@@ -123,6 +176,20 @@ mod tests {
         assert!(MineConfig::new(f64::NAN).is_err());
         assert!(MineConfig::new(1.0).is_ok());
         assert!(MineConfig::new(0.001).is_ok());
+    }
+
+    #[test]
+    fn guard_builders_round_trip() {
+        let c = MineConfig::new(0.5).unwrap();
+        assert_eq!(c.max_duration(), None);
+        assert_eq!(c.max_tree_nodes(), None);
+        let c = c
+            .with_deadline(Duration::from_secs(3))
+            .with_max_tree_nodes(100);
+        assert_eq!(c.max_duration(), Some(Duration::from_secs(3)));
+        assert_eq!(c.max_tree_nodes(), Some(100));
+        // Guards don't affect threshold equality semantics of the base.
+        assert_eq!(c.min_confidence(), 0.5);
     }
 
     #[test]
@@ -174,10 +241,7 @@ mod tests {
         let scan = scan_frequent_letters(&s, 2, &cfg).unwrap();
         assert_eq!(scan.segment_count, 2);
         // fid(99) must not appear even as a counted letter.
-        assert!(scan
-            .alphabet
-            .iter()
-            .all(|(_, _, f)| f == fid(1)));
+        assert!(scan.alphabet.iter().all(|(_, _, f)| f == fid(1)));
     }
 
     #[test]

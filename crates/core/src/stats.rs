@@ -83,7 +83,11 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = MiningStats { series_scans: 2, max_level: 3, ..Default::default() };
+        let mut a = MiningStats {
+            series_scans: 2,
+            max_level: 3,
+            ..Default::default()
+        };
         let b = MiningStats {
             series_scans: 2,
             candidates_generated: 10,

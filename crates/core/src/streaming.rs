@@ -18,6 +18,7 @@ use ppm_timeseries::{FeatureId, SeriesSource};
 
 use crate::apriori::{for_each_combination, join_candidates};
 use crate::error::{Error, Result};
+use crate::guard::{ResourceGuard, DEADLINE_CHECK_INTERVAL};
 use crate::hitset::derive::{derive_frequent, CountStrategy};
 use crate::hitset::MaxSubpatternTree;
 use crate::letters::{Alphabet, LetterSet};
@@ -33,7 +34,10 @@ pub fn scan_frequent_letters_streaming(
 ) -> Result<Scan1> {
     let n = source.instant_count();
     if period == 0 || period > n {
-        return Err(Error::InvalidPeriod { period, series_len: n });
+        return Err(Error::InvalidPeriod {
+            period,
+            series_len: n,
+        });
     }
     let m = n / period;
     let usable = m * period;
@@ -62,7 +66,12 @@ pub fn scan_frequent_letters_streaming(
             counts[&(o as u32, f)]
         })
         .collect();
-    Ok(Scan1 { alphabet, letter_counts, segment_count: m, min_count })
+    Ok(Scan1 {
+        alphabet,
+        letter_counts,
+        segment_count: m,
+        min_count,
+    })
 }
 
 /// Algorithm 3.2 over a source: exactly two physical passes.
@@ -71,19 +80,32 @@ pub fn mine_hitset_streaming(
     period: usize,
     config: &MineConfig,
 ) -> Result<MiningResult> {
+    let guard = ResourceGuard::new(config);
     let scans_before = source.scans_performed();
     let scan1 = scan_frequent_letters_streaming(source, period, config)?;
     let m = scan1.segment_count;
     let usable = m * period;
+    guard.check_deadline(&MiningStats {
+        series_scans: source.scans_performed() - scans_before,
+        max_level: 1,
+        ..Default::default()
+    })?;
 
-    // Pass 2: segment hits straight into the tree.
+    // Pass 2: segment hits straight into the tree. Scan closures cannot
+    // return errors, so guard violations raise a flag that mutes the rest
+    // of the pass and is converted to the typed error afterwards.
     let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+    let mut over_budget = false;
+    let mut past_deadline = false;
     {
         let mut hit = scan1.alphabet.empty_set();
         let alphabet = &scan1.alphabet;
         let tree = &mut tree;
+        let over_budget = &mut over_budget;
+        let past_deadline = &mut past_deadline;
+        let mut segments_done = 0usize;
         source.scan(&mut |t, features| {
-            if t >= usable {
+            if t >= usable || *over_budget || *past_deadline {
                 return;
             }
             let offset = t % period;
@@ -91,10 +113,34 @@ pub fn mine_hitset_streaming(
             if offset == period - 1 {
                 if hit.len() >= 2 {
                     tree.insert(&hit);
+                    if guard.tree_over_budget(tree.node_count()) {
+                        *over_budget = true;
+                    }
                 }
                 hit.clear();
+                segments_done += 1;
+                if segments_done.is_multiple_of(DEADLINE_CHECK_INTERVAL)
+                    && guard.deadline_exceeded()
+                {
+                    *past_deadline = true;
+                }
             }
         })?;
+    }
+    if over_budget || past_deadline {
+        let stats = MiningStats {
+            series_scans: source.scans_performed() - scans_before,
+            max_level: 1,
+            tree_nodes: tree.node_count(),
+            distinct_hits: tree.distinct_hits(),
+            hit_insertions: tree.total_hits(),
+            ..Default::default()
+        };
+        return Err(if over_budget {
+            guard.tree_error(tree.node_count(), &stats)
+        } else {
+            guard.deadline_error(&stats)
+        });
     }
 
     let mut stats = MiningStats {
@@ -116,7 +162,13 @@ pub fn mine_hitset_streaming(
             count,
         })
         .collect();
-    derive_frequent(&tree, &scan1, CountStrategy::default(), &mut frequent, &mut stats);
+    derive_frequent(
+        &tree,
+        &scan1,
+        CountStrategy::default(),
+        &mut frequent,
+        &mut stats,
+    );
 
     let mut result = MiningResult {
         period,
@@ -131,6 +183,176 @@ pub fn mine_hitset_streaming(
     Ok(result)
 }
 
+/// Algorithm 3.2 broken into resumable steps, with scan-2 progress tracked
+/// at **segment granularity**.
+///
+/// [`mine_hitset_streaming`] runs both scans inside one call, so an
+/// interruption during scan 2 (source failure with retries exhausted,
+/// operator abort) loses the whole pass. This miner keeps the
+/// max-subpattern tree and a count of completed segments across failures: a
+/// [`run_scan2`](Self::run_scan2) that errors out retains every segment it
+/// finished, and the next call re-scans the source while *skipping* those
+/// segments — work lost to an interruption is bounded by one segment.
+///
+/// The reported `series_scans` counts scan 1 plus one per physical
+/// [`run_scan2`](Self::run_scan2) pass, so an uninterrupted run reports
+/// exactly 2, and the [`MiningResult`] is then identical to
+/// [`mine_hitset_streaming`]'s.
+///
+/// ```
+/// use ppm_core::streaming::ResumableHitsetMiner;
+/// use ppm_core::MineConfig;
+/// use ppm_timeseries::{MemorySource, SeriesBuilder};
+///
+/// let mut b = SeriesBuilder::new();
+/// for t in 0..12u32 {
+///     b.push_instant([ppm_timeseries::FeatureId::from_raw(t % 3)]);
+/// }
+/// let series = b.finish();
+/// let mut source = MemorySource::new(&series);
+/// let config = MineConfig::new(0.9).unwrap();
+///
+/// let mut miner = ResumableHitsetMiner::start(&mut source, 3, &config).unwrap();
+/// miner.run_scan2(&mut source).unwrap();
+/// assert!(miner.scan2_complete());
+/// let result = miner.finish();
+/// assert_eq!(result.stats.series_scans, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResumableHitsetMiner {
+    period: usize,
+    config: MineConfig,
+    scan1: Scan1,
+    tree: MaxSubpatternTree,
+    segments_done: usize,
+    scan2_passes: usize,
+}
+
+impl ResumableHitsetMiner {
+    /// Runs scan 1 (one physical pass) and prepares an empty tree.
+    pub fn start(
+        source: &mut dyn SeriesSource,
+        period: usize,
+        config: &MineConfig,
+    ) -> Result<Self> {
+        let scan1 = scan_frequent_letters_streaming(source, period, config)?;
+        let tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
+        Ok(ResumableHitsetMiner {
+            period,
+            config: *config,
+            scan1,
+            tree,
+            segments_done: 0,
+            scan2_passes: 0,
+        })
+    }
+
+    /// The mining period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Total whole segments scan 2 must process.
+    pub fn segment_count(&self) -> usize {
+        self.scan1.segment_count
+    }
+
+    /// Segments already folded into the tree — survives a failed
+    /// [`run_scan2`](Self::run_scan2).
+    pub fn segments_done(&self) -> usize {
+        self.segments_done
+    }
+
+    /// Whether every segment has been processed.
+    pub fn scan2_complete(&self) -> bool {
+        self.segments_done >= self.scan1.segment_count
+    }
+
+    /// One physical scan-2 pass: re-scans `source` from the start, skips
+    /// the segments already done, and folds the rest into the tree. On
+    /// error, all segments completed before the failure are retained; call
+    /// again (typically after the transient condition clears) to resume.
+    /// A call when scan 2 is already complete performs no scan.
+    pub fn run_scan2(&mut self, source: &mut dyn SeriesSource) -> Result<()> {
+        if self.scan2_complete() {
+            return Ok(());
+        }
+        self.scan2_passes += 1;
+        let period = self.period;
+        let usable = self.scan1.segment_count * period;
+        let alphabet = &self.scan1.alphabet;
+        let tree = &mut self.tree;
+        let done = &mut self.segments_done;
+        let mut hit = alphabet.empty_set();
+        source.scan(&mut |t, features| {
+            if t >= usable {
+                return;
+            }
+            let j = t / period;
+            if j < *done {
+                return;
+            }
+            let offset = t % period;
+            alphabet.project_instant(offset, features, &mut hit);
+            if offset == period - 1 {
+                if hit.len() >= 2 {
+                    tree.insert(&hit);
+                }
+                hit.clear();
+                *done = j + 1;
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Derives the frequent patterns from scan 1 and the tree.
+    ///
+    /// Normally called once [`scan2_complete`](Self::scan2_complete); if
+    /// called earlier the result reflects only the segments processed so
+    /// far (a partial, degraded answer — pattern counts can only grow with
+    /// more segments).
+    pub fn finish(self) -> MiningResult {
+        let scan1 = self.scan1;
+        let mut stats = MiningStats {
+            series_scans: 1 + self.scan2_passes,
+            max_level: 1,
+            tree_nodes: self.tree.node_count(),
+            distinct_hits: self.tree.distinct_hits(),
+            hit_insertions: self.tree.total_hits(),
+            ..Default::default()
+        };
+        let n_letters = scan1.alphabet.len();
+        let mut frequent: Vec<FrequentPattern> = scan1
+            .letter_counts
+            .iter()
+            .enumerate()
+            .map(|(idx, &count)| FrequentPattern {
+                letters: LetterSet::from_indices(n_letters, [idx]),
+                count,
+            })
+            .collect();
+        derive_frequent(
+            &self.tree,
+            &scan1,
+            CountStrategy::default(),
+            &mut frequent,
+            &mut stats,
+        );
+
+        let mut result = MiningResult {
+            period: self.period,
+            segment_count: scan1.segment_count,
+            min_confidence: self.config.min_confidence(),
+            min_count: scan1.min_count,
+            alphabet: scan1.alphabet,
+            frequent,
+            stats,
+        };
+        result.sort();
+        result
+    }
+}
+
 /// Algorithm 3.1 over a source: one physical pass per level.
 pub fn mine_apriori_streaming(
     source: &mut dyn SeriesSource,
@@ -143,7 +365,10 @@ pub fn mine_apriori_streaming(
     let usable = m * period;
     let n_letters = scan1.alphabet.len();
 
-    let mut stats = MiningStats { max_level: 1, ..Default::default() };
+    let mut stats = MiningStats {
+        max_level: 1,
+        ..Default::default()
+    };
     let mut frequent: Vec<FrequentPattern> = scan1
         .letter_counts
         .iter()
@@ -166,8 +391,11 @@ pub fn mine_apriori_streaming(
         stats.max_level = k;
 
         // One physical pass counting this level's candidates.
-        let by_pattern: HashMap<&[u32], usize> =
-            candidates.iter().enumerate().map(|(i, c)| (c.as_slice(), i)).collect();
+        let by_pattern: HashMap<&[u32], usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.as_slice(), i))
+            .collect();
         let candidate_sets: Vec<LetterSet> = candidates
             .iter()
             .map(|c| LetterSet::from_indices(n_letters, c.iter().map(|&l| l as usize)))
@@ -216,10 +444,7 @@ pub fn mine_apriori_streaming(
         for (cand, count) in candidates.into_iter().zip(counts) {
             if count >= scan1.min_count {
                 frequent.push(FrequentPattern {
-                    letters: LetterSet::from_indices(
-                        n_letters,
-                        cand.iter().map(|&l| l as usize),
-                    ),
+                    letters: LetterSet::from_indices(n_letters, cand.iter().map(|&l| l as usize)),
                     count,
                 });
                 next_level.push(cand);
@@ -314,5 +539,121 @@ mod tests {
         let mut src = MemorySource::new(&s);
         assert!(mine_hitset_streaming(&mut src, 0, &config).is_err());
         assert!(mine_hitset_streaming(&mut src, 11, &config).is_err());
+    }
+
+    /// A series whose segment hits vary, so the tree actually grows.
+    fn busy(n: usize) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 7;
+        for _ in 0..n {
+            let mut inst = Vec::new();
+            for f in 0..4u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 33).is_multiple_of(2) {
+                    inst.push(fid(f));
+                }
+            }
+            b.push_instant(inst);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn streaming_tree_budget_aborts_with_partial_stats() {
+        let s = busy(400);
+        let config = MineConfig::new(0.2).unwrap().with_max_tree_nodes(2);
+        let mut src = MemorySource::new(&s);
+        let err = mine_hitset_streaming(&mut src, 8, &config).unwrap_err();
+        match err {
+            Error::TreeBudgetExceeded {
+                nodes,
+                budget,
+                stats,
+            } => {
+                assert_eq!(budget, 2);
+                assert!(nodes > 2);
+                assert!(stats.hit_insertions >= 1);
+            }
+            other => panic!("expected TreeBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_zero_deadline_aborts() {
+        let s = busy(400);
+        let config = MineConfig::new(0.2)
+            .unwrap()
+            .with_deadline(std::time::Duration::ZERO);
+        let mut src = MemorySource::new(&s);
+        let err = mine_hitset_streaming(&mut src, 8, &config).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got {err:?}");
+        assert_eq!(err.partial_stats().unwrap().series_scans, 1);
+    }
+
+    #[test]
+    fn resumable_clean_run_matches_one_shot() {
+        let s = busy(400);
+        let config = MineConfig::new(0.2).unwrap();
+        let mut src = MemorySource::new(&s);
+        let expect = mine_hitset_streaming(&mut src, 8, &config).unwrap();
+
+        let mut src = MemorySource::new(&s);
+        let mut miner = ResumableHitsetMiner::start(&mut src, 8, &config).unwrap();
+        assert_eq!(miner.segment_count(), 50);
+        assert_eq!(miner.segments_done(), 0);
+        miner.run_scan2(&mut src).unwrap();
+        assert!(miner.scan2_complete());
+        let got = miner.finish();
+        assert_eq!(got.frequent, expect.frequent);
+        assert_eq!(
+            got.stats, expect.stats,
+            "clean resumable run is bit-identical"
+        );
+    }
+
+    #[test]
+    fn resumable_interrupted_scan2_keeps_segment_progress() {
+        use ppm_timeseries::{Fault, FaultInjectingSource, FaultPlan};
+
+        let s = busy(400);
+        let config = MineConfig::new(0.2).unwrap();
+        let mut clean = MemorySource::new(&s);
+        let expect = mine_hitset_streaming(&mut clean, 8, &config).unwrap();
+
+        // Attempt 0 is scan 1 (clean); attempt 1 — the first scan-2 pass —
+        // dies after 303 instants (37 whole segments of period 8).
+        let plan = FaultPlan::new().fail_scan(1, Fault::ShortRead { instants: 303 });
+        let mut src = FaultInjectingSource::new(MemorySource::new(&s), plan);
+
+        let mut miner = ResumableHitsetMiner::start(&mut src, 8, &config).unwrap();
+        let err = miner.run_scan2(&mut src).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(miner.segments_done(), 37, "progress survives the failure");
+        assert!(!miner.scan2_complete());
+
+        // The retry pass completes the remaining segments without
+        // re-inserting the first 37.
+        miner.run_scan2(&mut src).unwrap();
+        assert!(miner.scan2_complete());
+        let got = miner.finish();
+        assert_eq!(got.frequent, expect.frequent);
+        assert_eq!(got.stats.hit_insertions, expect.stats.hit_insertions);
+        assert_eq!(
+            got.stats.series_scans, 3,
+            "scan 1 + two physical scan-2 passes"
+        );
+    }
+
+    #[test]
+    fn resumable_run_after_completion_is_a_no_op() {
+        let s = busy(80);
+        let config = MineConfig::new(0.2).unwrap();
+        let mut src = MemorySource::new(&s);
+        let mut miner = ResumableHitsetMiner::start(&mut src, 8, &config).unwrap();
+        miner.run_scan2(&mut src).unwrap();
+        let scans = src.scans_performed();
+        miner.run_scan2(&mut src).unwrap();
+        assert_eq!(src.scans_performed(), scans, "no extra physical scan");
+        assert_eq!(miner.finish().stats.series_scans, 2);
     }
 }

@@ -3,10 +3,10 @@
 //! The paper's synthetic generator (§5.1) sizes its potentially frequent
 //! 1-patterns with a Poisson distribution and places patterns into the
 //! series with exponentially distributed weights. These two samplers are
-//! implemented here over the plain [`rand`] core traits — small enough that
-//! pulling in a distributions crate is not justified.
+//! implemented here over the in-repo [`crate::rng`] traits — small enough
+//! that pulling in a distributions crate is not justified.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Samples a Poisson-distributed count with the given mean (Knuth's
 /// multiplication method — exact, O(λ) per draw, fine for the small means
@@ -15,7 +15,10 @@ use rand::Rng;
 /// # Panics
 /// Panics if `mean` is not finite and positive.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean > 0.0, "Poisson mean must be positive, got {mean}");
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "Poisson mean must be positive, got {mean}"
+    );
     let limit = (-mean).exp();
     let mut product: f64 = rng.random();
     let mut count = 0u64;
@@ -32,7 +35,10 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 /// # Panics
 /// Panics if `rate` is not finite and positive.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive, got {rate}");
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be positive, got {rate}"
+    );
     let u: f64 = rng.random();
     // 1 - u is in (0, 1]; ln of it is finite.
     -(1.0 - u).ln() / rate
@@ -47,7 +53,10 @@ pub fn exponential_probabilities<R: Rng + ?Sized>(
     lo: f64,
     hi: f64,
 ) -> Vec<f64> {
-    assert!(lo <= hi && lo >= 0.0 && hi <= 1.0, "bad probability band [{lo}, {hi}]");
+    assert!(
+        lo <= hi && lo >= 0.0 && hi <= 1.0,
+        "bad probability band [{lo}, {hi}]"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -57,14 +66,16 @@ pub fn exponential_probabilities<R: Rng + ?Sized>(
     if (max - min).abs() < f64::EPSILON {
         return vec![(lo + hi) / 2.0; n];
     }
-    weights.iter().map(|w| lo + (w - min) / (max - min) * (hi - lo)).collect()
+    weights
+        .iter()
+        .map(|w| lo + (w - min) / (max - min) * (hi - lo))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64 as StdRng;
 
     #[test]
     fn poisson_mean_is_close() {

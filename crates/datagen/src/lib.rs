@@ -12,13 +12,16 @@
 //! * [`noise`] — perturbation injection (jitter, drops, spurious features)
 //!   for exercising the §6 robustness machinery.
 //! * [`dist`] — the Poisson and exponential samplers the generator uses,
-//!   implemented directly over [`rand`] so the dependency set stays small.
+//!   implemented directly over the in-repo [`rng`] module.
+//! * [`rng`] — a dependency-free seeded SplitMix64 generator, so the whole
+//!   crate builds with no registry access.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod dist;
 pub mod noise;
+pub mod rng;
 pub mod synthetic;
 pub mod workloads;
 

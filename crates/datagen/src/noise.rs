@@ -4,8 +4,7 @@
 //! robustness machinery (`ppm_core::perturb`) has something honest to
 //! recover from.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SplitMix64 as StdRng};
 
 use ppm_timeseries::{FeatureId, FeatureSeries, SeriesBuilder};
 
@@ -18,7 +17,10 @@ pub fn jitter(
     jitter_prob: f64,
     seed: u64,
 ) -> FeatureSeries {
-    assert!((0.0..=1.0).contains(&jitter_prob), "jitter_prob out of range");
+    assert!(
+        (0.0..=1.0).contains(&jitter_prob),
+        "jitter_prob out of range"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = series.len();
     let mut slots: Vec<Vec<FeatureId>> = vec![Vec::new(); n];
@@ -44,7 +46,10 @@ pub fn drop_features(series: &FeatureSeries, drop_prob: f64, seed: u64) -> Featu
     let mut builder = SeriesBuilder::with_capacity(series.len(), series.total_features());
     for instant in series.iter() {
         builder.push_instant(
-            instant.iter().copied().filter(|_| rng.random::<f64>() >= drop_prob),
+            instant
+                .iter()
+                .copied()
+                .filter(|_| rng.random::<f64>() >= drop_prob),
         );
     }
     builder.finish()
@@ -62,15 +67,17 @@ pub fn add_spurious(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = SeriesBuilder::with_capacity(series.len(), series.total_features());
     for instant in series.iter() {
-        let extra = pool.iter().copied().filter(|_| rng.random::<f64>() < add_prob);
+        let extra = pool
+            .iter()
+            .copied()
+            .filter(|_| rng.random::<f64>() < add_prob);
         builder.push_instant(instant.iter().copied().chain(extra));
     }
     builder.finish()
 }
 
 fn rebuild(slots: &[Vec<FeatureId>]) -> FeatureSeries {
-    let mut builder =
-        SeriesBuilder::with_capacity(slots.len(), slots.iter().map(Vec::len).sum());
+    let mut builder = SeriesBuilder::with_capacity(slots.len(), slots.iter().map(Vec::len).sum());
     for slot in slots {
         builder.push_instant(slot.iter().copied());
     }
@@ -107,7 +114,10 @@ mod tests {
         assert_eq!(j.len(), s.len());
         let before = s.total_features();
         let after = j.total_features();
-        assert!(after <= before && after >= before - 3, "{after} vs {before}");
+        assert!(
+            after <= before && after >= before - 3,
+            "{after} vs {before}"
+        );
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! A small, dependency-free deterministic PRNG.
+//!
+//! The generators in this crate only need a fast, seedable, reproducible
+//! stream of uniform bits — not cryptographic strength — so instead of the
+//! external `rand` crate (which would break the offline build) they use
+//! SplitMix64 (Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+//! Generators", OOPSLA 2014). SplitMix64 passes BigCrush, has a full 2^64
+//! period, and is seedable from a single `u64`, which is exactly the
+//! interface every workload generator here exposes.
+//!
+//! The API mirrors the subset of `rand` the crate used before:
+//! [`Rng::random`] for uniform primitives and [`Rng::random_range`] for
+//! integer ranges, so the call sites read identically.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Sampling interface implemented by [`SplitMix64`] (and usable by any
+/// future generator). Generic functions take `R: Rng + ?Sized` just as they
+/// would with the `rand` traits.
+pub trait Rng {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of a primitive type (see [`FromRng`]); `f64`
+    /// samples lie in `[0, 1)`.
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform integer in `range` (half-open or inclusive bounds).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: RangeSample, B: RangeBounds<T>>(&mut self, range: B) -> T {
+        T::sample_range(self, &range)
+    }
+}
+
+/// SplitMix64: one 64-bit state word, one add, three xor-shift-multiplies
+/// per draw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Identical seeds yield identical
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for &mut SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly from raw bits.
+pub trait FromRng {
+    /// Draws one uniform value.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Integer types supporting uniform range sampling.
+pub trait RangeSample: Sized + Copy {
+    /// Draws a uniform value from `range`.
+    fn sample_range<R: Rng + ?Sized, B: RangeBounds<Self>>(rng: &mut R, range: &B) -> Self;
+}
+
+/// Uniform draw from `[0, span]` by 128-bit widening multiply (Lemire's
+/// method without the rejection step; the bias is < 2^-64 per draw, far
+/// below anything these generators can observe).
+fn below_inclusive<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let bound = span + 1;
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_range_sample_unsigned {
+    ($t:ty) => {
+        impl RangeSample for $t {
+            fn sample_range<R: Rng + ?Sized, B: RangeBounds<Self>>(rng: &mut R, range: &B) -> Self {
+                let lo = match range.start_bound() {
+                    Bound::Included(&x) => x,
+                    Bound::Excluded(&x) => x + 1,
+                    Bound::Unbounded => 0,
+                };
+                let hi = match range.end_bound() {
+                    Bound::Included(&x) => x,
+                    Bound::Excluded(&x) => {
+                        assert!(x > lo, "empty range");
+                        x - 1
+                    }
+                    Bound::Unbounded => <$t>::MAX,
+                };
+                assert!(lo <= hi, "empty range");
+                lo + below_inclusive(rng, (hi - lo) as u64) as $t
+            }
+        }
+    };
+}
+
+impl_range_sample_unsigned!(usize);
+impl_range_sample_unsigned!(u64);
+impl_range_sample_unsigned!(u32);
+
+impl RangeSample for i64 {
+    fn sample_range<R: Rng + ?Sized, B: RangeBounds<Self>>(rng: &mut R, range: &B) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x + 1,
+            Bound::Unbounded => i64::MIN,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => {
+                assert!(x > lo, "empty range");
+                x - 1
+            }
+            Bound::Unbounded => i64::MAX,
+        };
+        assert!(lo <= hi, "empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(below_inclusive(rng, span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        let mut c = SplitMix64::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values for seed 1234567 from the published SplitMix64
+        // test vectors (Vigna's splitmix64.c).
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_cover_and_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let i = rng.random_range(0..10usize);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+
+        for _ in 0..1000 {
+            let x = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&x));
+        }
+        // Degenerate single-value ranges.
+        assert_eq!(rng.random_range(5usize..6), 5);
+        assert_eq!(rng.random_range(5usize..=5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        rng.random_range(3usize..3);
+    }
+}

@@ -15,16 +15,17 @@
 //! controlled, not emergent):
 //!
 //! 1. A **backbone** pattern of exactly `MAX-PAT-LENGTH` distinct offsets
-//!    is embedded jointly in each segment with probability
-//!    `pattern_confidence` (default 0.85) — it becomes the unique maximal
-//!    frequent pattern at the recommended mining threshold.
-//! 2. The remaining `|F1| − MAX-PAT-LENGTH` **extra letters** appear with
-//!    marginal probability `letter_confidence` (default 0.65) but are
-//!    *anti-correlated* with the backbone (they always fire in segments the
-//!    backbone skips): individually frequent, while every conjunction
-//!    involving them stays well below threshold (backbone∪extra ≈ 0.50,
-//!    extra pairs ≈ 0.44 at the defaults) so `MAX-PAT-LENGTH` remains an
-//!    exact knob even at small segment counts.
+//!    is embedded jointly in exactly `round(pattern_confidence · m)` of the
+//!    `m` segments (default 0.85, positions uniform) — it becomes the
+//!    unique maximal frequent pattern at the recommended mining threshold.
+//! 2. The remaining `|F1| − MAX-PAT-LENGTH` **extra letters** each appear
+//!    in exactly `round(letter_confidence · m)` segments (default 0.65)
+//!    but are *anti-correlated* with the backbone (they fill the segments
+//!    the backbone skips first): individually frequent, while every
+//!    conjunction involving them stays well below threshold
+//!    (backbone∪extra ≈ 0.50, extra pairs ≈ 0.44 at the defaults). The
+//!    counts are exact rather than Bernoulli draws so `MAX-PAT-LENGTH`
+//!    and `|F1|` hold for every seed, even at small segment counts.
 //! 3. **Poisson/exponential overlays**: `overlay_patterns` additional
 //!    potentially frequent patterns are composed as random *proper* subsets
 //!    of the backbone whose sizes are Poisson-distributed, and are placed
@@ -38,8 +39,7 @@
 //! recovers exactly the planted `|F1|` and `MAX-PAT-LENGTH` — asserted by
 //! this module's tests and the Table 1 experiment.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SplitMix64 as StdRng};
 
 use ppm_timeseries::{FeatureCatalog, FeatureId, FeatureSeries, SeriesBuilder};
 
@@ -177,8 +177,7 @@ impl SyntheticSpec {
         // with exponentially distributed probabilities (paper §5.1). They
         // may only *raise* counts of already-frequent subpatterns, so the
         // controlled knobs stay exact.
-        let overlay_probs =
-            exponential_probabilities(&mut rng, self.overlay_patterns, 0.05, 0.30);
+        let overlay_probs = exponential_probabilities(&mut rng, self.overlay_patterns, 0.05, 0.30);
         // Proper subsets only: a full-backbone overlay would lift the joint
         // backbone confidence above `pattern_confidence` and erode the
         // margin that keeps backbone∪extra conjunctions infrequent.
@@ -189,8 +188,8 @@ impl SyntheticSpec {
             overlay_probs
                 .iter()
                 .map(|_| {
-                    let size = (poisson(&mut rng, self.overlay_size_mean) as usize)
-                        .clamp(1, overlay_cap);
+                    let size =
+                        (poisson(&mut rng, self.overlay_size_mean) as usize).clamp(1, overlay_cap);
                     let mut idx: Vec<usize> = (0..self.max_pat_length).collect();
                     shuffle(&mut rng, &mut idx);
                     idx.truncate(size);
@@ -199,42 +198,63 @@ impl SyntheticSpec {
                 .collect()
         };
 
-        // Extra letters: marginal probability `letter_confidence`, split
-        // between backbone-present and backbone-absent segments so that the
-        // joint probability with the backbone is as small as the marginals
-        // allow (anti-correlation). With marginal c, backbone prob q:
-        //   c <= 1-q : fire only when the backbone is absent, at c/(1-q);
-        //   c >  1-q : always fire when absent, at (c-(1-q))/q when present.
-        let q = self.pattern_confidence;
-        let c = self.letter_confidence;
-        let (extra_with_backbone, extra_without_backbone) = if q >= 1.0 {
-            (c, 0.0)
-        } else if c <= 1.0 - q {
-            (0.0, c / (1.0 - q))
-        } else {
-            ((c - (1.0 - q)) / q, 1.0)
-        };
-
         let segments = self.length / self.period;
+
+        // Backbone placement: *exactly* round(q * m) segments, positions
+        // uniform. Exact counts (rather than independent Bernoulli draws)
+        // make the controlled knobs hold for every seed — a per-segment
+        // coin flip would let a planted letter drift below the mining
+        // threshold by sampling noise when the segment count is small.
+        let backbone_fires = exact_firing(&mut rng, segments, self.pattern_confidence);
+
+        // Extra letters: exactly round(c * m) segments each, maximally
+        // anti-correlated with the backbone (absent segments are filled
+        // first, the remainder spills into uniformly chosen present
+        // segments). Individually frequent, while every conjunction
+        // involving them stays as small as the marginals allow.
+        let absent_idx: Vec<usize> = (0..segments).filter(|&j| !backbone_fires[j]).collect();
+        let present_idx: Vec<usize> = (0..segments).filter(|&j| backbone_fires[j]).collect();
+        let extra_count =
+            ((self.letter_confidence * segments as f64).round() as usize).min(segments);
+        let extra_fires: Vec<Vec<bool>> = extras
+            .iter()
+            .map(|_| {
+                let mut fires = vec![false; segments];
+                if extra_count <= absent_idx.len() {
+                    let mut pool = absent_idx.clone();
+                    shuffle(&mut rng, &mut pool);
+                    for &j in &pool[..extra_count] {
+                        fires[j] = true;
+                    }
+                } else {
+                    for &j in &absent_idx {
+                        fires[j] = true;
+                    }
+                    let mut pool = present_idx.clone();
+                    shuffle(&mut rng, &mut pool);
+                    for &j in &pool[..extra_count - absent_idx.len()] {
+                        fires[j] = true;
+                    }
+                }
+                fires
+            })
+            .collect();
         let mut per_instant: Vec<Vec<FeatureId>> = vec![Vec::new(); self.period];
         let mut builder = SeriesBuilder::with_capacity(
             self.length,
             (self.length as f64 * (1.0 + self.noise_mean)) as usize,
         );
-        for _ in 0..segments {
+        for j in 0..segments {
             for slot in per_instant.iter_mut() {
                 slot.clear();
             }
-            let backbone_fires = rng.random::<f64>() < self.pattern_confidence;
-            if backbone_fires {
+            if backbone_fires[j] {
                 for &(o, f) in &backbone {
                     per_instant[o].push(f);
                 }
             }
-            let extra_prob =
-                if backbone_fires { extra_with_backbone } else { extra_without_backbone };
-            for &(o, f) in &extras {
-                if rng.random::<f64>() < extra_prob {
+            for (&(o, f), fires) in extras.iter().zip(&extra_fires) {
+                if fires[j] {
                     per_instant[o].push(f);
                 }
             }
@@ -258,8 +278,7 @@ impl SyntheticSpec {
         // Trailing partial segment: pure noise (the miners ignore it).
         for _ in segments * self.period..self.length {
             let k = poisson(&mut rng, self.noise_mean.max(f64::MIN_POSITIVE)) as usize;
-            builder
-                .push_instant((0..k).map(|_| noise_pool[rng.random_range(0..noise_pool.len())]));
+            builder.push_instant((0..k).map(|_| noise_pool[rng.random_range(0..noise_pool.len())]));
         }
 
         GeneratedSeries {
@@ -272,13 +291,25 @@ impl SyntheticSpec {
     }
 }
 
-/// Fisher–Yates shuffle (kept local; `rand`'s shuffle lives behind an
-/// optional API surface we don't otherwise need).
+/// Fisher–Yates shuffle over the in-repo generator.
 fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
     for i in (1..items.len()).rev() {
         let j = rng.random_range(0..=i);
         items.swap(i, j);
     }
+}
+
+/// A firing schedule over `m` segments with *exactly* `round(prob * m)`
+/// hits, positions uniform without replacement.
+fn exact_firing<R: Rng + ?Sized>(rng: &mut R, m: usize, prob: f64) -> Vec<bool> {
+    let hits = ((prob * m as f64).round() as usize).min(m);
+    let mut idx: Vec<usize> = (0..m).collect();
+    shuffle(rng, &mut idx);
+    let mut fires = vec![false; m];
+    for &j in &idx[..hits] {
+        fires[j] = true;
+    }
+    fires
 }
 
 /// A generated series plus the ground truth that was planted into it.
@@ -359,8 +390,7 @@ mod tests {
         let m = g.series.len() / 50;
         let mut joint = 0usize;
         for j in 0..m {
-            if g
-                .backbone
+            if g.backbone
                 .iter()
                 .all(|&(o, f)| g.series.instant(j * 50 + o).binary_search(&f).is_ok())
             {

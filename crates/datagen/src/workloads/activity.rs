@@ -6,8 +6,7 @@
 //! series on an hourly grid (`period = 168` hours) with habits that hold on
 //! some days with some reliability, drowned in irregular filler activity.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SplitMix64 as StdRng};
 
 use ppm_timeseries::{FeatureCatalog, FeatureId, FeatureSeries, SeriesBuilder};
 

@@ -6,8 +6,7 @@
 //! a weekend lift during the day, multiplicative noise, and occasional
 //! spikes. Values are kilowatts.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SplitMix64 as StdRng};
 
 /// Samples per day used by [`generate`].
 pub const SAMPLES_PER_DAY: usize = 24;
@@ -24,7 +23,11 @@ pub fn generate(days: usize, seed: u64) -> Vec<f64> {
             let morning = gaussian_bump(h, 7.0, 2.0) * 1.8;
             let evening = gaussian_bump(h, 19.0, 2.5) * 2.6;
             let base = 0.4;
-            let weekend_lift = if weekend && (9..=17).contains(&hour) { 0.9 } else { 0.0 };
+            let weekend_lift = if weekend && (9..=17).contains(&hour) {
+                0.9
+            } else {
+                0.0
+            };
             let clean = base + morning + evening + weekend_lift;
             let noise = 1.0 + (rng.random::<f64>() - 0.5) * 0.2;
             let spike = if rng.random::<f64>() < 0.01 { 2.0 } else { 0.0 };
@@ -57,11 +60,15 @@ mod tests {
     fn evening_peak_exceeds_night_valley() {
         let v = generate(60, 3);
         let mean_at = |hour: usize| {
-            let xs: Vec<f64> =
-                v.chunks(SAMPLES_PER_DAY).map(|day| day[hour]).collect();
+            let xs: Vec<f64> = v.chunks(SAMPLES_PER_DAY).map(|day| day[hour]).collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
-        assert!(mean_at(19) > 2.0 * mean_at(3), "evening {} night {}", mean_at(19), mean_at(3));
+        assert!(
+            mean_at(19) > 2.0 * mean_at(3),
+            "evening {} night {}",
+            mean_at(19),
+            mean_at(3)
+        );
     }
 
     #[test]
@@ -81,7 +88,11 @@ mod tests {
             .filter(|(d, _)| d % 7 >= 5)
             .map(|(_, &x)| x)
             .sum::<f64>()
-            / midday.iter().enumerate().filter(|(d, _)| d % 7 >= 5).count() as f64;
+            / midday
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| d % 7 >= 5)
+                .count() as f64;
         assert!(weekend_mean > weekday_mean + 0.5);
     }
 

@@ -8,8 +8,7 @@
 //! **event log** so the `ppm_timeseries::events` ETL path gets exercised
 //! end to end.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SplitMix64 as StdRng};
 
 use ppm_timeseries::events::EventLog;
 use ppm_timeseries::{FeatureCatalog, FeatureId};
@@ -75,7 +74,10 @@ pub fn generate_events(
     seed: u64,
     catalog: &mut FeatureCatalog,
 ) -> EventLog {
-    assert!((0.0..=1.0).contains(&noise_per_hour), "noise_per_hour is a probability");
+    assert!(
+        (0.0..=1.0).contains(&noise_per_hour),
+        "noise_per_hour is a probability"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let pattern_features: Vec<Vec<FeatureId>> = patterns
         .iter()
@@ -134,7 +136,11 @@ mod tests {
         for day in 0..21usize {
             let t = day * 24 + 8;
             let has = series.contains(t, coffee);
-            assert_eq!(has, series.contains(t, doughnut), "basket split at day {day}");
+            assert_eq!(
+                has,
+                series.contains(t, doughnut),
+                "basket split at day {day}"
+            );
             if has {
                 assert_eq!(day % 7, 0, "basket on a non-Monday");
                 hits += 1;
@@ -149,8 +155,16 @@ mod tests {
         let log = generate_events(70, &store_script(), 5, 0.5, 3, &mut cat);
         // Noise rate: ~0.5/hour over 70*24 hours.
         let hours = 70 * 24;
-        assert!(log.len() > hours / 4, "suspiciously few events: {}", log.len());
-        assert!(log.len() < hours * 4, "suspiciously many events: {}", log.len());
+        assert!(
+            log.len() > hours / 4,
+            "suspiciously few events: {}",
+            log.len()
+        );
+        assert!(
+            log.len() < hours * 4,
+            "suspiciously many events: {}",
+            log.len()
+        );
     }
 
     #[test]

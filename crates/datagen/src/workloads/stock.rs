@@ -6,8 +6,7 @@
 //! "Friday fade"), plus a helper that converts prices into the categorical
 //! up/down/flat movement features mining operates on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SplitMix64 as StdRng};
 
 use ppm_timeseries::{FeatureCatalog, FeatureSeries, SeriesBuilder};
 
@@ -39,11 +38,7 @@ pub fn weekly_profile() -> [f64; 5] {
 /// Converts daily prices into movement features: one of `up`, `down`,
 /// `flat` per day, thresholded at `flat_band` relative change. The first
 /// day compares against itself and is always `flat`.
-pub fn movements(
-    prices: &[f64],
-    flat_band: f64,
-    catalog: &mut FeatureCatalog,
-) -> FeatureSeries {
+pub fn movements(prices: &[f64], flat_band: f64, catalog: &mut FeatureCatalog) -> FeatureSeries {
     let up = catalog.intern("up");
     let down = catalog.intern("down");
     let flat = catalog.intern("flat");

@@ -66,7 +66,11 @@ impl WeeklyGrid {
     /// `Tue slot 3` on other grids.
     pub fn label(&self, offset: usize) -> OffsetLabel {
         let (day, slot) = self.day_slot(offset);
-        OffsetLabel { day, slot, hourly: self.slots_per_day == 24 }
+        OffsetLabel {
+            day,
+            slot,
+            hourly: self.slots_per_day == 24,
+        }
     }
 
     /// The offsets covering one whole day (for constraint queries).
@@ -167,7 +171,10 @@ mod tests {
         let g = WeeklyGrid::new(4);
         assert_eq!(g.day_offsets(0), 0..4);
         assert_eq!(g.day_offsets(6), 24..28);
-        assert_eq!(g.slot_offsets(2).collect::<Vec<_>>(), vec![2, 6, 10, 14, 18, 22, 26]);
+        assert_eq!(
+            g.slot_offsets(2).collect::<Vec<_>>(),
+            vec![2, 6, 10, 14, 18, 22, 26]
+        );
     }
 
     #[test]

@@ -184,7 +184,10 @@ mod tests {
         let mut cat = FeatureCatalog::new();
         cat.intern("a");
         cat.intern("b");
-        let collected: Vec<_> = cat.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        let collected: Vec<_> = cat
+            .iter()
+            .map(|(id, n)| (id.index(), n.to_owned()))
+            .collect();
         assert_eq!(collected, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
     }
 

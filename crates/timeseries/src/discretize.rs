@@ -52,7 +52,10 @@ impl Discretizer {
             // Guard against floating-point drift on the last edge.
             edges[bins] = hi;
         }
-        Ok(Discretizer { edges, stem: stem.to_owned() })
+        Ok(Discretizer {
+            edges,
+            stem: stem.to_owned(),
+        })
     }
 
     /// Fits `bins` equal-depth (quantile) intervals of `values`.
@@ -78,7 +81,10 @@ impl Discretizer {
                 edges[i] = edges[i - 1];
             }
         }
-        Ok(Discretizer { edges, stem: stem.to_owned() })
+        Ok(Discretizer {
+            edges,
+            stem: stem.to_owned(),
+        })
     }
 
     /// Number of bins `k`.
@@ -112,7 +118,9 @@ impl Discretizer {
     /// bin order. Feature names look like `power[2/5]`.
     pub fn intern_features(&self, catalog: &mut FeatureCatalog) -> Vec<FeatureId> {
         let k = self.bins();
-        (0..k).map(|i| catalog.intern(&format!("{}[{}/{}]", self.stem, i, k))).collect()
+        (0..k)
+            .map(|i| catalog.intern(&format!("{}[{}/{}]", self.stem, i, k)))
+            .collect()
     }
 
     /// Discretizes `values` into a categorical [`FeatureSeries`] with one
@@ -157,16 +165,24 @@ pub fn discretize_multi_level(
 
 fn validate(stem: &str, values: &[f64], bins: usize) -> Result<()> {
     if bins == 0 {
-        return Err(Error::InvalidDiscretization { detail: "bins must be >= 1".into() });
+        return Err(Error::InvalidDiscretization {
+            detail: "bins must be >= 1".into(),
+        });
     }
     if values.is_empty() {
-        return Err(Error::InvalidDiscretization { detail: "no values to fit".into() });
+        return Err(Error::InvalidDiscretization {
+            detail: "no values to fit".into(),
+        });
     }
     if stem.is_empty() {
-        return Err(Error::InvalidDiscretization { detail: "empty feature stem".into() });
+        return Err(Error::InvalidDiscretization {
+            detail: "empty feature stem".into(),
+        });
     }
     if values.iter().any(|v| v.is_nan()) {
-        return Err(Error::InvalidDiscretization { detail: "NaN in input values".into() });
+        return Err(Error::InvalidDiscretization {
+            detail: "NaN in input values".into(),
+        });
     }
     Ok(())
 }

@@ -11,9 +11,17 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub enum Error {
     /// An underlying I/O operation failed.
     Io(std::io::Error),
-    /// A stored series file is malformed or was truncated.
+    /// A stored series file is malformed: a structural check or checksum
+    /// failed on bytes that are present.
     Corrupt {
         /// Human-readable description of what check failed.
+        detail: String,
+    },
+    /// A stored series file ended mid-record: everything before the cut is
+    /// intact, so [`crate::storage::stream::salvage_series`] can usually
+    /// recover a prefix.
+    Truncated {
+        /// Human-readable description of where the data ran out.
         detail: String,
     },
     /// A text import line could not be parsed.
@@ -52,6 +60,7 @@ impl fmt::Display for Error {
         match self {
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Corrupt { detail } => write!(f, "corrupt series file: {detail}"),
+            Error::Truncated { detail } => write!(f, "truncated series file: {detail}"),
             Error::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
             Error::InvalidPeriod { period, series_len } => write!(
                 f,
@@ -63,6 +72,27 @@ impl fmt::Display for Error {
                 write!(f, "invalid discretization: {detail}")
             }
             Error::InvalidTaxonomy { detail } => write!(f, "invalid taxonomy: {detail}"),
+        }
+    }
+}
+
+impl Error {
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Transient failures are I/O interruptions that clear on their own —
+    /// an interrupted syscall, a timeout, a would-block on a busy volume.
+    /// Everything else (corruption, truncation, missing files, semantic
+    /// errors) is deterministic: retrying re-reads the same bad bytes, so
+    /// sources like [`crate::retry::RetryingSource`] fail fast instead.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Error::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
         }
     }
 }
@@ -88,11 +118,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::InvalidPeriod { period: 0, series_len: 10 };
+        let e = Error::InvalidPeriod {
+            period: 0,
+            series_len: 10,
+        };
         assert!(e.to_string().contains("invalid period 0"));
-        let e = Error::Parse { line: 3, detail: "bad token".into() };
+        let e = Error::Parse {
+            line: 3,
+            detail: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = Error::Corrupt { detail: "bad magic".into() };
+        let e = Error::Corrupt {
+            detail: "bad magic".into(),
+        };
         assert!(e.to_string().contains("bad magic"));
     }
 

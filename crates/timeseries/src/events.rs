@@ -76,10 +76,17 @@ impl EventLog {
         slots: usize,
     ) -> Result<(FeatureSeries, BinReport)> {
         if slot_width == 0 {
-            return Err(Error::InvalidPeriod { period: 0, series_len: slots });
+            return Err(Error::InvalidPeriod {
+                period: 0,
+                series_len: slots,
+            });
         }
         let mut per_slot: Vec<Vec<FeatureId>> = vec![Vec::new(); slots];
-        let mut report = BinReport { before_origin: 0, after_end: 0, binned: 0 };
+        let mut report = BinReport {
+            before_origin: 0,
+            after_end: 0,
+            binned: 0,
+        };
         let end = origin + slot_width.saturating_mul(slots as u64);
         for &(t, f) in &self.events {
             if t < origin {
@@ -91,8 +98,7 @@ impl EventLog {
                 report.binned += 1;
             }
         }
-        let mut builder =
-            SeriesBuilder::with_capacity(slots, report.binned);
+        let mut builder = SeriesBuilder::with_capacity(slots, report.binned);
         for slot in per_slot {
             builder.push_instant(slot);
         }
@@ -106,7 +112,10 @@ impl EventLog {
             None => Ok(FeatureSeries::empty()),
             Some((min, max)) => {
                 if slot_width == 0 {
-                    return Err(Error::InvalidPeriod { period: 0, series_len: 0 });
+                    return Err(Error::InvalidPeriod {
+                        period: 0,
+                        series_len: 0,
+                    });
                 }
                 let slots = ((max - min) / slot_width + 1) as usize;
                 let (series, report) = self.to_series(min, slot_width, slots)?;

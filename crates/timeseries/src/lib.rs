@@ -17,6 +17,9 @@
 //! * [`storage`] — a versioned binary on-disk format plus a line-oriented
 //!   text (CSV-like) import/export, so series larger than memory pressure
 //!   allows can be staged on disk as the paper assumes in §5.
+//! * [`fault`] / [`retry`] — deterministic fault injection and transparent
+//!   retry wrappers around any [`SeriesSource`], so out-of-core mining
+//!   survives flaky I/O and tests can reproduce failure sequences exactly.
 //! * [`discretize`] — turning numeric series (power draw, stock prices, …)
 //!   into single- or multi-level categorical features (paper §6).
 //! * [`taxonomy`] — feature hierarchies for multi-level mining (paper §6).
@@ -53,6 +56,8 @@ mod series;
 pub mod calendar;
 pub mod discretize;
 pub mod events;
+pub mod fault;
+pub mod retry;
 pub mod segment;
 pub mod source;
 pub mod storage;
@@ -61,7 +66,9 @@ pub mod window;
 
 pub use catalog::{FeatureCatalog, FeatureId};
 pub use error::{Error, Result};
-pub use series::{FeatureSeries, InstantIter, SeriesBuilder, SeriesStats};
+pub use fault::{Fault, FaultInjectingSource, FaultPlan};
+pub use retry::{RetryPolicy, RetryingSource};
 pub use segment::{Segment, SegmentIter, Segments};
+pub use series::{FeatureSeries, InstantIter, SeriesBuilder, SeriesStats};
 pub use source::{MemorySource, SeriesSource};
 pub use taxonomy::Taxonomy;

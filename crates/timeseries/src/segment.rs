@@ -21,9 +21,16 @@ impl<'a> Segments<'a> {
     /// Builds the view; fails when `period == 0` or no whole segment fits.
     pub fn new(series: &'a FeatureSeries, period: usize) -> Result<Self> {
         if period == 0 || period > series.len() {
-            return Err(Error::InvalidPeriod { period, series_len: series.len() });
+            return Err(Error::InvalidPeriod {
+                period,
+                series_len: series.len(),
+            });
         }
-        Ok(Segments { series, period, count: series.len() / period })
+        Ok(Segments {
+            series,
+            period,
+            count: series.len() / period,
+        })
     }
 
     /// The period `p`.
@@ -46,20 +53,38 @@ impl<'a> Segments<'a> {
     /// # Panics
     /// Panics if `j >= count()` or `offset >= period()`.
     pub fn at(&self, j: usize, offset: usize) -> &'a [FeatureId] {
-        assert!(j < self.count, "segment index {j} out of range {}", self.count);
-        assert!(offset < self.period, "offset {offset} out of range {}", self.period);
+        assert!(
+            j < self.count,
+            "segment index {j} out of range {}",
+            self.count
+        );
+        assert!(
+            offset < self.period,
+            "offset {offset} out of range {}",
+            self.period
+        );
         self.series.instant(j * self.period + offset)
     }
 
     /// Iterates over segments in order; each item is a [`Segment`].
     pub fn iter(&self) -> SegmentIter<'a> {
-        SegmentIter { view: *self, next: 0 }
+        SegmentIter {
+            view: *self,
+            next: 0,
+        }
     }
 
     /// The `j`-th segment.
     pub fn segment(&self, j: usize) -> Segment<'a> {
-        assert!(j < self.count, "segment index {j} out of range {}", self.count);
-        Segment { view: *self, index: j }
+        assert!(
+            j < self.count,
+            "segment index {j} out of range {}",
+            self.count
+        );
+        Segment {
+            view: *self,
+            index: j,
+        }
     }
 }
 
@@ -125,7 +150,10 @@ impl<'a> Iterator for SegmentIter<'a> {
         if self.next < self.view.count {
             let j = self.next;
             self.next += 1;
-            Some(Segment { view: self.view, index: j })
+            Some(Segment {
+                view: self.view,
+                index: j,
+            })
         } else {
             None
         }

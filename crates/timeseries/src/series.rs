@@ -24,7 +24,10 @@ pub struct FeatureSeries {
 impl FeatureSeries {
     /// An empty series.
     pub fn empty() -> Self {
-        FeatureSeries { offsets: vec![0], features: Vec::new() }
+        FeatureSeries {
+            offsets: vec![0],
+            features: Vec::new(),
+        }
     }
 
     /// Number of time instants `N`.
@@ -66,7 +69,10 @@ impl FeatureSeries {
 
     /// Iterates over the instants in time order.
     pub fn iter(&self) -> InstantIter<'_> {
-        InstantIter { series: self, next: 0 }
+        InstantIter {
+            series: self,
+            next: 0,
+        }
     }
 
     /// A period-segment view of this series for period `p`.
@@ -115,7 +121,9 @@ impl FeatureSeries {
     /// derivation code. Validates monotone offsets and per-instant ordering.
     pub fn from_raw_parts(offsets: Vec<usize>, features: Vec<FeatureId>) -> Result<Self> {
         if offsets.is_empty() || offsets[0] != 0 {
-            return Err(Error::Corrupt { detail: "offsets must start at 0".into() });
+            return Err(Error::Corrupt {
+                detail: "offsets must start at 0".into(),
+            });
         }
         if *offsets.last().expect("nonempty") != features.len() {
             return Err(Error::Corrupt {
@@ -128,7 +136,9 @@ impl FeatureSeries {
         }
         for w in offsets.windows(2) {
             if w[0] > w[1] {
-                return Err(Error::Corrupt { detail: "offsets must be non-decreasing".into() });
+                return Err(Error::Corrupt {
+                    detail: "offsets must be non-decreasing".into(),
+                });
             }
             let set = &features[w[0]..w[1]];
             for pair in set.windows(2) {
@@ -159,8 +169,10 @@ impl FeatureSeries {
         let start = start.min(self.len());
         let end = end.clamp(start, self.len());
         let base = self.offsets[start];
-        let offsets: Vec<usize> =
-            self.offsets[start..=end].iter().map(|&o| o - base).collect();
+        let offsets: Vec<usize> = self.offsets[start..=end]
+            .iter()
+            .map(|&o| o - base)
+            .collect();
         FeatureSeries {
             features: self.features[base..self.offsets[end]].to_vec(),
             offsets,
@@ -245,7 +257,10 @@ pub struct SeriesBuilder {
 impl SeriesBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        SeriesBuilder { offsets: vec![0], features: Vec::new() }
+        SeriesBuilder {
+            offsets: vec![0],
+            features: Vec::new(),
+        }
     }
 
     /// Creates a builder with capacity hints for `instants` instants holding
@@ -253,7 +268,10 @@ impl SeriesBuilder {
     pub fn with_capacity(instants: usize, total_features: usize) -> Self {
         let mut offsets = Vec::with_capacity(instants + 1);
         offsets.push(0);
-        SeriesBuilder { offsets, features: Vec::with_capacity(total_features) }
+        SeriesBuilder {
+            offsets,
+            features: Vec::with_capacity(total_features),
+        }
     }
 
     /// Appends one instant holding the given feature set (any order,
@@ -289,7 +307,10 @@ impl SeriesBuilder {
 
     /// Finalizes into an immutable [`FeatureSeries`].
     pub fn finish(self) -> FeatureSeries {
-        FeatureSeries { offsets: self.offsets, features: self.features }
+        FeatureSeries {
+            offsets: self.offsets,
+            features: self.features,
+        }
     }
 }
 

@@ -83,14 +83,11 @@ mod tests {
         assert_eq!(src.scans_performed(), 0);
 
         let mut seen = Vec::new();
-        src.scan(&mut |t, feats| seen.push((t, feats.to_vec()))).unwrap();
+        src.scan(&mut |t, feats| seen.push((t, feats.to_vec())))
+            .unwrap();
         assert_eq!(
             seen,
-            vec![
-                (0, vec![fid(3)]),
-                (1, vec![]),
-                (2, vec![fid(1), fid(2)]),
-            ]
+            vec![(0, vec![fid(3)]), (1, vec![]), (2, vec![fid(1), fid(2)]),]
         );
         assert_eq!(src.scans_performed(), 1);
         src.scan(&mut |_, _| {}).unwrap();

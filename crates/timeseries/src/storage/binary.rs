@@ -20,8 +20,6 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::catalog::{FeatureCatalog, FeatureId};
 use crate::error::{Error, Result};
 use crate::series::FeatureSeries;
@@ -54,84 +52,125 @@ impl Fnv64 {
 }
 
 /// Serializes a series (and its catalog) into a byte buffer.
-pub fn encode_series(series: &FeatureSeries, catalog: &FeatureCatalog) -> Bytes {
+pub fn encode_series(series: &FeatureSeries, catalog: &FeatureCatalog) -> Vec<u8> {
     let (offsets, features) = series.raw_parts();
-    let mut buf = BytesMut::with_capacity(
+    let mut buf = Vec::with_capacity(
         64 + catalog.iter().map(|(_, n)| n.len() + 4).sum::<usize>()
             + offsets.len() * 8
             + features.len() * 4,
     );
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(catalog.len() as u32);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(catalog.len() as u32).to_le_bytes());
     for (_, name) in catalog.iter() {
-        buf.put_u32_le(name.len() as u32);
-        buf.put_slice(name.as_bytes());
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
     }
-    buf.put_u64_le(series.len() as u64);
-    buf.put_u64_le(features.len() as u64);
+    buf.extend_from_slice(&(series.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(features.len() as u64).to_le_bytes());
     for &o in offsets {
-        buf.put_u64_le(o as u64);
+        buf.extend_from_slice(&(o as u64).to_le_bytes());
     }
     for &f in features {
-        buf.put_u32_le(f.raw());
+        buf.extend_from_slice(&f.raw().to_le_bytes());
     }
     let mut h = Fnv64::new();
     h.update(&buf);
-    buf.put_u64_le(h.finish());
-    buf.freeze()
+    buf.extend_from_slice(&h.finish().to_le_bytes());
+    buf
+}
+
+/// A bounds-checked little-endian cursor over a byte slice (the tiny
+/// subset of `bytes::Buf` this format needs).
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        head
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
 }
 
 /// Deserializes a series (and its catalog) from a byte buffer produced by
 /// [`encode_series`].
 pub fn decode_series(bytes: &[u8]) -> Result<(FeatureSeries, FeatureCatalog)> {
     if bytes.len() < 4 + 4 + 4 + 8 + 8 + 8 {
-        return Err(Error::Corrupt { detail: "file too short for header".into() });
+        return Err(Error::Corrupt {
+            detail: "file too short for header".into(),
+        });
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
     let stored_sum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
     let mut h = Fnv64::new();
     h.update(body);
     if h.finish() != stored_sum {
-        return Err(Error::Corrupt { detail: "checksum mismatch".into() });
+        return Err(Error::Corrupt {
+            detail: "checksum mismatch".into(),
+        });
     }
 
-    let mut cur = body;
-    let mut magic = [0u8; 4];
-    cur.copy_to_slice(&mut magic);
+    let mut cur = Cursor(body);
+    let magic: [u8; 4] = cur.take(4).try_into().expect("4 bytes");
     if &magic != MAGIC {
-        return Err(Error::Corrupt { detail: format!("bad magic {magic:?}") });
+        return Err(Error::Corrupt {
+            detail: format!("bad magic {magic:?}"),
+        });
     }
     let version = cur.get_u32_le();
     if version != VERSION {
-        return Err(Error::Corrupt { detail: format!("unsupported version {version}") });
+        return Err(Error::Corrupt {
+            detail: format!("unsupported version {version}"),
+        });
     }
     let n_names = cur.get_u32_le() as usize;
     let mut catalog = FeatureCatalog::new();
     for i in 0..n_names {
         if cur.remaining() < 4 {
-            return Err(Error::Corrupt { detail: format!("truncated catalog at entry {i}") });
+            return Err(Error::Corrupt {
+                detail: format!("truncated catalog at entry {i}"),
+            });
         }
         let len = cur.get_u32_le() as usize;
         if cur.remaining() < len {
-            return Err(Error::Corrupt { detail: format!("truncated name at entry {i}") });
+            return Err(Error::Corrupt {
+                detail: format!("truncated name at entry {i}"),
+            });
         }
-        let name = std::str::from_utf8(&cur[..len])
-            .map_err(|_| Error::Corrupt { detail: format!("non-utf8 name at entry {i}") })?
+        let name = std::str::from_utf8(cur.take(len))
+            .map_err(|_| Error::Corrupt {
+                detail: format!("non-utf8 name at entry {i}"),
+            })?
             .to_owned();
-        cur.advance(len);
         catalog.intern(&name);
     }
 
     if cur.remaining() < 16 {
-        return Err(Error::Corrupt { detail: "truncated series header".into() });
+        return Err(Error::Corrupt {
+            detail: "truncated series header".into(),
+        });
     }
     let n_instants = cur.get_u64_le() as usize;
     let n_features = cur.get_u64_le() as usize;
     let need = (n_instants + 1) * 8 + n_features * 4;
     if cur.remaining() != need {
         return Err(Error::Corrupt {
-            detail: format!("payload size mismatch: have {}, need {need}", cur.remaining()),
+            detail: format!(
+                "payload size mismatch: have {}, need {need}",
+                cur.remaining()
+            ),
         });
     }
     let mut offsets = Vec::with_capacity(n_instants + 1);
@@ -210,7 +249,10 @@ mod tests {
         let (s, cat) = sample();
         let bytes = encode_series(&s, &cat);
         for cut in [0, 1, 10, bytes.len() - 1] {
-            assert!(decode_series(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+            assert!(
+                decode_series(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
         }
     }
 
@@ -230,7 +272,7 @@ mod tests {
         let (s, cat) = sample();
         let mut bytes = encode_series(&s, &cat).to_vec();
         bytes[4] = 99; // version field
-        // Re-stamp the checksum so only the version check can fire.
+                       // Re-stamp the checksum so only the version check can fire.
         let body_len = bytes.len() - 8;
         let mut h = Fnv64::new();
         h.update(&bytes[..body_len]);

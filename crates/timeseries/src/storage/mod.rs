@@ -17,5 +17,5 @@ pub mod stream;
 pub mod text;
 
 pub use binary::{read_series, write_series};
-pub use stream::{FileSource, StreamWriter};
+pub use stream::{salvage_series, FileSource, SalvageReport, StreamWriter};
 pub use text::{parse_series, render_series};

@@ -30,7 +30,9 @@ impl Taxonomy {
     /// the edge would close a cycle.
     pub fn add_edge(&mut self, child: FeatureId, parent: FeatureId) -> Result<()> {
         if child == parent {
-            return Err(Error::InvalidTaxonomy { detail: format!("self-edge on {child}") });
+            return Err(Error::InvalidTaxonomy {
+                detail: format!("self-edge on {child}"),
+            });
         }
         if self.parent.contains_key(&child) {
             return Err(Error::InvalidTaxonomy {
@@ -115,10 +117,7 @@ impl Taxonomy {
     }
 
     /// Builds a taxonomy from `(child, parent)` name pairs, interning names.
-    pub fn from_name_pairs(
-        pairs: &[(&str, &str)],
-        catalog: &mut FeatureCatalog,
-    ) -> Result<Self> {
+    pub fn from_name_pairs(pairs: &[(&str, &str)], catalog: &mut FeatureCatalog) -> Result<Self> {
         let mut tax = Taxonomy::new();
         for (child, parent) in pairs {
             let c = catalog.intern(child);
@@ -209,7 +208,11 @@ mod tests {
     fn from_name_pairs_interns() {
         let mut cat = FeatureCatalog::new();
         let t = Taxonomy::from_name_pairs(
-            &[("espresso", "coffee"), ("latte", "coffee"), ("coffee", "beverage")],
+            &[
+                ("espresso", "coffee"),
+                ("latte", "coffee"),
+                ("coffee", "beverage"),
+            ],
             &mut cat,
         )
         .unwrap();

@@ -45,7 +45,10 @@ pub fn enlarge_slots(series: &FeatureSeries, half_width: usize) -> FeatureSeries
 /// Fails when `factor == 0`.
 pub fn downsample(series: &FeatureSeries, factor: usize) -> Result<FeatureSeries> {
     if factor == 0 {
-        return Err(Error::InvalidPeriod { period: 0, series_len: series.len() });
+        return Err(Error::InvalidPeriod {
+            period: 0,
+            series_len: series.len(),
+        });
     }
     let groups = series.len() / factor;
     let mut builder = SeriesBuilder::with_capacity(groups, series.total_features());

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shown += 1;
         }
     }
-    println!("  ({} patterns total, longest spans {} slots)", result.len(), result.max_l_length());
+    println!(
+        "  ({} patterns total, longest spans {} slots)",
+        result.len(),
+        result.max_l_length()
+    );
 
     // Perturb: events drift by up to one hour. Compare how many habit
     // letters (frequent 1-patterns) survive with exact matching versus with
@@ -58,8 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let enlarged = window::enlarge_slots(&jittered, 1);
     let tolerant = scan_frequent_letters(&enlarged, WEEK, &config)?;
     println!("\n=== After ±1h jitter on half the events ===");
-    println!("  frequent letters, exact matching:      {:>3}", exact.alphabet.len());
-    println!("  frequent letters, ±1 slot enlargement: {:>3}", tolerant.alphabet.len());
+    println!(
+        "  frequent letters, exact matching:      {:>3}",
+        exact.alphabet.len()
+    );
+    println!(
+        "  frequent letters, ±1 slot enlargement: {:>3}",
+        tolerant.alphabet.len()
+    );
     println!(
         "  (clean series had {}; enlargement recovers every habit, and counts \
          each at up to 3 adjacent offsets)",

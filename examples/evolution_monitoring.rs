@@ -70,9 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let desc: Vec<String> = track
                 .letters
                 .iter()
-                .map(|&(o, f)| {
-                    format!("{} {}", grid.label(o), catalog.name(f).unwrap_or("?"))
-                })
+                .map(|&(o, f)| format!("{} {}", grid.label(o), catalog.name(f).unwrap_or("?")))
                 .collect();
             let confs: Vec<String> = track
                 .confidences
@@ -99,6 +97,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert_eq!(t.classify(n), Drift::Emerging);
         }
     }
-    println!("\nnewspaper@Mon07 classified VANISHED, podcast@Mon07 classified EMERGING — as planted.");
+    println!(
+        "\nnewspaper@Mon07 classified VANISHED, podcast@Mon07 classified EMERGING — as planted."
+    );
     Ok(())
 }

@@ -19,9 +19,7 @@ fn main() {
     let alphabet = Alphabet::new(5, [(0, a), (1, b1), (1, b2), (3, d)]);
 
     let set = |idx: &[usize]| LetterSet::from_indices(4, idx.iter().copied());
-    let show = |s: &LetterSet| {
-        Pattern::from_letter_set(&alphabet, s).display_compact(&catalog)
-    };
+    let show = |s: &LetterSet| Pattern::from_letter_set(&alphabet, s).display_compact(&catalog);
 
     // Figure 1's node counts (root first, then one-missing, two-missing).
     let mut tree = MaxSubpatternTree::new(LetterSet::full(4));
@@ -42,12 +40,19 @@ fn main() {
         tree.insert_with_count(&set(letters), *count);
     }
 
-    println!("Max-subpattern tree of Figure 1 (C_max = {}):", show(&LetterSet::full(4)));
+    println!(
+        "Max-subpattern tree of Figure 1 (C_max = {}):",
+        show(&LetterSet::full(4))
+    );
     for (letters, count) in nodes {
         let s = set(letters);
         println!("  {:<14} stored count {count:>3}", show(&s));
     }
-    println!("  nodes: {}, distinct hits: {}", tree.node_count(), tree.distinct_hits());
+    println!(
+        "  nodes: {}, distinct hits: {}",
+        tree.node_count(),
+        tree.distinct_hits()
+    );
 
     // Example 4.2: reachable ancestors of ***d* (missing a, b1, b2).
     let target = set(&[3]);
@@ -63,18 +68,29 @@ fn main() {
     for letters in level2 {
         let s = set(letters);
         let freq = tree.count_superpatterns_walk(&s);
-        let mark = if freq >= min_count { "frequent" } else { "        " };
+        let mark = if freq >= min_count {
+            "frequent"
+        } else {
+            "        "
+        };
         println!("  {:<14} frequency {freq:>3}  {mark}", show(&s));
     }
     let level1: &[&[usize]] = &[&[1, 2, 3], &[0, 1, 2], &[0, 2, 3], &[0, 1, 3]];
     for letters in level1 {
         let s = set(letters);
         let freq = tree.count_superpatterns_walk(&s);
-        let mark = if freq >= min_count { "frequent" } else { "        " };
+        let mark = if freq >= min_count {
+            "frequent"
+        } else {
+            "        "
+        };
         println!("  {:<14} frequency {freq:>3}  {mark}", show(&s));
     }
     let root_freq = tree.count_superpatterns_walk(&LetterSet::full(4));
-    println!("  {:<14} frequency {root_freq:>3}  (root: not frequent)", show(&LetterSet::full(4)));
+    println!(
+        "  {:<14} frequency {root_freq:>3}  (root: not frequent)",
+        show(&LetterSet::full(4))
+    );
 
     // Assert the paper's published numbers so this example doubles as a
     // verification run.

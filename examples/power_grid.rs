@@ -20,8 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Multi-level discretization: 3 coarse bands + 8 fine bands per sample.
     let mut catalog = FeatureCatalog::new();
-    let (series, coarse, fine) =
-        discretize::discretize_multi_level("kw", &kw, 3, 8, &mut catalog)?;
+    let (series, coarse, fine) = discretize::discretize_multi_level("kw", &kw, 3, 8, &mut catalog)?;
     println!(
         "Discretized into {} coarse bands (edges {:?}) and {} fine bands",
         coarse.bins(),
@@ -49,8 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .enumerate()
             .filter(|(_, s)| !s.is_star())
             .map(|(h, s)| {
-                let names: Vec<&str> =
-                    s.features().iter().map(|&f| catalog.name(f).unwrap_or("?")).collect();
+                let names: Vec<&str> = s
+                    .features()
+                    .iter()
+                    .map(|&f| catalog.name(f).unwrap_or("?"))
+                    .collect();
                 format!("{h:02}h={}", names.join("+"))
             })
             .collect();
@@ -87,12 +89,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // of 3h slots).
     let coarse_only = {
         let values: Vec<f64> = kw.chunks(3).map(|c| c.iter().sum::<f64>() / 3.0).collect();
-        discretize::Discretizer::equal_width("kw3h", &values, 3)?
-            .apply(&values, &mut catalog)
+        discretize::Discretizer::equal_width("kw3h", &values, 3)?.apply(&values, &mut catalog)
     };
     let weekly_period = 7 * SAMPLES_PER_DAY / 3;
     let weekly = mine_maximal(&coarse_only, weekly_period, &MineConfig::new(0.9)?)?;
-    let longest = weekly.maximal.iter().map(|fp| fp.letters.len()).max().unwrap_or(0);
+    let longest = weekly
+        .maximal
+        .iter()
+        .map(|fp| fp.letters.len())
+        .max()
+        .unwrap_or(0);
     println!(
         "\n=== Weekly mining on the 3h coarse grid (period {weekly_period}, min_conf 0.9) ===\n  {} maximal patterns over {} frequent letters, longest spans {} slots, {} scans",
         weekly.maximal.len(),

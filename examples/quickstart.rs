@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Frequent partial periodic patterns (period 3, min_conf 0.8) ===");
     let result = mine(&series, 3, &config, Algorithm::HitSet)?;
     for (pattern, count, conf) in result.patterns() {
-        println!("  {:<28} count={count:<3} conf={conf:.2}", pattern.display(&catalog).to_string());
+        println!(
+            "  {:<28} count={count:<3} conf={conf:.2}",
+            pattern.display(&catalog).to_string()
+        );
     }
     println!(
         "\n  scans of the series: {} (the hit-set method always needs 2)",
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Apriori baseline finds exactly the same patterns, with more scans.
     let apriori = mine(&series, 3, &config, Algorithm::Apriori)?;
     assert_eq!(apriori.frequent, result.frequent);
-    println!("  Apriori found the same {} patterns in {} scans", apriori.len(), apriori.stats.series_scans);
+    println!(
+        "  Apriori found the same {} patterns in {} scans",
+        apriori.len(),
+        apriori.stats.series_scans
+    );
 
     // Periodic association rules: "when coffee, then newspaper".
     println!("\n=== Periodic rules (min rule confidence 0.8) ===");

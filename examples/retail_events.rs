@@ -49,8 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .enumerate()
             .filter(|(_, s)| !s.is_star())
             .map(|(o, s)| {
-                let names: Vec<&str> =
-                    s.features().iter().map(|&f| catalog.name(f).unwrap_or("?")).collect();
+                let names: Vec<&str> = s
+                    .features()
+                    .iter()
+                    .map(|&f| catalog.name(f).unwrap_or("?"))
+                    .collect();
                 format!("{} {}", grid.label(o), names.join("+"))
             })
             .collect();

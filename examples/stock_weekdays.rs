@@ -16,12 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{} trading days of movements (up/down/flat)", series.len());
 
     // Which period is the data periodic at? Sweep 2..=9 in two scans.
-    let sweep = mine_periods_shared(
-        &series,
-        PeriodRange::new(2, 9)?,
-        &MineConfig::new(0.75)?,
-    )?;
-    println!("\n=== Period sweep 2..=9 ({} scans total) ===", sweep.total_scans);
+    let sweep = mine_periods_shared(&series, PeriodRange::new(2, 9)?, &MineConfig::new(0.75)?)?;
+    println!(
+        "\n=== Period sweep 2..=9 ({} scans total) ===",
+        sweep.total_scans
+    );
     for r in &sweep.results {
         println!("  period {} -> {:>3} frequent patterns", r.period, r.len());
     }

@@ -44,9 +44,9 @@ pub use ppm_datagen as datagen;
 pub use ppm_timeseries as timeseries;
 
 pub use ppm_core::{
-    apriori, closed, constraints, evolution, hitset, maximal, multi, multilevel, parallel,
-    perfect, perturb, rules, stats, streaming, Algorithm, FrequentPattern, MineConfig,
-    MiningResult, Pattern, Symbol,
+    apriori, closed, constraints, evolution, hitset, maximal, multi, multilevel, parallel, perfect,
+    perturb, rules, stats, streaming, Algorithm, FrequentPattern, MineConfig, MiningResult,
+    Pattern, Symbol,
 };
 pub use ppm_datagen::SyntheticSpec;
 pub use ppm_timeseries::{FeatureCatalog, FeatureId, FeatureSeries, SeriesBuilder};

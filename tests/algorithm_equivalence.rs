@@ -4,15 +4,20 @@
 //! exactly the same counts — and those counts must agree with brute-force
 //! segment matching and brute-force subset enumeration.
 
+#[cfg(feature = "property-tests")]
 use proptest::prelude::*;
 
+#[cfg(feature = "property-tests")]
 use partial_periodic::core::hitset::derive::CountStrategy;
+#[cfg(feature = "property-tests")]
 use partial_periodic::core::LetterSet;
+#[cfg(feature = "property-tests")]
 use partial_periodic::multi::{mine_periods_looping, mine_periods_shared, PeriodRange};
-use partial_periodic::{
-    apriori, hitset, Algorithm, FeatureCatalog, FeatureId, MineConfig, SeriesBuilder,
-};
+use partial_periodic::{apriori, hitset, FeatureCatalog, MineConfig, SeriesBuilder};
+#[cfg(feature = "property-tests")]
+use partial_periodic::{Algorithm, FeatureId};
 
+#[cfg(feature = "property-tests")]
 fn build_series(instants: &[Vec<u8>]) -> partial_periodic::FeatureSeries {
     let mut b = SeriesBuilder::new();
     for inst in instants {
@@ -22,10 +27,12 @@ fn build_series(instants: &[Vec<u8>]) -> partial_periodic::FeatureSeries {
 }
 
 /// Instants of 0..=3 features drawn from a 5-feature vocabulary.
+#[cfg(feature = "property-tests")]
 fn series_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
     prop::collection::vec(prop::collection::vec(0u8..5, 0..4), 16..90)
 }
 
+#[cfg(feature = "property-tests")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

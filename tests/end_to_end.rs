@@ -11,9 +11,7 @@ use partial_periodic::{hitset, FeatureCatalog, MineConfig, SyntheticSpec};
 /// frequent pattern.
 #[test]
 fn synthetic_ground_truth_is_recovered() {
-    for (len, period, max_pat, f1) in
-        [(6_000, 20, 4, 8), (10_000, 50, 6, 12), (4_000, 10, 2, 6)]
-    {
+    for (len, period, max_pat, f1) in [(6_000, 20, 4, 8), (10_000, 50, 6, 12), (4_000, 10, 2, 6)] {
         let spec = SyntheticSpec::table1(len, period, max_pat, f1);
         let g = spec.generate();
         let config = MineConfig::new(spec.recommended_min_conf()).unwrap();
@@ -29,8 +27,9 @@ fn synthetic_ground_truth_is_recovered() {
             "MAX-PAT-LENGTH mismatch for spec ({len},{period},{max_pat},{f1})"
         );
         // The planted letters are exactly the mined alphabet.
-        let mined: Vec<(usize, _)> =
-            (0..result.alphabet.len()).map(|i| result.alphabet.letter(i)).collect();
+        let mined: Vec<(usize, _)> = (0..result.alphabet.len())
+            .map(|i| result.alphabet.letter(i))
+            .collect();
         assert_eq!(mined, g.planted_letters());
         // The backbone is frequent as a whole.
         let backbone_set = partial_periodic::core::LetterSet::from_indices(
@@ -86,10 +85,16 @@ fn text_format_round_trip() {
     // Feature ids may be renumbered by the re-parse (interning order
     // follows first appearance), so compare instants by *name sets*.
     for t in 0..series.len() {
-        let mut before: Vec<&str> =
-            series.instant(t).iter().map(|&f| catalog.name(f).unwrap()).collect();
-        let mut after: Vec<&str> =
-            parsed.instant(t).iter().map(|&f| catalog2.name(f).unwrap()).collect();
+        let mut before: Vec<&str> = series
+            .instant(t)
+            .iter()
+            .map(|&f| catalog.name(f).unwrap())
+            .collect();
+        let mut after: Vec<&str> = parsed
+            .instant(t)
+            .iter()
+            .map(|&f| catalog2.name(f).unwrap())
+            .collect();
         before.sort_unstable();
         after.sort_unstable();
         assert_eq!(before, after, "instant {t}");
@@ -100,8 +105,7 @@ fn text_format_round_trip() {
 #[test]
 fn jim_habits_become_weekly_letters() {
     let mut catalog = FeatureCatalog::new();
-    let series =
-        activity::generate(80, &activity::jim_schedule(), 20, 0.3, 11, &mut catalog);
+    let series = activity::generate(80, &activity::jim_schedule(), 20, 0.3, 11, &mut catalog);
     let config = MineConfig::new(0.5).unwrap();
     let scan = scan_frequent_letters(&series, activity::WEEK, &config).unwrap();
     let paper = catalog.get("read-vancouver-sun").unwrap();
@@ -127,9 +131,10 @@ fn stock_drift_is_mined_at_period_five() {
     let series = stock::movements(&prices, 0.004, &mut catalog);
     let result = hitset::mine(&series, 5, &MineConfig::new(0.7).unwrap()).unwrap();
     let mut cat2 = catalog.clone();
-    let pattern =
-        partial_periodic::Pattern::parse("up * * * down", &mut cat2).unwrap();
-    let count = result.count_of(&pattern).expect("up-Monday/down-Friday frequent");
+    let pattern = partial_periodic::Pattern::parse("up * * * down", &mut cat2).unwrap();
+    let count = result
+        .count_of(&pattern)
+        .expect("up-Monday/down-Friday frequent");
     assert!(count as f64 / result.segment_count as f64 > 0.7);
 }
 
@@ -137,20 +142,18 @@ fn stock_drift_is_mined_at_period_five() {
 /// make the trough band perfectly periodic.
 #[test]
 fn discretized_sinusoid_is_periodic() {
-    let values: Vec<f64> =
-        (0..2_400).map(|t| ((t % 24) as f64 / 24.0 * std::f64::consts::TAU).sin()).collect();
+    let values: Vec<f64> = (0..2_400)
+        .map(|t| ((t % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+        .collect();
     let mut catalog = FeatureCatalog::new();
     let d = discretize::Discretizer::equal_width("s", &values, 4).unwrap();
     let series = d.apply(&values, &mut catalog);
     // Every hour maps to a fixed band -> 24 perfect letters. The full
     // frequent set would be all 2^24 subsets, so mine only the maximal
     // pattern: MaxMiner's look-ahead collapses it in one probe.
-    let result = partial_periodic::maximal::mine_maximal(
-        &series,
-        24,
-        &MineConfig::new(1.0).unwrap(),
-    )
-    .unwrap();
+    let result =
+        partial_periodic::maximal::mine_maximal(&series, 24, &MineConfig::new(1.0).unwrap())
+            .unwrap();
     assert_eq!(result.alphabet.len(), 24);
     assert_eq!(result.maximal.len(), 1);
     assert_eq!(result.maximal[0].letters.len(), 24);

@@ -2,9 +2,11 @@
 //! periodic rules, perturbation tolerance, multi-level mining, and the
 //! perfect-periodicity baseline.
 
+#[cfg(feature = "property-tests")]
 use proptest::prelude::*;
 
 use partial_periodic::core::perfect::mine_perfect;
+#[cfg(feature = "property-tests")]
 use partial_periodic::maximal::{maximal_of, mine_maximal};
 use partial_periodic::multi::PeriodRange;
 use partial_periodic::multilevel::mine_multilevel;
@@ -13,6 +15,7 @@ use partial_periodic::{
     hitset, perturb, rules, Algorithm, FeatureCatalog, FeatureId, MineConfig, SeriesBuilder,
 };
 
+#[cfg(feature = "property-tests")]
 fn build_series(instants: &[Vec<u8>]) -> partial_periodic::FeatureSeries {
     let mut b = SeriesBuilder::new();
     for inst in instants {
@@ -21,10 +24,12 @@ fn build_series(instants: &[Vec<u8>]) -> partial_periodic::FeatureSeries {
     b.finish()
 }
 
+#[cfg(feature = "property-tests")]
 fn series_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
     prop::collection::vec(prop::collection::vec(0u8..5, 0..4), 16..80)
 }
 
+#[cfg(feature = "property-tests")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -110,7 +115,10 @@ fn perturbation_recovery() {
     let tolerant =
         perturb::mine_with_slot_enlargement(&series, 6, 1, &config, Algorithm::HitSet).unwrap();
     assert!(!tolerant.is_empty());
-    assert!(tolerant.alphabet.index_of(2, FeatureId::from_raw(0)).is_some());
+    assert!(tolerant
+        .alphabet
+        .index_of(2, FeatureId::from_raw(0))
+        .is_some());
 }
 
 /// Multi-level drill-down: coarse patterns persist or refine; features
@@ -148,8 +156,7 @@ fn multilevel_drill_down_consistency() {
     let series = b.finish();
 
     let config = MineConfig::new(0.7).unwrap();
-    let levels =
-        mine_multilevel(&series, &tax, 2, 2, &config, Algorithm::HitSet).unwrap();
+    let levels = mine_multilevel(&series, &tax, 2, 2, &config, Algorithm::HitSet).unwrap();
     assert_eq!(levels.len(), 3);
 
     // Depth 0: drink@0 and food@1 both perfect.
@@ -198,7 +205,11 @@ fn rule_threshold_is_respected() {
     let mut b = SeriesBuilder::new();
     for j in 0..20 {
         b.push_instant([FeatureId::from_raw(0)]);
-        b.push_instant(if j % 2 == 0 { vec![FeatureId::from_raw(1)] } else { vec![] });
+        b.push_instant(if j % 2 == 0 {
+            vec![FeatureId::from_raw(1)]
+        } else {
+            vec![]
+        });
     }
     let series = b.finish();
     let result = hitset::mine(&series, 2, &MineConfig::new(0.4).unwrap()).unwrap();

@@ -228,7 +228,10 @@ fn figure_1_tree_and_derivation() {
     for (letters, expect) in &freqs {
         assert_eq!(tree.count_superpatterns_walk(&set(letters)), *expect);
     }
-    assert!(freqs.iter().all(|(_, f)| *f >= 45), "all level-2 patterns frequent at 45");
+    assert!(
+        freqs.iter().all(|(_, f)| *f >= 45),
+        "all level-2 patterns frequent at 45"
+    );
     // Level-1: only two survive (60 and 50); 42 and 10 fall short.
     assert_eq!(tree.count_superpatterns_walk(&set(&[1, 2, 3])), 60);
     assert_eq!(tree.count_superpatterns_walk(&set(&[0, 1, 2])), 50);
@@ -243,7 +246,9 @@ fn figure_1_tree_and_derivation() {
 #[test]
 fn alphabet_canonical_order_is_stable() {
     let alphabet = Alphabet::new(3, [(2, fid(0)), (0, fid(1)), (1, fid(5)), (1, fid(2))]);
-    let order: Vec<(usize, FeatureId)> =
-        (0..alphabet.len()).map(|i| alphabet.letter(i)).collect();
-    assert_eq!(order, vec![(0, fid(1)), (1, fid(2)), (1, fid(5)), (2, fid(0))]);
+    let order: Vec<(usize, FeatureId)> = (0..alphabet.len()).map(|i| alphabet.letter(i)).collect();
+    assert_eq!(
+        order,
+        vec![(0, fid(1)), (1, fid(2)), (1, fid(5)), (2, fid(0))]
+    );
 }

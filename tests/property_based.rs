@@ -1,6 +1,11 @@
 //! Property-based tests on the core data structures: `LetterSet` against a
 //! `BTreeSet` model, the max-subpattern tree against a naive multiset, the
 //! threshold arithmetic, and the substrate's discretizers.
+//!
+//! Requires the external `proptest` crate; enable with
+//! `--features property-tests` (see the root `Cargo.toml`). The default
+//! (offline) test run skips this file entirely.
+#![cfg(feature = "property-tests")]
 
 use std::collections::BTreeSet;
 

@@ -2,8 +2,10 @@
 //! mining, windowed evolution mining, and the parallel miner — composed
 //! into full pipelines.
 
+#[cfg(feature = "property-tests")]
 use proptest::prelude::*;
 
+#[cfg(feature = "property-tests")]
 use partial_periodic::constraints::{mine_constrained, Constraints};
 use partial_periodic::evolution::{mine_windows, Drift, WindowSpec};
 use partial_periodic::parallel::mine_parallel;
@@ -40,6 +42,7 @@ fn event_log_to_weekly_pattern() {
     assert!(result.frequent.iter().all(|fp| fp.count == 30));
 }
 
+#[cfg(feature = "property-tests")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -182,7 +185,11 @@ fn evolution_on_synthetic_data() {
     // Backbone letters: stable.
     for &(o, f) in &data.backbone {
         let track = out.track_of(&[(o, f)]).expect("backbone tracked");
-        assert_eq!(track.classify(n), Drift::Stable, "backbone letter ({o}, {f:?})");
+        assert_eq!(
+            track.classify(n),
+            Drift::Stable,
+            "backbone letter ({o}, {f:?})"
+        );
     }
     // The injected marker: emerging.
     let track = out.track_of(&[(7, marker)]).expect("marker tracked");
@@ -215,7 +222,9 @@ fn full_pipeline_composes() {
     let co = par.alphabet.index_of(8, coffee).unwrap();
     let dn = par.alphabet.index_of(8, doughnut).unwrap();
     assert!(
-        rules.iter().any(|r| r.consequent == dn && r.antecedent.contains(co)),
+        rules
+            .iter()
+            .any(|r| r.consequent == dn && r.antecedent.contains(co)),
         "expected coffee => doughnut rule"
     );
 }

@@ -2,16 +2,23 @@
 //! patterns: stream-format round trips, disk mining equivalence, and the
 //! closed-set compression laws.
 
+#[cfg(feature = "property-tests")]
 use proptest::prelude::*;
 
-use partial_periodic::closed::{closed_of, mine_closed};
-use partial_periodic::streaming::{mine_apriori_streaming, mine_hitset_streaming};
+#[cfg(feature = "property-tests")]
+use partial_periodic::closed::closed_of;
+use partial_periodic::closed::mine_closed;
+#[cfg(feature = "property-tests")]
+use partial_periodic::streaming::mine_apriori_streaming;
+use partial_periodic::streaming::mine_hitset_streaming;
 use partial_periodic::timeseries::storage::stream::{FileSource, StreamWriter};
+#[cfg(feature = "property-tests")]
 use partial_periodic::timeseries::SeriesSource;
-use partial_periodic::{
-    hitset, FeatureCatalog, FeatureId, MineConfig, SeriesBuilder, SyntheticSpec,
-};
+use partial_periodic::{hitset, MineConfig, SyntheticSpec};
+#[cfg(feature = "property-tests")]
+use partial_periodic::{FeatureCatalog, FeatureId, SeriesBuilder};
 
+#[cfg(feature = "property-tests")]
 fn fid(i: u32) -> FeatureId {
     FeatureId::from_raw(i)
 }
@@ -25,6 +32,7 @@ fn temp(tag: &str) -> std::path::PathBuf {
     ))
 }
 
+#[cfg(feature = "property-tests")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -127,7 +135,11 @@ fn closed_compression_on_synthetic_data() {
     let config = MineConfig::new(spec.recommended_min_conf()).unwrap();
     let full = hitset::mine(&data.series, 50, &config).unwrap();
     let closed = mine_closed(&data.series, 50, &config).unwrap();
-    assert!(full.len() >= 1000, "frequent set should explode: {}", full.len());
+    assert!(
+        full.len() >= 1000,
+        "frequent set should explode: {}",
+        full.len()
+    );
     assert!(
         closed.closed.len() < 40,
         "closed set should stay small: {}",
