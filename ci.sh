@@ -22,4 +22,23 @@ cargo test -q
 echo "==> workspace test suite (all crates)"
 cargo test --workspace -q
 
+echo "==> observability smoke: mine --trace --metrics-out on a generated dataset"
+# Hermetic: everything lands in a temp dir that is removed on exit. The
+# emitted JSON-lines schema itself is validated by the repo's own parser in
+# the ppm-cli test `metrics_out_writes_parseable_summary`; this step checks
+# the shipped binary end to end.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/ppm generate --length 3000 --period 25 --max-pat-length 4 \
+  --f1 8 --seed 7 --out "$smoke_dir/smoke.ppms"
+./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
+  --min-conf 0.6 --trace --metrics-out "$smoke_dir/metrics.json" \
+  >"$smoke_dir/stdout.log" 2>"$smoke_dir/trace.log"
+grep -q "frequent patterns" "$smoke_dir/stdout.log"
+test -s "$smoke_dir/trace.log"   # --trace wrote the span tree to stderr
+grep -q '"type":"summary"' "$smoke_dir/metrics.json"
+grep -q '"mining_stats"' "$smoke_dir/metrics.json"
+./target/release/ppm info --input "$smoke_dir/smoke.ppms" --period 25 \
+  | grep -q "hit-set bound"
+
 echo "CI green."

@@ -1,6 +1,13 @@
 //! `ppm info` — series summary statistics.
+//!
+//! With `--period P` (and optionally `--min-conf C`, default 0.5) it also
+//! runs scan 1 for that period and reports the Property 3.2 hit-set
+//! buffer bound `min(m, 2^|F1| − 1)` — a pre-mining estimate of how many
+//! distinct hits the max-subpattern tree can accumulate.
 
 use std::io::Write;
+
+use ppm_core::{hit_set_bound, scan_frequent_letters, MineConfig};
 
 use crate::args::Parsed;
 use crate::error::CliError;
@@ -34,6 +41,45 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             )?;
         }
     }
+
+    // Per-feature occurrence counts across the whole series.
+    let mut occurrences = vec![0u64; catalog.len()];
+    for instant in series.iter() {
+        for feature in instant {
+            if let Some(slot) = occurrences.get_mut(feature.index()) {
+                *slot += 1;
+            }
+        }
+    }
+    if !occurrences.is_empty() {
+        writeln!(out, "feature occurrence counts:")?;
+        let mut rows: Vec<(&str, u64)> = catalog
+            .iter()
+            .map(|(id, name)| (name, occurrences[id.index()]))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, count) in rows {
+            writeln!(out, "  {name:<20} {count}")?;
+        }
+    }
+
+    if args.switch("period") {
+        let period: usize = args.required_parsed("period")?;
+        let min_conf: f64 = args.parsed_or("min-conf", 0.5)?;
+        let config = MineConfig::new(min_conf)?;
+        let scan1 = scan_frequent_letters(&series, period, &config)?;
+        let m = scan1.segment_count as u64;
+        let f1 = scan1.alphabet.len();
+        writeln!(out, "hit-set estimate @p={period}, min_conf {min_conf}:")?;
+        writeln!(out, "  segments m:         {m}")?;
+        writeln!(out, "  |F1| letters:       {f1}")?;
+        writeln!(out, "  min_count:          {}", scan1.min_count)?;
+        writeln!(
+            out,
+            "  hit-set bound:      {} (Property 3.2: min(m, 2^|F1| - 1))",
+            hit_set_bound(m, f1 as u32)
+        )?;
+    }
     Ok(())
 }
 
@@ -47,6 +93,41 @@ mod tests {
         let text = run_cli(&format!("info --input {}", path.display())).unwrap();
         assert!(text.contains("instants:             90"));
         assert!(text.contains("catalog size:         2"));
+        // Per-feature occurrences, most frequent first.
+        let alpha = text.find("alpha").unwrap();
+        let beta = text.find("beta").unwrap();
+        assert!(alpha < beta, "{text}");
+        assert!(text.contains("alpha                30"), "{text}");
+        assert!(text.contains("beta                 20"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn period_flag_reports_the_hit_set_bound() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!("info --input {} --period 3", path.display())).unwrap();
+        // m = 30 segments, |F1| = 2 at the default min_conf 0.5, so the
+        // Property 3.2 bound is min(30, 2^2 - 1) = 3.
+        assert!(text.contains("segments m:         30"), "{text}");
+        assert!(text.contains("|F1| letters:       2"), "{text}");
+        assert!(text.contains("hit-set bound:      3"), "{text}");
+
+        // A stricter confidence can shrink F1 and with it the bound.
+        let text = run_cli(&format!(
+            "info --input {} --period 3 --min-conf 0.9",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("|F1| letters:       1"), "{text}");
+        assert!(text.contains("hit-set bound:      1"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn invalid_period_is_mining_error() {
+        let path = sample_series_file("ppms");
+        let err = run_cli(&format!("info --input {} --period 0", path.display())).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
         std::fs::remove_file(path).ok();
     }
 

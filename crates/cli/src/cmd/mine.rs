@@ -7,15 +7,35 @@ use ppm_core::constraints::{mine_constrained, Constraints};
 use ppm_core::maximal::mine_maximal;
 use ppm_core::parallel::mine_parallel;
 use ppm_core::streaming::{mine_apriori_streaming, mine_hitset_streaming};
-use ppm_core::{mine, Algorithm, MineConfig, MiningResult, Pattern};
+use ppm_core::{mine, Algorithm, MineConfig, MiningResult, MiningStats, Pattern};
 use ppm_timeseries::storage::stream::FileSource;
 use ppm_timeseries::{RetryPolicy, RetryingSource, SeriesSource};
 
 use crate::args::Parsed;
 use crate::error::CliError;
 
-/// Runs the command.
+/// Runs the command. Observability (`--trace`, `--metrics-out`,
+/// `--progress`) wraps the whole mine; the metrics summary embeds the
+/// run's [`ppm_core::MiningStats`] — including the *partial* stats a
+/// resource-guard abort carries — and is written after the sinks detach,
+/// so the summary work is never itself recorded.
 pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let obs = crate::obs::ObsSetup::from_args(args)?;
+    let guard = obs.install();
+    let outcome = run_inner(args, out);
+    drop(guard);
+    let stats = match &outcome {
+        Ok(stats) => stats.clone(),
+        Err(CliError::Mining(e)) => e.partial_stats().cloned(),
+        Err(_) => None,
+    };
+    obs.finalize(stats.as_ref(), out)?;
+    outcome.map(|_| ())
+}
+
+/// The mining body; returns the run's stats for the metrics summary
+/// (`None` only for paths that never mined, e.g. a usage error).
+fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, CliError> {
     let input = args.required("input")?;
     let period: usize = args.required_parsed("period")?;
     let min_conf: f64 = args.required_parsed("min-conf")?;
@@ -64,7 +84,8 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             "streamed {} file scans from {input}",
             result.stats.series_scans
         )?;
-        return print_result(&result, &catalog, period, min_conf, limit, out);
+        print_result(&result, &catalog, period, min_conf, limit, out)?;
+        return Ok(Some(result.stats));
     }
 
     let (series, catalog) = super::load_series(input)?;
@@ -88,7 +109,7 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
                 fp.count as f64 / result.segment_count as f64
             )?;
         }
-        return Ok(());
+        return Ok(Some(result.stats));
     }
 
     // Closed-only mode: the lossless compression of the frequent set.
@@ -110,7 +131,7 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
                 fp.count as f64 / result.segment_count as f64
             )?;
         }
-        return Ok(());
+        return Ok(Some(result.stats));
     }
 
     let offsets = args.parsed_list::<usize>("offsets")?;
@@ -147,9 +168,10 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
 
     if args.switch("tsv") {
         write!(out, "{}", ppm_core::export::patterns_tsv(&result, &catalog))?;
-        return Ok(());
+        return Ok(Some(result.stats));
     }
-    print_result(&result, &catalog, period, min_conf, limit, out)
+    print_result(&result, &catalog, period, min_conf, limit, out)?;
+    Ok(Some(result.stats))
 }
 
 /// On a resource-guard abort ([`ppm_core::Error::DeadlineExceeded`] /
@@ -436,6 +458,107 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(base, guarded);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metrics_out_writes_parseable_summary() {
+        use crate::cmd::testutil::temp_path;
+        use ppm_observe::Json;
+
+        let path = sample_series_file("ppms");
+        let metrics = temp_path("mine-metrics", "json");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --metrics-out {}",
+            path.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        assert!(text.contains("metrics written to"), "{text}");
+
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        let lines: Vec<&str> = raw.lines().collect();
+        assert!(lines.len() > 1, "events plus a summary line: {raw}");
+        for line in &lines {
+            Json::parse(line).unwrap_or_else(|e| panic!("{e} in {line}"));
+        }
+        let summary = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(summary.get("type").unwrap().as_str(), Some("summary"));
+        let phases = summary.get("phases").unwrap().as_arr().unwrap();
+        assert!(
+            phases
+                .iter()
+                .any(|p| p.get("name").unwrap().as_str() == Some("hitset.mine")),
+            "{raw}"
+        );
+        assert_eq!(summary.get("retries").unwrap().as_u64(), Some(0));
+        assert_eq!(summary.get("guard_trips").unwrap().as_u64(), Some(0));
+        let stats = summary.get("mining_stats").unwrap();
+        assert_eq!(stats.get("series_scans").unwrap().as_u64(), Some(2));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn guard_abort_still_reaches_the_metrics_summary() {
+        use crate::cmd::testutil::temp_path;
+        use ppm_observe::Json;
+
+        let path = sample_series_file("ppms");
+        let metrics = temp_path("mine-metrics-abort", "json");
+        let argv: Vec<String> = format!(
+            "mine --input {} --period 3 --min-conf 0.6 --deadline-ms 0 --metrics-out {}",
+            path.display(),
+            metrics.display()
+        )
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+        let mut out = Vec::new();
+        let err = crate::run(&argv, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        let summary = Json::parse(raw.lines().last().unwrap()).unwrap();
+        assert_eq!(summary.get("guard_trips").unwrap().as_u64(), Some(1));
+        // The partial stats carried by the abort still land in the summary.
+        assert!(summary.get("mining_stats").is_some(), "{raw}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn trace_and_progress_leave_stdout_unchanged() {
+        let path = sample_series_file("ppms");
+        let base = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6",
+            path.display()
+        ))
+        .unwrap();
+        for extra in [
+            "--trace",
+            "--progress",
+            "--progress --progress-interval-ms 5",
+        ] {
+            let text = run_cli(&format!(
+                "mine --input {} --period 3 --min-conf 0.6 {extra}",
+                path.display()
+            ))
+            .unwrap();
+            assert_eq!(base, text, "{extra} must only write to stderr");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn valueless_metrics_out_is_usage_error() {
+        let path = sample_series_file("ppms");
+        let err = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --metrics-out",
+            path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
         std::fs::remove_file(path).ok();
     }
 

@@ -10,15 +10,71 @@
 use std::io::Write;
 
 use ppm_core::multi::{mine_periods_looping, mine_periods_shared, PeriodRange};
-use ppm_core::{hitset, Algorithm, MineConfig};
+use ppm_core::{hitset, Algorithm, MineConfig, StatsRollup};
+use ppm_observe::Json;
 use ppm_timeseries::FeatureSeries;
 
 use crate::args::Parsed;
 use crate::checkpoint::{PeriodRow, SweepCheckpoint};
 use crate::error::CliError;
+use crate::obs::{rollup_json, ObsSetup};
 
-/// Runs the command.
+/// Runs the command. `--trace` / `--metrics-out` work as for `mine`;
+/// `--bench-report NAME` additionally writes a stable `BENCH_NAME.json`
+/// with per-phase wall-clock aggregates, peak tree size, and scan counts.
 pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let bench = if args.switch("bench-report") {
+        let name = args.required("bench-report")?;
+        if name.is_empty() || name.contains(['/', '\\']) {
+            return Err(CliError::Usage(format!(
+                "--bench-report name {name:?} must be a bare file-name fragment"
+            )));
+        }
+        if args.switch("checkpoint") {
+            return Err(CliError::Usage(
+                "--bench-report cannot be combined with --checkpoint \
+                 (checkpoint rows do not carry full per-phase stats)"
+                    .into(),
+            ));
+        }
+        Some(name.to_owned())
+    } else {
+        None
+    };
+    let obs = ObsSetup::from_args_with(args, bench.is_some())?;
+    let guard = obs.install();
+    let outcome = run_inner(args, out);
+    drop(guard);
+    let sweep = match &outcome {
+        Ok(sweep) => Some(sweep.clone()),
+        Err(_) => None,
+    };
+    obs.finalize_with_extra(
+        sweep
+            .as_ref()
+            .map(|s| ("stats_rollup".to_owned(), rollup_json(&s.rollup)))
+            .into_iter()
+            .collect(),
+        out,
+    )?;
+    if let (Some(name), Some(sweep)) = (&bench, &sweep) {
+        write_bench_report(name, args, sweep, &obs, out)?;
+    }
+    outcome.map(|_| ())
+}
+
+/// What a sweep reports upward: the cross-period stats rollup plus the
+/// number of *physical* series scans — for shared mining that is 2, while
+/// the rollup's `total.series_scans` sums every period's logical count.
+#[derive(Clone)]
+struct SweepOutcome {
+    rollup: StatsRollup,
+    physical_scans: usize,
+}
+
+/// The sweep body; returns the rollup and scan count for the metrics
+/// summary and the bench report.
+fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<SweepOutcome, CliError> {
     let input = args.required("input")?;
     let from: usize = args.required_parsed("from")?;
     let to: usize = args.required_parsed("to")?;
@@ -59,18 +115,70 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             "shared, Alg 3.4"
         }
     )?;
+    let mut rollup = StatsRollup::new();
     let rows: Vec<PeriodRow> = result
         .results
         .iter()
-        .map(|r| PeriodRow {
-            period: r.period,
-            patterns: r.len(),
-            f1: r.alphabet.len(),
-            max_len: r.max_l_length(),
-            scans: r.stats.series_scans,
+        .map(|r| {
+            rollup.add(&r.stats);
+            PeriodRow {
+                period: r.period,
+                patterns: r.len(),
+                f1: r.alphabet.len(),
+                max_len: r.max_l_length(),
+                scans: r.stats.series_scans,
+            }
         })
         .collect();
     print_table(&rows, out)?;
+    Ok(SweepOutcome {
+        rollup,
+        physical_scans: result.total_scans,
+    })
+}
+
+/// Writes `BENCH_<name>.json`: a machine-readable benchmark record with a
+/// stable schema — per-phase wall-clock aggregates from the collected
+/// spans, the peak tree size across periods, and the scan totals.
+fn write_bench_report(
+    name: &str,
+    args: &Parsed,
+    sweep: &SweepOutcome,
+    obs: &ObsSetup,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let events = obs.collector().map(|c| c.events()).unwrap_or_default();
+    let phases: Vec<Json> = ppm_observe::aggregate_phases(&events)
+        .iter()
+        .map(|p| p.to_json())
+        .collect();
+    let wall_us = events.last().map(|e| e.at_us()).unwrap_or(0);
+    let doc = Json::Obj(vec![
+        ("type".to_owned(), Json::Str("bench".to_owned())),
+        ("name".to_owned(), Json::Str(name.to_owned())),
+        (
+            "from".to_owned(),
+            Json::from_usize(args.required_parsed("from")?),
+        ),
+        (
+            "to".to_owned(),
+            Json::from_usize(args.required_parsed("to")?),
+        ),
+        ("wall_us".to_owned(), Json::from_u64(wall_us)),
+        ("phases".to_owned(), Json::Arr(phases)),
+        (
+            "peak_tree_nodes".to_owned(),
+            Json::from_usize(sweep.rollup.max_tree_nodes),
+        ),
+        (
+            "total_scans".to_owned(),
+            Json::from_usize(sweep.physical_scans),
+        ),
+        ("stats_rollup".to_owned(), rollup_json(&sweep.rollup)),
+    ]);
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, format!("{}\n", doc.render()))?;
+    writeln!(out, "bench report written to {path}")?;
     Ok(())
 }
 
@@ -95,7 +203,9 @@ fn print_table(rows: &[PeriodRow], out: &mut dyn Write) -> Result<(), CliError> 
 }
 
 /// A checkpointed sweep: one period at a time, resuming from (and updating)
-/// the checkpoint file after every completed period.
+/// the checkpoint file after every completed period. The returned rollup
+/// covers only the periods mined *now* — checkpoint rows carry summary
+/// columns, not full stats.
 #[allow(clippy::too_many_arguments)]
 fn run_checkpointed(
     input: &str,
@@ -106,9 +216,15 @@ fn run_checkpointed(
     series: &FeatureSeries,
     config: &MineConfig,
     out: &mut dyn Write,
-) -> Result<(), CliError> {
+) -> Result<SweepOutcome, CliError> {
     let mut checkpoint = match SweepCheckpoint::load(checkpoint_path)? {
         Some(cp) if cp.matches(input, min_conf, from, to) => {
+            ppm_observe::mark("checkpoint.resumed", || {
+                format!(
+                    "resumed {checkpoint_path} with {} periods already mined",
+                    cp.rows.len()
+                )
+            });
             writeln!(
                 out,
                 "resuming from checkpoint {checkpoint_path}: {} of {} periods already mined",
@@ -126,6 +242,7 @@ fn run_checkpointed(
         None => SweepCheckpoint::new(input, min_conf, from, to),
     };
 
+    let mut rollup = StatsRollup::new();
     let mut mined_now = 0usize;
     let mut aborted: Option<ppm_core::Error> = None;
     for period in from..=to {
@@ -134,6 +251,7 @@ fn run_checkpointed(
         }
         match hitset::mine(series, period, config) {
             Ok(r) => {
+                rollup.add(&r.stats);
                 checkpoint.record(PeriodRow {
                     period,
                     patterns: r.len(),
@@ -142,6 +260,9 @@ fn run_checkpointed(
                     scans: r.stats.series_scans,
                 });
                 checkpoint.save(checkpoint_path)?;
+                ppm_observe::mark("checkpoint.saved", || {
+                    format!("period {period} recorded in {checkpoint_path}")
+                });
                 mined_now += 1;
             }
             // Resource-guard aborts degrade: keep what we have, stop early.
@@ -183,7 +304,10 @@ fn run_checkpointed(
             )?;
         }
     }
-    Ok(())
+    Ok(SweepOutcome {
+        rollup,
+        physical_scans: total_scans,
+    })
 }
 
 #[cfg(test)]
@@ -304,6 +428,135 @@ mod tests {
         assert!(err.to_string().contains("different sweep"), "{err}");
         std::fs::remove_file(path).ok();
         std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn bench_report_writes_a_stable_json_file() {
+        use ppm_observe::Json;
+
+        let path = sample_series_file("ppms");
+        let name = format!("test-sweep-{}", std::process::id());
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --bench-report {name}",
+            path.display()
+        ))
+        .unwrap();
+        let report = format!("BENCH_{name}.json");
+        assert!(text.contains(&report), "{text}");
+
+        let doc = Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("bench"));
+        assert_eq!(doc.get("from").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("to").unwrap().as_u64(), Some(6));
+        assert!(!doc.get("phases").unwrap().as_arr().unwrap().is_empty());
+        assert!(doc.get("peak_tree_nodes").unwrap().as_u64().unwrap() > 0);
+        // Shared mining (Alg 3.4): two scans total across all periods.
+        assert_eq!(doc.get("total_scans").unwrap().as_u64(), Some(2));
+        let rollup = doc.get("stats_rollup").unwrap();
+        assert_eq!(rollup.get("runs").unwrap().as_u64(), Some(5));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(report).ok();
+    }
+
+    #[test]
+    fn bench_report_rejects_checkpoint_and_bad_names() {
+        let path = sample_series_file("ppms");
+        let ckpt = temp_path("sweep-bench-ckpt", "ckpt");
+        let err = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 \
+             --bench-report x --checkpoint {}",
+            path.display(),
+            ckpt.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --bench-report a/b",
+            path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_metrics_summary_carries_the_rollup() {
+        use ppm_observe::Json;
+
+        let path = sample_series_file("ppms");
+        let metrics = temp_path("sweep-metrics", "json");
+        run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --looping --metrics-out {}",
+            path.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        let summary = Json::parse(raw.lines().last().unwrap()).unwrap();
+        assert_eq!(summary.get("type").unwrap().as_str(), Some("summary"));
+        let rollup = summary.get("stats_rollup").unwrap();
+        assert_eq!(rollup.get("runs").unwrap().as_u64(), Some(5));
+        // Looping (Alg 3.3): 2 scans per period, summed in the total.
+        assert_eq!(
+            rollup
+                .get("total")
+                .unwrap()
+                .get("series_scans")
+                .unwrap()
+                .as_u64(),
+            Some(10)
+        );
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn checkpointed_sweep_emits_checkpoint_marks() {
+        use ppm_observe::Json;
+
+        let path = sample_series_file("ppms");
+        let ckpt = temp_path("sweep-marks", "ckpt");
+        let metrics = temp_path("sweep-marks-metrics", "json");
+        run_cli(&format!(
+            "sweep --input {} --from 2 --to 3 --min-conf 0.6 --checkpoint {} --metrics-out {}",
+            path.display(),
+            ckpt.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        let summary = Json::parse(raw.lines().last().unwrap()).unwrap();
+        let marks = summary.get("marks").unwrap();
+        assert_eq!(
+            marks.get("checkpoint.saved").and_then(Json::as_u64),
+            Some(2),
+            "{raw}"
+        );
+
+        // Resuming the finished sweep emits the resume mark.
+        let metrics2 = temp_path("sweep-marks-metrics2", "json");
+        run_cli(&format!(
+            "sweep --input {} --from 2 --to 3 --min-conf 0.6 --checkpoint {} --metrics-out {}",
+            path.display(),
+            ckpt.display(),
+            metrics2.display()
+        ))
+        .unwrap();
+        let raw = std::fs::read_to_string(&metrics2).unwrap();
+        let summary = Json::parse(raw.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            summary
+                .get("marks")
+                .unwrap()
+                .get("checkpoint.resumed")
+                .and_then(Json::as_u64),
+            Some(1),
+            "{raw}"
+        );
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(ckpt).ok();
+        std::fs::remove_file(metrics).ok();
+        std::fs::remove_file(metrics2).ok();
     }
 
     #[test]

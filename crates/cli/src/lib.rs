@@ -22,6 +22,7 @@ pub mod args;
 pub mod checkpoint;
 pub mod cmd;
 mod error;
+pub mod obs;
 
 pub use error::CliError;
 
@@ -58,14 +59,17 @@ pub fn usage() -> &'static str {
 
 USAGE:
   ppm generate --length N --period P --max-pat-length L --f1 K --out FILE [--seed S]
-  ppm info     --input FILE
+  ppm info     --input FILE [--period P [--min-conf C]]
   ppm mine     --input FILE --period P --min-conf C
                [--algorithm apriori|hitset|parallel] [--threads N] [--stream]
                [--max-letters M] [--offsets 1,2,3] [--limit N] [--tsv]
                [--maximal | --closed]
                [--retries N] [--deadline-ms MS] [--max-tree-nodes N]
+               [--trace] [--metrics-out FILE]
+               [--progress [--progress-interval-ms MS]]
   ppm sweep    --input FILE --from P1 --to P2 --min-conf C [--looping]
                [--checkpoint FILE] [--deadline-ms MS] [--max-tree-nodes N]
+               [--trace] [--metrics-out FILE] [--bench-report NAME]
   ppm perfect  --input FILE --from P1 --to P2
   ppm rules    --input FILE --period P --min-conf C [--min-rule-conf R] [--tsv]
   ppm evolve   --input FILE --period P --min-conf C --window W [--stride S]
@@ -81,5 +85,13 @@ transient I/O errors; --deadline-ms / --max-tree-nodes abort runaway mines
 with a typed error carrying partial statistics; sweep --checkpoint FILE
 records each completed period and resumes after a crash or abort without
 re-mining; convert --salvage recovers the valid record prefix of a
-truncated .ppmstream."
+truncated .ppmstream.
+
+Observability: --trace prints a live span tree to stderr; --metrics-out
+FILE streams structured events as JSON lines and appends a final summary
+(per-phase timings, counters, retry/guard counts, mining stats);
+mine --progress prints a segments/ETA heartbeat to stderr;
+sweep --bench-report NAME writes BENCH_NAME.json with per-phase wall
+clock, peak tree nodes, and scan counts; info --period P reports the
+Property 3.2 hit-set buffer bound for that period."
 }

@@ -17,7 +17,11 @@ use crate::stats::MiningStats;
 /// yields no candidates (so the total is at most `period` scans, typically
 /// `max_pattern_length + 1`).
 pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Result<MiningResult> {
-    let scan1 = scan_frequent_letters(series, period, config)?;
+    let _mine_span = ppm_observe::span("apriori.mine");
+    let scan1 = {
+        let _span = ppm_observe::span("apriori.scan1");
+        scan_frequent_letters(series, period, config)?
+    };
     let mut stats = MiningStats {
         series_scans: 1,
         max_level: 1,
@@ -47,6 +51,10 @@ pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Resul
         k += 1;
         stats.max_level = k;
 
+        // One span per level, with candidate and survivor counts attached
+        // so the paper's per-level candidate shrinkage is visible.
+        let _level_span = ppm_observe::span("apriori.level");
+        ppm_observe::counter("apriori.candidates", candidates.len() as u64);
         let counts = count_candidates(series, &scan1, &candidates, &mut stats);
         stats.series_scans += 1;
 
@@ -60,6 +68,7 @@ pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Resul
                 next_level.push(cand);
             }
         }
+        ppm_observe::counter("apriori.frequent", next_level.len() as u64);
         level = next_level;
     }
 

@@ -76,18 +76,33 @@ impl ResourceGuard {
     }
 
     /// The typed deadline error with the elapsed time and partial stats.
+    /// Reported as a `guard.deadline_exceeded` observability mark, since
+    /// this constructor only runs on an actual trip.
     pub(crate) fn deadline_error(&self, stats: &MiningStats) -> Error {
+        let elapsed = self.started.elapsed();
+        ppm_observe::mark("guard.deadline_exceeded", || {
+            format!(
+                "elapsed {:?} over limit {:?}",
+                elapsed,
+                self.max_duration.unwrap_or(Duration::ZERO)
+            )
+        });
         Error::DeadlineExceeded {
-            elapsed: self.started.elapsed(),
+            elapsed,
             stats: Box::new(stats.clone()),
         }
     }
 
-    /// The typed budget error for a tree of `nodes` nodes.
+    /// The typed budget error for a tree of `nodes` nodes. Reported as a
+    /// `guard.tree_budget_exceeded` observability mark.
     pub(crate) fn tree_error(&self, nodes: usize, stats: &MiningStats) -> Error {
+        let budget = self.max_tree_nodes.unwrap_or(0);
+        ppm_observe::mark("guard.tree_budget_exceeded", || {
+            format!("{nodes} tree nodes over budget {budget}")
+        });
         Error::TreeBudgetExceeded {
             nodes,
-            budget: self.max_tree_nodes.unwrap_or(0),
+            budget,
             stats: Box::new(stats.clone()),
         }
     }

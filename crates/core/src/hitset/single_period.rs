@@ -29,10 +29,16 @@ pub fn mine_with_strategy(
     config: &MineConfig,
     strategy: CountStrategy,
 ) -> Result<MiningResult> {
+    let _mine_span = ppm_observe::span("hitset.mine");
     let guard = ResourceGuard::new(config);
 
     // Scan 1: frequent 1-patterns and C_max.
-    let scan1 = scan_frequent_letters(series, period, config)?;
+    let scan1 = {
+        let _span = ppm_observe::span("hitset.scan1");
+        scan_frequent_letters(series, period, config)?
+    };
+    ppm_observe::gauge("hitset.segments_total", scan1.segment_count as u64);
+    ppm_observe::gauge("hitset.f1_letters", scan1.alphabet.len() as u64);
     let mut stats = MiningStats {
         series_scans: 1,
         max_level: 1,
@@ -41,13 +47,19 @@ pub fn mine_with_strategy(
     guard.check_deadline(&stats)?;
 
     // Scan 2: register each segment's maximal hit subpattern.
-    let tree = build_tree_guarded(series, &scan1, &mut stats, &guard)?;
+    let tree = {
+        let _span = ppm_observe::span("hitset.scan2");
+        build_tree_guarded(series, &scan1, &mut stats, &guard)?
+    };
     stats.series_scans += 1;
     stats.tree_nodes = tree.node_count();
     stats.distinct_hits = tree.distinct_hits();
     stats.hit_insertions = tree.total_hits();
+    ppm_observe::gauge("tree.nodes", stats.tree_nodes as u64);
+    ppm_observe::gauge("tree.distinct_hits", stats.distinct_hits as u64);
 
     // Derivation: 1-letter counts from scan 1, the rest from the tree.
+    let _derive_span = ppm_observe::span("hitset.derive");
     let n_letters = scan1.alphabet.len();
     let mut frequent: Vec<FrequentPattern> = scan1
         .letter_counts
@@ -59,6 +71,7 @@ pub fn mine_with_strategy(
         })
         .collect();
     derive_frequent(&tree, &scan1, strategy, &mut frequent, &mut stats);
+    drop(_derive_span);
 
     let mut result = MiningResult {
         period,
@@ -99,6 +112,9 @@ pub(crate) fn build_tree_guarded(
     let m = scan1.segment_count;
     let mut tree = MaxSubpatternTree::new(scan1.alphabet.full_set());
     let mut hit = scan1.alphabet.empty_set();
+    // Counter increments batch at the deadline-check cadence so the
+    // observability cost stays off the per-segment fast path.
+    let mut pending_segments: u64 = 0;
     for j in 0..m {
         hit.clear();
         for offset in 0..period {
@@ -110,14 +126,21 @@ pub(crate) fn build_tree_guarded(
             tree.insert(&hit);
             if guard.tree_over_budget(tree.node_count()) {
                 absorb_tree_stats(stats, &tree);
+                ppm_observe::counter("hitset.segments", pending_segments + 1);
                 return Err(guard.tree_error(tree.node_count(), stats));
             }
         }
-        if j % DEADLINE_CHECK_INTERVAL == 0 && guard.deadline_exceeded() {
-            absorb_tree_stats(stats, &tree);
-            return Err(guard.deadline_error(stats));
+        pending_segments += 1;
+        if j % DEADLINE_CHECK_INTERVAL == 0 {
+            ppm_observe::counter("hitset.segments", pending_segments);
+            pending_segments = 0;
+            if guard.deadline_exceeded() {
+                absorb_tree_stats(stats, &tree);
+                return Err(guard.deadline_error(stats));
+            }
         }
     }
+    ppm_observe::counter("hitset.segments", pending_segments);
     Ok(tree)
 }
 

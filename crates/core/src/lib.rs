@@ -79,7 +79,7 @@ pub use letters::{Alphabet, LetterIter, LetterSet};
 pub use pattern::{Pattern, PatternDisplay, Symbol};
 pub use result::{FrequentPattern, MiningResult};
 pub use scan::{scan_frequent_letters, MineConfig, Scan1};
-pub use stats::{hit_set_bound, MiningStats};
+pub use stats::{hit_set_bound, MiningStats, StatsRollup};
 
 /// Which single-period mining algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -31,9 +31,12 @@ pub fn mine_periods_shared(
             total_scans: 0,
         });
     }
+    let _mine_span = ppm_observe::span("shared.mine");
+    ppm_observe::gauge("shared.periods", periods.len() as u64);
     let n = series.len();
 
     // ---- Scan 1: per-period (offset, feature) counts, one physical pass.
+    let scan1_span = ppm_observe::span("shared.scan1");
     let mut counts: Vec<HashMap<(u32, FeatureId), u64>> =
         periods.iter().map(|_| HashMap::new()).collect();
     let usable: Vec<usize> = periods.iter().map(|&p| (n / p) * p).collect();
@@ -82,9 +85,11 @@ pub fn mine_periods_shared(
         })
         .collect();
     drop(counts);
+    drop(scan1_span);
 
     // ---- Scan 2: per-period trees, one physical pass. Each period keeps a
     // rolling hit buffer that is flushed whenever its segment completes.
+    let scan2_span = ppm_observe::span("shared.scan2");
     let mut trees: Vec<MaxSubpatternTree> = scans
         .iter()
         .map(|s| MaxSubpatternTree::new(s.alphabet.full_set()))
@@ -110,8 +115,10 @@ pub fn mine_periods_shared(
             }
         }
     }
+    drop(scan2_span);
 
     // ---- Derivation per period (in-memory; no further scans).
+    let _derive_span = ppm_observe::span("shared.derive");
     let mut results = Vec::with_capacity(periods.len());
     for ((period, scan1), tree) in periods.iter().copied().zip(scans).zip(trees) {
         let mut stats = MiningStats {

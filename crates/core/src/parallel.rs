@@ -62,9 +62,12 @@ pub fn mine_parallel(
             series_len: series.len(),
         });
     }
+    let _mine_span = ppm_observe::span("parallel.mine");
     let guard = ResourceGuard::new(config);
     let m = series.len() / period;
     let min_count = config.min_count(m);
+    ppm_observe::gauge("parallel.threads", threads as u64);
+    ppm_observe::gauge("hitset.segments_total", m as u64);
 
     // Segment ranges per thread (consecutive blocks).
     let per_thread = m.div_ceil(threads);
@@ -73,12 +76,19 @@ pub fn mine_parallel(
         .filter(|(lo, hi)| lo < hi)
         .collect();
 
-    // ---- Scan 1, partitioned: each worker counts its segments.
+    // ---- Scan 1, partitioned: each worker counts its segments. Workers
+    // attach the captured observability handle so their spans land in the
+    // caller's sink, nested under `parallel.scan1`.
+    let scan1_span = ppm_observe::span("parallel.scan1");
+    let obs = ppm_observe::current();
     let partials: Vec<HashMap<(u32, FeatureId), u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(lo, hi)| {
+                let obs = obs.clone();
                 scope.spawn(move || {
+                    let _obs = ppm_observe::attach(obs);
+                    let _span = ppm_observe::span("parallel.worker.scan1");
                     let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
                     for t in lo * period..hi * period {
                         let offset = (t % period) as u32;
@@ -95,6 +105,7 @@ pub fn mine_parallel(
             .map(|h| h.join().map_err(worker_panic))
             .collect::<Result<Vec<_>>>()
     })?;
+    drop(scan1_span);
     let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
     for partial in partials {
         for (k, v) in partial {
@@ -132,12 +143,17 @@ pub fn mine_parallel(
     })?;
 
     // ---- Scan 2, partitioned: per-thread trees, merged afterwards.
+    let scan2_span = ppm_observe::span("parallel.scan2");
+    let obs = ppm_observe::current();
     let scan1_ref = &scan1;
     let trees: Vec<MaxSubpatternTree> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(lo, hi)| {
+                let obs = obs.clone();
                 scope.spawn(move || {
+                    let _obs = ppm_observe::attach(obs);
+                    let _span = ppm_observe::span("parallel.worker.scan2");
                     let mut tree = MaxSubpatternTree::new(scan1_ref.alphabet.full_set());
                     let mut hit = scan1_ref.alphabet.empty_set();
                     for j in lo..hi {
@@ -153,6 +169,7 @@ pub fn mine_parallel(
                             tree.insert(&hit);
                         }
                     }
+                    ppm_observe::counter("hitset.segments", (hi - lo) as u64);
                     tree
                 })
             })
@@ -172,13 +189,17 @@ pub fn mine_parallel(
             return Err(guard.tree_error(tree.node_count(), &stats));
         }
     }
+    drop(scan2_span);
     stats.tree_nodes = tree.node_count();
     stats.distinct_hits = tree.distinct_hits();
     stats.hit_insertions = tree.total_hits();
+    ppm_observe::gauge("tree.nodes", stats.tree_nodes as u64);
+    ppm_observe::gauge("tree.distinct_hits", stats.distinct_hits as u64);
     guard.check_deadline(&stats)?;
 
     // ---- Derivation (sequential; it is in-memory and cheap relative to
     // the scans on realistic data).
+    let _derive_span = ppm_observe::span("parallel.derive");
     let n_letters = scan1.alphabet.len();
     let mut frequent: Vec<FrequentPattern> = scan1
         .letter_counts

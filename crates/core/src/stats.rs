@@ -32,6 +32,13 @@ pub struct MiningStats {
 impl MiningStats {
     /// Merges another stats record into this one (used when aggregating
     /// multi-period runs). `series_scans` adds; `max_level` takes the max.
+    ///
+    /// Note the semantics of the size fields after absorbing: `tree_nodes`
+    /// and `distinct_hits` become the **sum of each run's peak**, not the
+    /// size of any single tree — the runs' trees never coexist, so the sum
+    /// overstates peak memory. When peak footprint matters, aggregate with
+    /// [`StatsRollup`], which tracks the per-run maxima alongside these
+    /// totals.
     pub fn absorb(&mut self, other: &MiningStats) {
         self.series_scans += other.series_scans;
         self.candidates_generated += other.candidates_generated;
@@ -40,6 +47,38 @@ impl MiningStats {
         self.distinct_hits += other.distinct_hits;
         self.hit_insertions += other.hit_insertions;
         self.max_level = self.max_level.max(other.max_level);
+    }
+}
+
+/// Cross-run stats aggregation that keeps both views of the tree-size
+/// fields: the summed totals (as [`MiningStats::absorb`] produces) *and*
+/// the largest single run — the latter is what bounds memory, since the
+/// per-run trees never coexist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsRollup {
+    /// Field-wise accumulation over every added run (see
+    /// [`MiningStats::absorb`] for the summing semantics).
+    pub total: MiningStats,
+    /// How many runs were added.
+    pub runs: usize,
+    /// The largest `tree_nodes` any single run reported.
+    pub max_tree_nodes: usize,
+    /// The largest `distinct_hits` any single run reported.
+    pub max_distinct_hits: usize,
+}
+
+impl StatsRollup {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        StatsRollup::default()
+    }
+
+    /// Folds one run's stats into the rollup.
+    pub fn add(&mut self, run: &MiningStats) {
+        self.total.absorb(run);
+        self.runs += 1;
+        self.max_tree_nodes = self.max_tree_nodes.max(run.tree_nodes);
+        self.max_distinct_hits = self.max_distinct_hits.max(run.distinct_hits);
     }
 }
 
@@ -100,5 +139,27 @@ mod tests {
         assert_eq!(a.candidates_generated, 10);
         assert_eq!(a.max_level, 5);
         assert_eq!(a.tree_nodes, 7);
+    }
+
+    #[test]
+    fn rollup_tracks_totals_and_maxima() {
+        let mut rollup = StatsRollup::new();
+        rollup.add(&MiningStats {
+            series_scans: 2,
+            tree_nodes: 10,
+            distinct_hits: 4,
+            ..Default::default()
+        });
+        rollup.add(&MiningStats {
+            series_scans: 2,
+            tree_nodes: 3,
+            distinct_hits: 2,
+            ..Default::default()
+        });
+        assert_eq!(rollup.runs, 2);
+        assert_eq!(rollup.total.series_scans, 4);
+        assert_eq!(rollup.total.tree_nodes, 13, "totals sum per-run peaks");
+        assert_eq!(rollup.max_tree_nodes, 10, "max is the largest single run");
+        assert_eq!(rollup.max_distinct_hits, 4);
     }
 }

@@ -80,11 +80,16 @@ pub fn mine_hitset_streaming(
     period: usize,
     config: &MineConfig,
 ) -> Result<MiningResult> {
+    let _mine_span = ppm_observe::span("stream.mine");
     let guard = ResourceGuard::new(config);
     let scans_before = source.scans_performed();
-    let scan1 = scan_frequent_letters_streaming(source, period, config)?;
+    let scan1 = {
+        let _span = ppm_observe::span("stream.scan1");
+        scan_frequent_letters_streaming(source, period, config)?
+    };
     let m = scan1.segment_count;
     let usable = m * period;
+    ppm_observe::gauge("hitset.segments_total", m as u64);
     guard.check_deadline(&MiningStats {
         series_scans: source.scans_performed() - scans_before,
         max_level: 1,
@@ -98,6 +103,7 @@ pub fn mine_hitset_streaming(
     let mut over_budget = false;
     let mut past_deadline = false;
     {
+        let _span = ppm_observe::span("stream.scan2");
         let mut hit = scan1.alphabet.empty_set();
         let alphabet = &scan1.alphabet;
         let tree = &mut tree;
@@ -126,6 +132,7 @@ pub fn mine_hitset_streaming(
                 }
             }
         })?;
+        ppm_observe::counter("hitset.segments", segments_done as u64);
     }
     if over_budget || past_deadline {
         let stats = MiningStats {
@@ -151,7 +158,10 @@ pub fn mine_hitset_streaming(
         hit_insertions: tree.total_hits(),
         ..Default::default()
     };
+    ppm_observe::gauge("tree.nodes", stats.tree_nodes as u64);
+    ppm_observe::gauge("tree.distinct_hits", stats.distinct_hits as u64);
 
+    let _derive_span = ppm_observe::span("stream.derive");
     let n_letters = scan1.alphabet.len();
     let mut frequent: Vec<FrequentPattern> = scan1
         .letter_counts
@@ -277,6 +287,14 @@ impl ResumableHitsetMiner {
         if self.scan2_complete() {
             return Ok(());
         }
+        let _span = ppm_observe::span("stream.scan2");
+        if self.segments_done > 0 {
+            let done = self.segments_done;
+            let total = self.scan1.segment_count;
+            ppm_observe::mark("stream.resume", || {
+                format!("resuming scan 2 at segment {done}/{total}")
+            });
+        }
         self.scan2_passes += 1;
         let period = self.period;
         let usable = self.scan1.segment_count * period;
@@ -359,8 +377,12 @@ pub fn mine_apriori_streaming(
     period: usize,
     config: &MineConfig,
 ) -> Result<MiningResult> {
+    let _mine_span = ppm_observe::span("stream.apriori.mine");
     let scans_before = source.scans_performed();
-    let scan1 = scan_frequent_letters_streaming(source, period, config)?;
+    let scan1 = {
+        let _span = ppm_observe::span("stream.scan1");
+        scan_frequent_letters_streaming(source, period, config)?
+    };
     let m = scan1.segment_count;
     let usable = m * period;
     let n_letters = scan1.alphabet.len();
@@ -391,6 +413,8 @@ pub fn mine_apriori_streaming(
         stats.max_level = k;
 
         // One physical pass counting this level's candidates.
+        let _level_span = ppm_observe::span("apriori.level");
+        ppm_observe::counter("apriori.candidates", candidates.len() as u64);
         let by_pattern: HashMap<&[u32], usize> = candidates
             .iter()
             .enumerate()

@@ -1,0 +1,229 @@
+//! The event vocabulary shared by every sink.
+//!
+//! Everything the instrumented stack reports flows through exactly one
+//! type, [`Event`], so sinks stay trivially pluggable. Events carry a
+//! per-context sequence number (total order across threads attached to the
+//! same context) and a microsecond timestamp relative to the moment the
+//! context was installed, taken from the monotonic clock.
+
+use crate::json::Json;
+
+/// One observability event.
+///
+/// The five variants map onto the classic telemetry primitives: paired
+/// span start/end records with monotonic timings, monotone counters,
+/// point-in-time gauges, and `Mark` — a named point event with free-form
+/// detail (retries, injected faults, guard trips, checkpoint writes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened. `parent` is the enclosing span on the same thread
+    /// (or the one explicitly propagated to a worker), if any.
+    SpanStart {
+        /// Context-wide sequence number.
+        seq: u64,
+        /// Microseconds since the context was installed.
+        at_us: u64,
+        /// Unique span id within the context.
+        id: u64,
+        /// Enclosing span id, if any.
+        parent: Option<u64>,
+        /// Span name (dotted, e.g. `hitset.scan1`).
+        name: &'static str,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Context-wide sequence number.
+        seq: u64,
+        /// Microseconds since the context was installed.
+        at_us: u64,
+        /// The id the matching [`Event::SpanStart`] carried.
+        id: u64,
+        /// Span name, repeated for self-contained JSON lines.
+        name: &'static str,
+        /// Wall-clock duration of the span in microseconds.
+        elapsed_us: u64,
+    },
+    /// A named counter increased by `delta`.
+    Counter {
+        /// Context-wide sequence number.
+        seq: u64,
+        /// Microseconds since the context was installed.
+        at_us: u64,
+        /// Counter name.
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+    },
+    /// A named gauge was set to `value`.
+    Gauge {
+        /// Context-wide sequence number.
+        seq: u64,
+        /// Microseconds since the context was installed.
+        at_us: u64,
+        /// Gauge name.
+        name: &'static str,
+        /// The new value.
+        value: u64,
+    },
+    /// A point event with free-form detail.
+    Mark {
+        /// Context-wide sequence number.
+        seq: u64,
+        /// Microseconds since the context was installed.
+        at_us: u64,
+        /// Event name.
+        name: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Event {
+    /// The event's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Event::SpanStart { seq, .. }
+            | Event::SpanEnd { seq, .. }
+            | Event::Counter { seq, .. }
+            | Event::Gauge { seq, .. }
+            | Event::Mark { seq, .. } => *seq,
+        }
+    }
+
+    /// The event's timestamp (microseconds since context install).
+    pub fn at_us(&self) -> u64 {
+        match self {
+            Event::SpanStart { at_us, .. }
+            | Event::SpanEnd { at_us, .. }
+            | Event::Counter { at_us, .. }
+            | Event::Gauge { at_us, .. }
+            | Event::Mark { at_us, .. } => *at_us,
+        }
+    }
+
+    /// The event's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::SpanStart { name, .. }
+            | Event::SpanEnd { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Mark { name, .. } => name,
+        }
+    }
+
+    /// The schema tag used in the JSON encoding.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Mark { .. } => "mark",
+        }
+    }
+
+    /// Encodes the event as a JSON object (the JSON-lines schema).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("type".to_owned(), Json::Str(self.type_tag().to_owned())),
+            ("seq".to_owned(), Json::from_u64(self.seq())),
+            ("us".to_owned(), Json::from_u64(self.at_us())),
+            ("name".to_owned(), Json::Str(self.name().to_owned())),
+        ];
+        match self {
+            Event::SpanStart { id, parent, .. } => {
+                obj.push(("id".to_owned(), Json::from_u64(*id)));
+                if let Some(p) = parent {
+                    obj.push(("parent".to_owned(), Json::from_u64(*p)));
+                }
+            }
+            Event::SpanEnd { id, elapsed_us, .. } => {
+                obj.push(("id".to_owned(), Json::from_u64(*id)));
+                obj.push(("elapsed_us".to_owned(), Json::from_u64(*elapsed_us)));
+            }
+            Event::Counter { delta, .. } => {
+                obj.push(("delta".to_owned(), Json::from_u64(*delta)));
+            }
+            Event::Gauge { value, .. } => {
+                obj.push(("value".to_owned(), Json::from_u64(*value)));
+            }
+            Event::Mark { detail, .. } => {
+                obj.push(("detail".to_owned(), Json::Str(detail.clone())));
+            }
+        }
+        Json::Obj(obj)
+    }
+
+    /// Encodes the event as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let events = [
+            Event::SpanStart {
+                seq: 1,
+                at_us: 10,
+                id: 1,
+                parent: None,
+                name: "a",
+            },
+            Event::SpanEnd {
+                seq: 2,
+                at_us: 20,
+                id: 1,
+                name: "a",
+                elapsed_us: 10,
+            },
+            Event::Counter {
+                seq: 3,
+                at_us: 21,
+                name: "c",
+                delta: 5,
+            },
+            Event::Gauge {
+                seq: 4,
+                at_us: 22,
+                name: "g",
+                value: 7,
+            },
+            Event::Mark {
+                seq: 5,
+                at_us: 23,
+                name: "m",
+                detail: "hi".into(),
+            },
+        ];
+        let seqs: Vec<u64> = events.iter().map(Event::seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        assert_eq!(events[0].type_tag(), "span_start");
+        assert_eq!(events[4].name(), "m");
+        assert_eq!(events[3].at_us(), 22);
+    }
+
+    #[test]
+    fn json_lines_are_single_line_objects() {
+        let ev = Event::Mark {
+            seq: 9,
+            at_us: 100,
+            name: "fault.injected",
+            detail: "short read\nafter 3".into(),
+        };
+        let line = ev.to_json_line();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("type").unwrap().as_str(), Some("mark"));
+        assert_eq!(
+            parsed.get("detail").unwrap().as_str(),
+            Some("short read\nafter 3")
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! A minimal, dependency-free JSON value: render and parse.
+//!
+//! The observability layer emits JSON-lines event streams and metrics
+//! summaries, and the test suite must validate that output *with the
+//! repo's own tooling* (the workspace is hermetic — no serde). This module
+//! is deliberately small: a [`Json`] tree, a recursive-descent parser, and
+//! a canonical renderer. Numbers are stored as `f64`; integers up to
+//! 2^53 round-trip exactly, which comfortably covers every quantity the
+//! miners report.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds a number from a `u64` (exact up to 2^53).
+    pub fn from_u64(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Builds a number from a `usize` (exact up to 2^53).
+    pub fn from_usize(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Object member lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() <= (1u64 << 53) as f64 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                at: pos,
+                message: "trailing characters after document".into(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(s, &mut out);
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail<T>(at: usize, message: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError {
+        at,
+        message: message.into(),
+    })
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        fail(*pos, format!("expected {:?}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => fail(*pos, "unexpected end of input"),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&other) => fail(*pos, format!("unexpected character {:?}", other as char)),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        fail(*pos, format!("expected {literal:?}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number slice");
+    match text.parse::<f64>() {
+        Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+        _ => fail(start, format!("invalid number {text:?}")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return fail(*pos, "unterminated string"),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or(JsonError {
+                                at: *pos,
+                                message: "truncated \\u escape".into(),
+                            })?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                            at: *pos,
+                            message: format!("bad \\u escape {hex:?}"),
+                        })?;
+                        // Surrogates are replaced rather than paired; the
+                        // emitter never produces them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return fail(*pos, "bad escape"),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are sound).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
+                    at: *pos,
+                    message: "invalid utf-8".into(),
+                })?;
+                let c = rest.chars().next().expect("non-empty rest");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return fail(*pos, "expected ',' or ']'"),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return fail(*pos, "expected ',' or '}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses_nested_documents() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::Str("scan1".into())),
+            ("n".into(), Json::from_u64(12345)),
+            ("frac".into(), Json::Num(0.5)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::from_u64(1), Json::from_u64(2)]),
+            ),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get("n").unwrap().as_u64(), Some(12345));
+        assert_eq!(back.get("frac").unwrap().as_f64(), Some(0.5));
+        assert_eq!(back.get("xs").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        for s in [
+            "plain",
+            "tab\there",
+            "nl\nnr\r",
+            "q\"b\\s",
+            "ctl\u{1}",
+            "é✓",
+        ] {
+            let rendered = escape(s);
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back.as_str(), Some(s), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let text = " { \"a\" : [ 1 , { \"b\" : null } ] , \"c\" : -2.5e1 } ";
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("c").unwrap().as_f64(), Some(-25.0));
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("1e999").is_err(), "non-finite number rejected");
+    }
+
+    #[test]
+    fn integer_u64_boundary() {
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::from_u64(1 << 53).as_u64(), Some(1 << 53));
+        assert_eq!(Json::Str("5".into()).as_u64(), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! Turning an event log into human- and machine-readable reports:
+//! span trees, per-phase aggregates, and mark counts.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::json::Json;
+
+/// Aggregate timing for all spans sharing one name ("phase").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// The span name.
+    pub name: &'static str,
+    /// How many spans with this name completed.
+    pub calls: u64,
+    /// Summed wall-clock across those spans, microseconds.
+    pub total_us: u64,
+    /// The slowest single span, microseconds.
+    pub max_us: u64,
+}
+
+impl PhaseAgg {
+    /// Encodes the aggregate as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_owned(), Json::Str(self.name.to_owned())),
+            ("calls".to_owned(), Json::from_u64(self.calls)),
+            ("total_us".to_owned(), Json::from_u64(self.total_us)),
+            ("max_us".to_owned(), Json::from_u64(self.max_us)),
+        ])
+    }
+}
+
+/// Aggregates completed spans by name, in order of first completion.
+pub fn aggregate_phases(events: &[Event]) -> Vec<PhaseAgg> {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut by_name: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
+    for event in events {
+        if let Event::SpanEnd {
+            name, elapsed_us, ..
+        } = event
+        {
+            let agg = by_name.entry(name).or_insert_with(|| {
+                order.push(name);
+                PhaseAgg {
+                    name,
+                    calls: 0,
+                    total_us: 0,
+                    max_us: 0,
+                }
+            });
+            agg.calls += 1;
+            agg.total_us += elapsed_us;
+            agg.max_us = agg.max_us.max(*elapsed_us);
+        }
+    }
+    order.into_iter().map(|n| by_name[n].clone()).collect()
+}
+
+/// Counts marks by name, name-sorted.
+pub fn mark_counts(events: &[Event]) -> BTreeMap<&'static str, u64> {
+    let mut counts = BTreeMap::new();
+    for event in events {
+        if let Event::Mark { name, .. } = event {
+            *counts.entry(*name).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Formats microseconds for humans: `987us`, `12.3ms`, `4.56s`.
+pub fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Renders the span tree of an event log as indented text, one line per
+/// span in start order, with durations; marks appear inline at their span
+/// depth. Spans still open at the end of the log render with `…` instead
+/// of a duration.
+pub fn span_tree(events: &[Event]) -> String {
+    // id -> elapsed for completed spans.
+    let mut elapsed: BTreeMap<u64, u64> = BTreeMap::new();
+    for event in events {
+        if let Event::SpanEnd { id, elapsed_us, .. } = event {
+            elapsed.insert(*id, *elapsed_us);
+        }
+    }
+    // Depth per span id, derived from parent links.
+    let mut depth: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut out = String::new();
+    // Marks are attributed to the most recently started, still-open span
+    // (a simple linear replay of open/close records).
+    let mut open: Vec<u64> = Vec::new();
+    for event in events {
+        match event {
+            Event::SpanStart {
+                id, parent, name, ..
+            } => {
+                let d = parent
+                    .and_then(|p| depth.get(&p).copied())
+                    .map_or(0, |d| d + 1);
+                depth.insert(*id, d);
+                open.push(*id);
+                let dur = elapsed
+                    .get(id)
+                    .map_or_else(|| "…".to_owned(), |&us| format_us(us));
+                out.push_str(&format!("{}{name}  {dur}\n", "  ".repeat(d)));
+            }
+            Event::SpanEnd { id, .. } => {
+                open.retain(|&o| o != *id);
+            }
+            Event::Mark { name, detail, .. } => {
+                let d = open
+                    .last()
+                    .and_then(|id| depth.get(id).copied())
+                    .map_or(0, |d| d + 1);
+                out.push_str(&format!("{}! {name}: {detail}\n", "  ".repeat(d)));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(seq: u64, id: u64, parent: Option<u64>, name: &'static str) -> Event {
+        Event::SpanStart {
+            seq,
+            at_us: seq,
+            id,
+            parent,
+            name,
+        }
+    }
+
+    fn end(seq: u64, id: u64, name: &'static str, elapsed_us: u64) -> Event {
+        Event::SpanEnd {
+            seq,
+            at_us: seq,
+            id,
+            name,
+            elapsed_us,
+        }
+    }
+
+    #[test]
+    fn phases_aggregate_by_name() {
+        let events = vec![
+            start(1, 1, None, "mine"),
+            start(2, 2, Some(1), "level"),
+            end(3, 2, "level", 10),
+            start(4, 3, Some(1), "level"),
+            end(5, 3, "level", 30),
+            end(6, 1, "mine", 50),
+        ];
+        let phases = aggregate_phases(&events);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "level");
+        assert_eq!(phases[0].calls, 2);
+        assert_eq!(phases[0].total_us, 40);
+        assert_eq!(phases[0].max_us, 30);
+        assert_eq!(phases[1].name, "mine");
+        let json = phases[0].to_json();
+        assert_eq!(json.get("calls").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn tree_indents_children_and_marks() {
+        let events = vec![
+            start(1, 1, None, "mine"),
+            start(2, 2, Some(1), "scan1"),
+            end(3, 2, "scan1", 7),
+            Event::Mark {
+                seq: 4,
+                at_us: 4,
+                name: "note",
+                detail: "x".into(),
+            },
+            end(5, 1, "mine", 20),
+        ];
+        let tree = span_tree(&events);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines[0], "mine  20us");
+        assert_eq!(lines[1], "  scan1  7us");
+        assert_eq!(lines[2], "  ! note: x");
+    }
+
+    #[test]
+    fn unfinished_spans_render_ellipsis() {
+        let events = vec![start(1, 1, None, "mine")];
+        assert_eq!(span_tree(&events), "mine  …\n");
+    }
+
+    #[test]
+    fn mark_counts_tally() {
+        let events = vec![
+            Event::Mark {
+                seq: 1,
+                at_us: 1,
+                name: "retry",
+                detail: String::new(),
+            },
+            Event::Mark {
+                seq: 2,
+                at_us: 2,
+                name: "retry",
+                detail: String::new(),
+            },
+        ];
+        assert_eq!(mark_counts(&events).get("retry"), Some(&2));
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(format_us(12), "12us");
+        assert_eq!(format_us(12_345), "12.3ms");
+        assert_eq!(format_us(4_560_000), "4.56s");
+    }
+}

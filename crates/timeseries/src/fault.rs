@@ -174,6 +174,10 @@ impl<S: SeriesSource> SeriesSource for FaultInjectingSource<S> {
             return self.inner.scan(visit);
         };
         self.injected += 1;
+        ppm_observe::counter("faults.injected", 1);
+        ppm_observe::mark("fault.injected", || {
+            format!("{fault:?} on scan attempt {attempt}")
+        });
         match fault {
             Fault::TransientIo => Err(Error::Io(std::io::Error::new(
                 std::io::ErrorKind::Interrupted,

@@ -143,12 +143,21 @@ impl<S: SeriesSource> SeriesSource for RetryingSource<S> {
             });
             match result {
                 Ok(()) => {
+                    if attempt > 1 {
+                        ppm_observe::mark("retry.recovered", || {
+                            format!("logical scan completed after {attempt} attempts")
+                        });
+                    }
                     self.logical_scans += 1;
                     return Ok(());
                 }
                 Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
                     self.retries += 1;
                     let pause = self.policy.backoff_for((attempt - 1) as u32);
+                    ppm_observe::counter("source.retries", 1);
+                    ppm_observe::mark("retry.transient_error", || {
+                        format!("attempt {attempt} failed ({e}); backing off {pause:?}")
+                    });
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
                     }

@@ -284,6 +284,7 @@ impl SeriesSource for FileSource {
     /// failing disk) surfaces as [`Error::Corrupt`] instead of silently
     /// skewing counts.
     fn scan(&mut self, visit: &mut dyn FnMut(usize, &[FeatureId])) -> Result<()> {
+        let _span = ppm_observe::span("storage.scan");
         self.scans += 1;
         let mut reader = RecordReader::open(&self.path)?;
         let mut buf = Vec::new();

@@ -18,6 +18,10 @@
 //!   windows.
 //! * [`datagen`] (`ppm-datagen`) — the paper's §5.1 synthetic generator and
 //!   scripted domain workloads.
+//! * [`observe`] (`ppm-observe`) — zero-dependency structured tracing and
+//!   metrics: spans, counters, gauges, marks, and pluggable sinks; the
+//!   miners are instrumented with it and it costs nothing when no sink is
+//!   installed.
 //!
 //! The most common items are re-exported at the top level:
 //!
@@ -41,6 +45,7 @@
 
 pub use ppm_core as core;
 pub use ppm_datagen as datagen;
+pub use ppm_observe as observe;
 pub use ppm_timeseries as timeseries;
 
 pub use ppm_core::{

@@ -1,0 +1,261 @@
+//! End-to-end observability: the instrumented miners emit a deterministic
+//! event stream through whatever sink is installed, the JSON-lines schema
+//! round-trips through the bundled parser, and — the property everything
+//! else depends on — mining output is bit-identical whether or not a sink
+//! is watching.
+
+use std::sync::{Arc, Mutex};
+
+use partial_periodic::observe::{self, Collector, Event, Json, JsonLinesSink, NoopSink};
+use partial_periodic::{apriori, hitset, parallel, FeatureId, FeatureSeries, MineConfig};
+use partial_periodic::{MiningResult, SeriesBuilder};
+
+fn fid(i: u32) -> FeatureId {
+    FeatureId::from_raw(i)
+}
+
+/// A fixed series with three planted period-6 letters of staggered
+/// reliability plus deterministic pseudo-noise; 50 whole segments at
+/// period 6. The stagger makes segments project onto *different*
+/// subpatterns, so the max-subpattern tree grows real subpattern nodes.
+fn fixed_series() -> FeatureSeries {
+    let mut b = SeriesBuilder::new();
+    let mut x = 7u64;
+    for t in 0..300 {
+        let mut feats = Vec::new();
+        if t % 6 == 0 {
+            feats.push(fid(0));
+        }
+        if t % 6 == 2 && (t / 6) % 4 != 0 {
+            feats.push(fid(1));
+        }
+        if t % 6 == 4 && (t / 6) % 3 != 0 {
+            feats.push(fid(2));
+        }
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        if (x >> 33).is_multiple_of(3) {
+            feats.push(fid(3));
+        }
+        b.push_instant(feats);
+    }
+    b.finish()
+}
+
+fn mine_collected(series: &FeatureSeries, config: &MineConfig) -> (MiningResult, Arc<Collector>) {
+    let collector = Arc::new(Collector::new());
+    let result = {
+        let _guard = observe::install(collector.clone());
+        hitset::mine(series, 6, config).unwrap()
+    };
+    (result, collector)
+}
+
+/// The hit-set miner completes its spans in a fixed order, and the batched
+/// segment counter adds up to exactly `m`. Two runs over the same data
+/// produce the same span sequence — the stream is deterministic.
+#[test]
+fn hitset_spans_and_counters_are_deterministic() {
+    let series = fixed_series();
+    let config = MineConfig::new(0.5).unwrap();
+    let (result, collector) = mine_collected(&series, &config);
+
+    assert_eq!(
+        collector.finished_span_names(),
+        vec![
+            "hitset.scan1",
+            "hitset.scan2",
+            "hitset.derive",
+            "hitset.mine"
+        ],
+        "spans complete innermost-first, in phase order"
+    );
+    let m = result.segment_count as u64;
+    assert_eq!(collector.counter_total("hitset.segments"), m);
+    assert_eq!(
+        collector.gauge_maxima().get("hitset.segments_total"),
+        Some(&m)
+    );
+    assert_eq!(
+        collector.gauge_maxima().get("tree.nodes"),
+        Some(&(result.stats.tree_nodes as u64))
+    );
+    assert_eq!(
+        collector.gauge_maxima().get("tree.distinct_hits"),
+        Some(&(result.stats.distinct_hits as u64))
+    );
+
+    // Sequence numbers are strictly increasing; a rerun repeats the exact
+    // event names in the exact order.
+    let events = collector.events();
+    assert!(events.windows(2).all(|w| w[0].seq() < w[1].seq()));
+    let (_, again) = mine_collected(&series, &config);
+    let names = |c: &Collector| c.events().iter().map(Event::name).collect::<Vec<_>>();
+    assert_eq!(names(&collector), names(&again));
+}
+
+/// Apriori emits one `apriori.level` span per level and its candidate
+/// counter matches the miner's own statistics.
+#[test]
+fn apriori_levels_match_stats() {
+    let series = fixed_series();
+    let config = MineConfig::new(0.5).unwrap();
+    let collector = Arc::new(Collector::new());
+    let result = {
+        let _guard = observe::install(collector.clone());
+        apriori::mine(&series, 6, &config).unwrap()
+    };
+    let levels = collector
+        .finished_span_names()
+        .iter()
+        .filter(|n| **n == "apriori.level")
+        .count();
+    // One span per counted level; level 1 is scan 1, so max_level - 1.
+    assert_eq!(levels, result.stats.max_level - 1, "{levels} level spans");
+    assert_eq!(
+        collector.counter_total("apriori.candidates"),
+        result.stats.candidates_generated
+    );
+}
+
+/// Worker spans in the parallel miner are parented under the coordinator's
+/// scan spans even though they run on other threads, and the segment
+/// counter still totals exactly `m` (not once per scan).
+#[test]
+fn parallel_worker_spans_nest_under_the_coordinator() {
+    let series = fixed_series();
+    let config = MineConfig::new(0.5).unwrap();
+    let collector = Arc::new(Collector::new());
+    let result = {
+        let _guard = observe::install(collector.clone());
+        parallel::mine_parallel(&series, 6, &config, 3).unwrap()
+    };
+    let events = collector.events();
+    let span_id = |name: &str| {
+        events
+            .iter()
+            .find_map(|e| match e {
+                Event::SpanStart { id, name: n, .. } if *n == name => Some(*id),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no {name} span"))
+    };
+    let scan2 = span_id("parallel.scan2");
+    let workers: Vec<Option<u64>> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::SpanStart {
+                parent,
+                name: "parallel.worker.scan2",
+                ..
+            } => Some(*parent),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(workers.len(), 3);
+    assert!(
+        workers.iter().all(|p| *p == Some(scan2)),
+        "workers must be parented under parallel.scan2: {workers:?}"
+    );
+    assert_eq!(
+        collector.counter_total("hitset.segments"),
+        result.segment_count as u64
+    );
+}
+
+/// A tree-budget abort surfaces as a structured guard event.
+#[test]
+fn guard_abort_emits_a_structured_event() {
+    let series = fixed_series();
+    let config = MineConfig::new(0.5).unwrap().with_max_tree_nodes(1);
+    let collector = Arc::new(Collector::new());
+    let err = {
+        let _guard = observe::install(collector.clone());
+        hitset::mine(&series, 6, &config).unwrap_err()
+    };
+    assert!(err.partial_stats().is_some(), "{err}");
+    let marks = collector.marks();
+    assert!(
+        marks
+            .iter()
+            .any(|(name, _)| *name == "guard.tree_budget_exceeded"),
+        "{marks:?}"
+    );
+}
+
+/// Every line the JSON sink writes parses with the bundled parser, carries
+/// the common schema fields, and keeps sequence numbers strictly
+/// increasing.
+#[test]
+fn json_lines_schema_round_trips() {
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let series = fixed_series();
+    let buf = Buf::default();
+    let sink = Arc::new(JsonLinesSink::new(Box::new(buf.clone())));
+    {
+        let _guard = observe::install(sink.clone());
+        hitset::mine(&series, 6, &MineConfig::new(0.5).unwrap()).unwrap();
+    }
+    assert!(!sink.take_write_error());
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let mut last_seq = 0u64;
+    let mut types = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("{e} in {line}"));
+        let ty = doc.get("type").and_then(Json::as_str).unwrap().to_owned();
+        for key in ["seq", "us"] {
+            assert!(doc.get(key).and_then(Json::as_u64).is_some(), "{line}");
+        }
+        assert!(doc.get("name").and_then(Json::as_str).is_some(), "{line}");
+        if ty.starts_with("span") {
+            assert!(doc.get("id").and_then(Json::as_u64).is_some(), "{line}");
+        }
+        if ty == "span_end" {
+            assert!(doc.get("elapsed_us").and_then(Json::as_u64).is_some());
+        }
+        let seq = doc.get("seq").unwrap().as_u64().unwrap();
+        assert!(seq > last_seq, "sequence must increase: {line}");
+        last_seq = seq;
+        types.insert(ty);
+    }
+    assert!(types.contains("span_start") && types.contains("span_end"));
+    assert!(types.contains("gauge"));
+    // Counters are aggregated by the JSON sink, not streamed per event.
+    assert!(!types.contains("counter"));
+    let totals = sink.counter_totals();
+    assert!(totals.iter().any(|(n, _)| *n == "hitset.segments"));
+}
+
+/// The load-bearing guarantee: results are bit-identical with no sink, the
+/// no-op sink, and a collecting sink.
+#[test]
+fn mining_is_bit_identical_with_observability_on_and_off() {
+    let series = fixed_series();
+    let config = MineConfig::new(0.5).unwrap();
+    let bare = hitset::mine(&series, 6, &config).unwrap();
+    let noop = {
+        let _guard = observe::install(Arc::new(NoopSink));
+        hitset::mine(&series, 6, &config).unwrap()
+    };
+    let collected = {
+        let _guard = observe::install(Arc::new(Collector::new()));
+        hitset::mine(&series, 6, &config).unwrap()
+    };
+    for other in [&noop, &collected] {
+        assert_eq!(bare.frequent, other.frequent);
+        assert_eq!(bare.alphabet, other.alphabet);
+        assert_eq!(bare.stats, other.stats, "stats must not change either");
+    }
+    assert!(!observe::is_active(), "guards must uninstall on drop");
+}

@@ -205,6 +205,49 @@ fn empty_series_cannot_be_mined() {
     );
 }
 
+/// The fault → retry → recovery sequence is visible through the
+/// observability sink: the injected fault, the transient-error retry, and
+/// the eventual recovery each emit a structured event, in that order, and
+/// the mining result is unaffected by being observed.
+#[test]
+fn fault_retry_recovery_emits_ordered_events() {
+    use partial_periodic::observe::{self, Collector, Event};
+    use std::sync::Arc;
+
+    let series = busy_series(240);
+    let config = MineConfig::new(0.5).unwrap();
+    let plan = FaultPlan::new().fail_scan(1, Fault::TransientIo);
+    let faulty = FaultInjectingSource::new(MemorySource::new(&series), plan);
+    let mut src = with_retries(faulty, 3);
+
+    let collector = Arc::new(Collector::new());
+    let got = {
+        let _guard = observe::install(collector.clone());
+        mine_hitset_streaming(&mut src, 6, &config).unwrap()
+    };
+
+    let events = collector.events();
+    let pos = |name: &str| {
+        events
+            .iter()
+            .position(|e| matches!(e, Event::Mark { name: n, .. } if *n == name))
+            .unwrap_or_else(|| panic!("no {name:?} mark in {events:?}"))
+    };
+    let fault = pos("fault.injected");
+    let retry = pos("retry.transient_error");
+    let recovered = pos("retry.recovered");
+    assert!(
+        fault < retry && retry < recovered,
+        "expected fault ({fault}) before retry ({retry}) before recovery ({recovered})"
+    );
+    assert_eq!(collector.counter_total("faults.injected"), 1);
+    assert_eq!(collector.counter_total("source.retries"), 1);
+
+    // Observation must not perturb the mine itself.
+    let expect = hitset::mine(&series, 6, &config).unwrap();
+    assert_bit_identical(&expect, &got);
+}
+
 /// The threat the storage checksums exist for: a bit flip *past* the
 /// checksum layer is silent — the scan succeeds and the damage shows up
 /// only as different mining output. This documents why `FileSource`
