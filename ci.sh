@@ -41,4 +41,41 @@ grep -q '"mining_stats"' "$smoke_dir/metrics.json"
 ./target/release/ppm info --input "$smoke_dir/smoke.ppms" --period 25 \
   | grep -q "hit-set bound"
 
+echo "==> verification smoke: audit, verify, quarantine, checkpoint integrity"
+# Honest runs audit clean on every engine; the cross-check diffs all three.
+for alg in hitset apriori parallel; do
+  ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
+    --min-conf 0.6 --algorithm "$alg" --audit full \
+    | grep -q "audit: clean"
+done
+# An exported result file re-verifies against its series.
+./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
+  --min-conf 0.6 --tsv >"$smoke_dir/patterns.tsv"
+./target/release/ppm verify --input "$smoke_dir/smoke.ppms" \
+  --patterns "$smoke_dir/patterns.tsv" --period 25 --min-conf 0.6 \
+  | grep -q "verify: clean"
+# A deliberately perturbed count must fail the audit with a non-zero exit.
+if ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
+  --min-conf 0.6 --audit --perturb-count 0 >"$smoke_dir/perturb.log" 2>&1; then
+  echo "perturbed mine was not caught by the audit" >&2; exit 1
+fi
+grep -q "count mismatch" "$smoke_dir/perturb.log"
+# Quarantine skips injected garbage and keeps mining; strict fails fast.
+./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
+  --min-conf 0.6 --quarantine --inject-garbage 3 \
+  | grep -q "quarantined 1 instants"
+if ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
+  --min-conf 0.6 --strict --inject-garbage 3 >/dev/null 2>&1; then
+  echo "strict mode accepted garbage input" >&2; exit 1
+fi
+# A corrupted sweep checkpoint is rejected, not silently resumed.
+./target/release/ppm sweep --input "$smoke_dir/smoke.ppms" --from 24 --to 26 \
+  --min-conf 0.6 --checkpoint "$smoke_dir/sweep.ckpt" >/dev/null
+sed -i 's/^period 24 /period 99 /' "$smoke_dir/sweep.ckpt"  # edit a row body; its checksum now lies
+if ./target/release/ppm sweep --input "$smoke_dir/smoke.ppms" --from 24 --to 26 \
+  --min-conf 0.6 --checkpoint "$smoke_dir/sweep.ckpt" >/dev/null 2>"$smoke_dir/ckpt.log"; then
+  echo "corrupted checkpoint was accepted" >&2; exit 1
+fi
+grep -qi "checksum" "$smoke_dir/ckpt.log"
+
 echo "CI green."

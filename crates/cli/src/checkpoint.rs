@@ -11,26 +11,44 @@
 //! The format is line-oriented text, human-inspectable:
 //!
 //! ```text
-//! ppm-sweep-checkpoint v1
+//! ppm-sweep-checkpoint v2
 //! input data.ppms
 //! min_conf 0.6
 //! range 40 60
-//! period 40 12 5 3 2
-//! period 41 9 4 2 2
+//! period 40 12 5 3 2 c=a1b2c3d4e5f60718
+//! period 41 9 4 2 2 c=0918273645fedcba
 //! ```
 //!
-//! where each `period` line is `period patterns |F1| max_len scans`. A
-//! checkpoint written by a *different* sweep (mismatched input, threshold,
-//! or range) is rejected rather than silently ignored, so stale files
-//! cannot masquerade as progress.
+//! where each `period` line is `period patterns |F1| max_len scans` plus
+//! (since v2) an FNV-1a checksum of the row body, so a damaged or edited
+//! row is rejected by name instead of silently resuming from a wrong
+//! count. v1 files (no checksums) still load. A checkpoint written by a
+//! *different* sweep (mismatched input, threshold, or range) is rejected
+//! rather than silently ignored, so stale files cannot masquerade as
+//! progress.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 
 use crate::error::CliError;
 
-/// First line of every checkpoint file; bumps on format changes.
-const MAGIC: &str = "ppm-sweep-checkpoint v1";
+/// First line of every checkpoint file this version writes.
+const MAGIC_V2: &str = "ppm-sweep-checkpoint v2";
+
+/// The previous format: identical except period rows carry no checksum.
+/// Still accepted on load so an upgrade never invalidates progress.
+const MAGIC_V1: &str = "ppm-sweep-checkpoint v1";
+
+/// FNV-1a over `bytes` — the same dependency-free checksum the stream
+/// storage format uses, applied here per row.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
 
 /// Summary of one fully mined period — everything the sweep report prints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,31 +111,34 @@ impl SweepCheckpoint {
         self.rows.sort_by_key(|r| r.period);
     }
 
-    /// Serializes to the checkpoint text format.
+    /// Serializes to the (v2) checkpoint text format.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "{MAGIC}");
+        let _ = writeln!(s, "{MAGIC_V2}");
         let _ = writeln!(s, "input {}", self.input);
         let _ = writeln!(s, "min_conf {}", self.min_conf);
         let _ = writeln!(s, "range {} {}", self.from, self.to);
         for r in &self.rows {
-            let _ = writeln!(
-                s,
-                "period {} {} {} {} {}",
+            let body = format!(
+                "{} {} {} {} {}",
                 r.period, r.patterns, r.f1, r.max_len, r.scans
             );
+            let _ = writeln!(s, "period {body} c={:016x}", fnv64(body.as_bytes()));
         }
         s
     }
 
-    /// Parses the checkpoint text format. Corrupt checkpoints are an error
-    /// — resuming from garbage would silently skip unmined periods.
+    /// Parses the checkpoint text format (v2, or the checksum-less v1).
+    /// Corrupt checkpoints are an error — resuming from garbage would
+    /// silently skip unmined periods.
     pub fn parse(text: &str) -> Result<Self, CliError> {
         let bad = |detail: &str| CliError::Usage(format!("corrupt checkpoint: {detail}"));
         let mut lines = text.lines();
-        if lines.next() != Some(MAGIC) {
-            return Err(bad("missing header (is this a ppm sweep checkpoint?)"));
-        }
+        let checksummed = match lines.next() {
+            Some(MAGIC_V2) => true,
+            Some(MAGIC_V1) => false,
+            _ => return Err(bad("missing header (is this a ppm sweep checkpoint?)")),
+        };
         let field = |line: Option<&str>, key: &str| -> Result<String, CliError> {
             line.and_then(|l| l.strip_prefix(key))
                 .and_then(|v| v.strip_prefix(' '))
@@ -139,9 +160,25 @@ impl SweepCheckpoint {
             if line.trim().is_empty() {
                 continue;
             }
-            let body = line
+            let full = line
                 .strip_prefix("period ")
                 .ok_or_else(|| bad(&format!("unexpected line {line:?}")))?;
+            let body = if checksummed {
+                let (body, sum) = full
+                    .rsplit_once(" c=")
+                    .ok_or_else(|| bad(&format!("period row {full:?} missing checksum")))?;
+                let sum = u64::from_str_radix(sum, 16)
+                    .map_err(|_| bad(&format!("period row {body:?} has unparsable checksum")))?;
+                if fnv64(body.as_bytes()) != sum {
+                    return Err(bad(&format!(
+                        "checksum mismatch on period row {body:?} — \
+                         the row was modified or damaged"
+                    )));
+                }
+                body
+            } else {
+                full
+            };
             let nums: Vec<usize> = body
                 .split_whitespace()
                 .map(|n| {
@@ -182,10 +219,14 @@ impl SweepCheckpoint {
         }
     }
 
-    /// Atomically writes the checkpoint to `path`: the text goes to a
-    /// sibling temp file which is then renamed over the target, so a crash
-    /// mid-save leaves either the old checkpoint or the new one — never a
-    /// torn file.
+    /// Atomically and durably writes the checkpoint to `path`: the text
+    /// goes to a sibling temp file (fsynced) which is then renamed over the
+    /// target, so a crash mid-save leaves either the old checkpoint or the
+    /// new one — never a torn file. After the rename the parent directory
+    /// is fsynced best-effort, since on some filesystems the new name
+    /// itself is not durable until the directory is flushed. A failed
+    /// rename removes the temp file rather than leaving it to shadow the
+    /// next save.
     pub fn save(&self, path: &str) -> Result<(), CliError> {
         let tmp = format!("{path}.tmp");
         {
@@ -193,7 +234,17 @@ impl SweepCheckpoint {
             f.write_all(self.render().as_bytes())?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, path)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        let parent = match std::path::Path::new(path).parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_owned(),
+            _ => std::path::PathBuf::from("."),
+        };
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all().ok();
+        }
         Ok(())
     }
 }
@@ -262,6 +313,102 @@ mod tests {
         assert!(SweepCheckpoint::parse(&bad_row).is_err());
         let short_row = format!("{}period 3 1 2\n", sample().render());
         assert!(SweepCheckpoint::parse(&short_row).is_err());
+    }
+
+    #[test]
+    fn v1_checkpoints_without_checksums_still_load() {
+        let cp = sample();
+        let v1 = cp
+            .render()
+            .lines()
+            .map(|l| match l.split_once(" c=") {
+                Some((body, _)) => body.to_owned(),
+                None => l.to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("ppm-sweep-checkpoint v2", "ppm-sweep-checkpoint v1");
+        assert_eq!(SweepCheckpoint::parse(&v1).unwrap(), cp);
+    }
+
+    #[test]
+    fn damaged_row_is_rejected_by_name() {
+        let cp = sample();
+        // Flip one digit inside the first period row's data.
+        let tampered = cp.render().replace("period 40 12", "period 40 13");
+        let err = SweepCheckpoint::parse(&tampered).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+        assert!(msg.contains("40 13"), "error must name the row: {msg}");
+        // A v2 row with the checksum chopped off is also rejected.
+        let render = cp.render();
+        let headless: String = render
+            .lines()
+            .map(|l| match l.split_once(" c=") {
+                Some((body, _)) => body.to_owned(),
+                None => l.to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = SweepCheckpoint::parse(&headless).unwrap_err();
+        assert!(err.to_string().contains("missing checksum"), "{err}");
+    }
+
+    #[test]
+    fn byte_flip_fuzz_never_panics_and_rarely_passes() {
+        let cp = sample();
+        let render = cp.render();
+        let bytes = render.as_bytes();
+        let mut rejected = 0usize;
+        for i in 0..bytes.len() {
+            for flip in [1u8, 0x20, 0x80] {
+                let mut damaged = bytes.to_vec();
+                damaged[i] ^= flip;
+                let Ok(text) = String::from_utf8(damaged) else {
+                    continue; // fs::read_to_string would reject it anyway
+                };
+                // Typed error or a successful parse — never a panic.
+                if SweepCheckpoint::parse(&text).is_err() {
+                    rejected += 1;
+                }
+            }
+        }
+        // The checksums make most row damage detectable.
+        assert!(rejected > bytes.len(), "only {rejected} flips rejected");
+    }
+
+    #[test]
+    fn truncation_fuzz_never_panics() {
+        let render = sample().render();
+        for cut in 0..render.len() {
+            if !render.is_char_boundary(cut) {
+                continue;
+            }
+            // Every prefix either parses or errors; no partial row may
+            // survive as a row.
+            if let Ok(cp) = SweepCheckpoint::parse(&render[..cut]) {
+                for row in &cp.rows {
+                    assert!(sample().rows.contains(row), "fabricated row {row:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_rename_cleans_up_the_temp_file() {
+        // A non-empty directory at the target path makes rename fail.
+        let dir = crate::cmd::testutil::temp_path("checkpoint-dir", "d");
+        std::fs::create_dir(&dir).unwrap();
+        std::fs::write(dir.join("occupant"), "x").unwrap();
+        let path = dir.to_str().unwrap().to_owned();
+        let err = sample().save(&path);
+        assert!(err.is_err());
+        assert!(
+            !std::path::Path::new(&format!("{path}.tmp")).exists(),
+            "stale temp file left behind"
+        );
+        std::fs::remove_file(dir.join("occupant")).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

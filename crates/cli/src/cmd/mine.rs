@@ -2,6 +2,7 @@
 
 use std::io::Write;
 
+use ppm_core::audit::{self, AuditMode};
 use ppm_core::closed::mine_closed;
 use ppm_core::constraints::{mine_constrained, Constraints};
 use ppm_core::maximal::mine_maximal;
@@ -9,7 +10,11 @@ use ppm_core::parallel::mine_parallel;
 use ppm_core::streaming::{mine_apriori_streaming, mine_hitset_streaming};
 use ppm_core::{mine, Algorithm, MineConfig, MiningResult, MiningStats, Pattern};
 use ppm_timeseries::storage::stream::FileSource;
-use ppm_timeseries::{RetryPolicy, RetryingSource, SeriesSource};
+use ppm_timeseries::{
+    Fault, FaultInjectingSource, FaultPlan, FeatureCatalog, FeatureSeries, MemorySource,
+    QuarantineMode, QuarantineReport, QuarantiningSource, RetryPolicy, RetryingSource,
+    SeriesBuilder, SeriesSource,
+};
 
 use crate::args::Parsed;
 use crate::error::CliError;
@@ -44,12 +49,66 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
 
     let config = super::apply_guards(args, MineConfig::new(min_conf)?)?;
 
+    let audit_mode = parse_audit_mode(args)?;
+    let quarantine = args.switch("quarantine");
+    let strict = args.switch("strict");
+    // Testing aids for the verification machinery: --inject-garbage plants
+    // a contract-violating instant in the scan stream; --perturb-count
+    // bumps one reported count after mining so the oracle has something to
+    // catch.
+    let inject: Option<usize> = if args.switch("inject-garbage") {
+        Some(args.required_parsed("inject-garbage")?)
+    } else {
+        None
+    };
+    let perturb: Option<usize> = if args.switch("perturb-count") {
+        Some(args.required_parsed("perturb-count")?)
+    } else {
+        None
+    };
+    if inject.is_some() && !(quarantine || strict) {
+        return Err(CliError::Usage(
+            "--inject-garbage needs --quarantine or --strict (otherwise the \
+             malformed instant would poison the mine unnoticed)"
+                .into(),
+        ));
+    }
+    if perturb.is_some() && audit_mode.is_none() {
+        return Err(CliError::Usage(
+            "--perturb-count only makes sense with --audit (it exists to \
+             demonstrate the auditor catching a wrong count)"
+                .into(),
+        ));
+    }
+    if audit_mode.is_some() {
+        for incompatible in [
+            "stream",
+            "maximal",
+            "closed",
+            "tsv",
+            "offsets",
+            "max-letters",
+        ] {
+            if args.switch(incompatible) {
+                return Err(CliError::Usage(format!(
+                    "--audit does not combine with --{incompatible} \
+                     (it verifies plain single-period results)"
+                )));
+            }
+        }
+    }
+
     // Out-of-core mode: stream a .ppmstream file; never materialize it.
     if args.switch("stream") {
         if super::format_of(input) != super::Format::Stream {
             return Err(CliError::Usage(
                 "--stream requires a .ppmstream input (see `ppm convert`)".into(),
             ));
+        }
+        if !matches!(algorithm, "apriori" | "hitset") {
+            return Err(CliError::Usage(format!(
+                "--stream supports --algorithm apriori|hitset, not {algorithm:?}"
+            )));
         }
         let file = FileSource::open(input)?;
         let catalog = file.catalog().clone();
@@ -69,14 +128,26 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
             plain = file;
             &mut plain
         };
-        let result = match algorithm {
-            "apriori" => mine_apriori_streaming(source, period, &config),
-            "hitset" => mine_hitset_streaming(source, period, &config),
-            other => {
-                return Err(CliError::Usage(format!(
-                    "--stream supports --algorithm apriori|hitset, not {other:?}"
-                )))
+        let mut garbage;
+        let source: &mut dyn SeriesSource = match inject {
+            Some(t) => {
+                garbage = FaultInjectingSource::new(source, garbage_plan(t));
+                &mut garbage
             }
+            None => source,
+        };
+        let run_one = |src: &mut dyn SeriesSource| match algorithm {
+            "apriori" => mine_apriori_streaming(src, period, &config),
+            _ => mine_hitset_streaming(src, period, &config),
+        };
+        let mut qreport = None;
+        let result = if quarantine || strict {
+            let mut q = QuarantiningSource::new(source, quarantine_mode(strict));
+            let r = run_one(&mut q);
+            qreport = Some(q.into_parts().1);
+            r
+        } else {
+            run_one(source)
         };
         let result = report_if_aborted(result, out)?;
         writeln!(
@@ -84,11 +155,25 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
             "streamed {} file scans from {input}",
             result.stats.series_scans
         )?;
+        if let Some(rep) = &qreport {
+            print_quarantine(rep, out)?;
+        }
         print_result(&result, &catalog, period, min_conf, limit, out)?;
         return Ok(Some(result.stats));
     }
 
     let (series, catalog) = super::load_series(input)?;
+
+    // Quarantine: pass every instant through scan-boundary validation and
+    // mine the cleaned series. Quarantined instants become empty, so all
+    // reported counts/confidences are sound lower bounds.
+    let series = if quarantine || strict {
+        let (cleaned, rep) = quarantine_series(&series, inject, strict)?;
+        print_quarantine(&rep, out)?;
+        cleaned
+    } else {
+        series
+    };
 
     // Maximal-only mode short-circuits (it has its own result shape).
     if args.switch("maximal") {
@@ -140,7 +225,7 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
         .map(|_| args.required_parsed("max-letters"));
     let constrained = offsets.is_some() || max_letters.is_some();
 
-    let result = if constrained {
+    let mut result = if constrained {
         let mut c = Constraints::none();
         if let Some(o) = offsets {
             c = c.at_offsets(o);
@@ -166,12 +251,155 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
         report_if_aborted(result, out)?
     };
 
+    if let Some(idx) = perturb {
+        if idx >= result.frequent.len() {
+            return Err(CliError::Usage(format!(
+                "--perturb-count {idx}: result has only {} patterns",
+                result.frequent.len()
+            )));
+        }
+        result.frequent[idx].count += 1;
+        writeln!(out, "perturbed pattern #{idx}: count bumped by 1")?;
+    }
+
     if args.switch("tsv") {
         write!(out, "{}", ppm_core::export::patterns_tsv(&result, &catalog))?;
         return Ok(Some(result.stats));
     }
     print_result(&result, &catalog, period, min_conf, limit, out)?;
+    if let Some(mode) = audit_mode {
+        run_audit(&series, &result, &catalog, period, &config, mode, out)?;
+    }
     Ok(Some(result.stats))
+}
+
+/// Parses `--audit` / `--audit full` / `--audit sample` / `--audit N`
+/// (sample N patterns).
+fn parse_audit_mode(args: &Parsed) -> Result<Option<AuditMode>, CliError> {
+    if !args.switch("audit") {
+        return Ok(None);
+    }
+    match args.get("audit") {
+        None | Some("full") => Ok(Some(AuditMode::Full)),
+        Some("sample") => Ok(Some(AuditMode::sample())),
+        Some(other) => match other.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(AuditMode::Sample(n))),
+            _ => Err(CliError::Usage(format!(
+                "--audit accepts full, sample, or a sample size, not {other:?}"
+            ))),
+        },
+    }
+}
+
+fn quarantine_mode(strict: bool) -> QuarantineMode {
+    if strict {
+        QuarantineMode::Reject
+    } else {
+        QuarantineMode::Quarantine
+    }
+}
+
+/// A plan that plants [`Fault::Garbage`] on every scan attempt a mine can
+/// plausibly make, so the malformed instant survives multi-scan algorithms.
+fn garbage_plan(instant: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for attempt in 0..32 {
+        plan = plan.fail_scan(attempt, Fault::Garbage { instant });
+    }
+    plan
+}
+
+/// Materializes `series` through a [`QuarantiningSource`] (optionally with
+/// an injected garbage instant), returning the cleaned series and the
+/// quarantine record. In `--strict` mode a malformed instant surfaces as
+/// the source's typed rejection error instead.
+fn quarantine_series(
+    series: &FeatureSeries,
+    inject: Option<usize>,
+    strict: bool,
+) -> Result<(FeatureSeries, QuarantineReport), CliError> {
+    let mem = MemorySource::new(series);
+    let mut faulty;
+    let mut plain;
+    let source: &mut dyn SeriesSource = match inject {
+        Some(t) => {
+            faulty = FaultInjectingSource::new(mem, garbage_plan(t));
+            &mut faulty
+        }
+        None => {
+            plain = mem;
+            &mut plain
+        }
+    };
+    let mut q = QuarantiningSource::new(source, quarantine_mode(strict));
+    let mut builder = SeriesBuilder::new();
+    q.scan(&mut |_, feats| builder.push_instant(feats.iter().copied()))?;
+    let (_, report) = q.into_parts();
+    Ok((builder.finish(), report))
+}
+
+/// Reports what the quarantine skipped (greppable: `quarantined`).
+fn print_quarantine(report: &QuarantineReport, out: &mut dyn Write) -> Result<(), CliError> {
+    if report.is_empty() {
+        writeln!(out, "quarantined 0 instants")?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "quarantined {} instants ({} suppressions across scans); \
+         counts below are sound lower bounds:",
+        report.len(),
+        report.total_skips()
+    )?;
+    for entry in report.entries().take(10) {
+        writeln!(
+            out,
+            "  instant {}: {} ({} bytes recorded)",
+            entry.instant,
+            entry.reason,
+            entry.bytes.len()
+        )?;
+    }
+    if report.len() > 10 {
+        writeln!(out, "  … and {} more", report.len() - 10)?;
+    }
+    Ok(())
+}
+
+/// Runs the full verification stack on a mined result: structural
+/// invariants, the differential oracle's recount, and the cross-algorithm
+/// diff. Violations are printed and surface as [`CliError::Audit`]
+/// (exit code 1) so pipelines fail loudly on a wrong answer.
+fn run_audit(
+    series: &FeatureSeries,
+    result: &MiningResult,
+    catalog: &FeatureCatalog,
+    period: usize,
+    config: &MineConfig,
+    mode: AuditMode,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut report = audit::audit(series, result, catalog, mode)?;
+    let check = audit::cross_check(series, period, config, catalog)?;
+    writeln!(
+        out,
+        "cross-check: {} engines on {} patterns — {}",
+        check.algorithms.len(),
+        check.compared,
+        if check.agreed() { "agree" } else { "DISAGREE" }
+    )?;
+    report.absorb(check.report);
+    writeln!(out, "audit: {}", report.summary())?;
+    if report.is_clean() {
+        return Ok(());
+    }
+    for v in &report.violations {
+        writeln!(out, "  {v}")?;
+    }
+    Err(CliError::Audit(format!(
+        "{} violations (details above)",
+        report.violations.len()
+    )))
 }
 
 /// On a resource-guard abort ([`ppm_core::Error::DeadlineExceeded`] /
@@ -559,6 +787,135 @@ mod tests {
         ))
         .unwrap_err();
         assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn audit_full_is_clean_for_all_algorithms() {
+        let path = sample_series_file("ppms");
+        for algo in ["hitset", "apriori", "parallel"] {
+            let text = run_cli(&format!(
+                "mine --input {} --period 3 --min-conf 0.6 --algorithm {algo} --audit full",
+                path.display()
+            ))
+            .unwrap();
+            assert!(text.contains("audit: clean"), "{algo}: {text}");
+            assert!(text.contains("cross-check: 3 engines"), "{algo}: {text}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sampled_audit_is_clean_and_says_so() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --audit 2",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("audit: clean"), "{text}");
+        assert!(text.contains("sampled"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn audit_catches_a_perturbed_count() {
+        let path = sample_series_file("ppms");
+        let argv: Vec<String> = format!(
+            "mine --input {} --period 3 --min-conf 0.6 --audit full --perturb-count 0",
+            path.display()
+        )
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+        let mut out = Vec::new();
+        let err = crate::run(&argv, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("verification failed"), "{err}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("count mismatch"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn quarantine_reports_injected_garbage_and_still_mines() {
+        let path = sample_series_file("ppms");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --quarantine --inject-garbage 1",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("quarantined 1 instants"), "{text}");
+        assert!(text.contains("instant 1:"), "{text}");
+        assert!(text.contains("frequent patterns"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn quarantine_on_clean_input_reports_zero() {
+        let path = sample_series_file("ppms");
+        let base = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6",
+            path.display()
+        ))
+        .unwrap();
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --quarantine",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("quarantined 0 instants"), "{text}");
+        // Quarantining a clean series changes nothing downstream.
+        assert!(text.ends_with(&base), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_garbage() {
+        let path = sample_series_file("ppms");
+        let err = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --strict --inject-garbage 1",
+            path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("instant 1"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn quarantine_works_in_stream_mode() {
+        let path = sample_series_file("ppmstream");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --stream --quarantine --inject-garbage 1",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("quarantined 1 instants"), "{text}");
+        assert!(text.contains("frequent patterns"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn audit_and_garbage_flag_combinations_are_usage_errors() {
+        let path = sample_series_file("ppms");
+        for extra in [
+            "--audit full --tsv",
+            "--audit full --maximal",
+            "--audit full --closed",
+            "--audit full --stream",
+            "--audit full --offsets 0",
+            "--audit banana",
+            "--perturb-count 0",
+            "--inject-garbage 1",
+        ] {
+            let err = run_cli(&format!(
+                "mine --input {} --period 3 --min-conf 0.6 {extra}",
+                path.display()
+            ))
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{extra}: {err}");
+        }
         std::fs::remove_file(path).ok();
     }
 

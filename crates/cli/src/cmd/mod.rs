@@ -8,6 +8,7 @@ pub mod mine;
 pub mod perfect;
 pub mod rules;
 pub mod sweep;
+pub mod verify;
 
 use std::path::Path;
 

@@ -13,6 +13,9 @@ pub enum CliError {
     Series(ppm_timeseries::Error),
     /// Failure from the mining layer.
     Mining(ppm_core::Error),
+    /// Verification found violations: the result (or an exported claim
+    /// file) failed the invariant auditor or the differential oracle.
+    Audit(String),
 }
 
 impl CliError {
@@ -32,6 +35,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Series(e) => write!(f, "series error: {e}"),
             CliError::Mining(e) => write!(f, "mining error: {e}"),
+            CliError::Audit(msg) => write!(f, "verification failed: {msg}"),
         }
     }
 }

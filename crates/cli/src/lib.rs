@@ -42,6 +42,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "convert" => cmd::convert::run(&parsed, out),
         "rules" => cmd::rules::run(&parsed, out),
         "evolve" => cmd::evolve::run(&parsed, out),
+        "verify" => cmd::verify::run(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -64,9 +65,12 @@ USAGE:
                [--algorithm apriori|hitset|parallel] [--threads N] [--stream]
                [--max-letters M] [--offsets 1,2,3] [--limit N] [--tsv]
                [--maximal | --closed]
+               [--audit [full|sample|N]] [--quarantine] [--strict]
                [--retries N] [--deadline-ms MS] [--max-tree-nodes N]
                [--trace] [--metrics-out FILE]
                [--progress [--progress-interval-ms MS]]
+  ppm verify   --input FILE --patterns FILE.tsv --period P --min-conf C
+               [--sample [N]]
   ppm sweep    --input FILE --from P1 --to P2 --min-conf C [--looping]
                [--checkpoint FILE] [--deadline-ms MS] [--max-tree-nodes N]
                [--trace] [--metrics-out FILE] [--bench-report NAME]
@@ -86,6 +90,16 @@ with a typed error carrying partial statistics; sweep --checkpoint FILE
 records each completed period and resumes after a crash or abort without
 re-mining; convert --salvage recovers the valid record prefix of a
 truncated .ppmstream.
+
+Verification: mine --audit checks the result against the paper's
+invariants (anti-monotone counts, downward closure, confidence bounds,
+Property 3.2 bookkeeping), recounts patterns with an independent oracle
+(full, or a deterministic sample), and diffs the hit-set, Apriori, and
+streaming engines against each other; violations exit non-zero.
+mine --quarantine skips malformed instants at the scan boundary and
+reports them (counts become sound lower bounds); --strict fails fast on
+the first one instead. verify re-audits an exported `mine --tsv` file
+against its input series.
 
 Observability: --trace prints a live span tree to stderr; --metrics-out
 FILE streams structured events as JSON lines and appends a final summary

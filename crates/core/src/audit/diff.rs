@@ -1,0 +1,266 @@
+//! Cross-algorithm differential harness.
+//!
+//! The paper proves Algorithms 3.1 (Apriori) and 3.2 (max-subpattern hit
+//! set) compute the *same* frequent set with the *same* counts; the
+//! streaming engines are refactorings of the same algorithms over a
+//! [`ppm_timeseries::SeriesSource`]. Running all of them on the same input
+//! and diffing the outputs is therefore a free correctness oracle: any
+//! disagreement is a bug in at least one engine, found without knowing
+//! which answer is right.
+
+use std::collections::HashMap;
+
+use ppm_timeseries::{FeatureCatalog, FeatureSeries, MemorySource};
+
+use crate::letters::LetterSet;
+use crate::pattern::Pattern;
+use crate::result::MiningResult;
+use crate::scan::MineConfig;
+
+use super::{render, AuditReport, Violation};
+
+/// Mismatch detail lines reported per algorithm pair before truncating.
+const DETAIL_LIMIT: usize = 12;
+
+/// The outcome of one cross-algorithm diff.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// The engines that ran, in comparison order (index 0 is the baseline).
+    pub algorithms: Vec<&'static str>,
+    /// Patterns in the baseline result (the comparison breadth).
+    pub compared: usize,
+    /// Violations found — empty when every engine agrees exactly.
+    pub report: AuditReport,
+}
+
+impl CrossCheck {
+    /// Whether every engine produced an identical result.
+    pub fn agreed(&self) -> bool {
+        self.report.is_clean()
+    }
+}
+
+/// Diffs one `(left, right)` result pair, appending
+/// [`Violation::AlgorithmMismatch`]s to `report`.
+fn diff_pair(
+    left_name: &'static str,
+    left: &MiningResult,
+    right_name: &'static str,
+    right: &MiningResult,
+    catalog: &FeatureCatalog,
+    report: &mut AuditReport,
+) {
+    let mismatch = |report: &mut AuditReport, detail: String| {
+        report.push(Violation::AlgorithmMismatch {
+            left: left_name,
+            right: right_name,
+            detail,
+        });
+    };
+    report.checks += 3;
+    if left.segment_count != right.segment_count || left.min_count != right.min_count {
+        mismatch(
+            report,
+            format!(
+                "run parameters differ: m {} vs {}, min_count {} vs {}",
+                left.segment_count, right.segment_count, left.min_count, right.min_count
+            ),
+        );
+        return;
+    }
+    if left.alphabet != right.alphabet {
+        mismatch(
+            report,
+            format!(
+                "alphabets differ: {} vs {} letters",
+                left.alphabet.len(),
+                right.alphabet.len()
+            ),
+        );
+        return;
+    }
+
+    let text = |result: &MiningResult, set: &LetterSet| {
+        render(&Pattern::from_letter_set(&result.alphabet, set), catalog)
+    };
+    let rights: HashMap<&LetterSet, u64> = right
+        .frequent
+        .iter()
+        .map(|fp| (&fp.letters, fp.count))
+        .collect();
+    let mut details = 0usize;
+    let mut emit = |report: &mut AuditReport, detail: String| {
+        details += 1;
+        if details <= DETAIL_LIMIT {
+            mismatch(report, detail);
+        }
+    };
+    for fp in &left.frequent {
+        report.checks += 1;
+        match rights.get(&fp.letters) {
+            None => emit(
+                report,
+                format!(
+                    "`{}` (count {}) only found by {left_name}",
+                    text(left, &fp.letters),
+                    fp.count
+                ),
+            ),
+            Some(&count) if count != fp.count => emit(
+                report,
+                format!(
+                    "`{}` counted {} by {left_name}, {} by {right_name}",
+                    text(left, &fp.letters),
+                    fp.count,
+                    count
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+    let lefts: HashMap<&LetterSet, u64> = left
+        .frequent
+        .iter()
+        .map(|fp| (&fp.letters, fp.count))
+        .collect();
+    for fp in &right.frequent {
+        report.checks += 1;
+        if !lefts.contains_key(&fp.letters) {
+            emit(
+                report,
+                format!(
+                    "`{}` (count {}) only found by {right_name}",
+                    text(right, &fp.letters),
+                    fp.count
+                ),
+            );
+        }
+    }
+    if details > DETAIL_LIMIT {
+        mismatch(
+            report,
+            format!("… and {} more differences", details - DETAIL_LIMIT),
+        );
+    }
+}
+
+/// Mines `series` with the hit-set, Apriori, and streaming hit-set engines
+/// and diffs the results pairwise against the hit-set baseline.
+///
+/// The miners canonicalize ordering before returning, so equal results
+/// compare equal structurally; any difference in membership or counts
+/// becomes a [`Violation::AlgorithmMismatch`] naming the engines and the
+/// pattern.
+pub fn cross_check(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+    catalog: &FeatureCatalog,
+) -> crate::error::Result<CrossCheck> {
+    let _span = ppm_observe::span("audit.diff");
+    let baseline = crate::hitset::mine(series, period, config)?;
+    let apriori = crate::apriori::mine(series, period, config)?;
+    let streamed = {
+        let mut src = MemorySource::new(series);
+        crate::streaming::mine_hitset_streaming(&mut src, period, config)?
+    };
+
+    let mut report = AuditReport::new();
+    diff_pair(
+        "hitset",
+        &baseline,
+        "apriori",
+        &apriori,
+        catalog,
+        &mut report,
+    );
+    diff_pair(
+        "hitset",
+        &baseline,
+        "streaming-hitset",
+        &streamed,
+        catalog,
+        &mut report,
+    );
+    let check = CrossCheck {
+        algorithms: vec!["hitset", "apriori", "streaming-hitset"],
+        compared: baseline.len(),
+        report,
+    };
+    ppm_observe::mark("audit.diff.verdict", || {
+        if check.agreed() {
+            format!(
+                "{} engines agree on {} patterns",
+                check.algorithms.len(),
+                check.compared
+            )
+        } else {
+            format!("{} mismatches", check.report.violations.len())
+        }
+    });
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::SeriesBuilder;
+
+    fn sample() -> (FeatureSeries, FeatureCatalog) {
+        let mut catalog = FeatureCatalog::new();
+        let a = catalog.intern("alpha");
+        let b = catalog.intern("beta");
+        let mut builder = SeriesBuilder::new();
+        for j in 0..20 {
+            builder.push_instant([a]);
+            builder.push_instant(if j % 4 != 0 { vec![b] } else { vec![] });
+            builder.push_instant(if j % 2 == 0 { vec![a, b] } else { vec![] });
+        }
+        (builder.finish(), catalog)
+    }
+
+    #[test]
+    fn engines_agree_on_a_real_mine() {
+        let (series, catalog) = sample();
+        let config = MineConfig::new(0.5).unwrap();
+        let check = cross_check(&series, 3, &config, &catalog).unwrap();
+        assert!(check.agreed(), "{:?}", check.report.violations);
+        assert_eq!(check.algorithms.len(), 3);
+        assert!(check.compared > 0);
+    }
+
+    #[test]
+    fn diff_pair_flags_membership_and_count_divergence() {
+        let (series, catalog) = sample();
+        let config = MineConfig::new(0.5).unwrap();
+        let left = crate::hitset::mine(&series, 3, &config).unwrap();
+        let mut right = left.clone();
+        right.frequent[0].count += 2;
+        let dropped = right.frequent.pop().unwrap();
+        let mut report = AuditReport::new();
+        diff_pair("hitset", &left, "tampered", &right, &catalog, &mut report);
+        assert!(!report.is_clean());
+        let details: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+        assert!(details.iter().any(|d| d.contains("counted")), "{details:?}");
+        assert!(
+            details.iter().any(|d| d.contains("only found by hitset")),
+            "{details:?}"
+        );
+        drop(dropped);
+    }
+
+    #[test]
+    fn diff_pair_flags_parameter_divergence() {
+        let (series, catalog) = sample();
+        let config = MineConfig::new(0.5).unwrap();
+        let left = crate::hitset::mine(&series, 3, &config).unwrap();
+        let mut right = left.clone();
+        right.min_count += 1;
+        let mut report = AuditReport::new();
+        diff_pair("hitset", &left, "tampered", &right, &catalog, &mut report);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.to_string().contains("run parameters differ")));
+    }
+}

@@ -1,0 +1,308 @@
+//! Structural invariants any correct [`MiningResult`] obeys.
+//!
+//! These checks need no second look at the data: they are laws the paper
+//! proves about the *shape* of a correct answer. Θ(k²) in the number of
+//! frequent patterns for the pairwise anti-monotonicity sweep — the same
+//! budget [`MiningResult::maximal`] already spends — and linear for
+//! everything else.
+
+use std::collections::HashMap;
+
+use ppm_timeseries::FeatureCatalog;
+
+use crate::letters::LetterSet;
+use crate::pattern::Pattern;
+use crate::result::MiningResult;
+use crate::stats::hit_set_bound;
+
+use super::{render, AuditReport, Violation};
+
+/// Recomputes the frequency threshold from first principles: the least
+/// integer `c ≥ min_conf · m`, at minimum 1. Deliberately re-derived here
+/// (not delegated to [`crate::MineConfig`]) so a bug in the shared
+/// threshold arithmetic cannot hide from its own auditor.
+pub(super) fn expected_min_count(min_conf: f64, m: usize) -> u64 {
+    let raw = min_conf * m as f64;
+    let mut c = raw.ceil() as u64;
+    while (c as f64) + 1e-9 < raw {
+        c += 1;
+    }
+    while c > 0 && ((c - 1) as f64) + 1e-9 >= raw {
+        c -= 1;
+    }
+    c.max(1)
+}
+
+/// Runs every structural check on `result`, appending violations to
+/// `report`. The series is not consulted — see
+/// [`super::recount_patterns`] for the data-facing half.
+pub fn check_invariants(result: &MiningResult, catalog: &FeatureCatalog, report: &mut AuditReport) {
+    let _span = ppm_observe::span("audit.invariants");
+    let m = result.segment_count;
+    let text = |set: &LetterSet| render(&Pattern::from_letter_set(&result.alphabet, set), catalog);
+
+    // Threshold arithmetic: min_count must be the least count meeting the
+    // confidence threshold.
+    report.checks += 1;
+    let expected = expected_min_count(result.min_confidence, m);
+    if result.min_count != expected {
+        report.push(Violation::ThresholdMismatch {
+            min_count: result.min_count,
+            expected,
+        });
+    }
+
+    // Per-pattern range and encoding checks.
+    let n = result.alphabet.len();
+    let mut seen: HashMap<LetterSet, usize> = HashMap::with_capacity(result.frequent.len());
+    for (i, fp) in result.frequent.iter().enumerate() {
+        report.checks += 4;
+        if fp.letters.universe() != n {
+            report.push(Violation::ForeignLetters {
+                pattern_index: i,
+                universe: fp.letters.universe(),
+                alphabet_len: n,
+            });
+            // The remaining checks decode letters against the alphabet;
+            // skip them for a set from another universe.
+            continue;
+        }
+        if fp.letters.is_empty() {
+            report.push(Violation::EmptyPattern { pattern_index: i });
+            continue;
+        }
+        if fp.count > m as u64 {
+            report.push(Violation::CountExceedsSegments {
+                pattern: text(&fp.letters),
+                count: fp.count,
+                segments: m,
+            });
+        }
+        if fp.count < result.min_count {
+            report.push(Violation::BelowThreshold {
+                pattern: text(&fp.letters),
+                count: fp.count,
+                min_count: result.min_count,
+            });
+        }
+        if seen.insert(fp.letters.clone(), i).is_some() {
+            report.push(Violation::DuplicatePattern {
+                pattern: text(&fp.letters),
+            });
+        }
+    }
+
+    // Anti-monotonicity (§3.1): every subset relation must carry
+    // count(sub) ≥ count(super).
+    for a in &result.frequent {
+        for b in &result.frequent {
+            if a.letters.universe() != n || b.letters.universe() != n {
+                continue;
+            }
+            if a.letters.len() < b.letters.len() && a.letters.is_subset(&b.letters) {
+                report.checks += 1;
+                if a.count < b.count {
+                    report.push(Violation::AntiMonotonicity {
+                        sub: text(&a.letters),
+                        sub_count: a.count,
+                        superpattern: text(&b.letters),
+                        super_count: b.count,
+                    });
+                }
+            }
+        }
+    }
+
+    // Downward closure (§3.1): removing any one letter from a frequent
+    // pattern must leave a reported frequent pattern.
+    for fp in &result.frequent {
+        if fp.letters.universe() != n || fp.letters.len() < 2 {
+            continue;
+        }
+        for idx in fp.letters.iter() {
+            report.checks += 1;
+            let mut sub = fp.letters.clone();
+            sub.remove(idx);
+            if !seen.contains_key(&sub) {
+                report.push(Violation::MissingSubpattern {
+                    pattern: text(&fp.letters),
+                    missing: text(&sub),
+                });
+            }
+        }
+    }
+
+    // Property 3.2 bookkeeping: the hit set is bounded by min(m, 2^|F1|−1)
+    // and each segment inserts at most one hit.
+    report.checks += 2;
+    let bound = hit_set_bound(m as u64, n as u32);
+    if result.stats.distinct_hits as u64 > bound {
+        report.push(Violation::HitSetBoundExceeded {
+            distinct_hits: result.stats.distinct_hits,
+            bound,
+        });
+    }
+    if result.stats.hit_insertions > m as u64 {
+        report.push(Violation::ExcessHitInsertions {
+            hit_insertions: result.stats.hit_insertions,
+            segments: m,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::FrequentPattern;
+    use crate::scan::MineConfig;
+    use crate::stats::MiningStats;
+    use ppm_timeseries::SeriesBuilder;
+
+    fn mined() -> (MiningResult, FeatureCatalog) {
+        let mut catalog = FeatureCatalog::new();
+        let a = catalog.intern("alpha");
+        let b = catalog.intern("beta");
+        let mut builder = SeriesBuilder::new();
+        for j in 0..12 {
+            builder.push_instant([a]);
+            builder.push_instant(if j % 3 != 0 { vec![b] } else { vec![] });
+        }
+        let series = builder.finish();
+        let result = crate::hitset::mine(&series, 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        (result, catalog)
+    }
+
+    fn check(result: &MiningResult, catalog: &FeatureCatalog) -> AuditReport {
+        let mut report = AuditReport::new();
+        check_invariants(result, catalog, &mut report);
+        report
+    }
+
+    #[test]
+    fn clean_result_passes() {
+        let (result, catalog) = mined();
+        let report = check(&result, &catalog);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn expected_min_count_matches_mineconfig_over_a_grid() {
+        for conf_millis in [1u32, 125, 250, 333, 500, 666, 750, 800, 999, 1000] {
+            let conf = conf_millis as f64 / 1000.0;
+            let config = MineConfig::new(conf).unwrap();
+            for m in 0..200usize {
+                assert_eq!(
+                    expected_min_count(conf, m),
+                    config.min_count(m),
+                    "conf={conf} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_bump_breaks_anti_monotonicity_or_range() {
+        let (mut result, catalog) = mined();
+        // Bump the largest pattern past its subpatterns' counts.
+        let last = result.frequent.len() - 1;
+        result.frequent[last].count = result.segment_count as u64 + 5;
+        let report = check(&result, &catalog);
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CountExceedsSegments { .. })));
+    }
+
+    #[test]
+    fn below_threshold_is_flagged() {
+        let (mut result, catalog) = mined();
+        result.frequent[0].count = 0;
+        let report = check(&result, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BelowThreshold { .. })));
+    }
+
+    #[test]
+    fn duplicate_and_empty_patterns_are_flagged() {
+        let (mut result, catalog) = mined();
+        let dup = result.frequent[0].clone();
+        result.frequent.push(dup);
+        result.frequent.push(FrequentPattern {
+            letters: result.alphabet.empty_set(),
+            count: result.min_count,
+        });
+        let report = check(&result, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicatePattern { .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::EmptyPattern { .. })));
+    }
+
+    #[test]
+    fn dropped_subpattern_breaks_closure() {
+        let (mut result, catalog) = mined();
+        // Remove a singleton that supports a larger pattern.
+        let max_len = result.max_letter_count();
+        if max_len < 2 {
+            return; // sample too small to exercise closure
+        }
+        result.frequent.retain(|fp| fp.letters.len() != 1);
+        let report = check(&result, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingSubpattern { .. })));
+    }
+
+    #[test]
+    fn foreign_universe_is_flagged() {
+        let (mut result, catalog) = mined();
+        result.frequent.push(FrequentPattern {
+            letters: LetterSet::from_indices(99, [42]),
+            count: result.min_count,
+        });
+        let report = check(&result, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ForeignLetters { .. })));
+    }
+
+    #[test]
+    fn threshold_tampering_is_flagged() {
+        let (mut result, catalog) = mined();
+        result.min_count += 3;
+        let report = check(&result, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ThresholdMismatch { .. })));
+    }
+
+    #[test]
+    fn hit_stats_over_bound_are_flagged() {
+        let (mut result, catalog) = mined();
+        result.stats = MiningStats {
+            distinct_hits: 10_000,
+            hit_insertions: 10_000,
+            ..result.stats.clone()
+        };
+        let report = check(&result, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::HitSetBoundExceeded { .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ExcessHitInsertions { .. })));
+    }
+}

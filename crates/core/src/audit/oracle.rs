@@ -1,0 +1,433 @@
+//! The differential oracle: a deliberately naive, independent recount.
+//!
+//! The miners count through the letter alphabet — instants are projected
+//! onto `C_max` bitsets and counted via the max-subpattern tree or
+//! level-wise subset tests. A bug anywhere along that shared path produces
+//! wrong counts *consistently*, so re-running a miner cannot detect it.
+//!
+//! This oracle shares none of that machinery: each audited pattern is
+//! decoded to its symbolic form and counted by walking the raw period
+//! segments with [`Pattern::matches_segment`] — per-instant binary searches
+//! on the untouched feature lists, exactly the definition of frequency in
+//! paper §2. Slow and proud of it; the Θ(n)-checker literature calls this
+//! the trusted half of a certifying computation.
+
+use std::collections::{HashMap, HashSet};
+
+use ppm_timeseries::{FeatureCatalog, FeatureId, FeatureSeries};
+
+use crate::error::{Error, Result};
+use crate::export::PatternClaim;
+use crate::pattern::{Pattern, Symbol};
+use crate::result::MiningResult;
+
+use super::invariants::expected_min_count;
+use super::{render, AuditMode, AuditReport, Violation};
+
+/// Maximum matching-segment indices a [`Violation::CountMismatch`] carries.
+pub const MISMATCH_SEGMENT_LIMIT: usize = 8;
+
+/// Deterministic stride sample: `cap` evenly spaced indices out of `len`.
+/// No RNG — the same result is always audited the same way.
+fn sample_indices(len: usize, cap: usize) -> Vec<usize> {
+    if len <= cap {
+        (0..len).collect()
+    } else {
+        (0..cap).map(|i| i * len / cap).collect()
+    }
+}
+
+/// Counts the segments of `series` (period taken from `pattern`) that
+/// `pattern` matches, returning the count and the first
+/// [`MISMATCH_SEGMENT_LIMIT`] matching segment indices.
+fn direct_count(series: &FeatureSeries, pattern: &Pattern) -> Result<(u64, Vec<usize>)> {
+    let segments = series.segments(pattern.period()).map_err(Error::Series)?;
+    let mut count = 0u64;
+    let mut matched = Vec::new();
+    for seg in segments.iter() {
+        if pattern.matches_segment(&seg) {
+            count += 1;
+            if matched.len() < MISMATCH_SEGMENT_LIMIT {
+                matched.push(seg.index());
+            }
+        }
+    }
+    Ok((count, matched))
+}
+
+/// Recounts the reported patterns of `result` directly against `series`,
+/// appending [`Violation::CountMismatch`]s to `report`. In
+/// [`AuditMode::Full`] it also re-derives the frequent 1-patterns from the
+/// raw data and flags any the result dropped.
+pub fn recount_patterns(
+    series: &FeatureSeries,
+    result: &MiningResult,
+    catalog: &FeatureCatalog,
+    mode: AuditMode,
+    report: &mut AuditReport,
+) -> Result<()> {
+    let _span = ppm_observe::span("audit.oracle");
+    let picks = match mode {
+        AuditMode::Full => sample_indices(result.frequent.len(), usize::MAX),
+        AuditMode::Sample(cap) => {
+            report.sampled = true;
+            sample_indices(result.frequent.len(), cap.max(1))
+        }
+    };
+    for i in picks {
+        let fp = &result.frequent[i];
+        if fp.letters.universe() != result.alphabet.len() || fp.letters.is_empty() {
+            continue; // already flagged by the invariant pass
+        }
+        report.checks += 1;
+        report.recounted += 1;
+        let pattern = Pattern::from_letter_set(&result.alphabet, &fp.letters);
+        let (recounted, segments) = direct_count(series, &pattern)?;
+        if recounted != fp.count {
+            report.push(Violation::CountMismatch {
+                pattern: render(&pattern, catalog),
+                reported: fp.count,
+                recounted,
+                segments,
+            });
+        }
+    }
+
+    if mode == AuditMode::Full {
+        missing_letter_sweep(series, result, catalog, report)?;
+    }
+    Ok(())
+}
+
+/// Independently re-derives `F1` — one pass over the whole segments,
+/// counting every `(offset, feature)` occurrence — and flags frequent
+/// letters the result fails to report. Catches the "dropped candidate"
+/// failure class the per-pattern recount cannot see.
+fn missing_letter_sweep(
+    series: &FeatureSeries,
+    result: &MiningResult,
+    catalog: &FeatureCatalog,
+    report: &mut AuditReport,
+) -> Result<()> {
+    let period = result.period;
+    let segments = series.segments(period).map_err(Error::Series)?;
+    let mut counts: HashMap<(usize, FeatureId), u64> = HashMap::new();
+    for seg in segments.iter() {
+        for offset in 0..period {
+            for &f in seg.at(offset) {
+                *counts.entry((offset, f)).or_insert(0) += 1;
+            }
+        }
+    }
+    let singletons: HashSet<usize> = result
+        .frequent
+        .iter()
+        .filter(|fp| fp.letters.universe() == result.alphabet.len() && fp.letters.len() == 1)
+        .filter_map(|fp| fp.letters.first())
+        .collect();
+    for ((offset, feature), count) in counts {
+        report.checks += 1;
+        if count < result.min_count {
+            continue;
+        }
+        let reported = result
+            .alphabet
+            .index_of(offset, feature)
+            .is_some_and(|idx| singletons.contains(&idx));
+        if !reported {
+            let mut symbols = vec![Symbol::Star; period];
+            symbols[offset] = Symbol::letters([feature]);
+            report.push(Violation::MissingFrequentLetter {
+                pattern: render(&Pattern::new(symbols), catalog),
+                count,
+                min_count: result.min_count,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies exported claims (parsed from a patterns TSV) against the
+/// input they were allegedly mined from: per-claim recounts under `mode`,
+/// confidence arithmetic, threshold and range checks, internal
+/// consistency, duplicates, and pairwise anti-monotonicity.
+///
+/// This is the engine behind `ppm verify`: it trusts nothing from the
+/// export but the claims themselves.
+pub fn verify_claims(
+    series: &FeatureSeries,
+    period: usize,
+    min_conf: f64,
+    claims: &[PatternClaim],
+    catalog: &FeatureCatalog,
+    mode: AuditMode,
+) -> Result<AuditReport> {
+    let _span = ppm_observe::span("audit.verify");
+    let mut report = AuditReport::new();
+    let segments = series.segments(period).map_err(Error::Series)?;
+    let m = segments.count();
+    let min_count = expected_min_count(min_conf, m);
+
+    let recount_set: HashSet<usize> = match mode {
+        AuditMode::Full => (0..claims.len()).collect(),
+        AuditMode::Sample(cap) => {
+            report.sampled = true;
+            sample_indices(claims.len(), cap.max(1))
+                .into_iter()
+                .collect()
+        }
+    };
+
+    let mut seen: HashMap<&Pattern, usize> = HashMap::with_capacity(claims.len());
+    for (i, claim) in claims.iter().enumerate() {
+        let text = render(&claim.pattern, catalog);
+        report.checks += 4;
+        if claim.pattern.period() != period {
+            report.push(Violation::ClaimPeriodMismatch {
+                pattern: text,
+                pattern_period: claim.pattern.period(),
+                expected: period,
+            });
+            continue;
+        }
+        if claim.letters != claim.pattern.letter_count()
+            || claim.l_length != claim.pattern.l_length()
+        {
+            report.push(Violation::ClaimInconsistent {
+                pattern: text.clone(),
+                detail: format!(
+                    "row says {} letters / L-length {}, pattern text has {} / {}",
+                    claim.letters,
+                    claim.l_length,
+                    claim.pattern.letter_count(),
+                    claim.pattern.l_length()
+                ),
+            });
+        }
+        if claim.count > m as u64 {
+            report.push(Violation::CountExceedsSegments {
+                pattern: text.clone(),
+                count: claim.count,
+                segments: m,
+            });
+        }
+        if claim.count < min_count {
+            report.push(Violation::BelowThreshold {
+                pattern: text.clone(),
+                count: claim.count,
+                min_count,
+            });
+        }
+        let actual_conf = if m == 0 {
+            0.0
+        } else {
+            claim.count as f64 / m as f64
+        };
+        // The TSV rounds to six decimals; allow exactly that much slack.
+        if (claim.confidence - actual_conf).abs() > 1e-6 {
+            report.push(Violation::ConfidenceMismatch {
+                pattern: text.clone(),
+                claimed: claim.confidence,
+                actual: actual_conf,
+            });
+        }
+        if seen.insert(&claim.pattern, i).is_some() {
+            report.push(Violation::DuplicatePattern {
+                pattern: text.clone(),
+            });
+        }
+        if recount_set.contains(&i) {
+            report.checks += 1;
+            report.recounted += 1;
+            let (recounted, matched) = direct_count(series, &claim.pattern)?;
+            if recounted != claim.count {
+                report.push(Violation::CountMismatch {
+                    pattern: text,
+                    reported: claim.count,
+                    recounted,
+                    segments: matched,
+                });
+            }
+        }
+    }
+
+    // Pairwise anti-monotonicity over the claimed counts.
+    for a in claims {
+        for b in claims {
+            if a.pattern.period() != period || b.pattern.period() != period {
+                continue;
+            }
+            if a.pattern != b.pattern && a.pattern.is_subpattern_of(&b.pattern) {
+                report.checks += 1;
+                if a.count < b.count {
+                    report.push(Violation::AntiMonotonicity {
+                        sub: render(&a.pattern, catalog),
+                        sub_count: a.count,
+                        superpattern: render(&b.pattern, catalog),
+                        super_count: b.count,
+                    });
+                }
+            }
+        }
+    }
+    ppm_observe::counter("audit.checks", report.checks);
+    ppm_observe::mark("audit.verdict", || report.summary());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{parse_patterns_tsv, patterns_tsv};
+    use crate::scan::MineConfig;
+    use ppm_timeseries::SeriesBuilder;
+
+    fn mined() -> (FeatureSeries, MiningResult, FeatureCatalog) {
+        let mut catalog = FeatureCatalog::new();
+        let a = catalog.intern("alpha");
+        let b = catalog.intern("beta");
+        let mut builder = SeriesBuilder::new();
+        for j in 0..24 {
+            builder.push_instant([a]);
+            builder.push_instant(if j % 3 != 0 { vec![b] } else { vec![] });
+        }
+        let series = builder.finish();
+        let result = crate::hitset::mine(&series, 2, &MineConfig::new(0.5).unwrap()).unwrap();
+        (series, result, catalog)
+    }
+
+    #[test]
+    fn clean_result_recounts_clean() {
+        let (series, result, catalog) = mined();
+        for mode in [AuditMode::Full, AuditMode::Sample(2)] {
+            let mut report = AuditReport::new();
+            recount_patterns(&series, &result, &catalog, mode, &mut report).unwrap();
+            assert!(report.is_clean(), "{mode:?}: {:?}", report.violations);
+            assert!(report.recounted > 0);
+        }
+    }
+
+    #[test]
+    fn count_bump_is_caught_with_segment_context() {
+        let (series, mut result, catalog) = mined();
+        result.frequent[0].count += 1;
+        let mut report = AuditReport::new();
+        recount_patterns(&series, &result, &catalog, AuditMode::Full, &mut report).unwrap();
+        let v = report
+            .violations
+            .iter()
+            .find_map(|v| match v {
+                Violation::CountMismatch {
+                    reported,
+                    recounted,
+                    segments,
+                    ..
+                } => Some((*reported, *recounted, segments.clone())),
+                _ => None,
+            })
+            .expect("bumped count must be flagged");
+        assert_eq!(v.0, v.1 + 1);
+        assert!(v.2.len() <= MISMATCH_SEGMENT_LIMIT);
+    }
+
+    #[test]
+    fn dropped_frequent_letter_is_caught_in_full_mode() {
+        let (series, mut result, catalog) = mined();
+        // Drop every pattern touching the first letter, alphabet included.
+        result.frequent.retain(|fp| !fp.letters.contains(0));
+        let mut report = AuditReport::new();
+        recount_patterns(&series, &result, &catalog, AuditMode::Full, &mut report).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingFrequentLetter { .. })));
+    }
+
+    #[test]
+    fn sample_mode_skips_the_letter_sweep() {
+        let (series, mut result, catalog) = mined();
+        result.frequent.retain(|fp| !fp.letters.contains(0));
+        let mut report = AuditReport::new();
+        recount_patterns(
+            &series,
+            &result,
+            &catalog,
+            AuditMode::Sample(64),
+            &mut report,
+        )
+        .unwrap();
+        assert!(report.sampled);
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingFrequentLetter { .. })));
+    }
+
+    #[test]
+    fn sample_indices_are_deterministic_and_bounded() {
+        assert_eq!(sample_indices(5, 10), vec![0, 1, 2, 3, 4]);
+        let s = sample_indices(1000, 8);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s, sample_indices(1000, 8));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn verify_claims_round_trips_an_export() {
+        let (series, result, catalog) = mined();
+        let tsv = patterns_tsv(&result, &catalog);
+        let mut catalog2 = catalog.clone();
+        let claims = parse_patterns_tsv(&tsv, &mut catalog2).unwrap();
+        assert_eq!(claims.len(), result.len());
+        let report = verify_claims(
+            &series,
+            result.period,
+            result.min_confidence,
+            &claims,
+            &catalog2,
+            AuditMode::Full,
+        )
+        .unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn verify_claims_flags_tampered_counts_and_confidences() {
+        let (series, result, catalog) = mined();
+        let tsv = patterns_tsv(&result, &catalog);
+        let mut catalog2 = catalog.clone();
+        let mut claims = parse_patterns_tsv(&tsv, &mut catalog2).unwrap();
+        claims[0].count += 1;
+        let report = verify_claims(
+            &series,
+            result.period,
+            result.min_confidence,
+            &claims,
+            &catalog2,
+            AuditMode::Full,
+        )
+        .unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CountMismatch { .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ConfidenceMismatch { .. })));
+    }
+
+    #[test]
+    fn verify_claims_flags_wrong_period_rows() {
+        let (series, result, catalog) = mined();
+        let tsv = patterns_tsv(&result, &catalog);
+        let mut catalog2 = catalog.clone();
+        let claims = parse_patterns_tsv(&tsv, &mut catalog2).unwrap();
+        let report = verify_claims(&series, 3, 0.5, &claims, &catalog2, AuditMode::Full).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ClaimPeriodMismatch { .. })));
+    }
+}

@@ -7,9 +7,14 @@
 
 use ppm_timeseries::FeatureCatalog;
 
+use crate::error::{Error, Result};
 use crate::pattern::Pattern;
 use crate::result::MiningResult;
 use crate::rules::PeriodicRule;
+
+/// The header line [`patterns_tsv`] writes and [`parse_patterns_tsv`]
+/// requires.
+pub const PATTERNS_TSV_HEADER: &str = "pattern\tletters\tl_length\tcount\tconfidence";
 
 fn sanitize(s: &str) -> String {
     s.replace(['\t', '\n', '\r'], " ")
@@ -18,7 +23,8 @@ fn sanitize(s: &str) -> String {
 /// Renders all frequent patterns as TSV:
 /// `pattern, letters, l_length, count, confidence`.
 pub fn patterns_tsv(result: &MiningResult, catalog: &FeatureCatalog) -> String {
-    let mut out = String::from("pattern\tletters\tl_length\tcount\tconfidence\n");
+    let mut out = String::from(PATTERNS_TSV_HEADER);
+    out.push('\n');
     for fp in &result.frequent {
         let pattern = Pattern::from_letter_set(&result.alphabet, &fp.letters);
         out.push_str(&format!(
@@ -31,6 +37,69 @@ pub fn patterns_tsv(result: &MiningResult, catalog: &FeatureCatalog) -> String {
         ));
     }
     out
+}
+
+/// One row of a patterns TSV parsed back into checkable form: the claim a
+/// previous run exported, ready for [`crate::audit::verify_claims`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternClaim {
+    /// The claimed pattern, parsed from the row's text form.
+    pub pattern: Pattern,
+    /// The row's letter-count field.
+    pub letters: usize,
+    /// The row's L-length field.
+    pub l_length: usize,
+    /// The claimed frequency count.
+    pub count: u64,
+    /// The claimed confidence.
+    pub confidence: f64,
+}
+
+/// Parses a patterns TSV (as written by [`patterns_tsv`]) back into claims.
+///
+/// Strict by design: a wrong header, a row with the wrong field count, or
+/// an unparsable number is a typed [`Error::PatternParse`] naming the line
+/// — a damaged export must not silently verify.
+pub fn parse_patterns_tsv(text: &str, catalog: &mut FeatureCatalog) -> Result<Vec<PatternClaim>> {
+    let bad = |line: usize, detail: String| Error::PatternParse {
+        detail: format!("patterns TSV line {line}: {detail}"),
+    };
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header == PATTERNS_TSV_HEADER => {}
+        Some((_, header)) => {
+            return Err(bad(1, format!("expected header, got {header:?}")));
+        }
+        None => return Err(bad(1, "empty file".into())),
+    }
+    let mut claims = Vec::new();
+    for (i, row) in lines {
+        let line = i + 1;
+        if row.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = row.split('\t').collect();
+        let [pattern, letters, l_length, count, confidence] = fields[..] else {
+            return Err(bad(
+                line,
+                format!("expected 5 tab-separated fields, got {}", fields.len()),
+            ));
+        };
+        let parse_num = |name: &str, v: &str| -> Result<u64> {
+            v.parse()
+                .map_err(|_| bad(line, format!("unparsable {name} {v:?}")))
+        };
+        claims.push(PatternClaim {
+            pattern: Pattern::parse(pattern, catalog)?,
+            letters: parse_num("letters", letters)? as usize,
+            l_length: parse_num("l_length", l_length)? as usize,
+            count: parse_num("count", count)?,
+            confidence: confidence
+                .parse()
+                .map_err(|_| bad(line, format!("unparsable confidence {confidence:?}")))?,
+        });
+    }
+    Ok(claims)
 }
 
 /// Renders rules as TSV:
@@ -123,6 +192,50 @@ mod tests {
             assert_eq!(row.split('\t').count(), 5, "{row}");
         }
         assert!(tsv.contains("has tab"));
+    }
+
+    #[test]
+    fn patterns_tsv_parses_back_losslessly() {
+        let (result, catalog) = mined();
+        let tsv = patterns_tsv(&result, &catalog);
+        let mut catalog2 = catalog.clone();
+        let claims = parse_patterns_tsv(&tsv, &mut catalog2).unwrap();
+        assert_eq!(claims.len(), result.len());
+        for (claim, fp) in claims.iter().zip(&result.frequent) {
+            assert_eq!(claim.count, fp.count);
+            assert_eq!(claim.letters, fp.letters.len());
+            assert_eq!(
+                claim.pattern.to_letter_set(&result.alphabet),
+                Some(fp.letters.clone())
+            );
+            assert!((claim.confidence - fp.confidence(result.segment_count)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_damaged_tsv_with_typed_errors() {
+        let (result, catalog) = mined();
+        let tsv = patterns_tsv(&result, &catalog);
+        let mut cat = catalog.clone();
+        // Wrong header.
+        assert!(parse_patterns_tsv("nonsense\n", &mut cat).is_err());
+        // Empty file.
+        assert!(parse_patterns_tsv("", &mut cat).is_err());
+        // Truncated row (field chopped off).
+        let mut rows: Vec<&str> = tsv.lines().collect();
+        let short = rows[1].rsplit_once('\t').unwrap().0.to_owned();
+        rows[1] = &short;
+        assert!(parse_patterns_tsv(&rows.join("\n"), &mut cat).is_err());
+        // Unparsable count.
+        let broken = tsv.replacen(&format!("\t{}\t", result.frequent[0].count), "\tnope\t", 1);
+        assert!(parse_patterns_tsv(&broken, &mut cat).is_err());
+        // The error names the line.
+        let err = parse_patterns_tsv(
+            "pattern\tletters\tl_length\tcount\tconfidence\nx\t1\t1\tbad\t0.5\n",
+            &mut cat,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

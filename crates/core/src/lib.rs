@@ -59,6 +59,7 @@ mod result;
 mod scan;
 
 pub mod apriori;
+pub mod audit;
 pub mod closed;
 pub mod constraints;
 pub mod evolution;

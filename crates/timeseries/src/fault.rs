@@ -57,6 +57,14 @@ pub enum Fault {
         /// Number of instants delivered before the cut.
         instants: usize,
     },
+    /// Semantic garbage: one instant's feature set is delivered with a
+    /// duplicated trailing id, violating the sorted-and-deduplicated scan
+    /// contract while the scan still reports success. Models an upstream
+    /// producer bug; [`crate::quarantine::QuarantiningSource`] catches it.
+    Garbage {
+        /// The instant whose features are malformed.
+        instant: usize,
+    },
 }
 
 /// A deterministic schedule of faults, keyed by physical scan attempt
@@ -228,6 +236,25 @@ impl<S: SeriesSource> SeriesSource for FaultInjectingSource<S> {
                         "injected truncation after {instants} instants \
                          on scan attempt {attempt}"
                     ),
+                })
+            }
+            Fault::Garbage { instant } => {
+                let mut scratch: Vec<FeatureId> = Vec::new();
+                self.inner.scan(&mut |t, feats| {
+                    if t == instant {
+                        scratch.clear();
+                        scratch.extend_from_slice(feats);
+                        // Duplicate the last id (or fabricate a pair): the
+                        // set is now invalid however the original looked.
+                        let dup = scratch.last().copied().unwrap_or(FeatureId::from_raw(0));
+                        scratch.push(dup);
+                        if scratch.len() == 1 {
+                            scratch.push(dup);
+                        }
+                        visit(t, &scratch);
+                    } else {
+                        visit(t, feats);
+                    }
                 })
             }
         }

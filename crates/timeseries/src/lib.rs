@@ -20,6 +20,9 @@
 //! * [`fault`] / [`retry`] — deterministic fault injection and transparent
 //!   retry wrappers around any [`SeriesSource`], so out-of-core mining
 //!   survives flaky I/O and tests can reproduce failure sequences exactly.
+//! * [`quarantine`] — scan-boundary validation: malformed instants are
+//!   skipped and recorded (counts become sound lower bounds) or rejected
+//!   fail-fast, instead of silently poisoning the mine.
 //! * [`discretize`] — turning numeric series (power draw, stock prices, …)
 //!   into single- or multi-level categorical features (paper §6).
 //! * [`taxonomy`] — feature hierarchies for multi-level mining (paper §6).
@@ -57,6 +60,7 @@ pub mod calendar;
 pub mod discretize;
 pub mod events;
 pub mod fault;
+pub mod quarantine;
 pub mod retry;
 pub mod segment;
 pub mod source;
@@ -67,6 +71,9 @@ pub mod window;
 pub use catalog::{FeatureCatalog, FeatureId};
 pub use error::{Error, Result};
 pub use fault::{Fault, FaultInjectingSource, FaultPlan};
+pub use quarantine::{
+    QuarantineMode, QuarantineReason, QuarantineReport, QuarantinedInstant, QuarantiningSource,
+};
 pub use retry::{RetryPolicy, RetryingSource};
 pub use segment::{Segment, SegmentIter, Segments};
 pub use series::{FeatureSeries, InstantIter, SeriesBuilder, SeriesStats};

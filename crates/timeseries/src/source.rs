@@ -30,6 +30,20 @@ pub trait SeriesSource {
     fn scans_performed(&self) -> usize;
 }
 
+impl<S: SeriesSource + ?Sized> SeriesSource for &mut S {
+    fn instant_count(&self) -> usize {
+        (**self).instant_count()
+    }
+
+    fn scan(&mut self, visit: &mut dyn FnMut(usize, &[FeatureId])) -> Result<()> {
+        (**self).scan(visit)
+    }
+
+    fn scans_performed(&self) -> usize {
+        (**self).scans_performed()
+    }
+}
+
 /// In-memory source: scanning iterates the series directly.
 #[derive(Debug)]
 pub struct MemorySource<'a> {

@@ -49,9 +49,9 @@ pub use ppm_observe as observe;
 pub use ppm_timeseries as timeseries;
 
 pub use ppm_core::{
-    apriori, closed, constraints, evolution, hitset, maximal, multi, multilevel, parallel, perfect,
-    perturb, rules, stats, streaming, Algorithm, FrequentPattern, MineConfig, MiningResult,
-    Pattern, Symbol,
+    apriori, audit, closed, constraints, evolution, hitset, maximal, multi, multilevel, parallel,
+    perfect, perturb, rules, stats, streaming, Algorithm, FrequentPattern, MineConfig,
+    MiningResult, Pattern, Symbol,
 };
 pub use ppm_datagen::SyntheticSpec;
 pub use ppm_timeseries::{FeatureCatalog, FeatureId, FeatureSeries, SeriesBuilder};

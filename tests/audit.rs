@@ -1,0 +1,290 @@
+//! End-to-end verification: the invariant auditor, the differential
+//! oracle, input quarantine, and claim verification over real mining runs.
+//!
+//! The auditor must be *sound* (a clean verdict on every honest run of
+//! every engine) and *sensitive* (any single tampered count, dropped
+//! pattern, or forged threshold is flagged). Both directions are exercised
+//! here on seeded pseudo-random series.
+
+use partial_periodic::audit::{audit, cross_check, verify_claims, AuditMode, Violation};
+use partial_periodic::core::export::{parse_patterns_tsv, patterns_tsv};
+use partial_periodic::parallel::mine_parallel;
+use partial_periodic::streaming::mine_hitset_streaming;
+use partial_periodic::timeseries::{
+    Fault, FaultInjectingSource, FaultPlan, MemorySource, QuarantineMode, QuarantiningSource,
+    SeriesSource,
+};
+use partial_periodic::{
+    apriori, hitset, FeatureCatalog, FeatureId, FeatureSeries, MineConfig, MiningResult,
+    SeriesBuilder,
+};
+
+/// A seeded pseudo-random series with planted periodic structure (period
+/// `p`: feature 0 at offset 0 always, feature 1 at offset 2 most segments)
+/// plus coin-flip noise, so results are non-trivial but reproducible.
+fn random_series(seed: u64, instants: usize, p: usize) -> (FeatureSeries, FeatureCatalog) {
+    let mut catalog = FeatureCatalog::new();
+    let feats: Vec<FeatureId> = (0..5).map(|i| catalog.intern(&format!("f{i}"))).collect();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    let mut coin = move |den: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33).is_multiple_of(den)
+    };
+    let mut b = SeriesBuilder::new();
+    for t in 0..instants {
+        let mut fs = Vec::new();
+        if t % p == 0 {
+            fs.push(feats[0]);
+        }
+        if t % p == 2 && !coin(4) {
+            fs.push(feats[1]);
+        }
+        if coin(3) {
+            fs.push(feats[2]);
+        }
+        if coin(5) {
+            fs.push(feats[3]);
+        }
+        if coin(7) {
+            fs.push(feats[4]);
+        }
+        b.push_instant(fs);
+    }
+    (b.finish(), catalog)
+}
+
+fn assert_clean(result: &MiningResult, series: &FeatureSeries, catalog: &FeatureCatalog) {
+    let report = audit(series, result, catalog, AuditMode::Full).unwrap();
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert!(report.checks > 0);
+    assert_eq!(report.recounted, result.len());
+    assert!(!report.sampled);
+}
+
+#[test]
+fn honest_runs_audit_clean_for_every_engine() {
+    for seed in [1u64, 7, 42] {
+        for p in [4usize, 6] {
+            let (series, catalog) = random_series(seed, 600, p);
+            let config = MineConfig::new(0.5).unwrap();
+            assert_clean(
+                &hitset::mine(&series, p, &config).unwrap(),
+                &series,
+                &catalog,
+            );
+            assert_clean(
+                &apriori::mine(&series, p, &config).unwrap(),
+                &series,
+                &catalog,
+            );
+            assert_clean(
+                &mine_parallel(&series, p, &config, 3).unwrap(),
+                &series,
+                &catalog,
+            );
+            let mut src = MemorySource::new(&series);
+            assert_clean(
+                &mine_hitset_streaming(&mut src, p, &config).unwrap(),
+                &series,
+                &catalog,
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_audit_is_clean_and_deterministic() {
+    let (series, catalog) = random_series(3, 480, 6);
+    let result = hitset::mine(&series, 6, &MineConfig::new(0.4).unwrap()).unwrap();
+    let a = audit(&series, &result, &catalog, AuditMode::Sample(4)).unwrap();
+    let b = audit(&series, &result, &catalog, AuditMode::Sample(4)).unwrap();
+    assert!(a.is_clean(), "{:?}", a.violations);
+    assert!(a.sampled);
+    assert_eq!(a.recounted, b.recounted);
+    assert!(a.recounted <= 4.min(result.len()));
+}
+
+#[test]
+fn every_single_count_perturbation_is_flagged() {
+    let (series, catalog) = random_series(11, 360, 6);
+    let clean = hitset::mine(&series, 6, &MineConfig::new(0.5).unwrap()).unwrap();
+    assert!(clean.len() >= 2, "need a non-trivial result");
+    for idx in 0..clean.len() {
+        for delta in [1i64, -1] {
+            let mut tampered = clean.clone();
+            let c = &mut tampered.frequent[idx].count;
+            let Some(next) = c.checked_add_signed(delta) else {
+                continue;
+            };
+            *c = next;
+            let report = audit(&series, &tampered, &catalog, AuditMode::Full).unwrap();
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::CountMismatch { .. })),
+                "pattern #{idx} delta {delta} escaped: {:?}",
+                report.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn dropped_patterns_and_forged_thresholds_are_flagged() {
+    let (series, catalog) = random_series(5, 420, 6);
+    let clean = hitset::mine(&series, 6, &MineConfig::new(0.5).unwrap()).unwrap();
+
+    // Dropping a 1-letter pattern breaks downward closure (its supersets
+    // remain) and the full oracle's frequent-letter sweep.
+    let idx = clean
+        .frequent
+        .iter()
+        .position(|fp| fp.letters.len() == 1)
+        .expect("a frequent singleton");
+    let mut dropped = clean.clone();
+    dropped.frequent.remove(idx);
+    let report = audit(&series, &dropped, &catalog, AuditMode::Full).unwrap();
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            Violation::MissingSubpattern { .. } | Violation::MissingFrequentLetter { .. }
+        )),
+        "{:?}",
+        report.violations
+    );
+
+    // A forged threshold cannot masquerade as the configured one.
+    let mut forged = clean.clone();
+    forged.min_count += 1;
+    let report = audit(&series, &forged, &catalog, AuditMode::Full).unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ThresholdMismatch { .. })),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn engines_cross_check_clean_on_random_series() {
+    for seed in [2u64, 9] {
+        let (series, catalog) = random_series(seed, 540, 6);
+        let check = cross_check(&series, 6, &MineConfig::new(0.45).unwrap(), &catalog).unwrap();
+        assert!(check.agreed(), "seed {seed}: {:?}", check.report.violations);
+        assert_eq!(check.algorithms.len(), 3);
+    }
+}
+
+/// Decodes a result's letter sets to `(offset, feature)` pairs so patterns
+/// from runs with *different alphabets* can be compared.
+fn symbolic(result: &MiningResult) -> Vec<(Vec<(usize, FeatureId)>, u64)> {
+    result
+        .frequent
+        .iter()
+        .map(|fp| {
+            let mut letters: Vec<(usize, FeatureId)> = fp
+                .letters
+                .iter()
+                .map(|i| result.alphabet.letter(i))
+                .collect();
+            letters.sort();
+            (letters, fp.count)
+        })
+        .collect()
+}
+
+#[test]
+fn quarantined_mining_yields_sound_lower_bounds() {
+    let (series, catalog) = random_series(13, 600, 6);
+    let config = MineConfig::new(0.5).unwrap();
+    let clean = hitset::mine(&series, 6, &config).unwrap();
+
+    // Garbage on an instant the planted pattern occupies, on both scans.
+    let plan = FaultPlan::new()
+        .fail_scan(0, Fault::Garbage { instant: 0 })
+        .fail_scan(1, Fault::Garbage { instant: 0 });
+    let faulty = FaultInjectingSource::new(MemorySource::new(&series), plan);
+    let mut q = QuarantiningSource::new(faulty, QuarantineMode::Quarantine);
+    let mined = mine_hitset_streaming(&mut q, 6, &config).unwrap();
+    let (_, report) = q.into_parts();
+    assert_eq!(report.len(), 1);
+    assert_eq!(report.entries().next().unwrap().instant, 0);
+
+    // Every pattern the quarantined run reports must exist in the clean
+    // run with at least that count: quarantining only removes matches.
+    let clean_counts = symbolic(&clean);
+    for (letters, count) in symbolic(&mined) {
+        let clean_count = clean_counts
+            .iter()
+            .find(|(l, _)| *l == letters)
+            .map(|&(_, c)| c)
+            .unwrap_or_else(|| panic!("{letters:?} frequent only under quarantine"));
+        assert!(
+            count <= clean_count,
+            "{letters:?}: quarantined count {count} > clean {clean_count}"
+        );
+    }
+
+    // And the quarantined result itself audits clean against the series
+    // the miner actually saw (the cleaned one).
+    let plan = FaultPlan::new().fail_scan(0, Fault::Garbage { instant: 0 });
+    let faulty = FaultInjectingSource::new(MemorySource::new(&series), plan);
+    let mut q = QuarantiningSource::new(faulty, QuarantineMode::Quarantine);
+    let mut b = SeriesBuilder::new();
+    q.scan(&mut |_, feats| b.push_instant(feats.iter().copied()))
+        .unwrap();
+    let cleaned = b.finish();
+    assert_clean(&mined, &cleaned, &catalog);
+}
+
+#[test]
+fn reject_mode_fails_the_mine_with_a_typed_error() {
+    let (series, _) = random_series(17, 240, 6);
+    let plan = FaultPlan::new().fail_scan(0, Fault::Garbage { instant: 3 });
+    let faulty = FaultInjectingSource::new(MemorySource::new(&series), plan);
+    let mut q = QuarantiningSource::new(faulty, QuarantineMode::Reject);
+    let err = mine_hitset_streaming(&mut q, 6, &MineConfig::new(0.5).unwrap()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("instant 3"), "{msg}");
+}
+
+#[test]
+fn exported_claims_verify_and_tampering_is_caught() {
+    let (series, catalog) = random_series(23, 480, 6);
+    let result = hitset::mine(&series, 6, &MineConfig::new(0.5).unwrap()).unwrap();
+    let tsv = patterns_tsv(&result, &catalog);
+
+    let mut cat = catalog.clone();
+    let claims = parse_patterns_tsv(&tsv, &mut cat).unwrap();
+    let report = verify_claims(&series, 6, 0.5, &claims, &cat, AuditMode::Full).unwrap();
+    assert!(report.is_clean(), "{:?}", report.violations);
+
+    // Tamper one claim's count (confidence left stale too).
+    let mut tampered = claims.clone();
+    tampered[0].count += 2;
+    let report = verify_claims(&series, 6, 0.5, &tampered, &cat, AuditMode::Full).unwrap();
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            Violation::CountMismatch { .. } | Violation::ConfidenceMismatch { .. }
+        )),
+        "{:?}",
+        report.violations
+    );
+
+    // Verifying against the wrong period is flagged per claim.
+    let report = verify_claims(&series, 4, 0.5, &claims, &cat, AuditMode::Full).unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ClaimPeriodMismatch { .. })),
+        "{:?}",
+        report.violations
+    );
+}

@@ -226,4 +226,73 @@ proptest! {
             prop_assert!(((w[1] - w[0]) - width).abs() < 1e-6 * span);
         }
     }
+
+    // ------------------------------------------------------- self-verification
+
+    #[test]
+    fn auditor_is_clean_on_honest_mines_of_arbitrary_series(
+        instants in prop::collection::vec(prop::collection::vec(0u32..6, 0..4), 12..120),
+        period in 2usize..8,
+        conf_thousandths in 200u32..=1000,
+    ) {
+        use partial_periodic::audit::{audit, cross_check, AuditMode};
+        use partial_periodic::{hitset, FeatureCatalog, FeatureId, SeriesBuilder};
+
+        prop_assume!(period <= instants.len());
+        let mut catalog = FeatureCatalog::new();
+        for i in 0..6 {
+            catalog.intern(&format!("f{i}"));
+        }
+        let mut builder = SeriesBuilder::new();
+        for inst in &instants {
+            builder.push_instant(inst.iter().map(|&f| FeatureId::from_raw(f)));
+        }
+        let series = builder.finish();
+        let config = MineConfig::new(conf_thousandths as f64 / 1000.0).unwrap();
+
+        let result = hitset::mine(&series, period, &config).unwrap();
+        let report = audit(&series, &result, &catalog, AuditMode::Full).unwrap();
+        prop_assert!(report.is_clean(), "violations: {:?}", report.violations);
+
+        let check = cross_check(&series, period, &config, &catalog).unwrap();
+        prop_assert!(check.agreed(), "engines disagree: {:?}", check.report.violations);
+    }
+
+    #[test]
+    fn auditor_flags_any_tampered_count(
+        instants in prop::collection::vec(prop::collection::vec(0u32..4, 0..3), 24..100),
+        period in 2usize..6,
+        victim in 0usize..64,
+        bump in 1u64..5,
+    ) {
+        use partial_periodic::audit::{audit, AuditMode, Violation};
+        use partial_periodic::{hitset, FeatureCatalog, FeatureId, SeriesBuilder};
+
+        prop_assume!(period <= instants.len());
+        let mut catalog = FeatureCatalog::new();
+        for i in 0..4 {
+            catalog.intern(&format!("f{i}"));
+        }
+        let mut builder = SeriesBuilder::new();
+        for inst in &instants {
+            builder.push_instant(inst.iter().map(|&f| FeatureId::from_raw(f)));
+        }
+        let series = builder.finish();
+        let config = MineConfig::new(0.4).unwrap();
+
+        let mut result = hitset::mine(&series, period, &config).unwrap();
+        prop_assume!(!result.frequent.is_empty());
+        let victim = victim % result.frequent.len();
+        result.frequent[victim].count += bump;
+
+        let report = audit(&series, &result, &catalog, AuditMode::Full).unwrap();
+        prop_assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::CountMismatch { .. } | Violation::CountExceedsSegments { .. }
+            )),
+            "bump {bump} on pattern #{victim} escaped: {:?}",
+            report.violations
+        );
+    }
 }

@@ -272,3 +272,88 @@ fn silent_bit_flips_change_results_without_an_error() {
         "corruption must be observable in the output"
     );
 }
+
+/// Bit-flip fuzz over a whole `.ppmstream` file: every single-bit
+/// corruption is either rejected with a typed error at open/materialize
+/// time or provably harmless — when the scan succeeds, the series read
+/// back must equal the original instant for instant. (Feature *names* in
+/// the catalog are the only payload bytes the record and trailer
+/// checksums do not cover, and they cannot change which ids each instant
+/// carries.) Never a panic, never silently different data.
+#[test]
+fn stream_bit_flip_fuzz_is_rejected_or_harmless() {
+    let series = busy_series(48);
+    let path = temp("bitflip");
+    StreamWriter::create(&path, &FeatureCatalog::new())
+        .and_then(|w| w.write_series(&series))
+        .unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    let mut rejected = 0usize;
+    let mut survived = 0usize;
+    for pos in 0..pristine.len() {
+        for mask in [0x01u8, 0x80] {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= mask;
+            std::fs::write(&path, &bytes).unwrap();
+            match FileSource::open(&path).and_then(|s| s.materialize()) {
+                Err(_) => rejected += 1,
+                Ok(read_back) => {
+                    survived += 1;
+                    assert_eq!(
+                        read_back, series,
+                        "byte {pos} mask {mask:#04x} changed the data without an error"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        rejected > survived,
+        "checksums should reject most flips ({rejected} rejected, {survived} survived)"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+/// Truncation fuzz: every prefix of a `.ppmstream` file either fails with
+/// a typed error (the trailer is gone, so a full-integrity open must
+/// refuse) — or is the intact whole file. Salvage, by contrast, recovers
+/// exactly the valid record prefix from any cut point past the catalog.
+#[test]
+fn stream_truncation_fuzz_salvages_a_true_prefix() {
+    use partial_periodic::timeseries::storage::stream::salvage_series;
+
+    let series = busy_series(48);
+    let path = temp("truncate");
+    StreamWriter::create(&path, &FeatureCatalog::new())
+        .and_then(|w| w.write_series(&series))
+        .unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+
+        // A full-integrity open must never accept a truncated file.
+        assert!(
+            FileSource::open(&path)
+                .and_then(|s| s.materialize())
+                .is_err(),
+            "cut at {cut}/{} accepted",
+            pristine.len()
+        );
+
+        // Salvage never panics; whatever it recovers is a true prefix.
+        if let Ok((recovered, _, report)) = salvage_series(&path) {
+            assert!(recovered.len() <= series.len(), "cut {cut}");
+            for t in 0..recovered.len() {
+                assert_eq!(
+                    recovered.instant(t),
+                    series.instant(t),
+                    "cut {cut}: salvaged instant {t} differs from the original"
+                );
+            }
+            assert_eq!(report.recovered_instants, recovered.len());
+        }
+    }
+    std::fs::remove_file(path).ok();
+}
