@@ -42,10 +42,10 @@ grep -q '"mining_stats"' "$smoke_dir/metrics.json"
   | grep -q "hit-set bound"
 
 echo "==> verification smoke: audit, verify, quarantine, checkpoint integrity"
-# Honest runs audit clean on every engine; the cross-check diffs all three.
-for alg in hitset apriori parallel; do
+# Honest runs audit clean on every engine; the cross-check diffs all four.
+for alg in hitset apriori parallel vertical; do
   ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
-    --min-conf 0.6 --algorithm "$alg" --audit full \
+    --min-conf 0.6 --engine "$alg" --audit full \
     | grep -q "audit: clean"
 done
 # An exported result file re-verifies against its series.
@@ -61,9 +61,11 @@ if ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
 fi
 grep -q "count mismatch" "$smoke_dir/perturb.log"
 # Quarantine skips injected garbage and keeps mining; strict fails fast.
+# (Capture to a file: the quarantine report prints before mining, so a
+# `grep -q` pipe would close early and EPIPE the miner under pipefail.)
 ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
-  --min-conf 0.6 --quarantine --inject-garbage 3 \
-  | grep -q "quarantined 1 instants"
+  --min-conf 0.6 --quarantine --inject-garbage 3 >"$smoke_dir/quarantine.log"
+grep -q "quarantined 1 instants" "$smoke_dir/quarantine.log"
 if ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
   --min-conf 0.6 --strict --inject-garbage 3 >/dev/null 2>&1; then
   echo "strict mode accepted garbage input" >&2; exit 1
@@ -77,5 +79,25 @@ if ./target/release/ppm sweep --input "$smoke_dir/smoke.ppms" --from 24 --to 26 
   echo "corrupted checkpoint was accepted" >&2; exit 1
 fi
 grep -qi "checksum" "$smoke_dir/ckpt.log"
+
+echo "==> perf smoke: vertical derivation vs the tree walk (BENCH_PR4.json)"
+# A dense E7-style workload (long patterns, big F1) where derivation
+# dominates: the sweep mines every period vertically, races each against
+# the tree walk (--compare-tree fails on any disagreement), and the bench
+# report records the head-to-head. The committed BENCH_PR4.json is this
+# step's artifact; regenerate it by re-running ci.sh.
+./target/release/ppm generate --length 60000 --period 30 --max-pat-length 12 \
+  --f1 24 --seed 11 --out "$smoke_dir/dense.ppms"
+(cd "$smoke_dir" && "$OLDPWD/target/release/ppm" sweep --input dense.ppms \
+  --from 28 --to 32 --min-conf 0.35 --engine vertical --compare-tree \
+  --bench-report PR4 >sweep.log)
+grep -q "tree cross-checked" "$smoke_dir/sweep.log"
+vertical_us="$(grep -o '"vertical_us":[0-9]*' "$smoke_dir/BENCH_PR4.json" | cut -d: -f2)"
+treewalk_us="$(grep -o '"treewalk_us":[0-9]*' "$smoke_dir/BENCH_PR4.json" | cut -d: -f2)"
+echo "    derive wall-clock: vertical ${vertical_us}us vs tree walk ${treewalk_us}us"
+if [ "$treewalk_us" -le "$vertical_us" ]; then
+  echo "vertical derivation did not beat the tree walk" >&2; exit 1
+fi
+cp "$smoke_dir/BENCH_PR4.json" BENCH_PR4.json
 
 echo "CI green."

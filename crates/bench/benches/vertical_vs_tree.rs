@@ -1,0 +1,121 @@
+//! Vertical counting vs the max-subpattern tree: the three candidate
+//! counting strategies of the derivation phase head to head — the paper's
+//! pruned trie walk (Algorithm 4.2), the flat linear scan of distinct
+//! hits, and the transposed per-letter bitmap AND of the vertical engine —
+//! plus the end-to-end mines on an E7-style dense workload.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppm_core::hitset::MaxSubpatternTree;
+use ppm_core::vertical::{mine_vertical, VerticalIndex};
+use ppm_core::{hitset, LetterSet, MineConfig};
+use ppm_timeseries::{FeatureId, SeriesBuilder};
+
+/// Deterministic pseudo-random hit patterns over `universe` letters,
+/// biased long like the dense hits of experiment E7.
+fn make_hits(universe: usize, count: usize) -> Vec<LetterSet> {
+    let mut x: u64 = 0x243f6a8885a308d3;
+    (0..count)
+        .map(|_| {
+            let mut set = LetterSet::new(universe);
+            for i in 0..universe {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if !(x >> 33).is_multiple_of(3) {
+                    set.insert(i);
+                }
+            }
+            if set.len() < 2 {
+                set.insert(0);
+                set.insert(1);
+            }
+            set
+        })
+        .collect()
+}
+
+/// A dense periodic series: every offset of every segment carries its
+/// planted feature with high probability, so F1 is large and the
+/// derivation dominates the mine.
+fn dense_series(period: usize, segments: usize) -> ppm_timeseries::FeatureSeries {
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let mut b = SeriesBuilder::new();
+    for _ in 0..segments {
+        for offset in 0..period {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut inst = Vec::new();
+            if !(x >> 33).is_multiple_of(5) {
+                inst.push(FeatureId::from_raw(offset as u32));
+            }
+            if (x >> 33).is_multiple_of(2) {
+                inst.push(FeatureId::from_raw((offset as u32 + 1) % period as u32));
+            }
+            b.push_instant(inst);
+        }
+    }
+    b.finish()
+}
+
+fn bench_count_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive_count");
+    let universe = 16;
+    let hits = make_hits(universe, 4_000);
+    let mut tree = MaxSubpatternTree::new(LetterSet::full(universe));
+    for h in &hits {
+        tree.insert(h);
+    }
+    let index = VerticalIndex::from_tree(&tree);
+    let candidates: Vec<LetterSet> = (0..universe)
+        .flat_map(|a| (a + 1..universe).map(move |b| (a, b)))
+        .map(|(a, b)| LetterSet::from_indices(universe, [a, b]))
+        .collect();
+
+    group.bench_function("walk", |b| {
+        b.iter(|| {
+            let total: u64 =
+                candidates.iter().map(|p| tree.count_superpatterns_walk(p)).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let total: u64 =
+                candidates.iter().map(|p| tree.count_superpatterns_linear(p)).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("vertical", |b| {
+        b.iter(|| {
+            let total: u64 = candidates.iter().map(|p| index.count(p)).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_mine");
+    let config = MineConfig::new(0.3).unwrap();
+    for period in [8usize, 12] {
+        let series = dense_series(period, 2_000);
+        group.bench_with_input(BenchmarkId::new("hitset", period), &period, |b, &p| {
+            b.iter(|| black_box(hitset::mine(&series, p, &config).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("vertical", period), &period, |b, &p| {
+            b.iter(|| black_box(mine_vertical(&series, p, &config).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_count_strategies, bench_end_to_end
+}
+criterion_main!(benches);

@@ -6,8 +6,9 @@ use ppm_core::audit::{self, AuditMode};
 use ppm_core::closed::mine_closed;
 use ppm_core::constraints::{mine_constrained, Constraints};
 use ppm_core::maximal::mine_maximal;
-use ppm_core::parallel::mine_parallel;
+use ppm_core::parallel::{mine_parallel, mine_parallel_vertical};
 use ppm_core::streaming::{mine_apriori_streaming, mine_hitset_streaming};
+use ppm_core::vertical::mine_vertical;
 use ppm_core::{mine, Algorithm, MineConfig, MiningResult, MiningStats, Pattern};
 use ppm_timeseries::storage::stream::FileSource;
 use ppm_timeseries::{
@@ -45,7 +46,7 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
     let period: usize = args.required_parsed("period")?;
     let min_conf: f64 = args.required_parsed("min-conf")?;
     let limit: usize = args.parsed_or("limit", 20)?;
-    let algorithm = args.get("algorithm").unwrap_or("hitset");
+    let algorithm = super::resolve_engine(args)?;
 
     let config = super::apply_guards(args, MineConfig::new(min_conf)?)?;
 
@@ -107,7 +108,7 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
         }
         if !matches!(algorithm, "apriori" | "hitset") {
             return Err(CliError::Usage(format!(
-                "--stream supports --algorithm apriori|hitset, not {algorithm:?}"
+                "--stream supports --engine apriori|hitset, not {algorithm:?}"
             )));
         }
         let file = FileSource::open(input)?;
@@ -242,9 +243,17 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
                 let threads: usize = args.parsed_or("threads", 4)?;
                 mine_parallel(&series, period, &config, threads)
             }
+            "vertical" => {
+                let threads: usize = args.parsed_or("threads", 1)?;
+                if threads > 1 {
+                    mine_parallel_vertical(&series, period, &config, threads)
+                } else {
+                    mine_vertical(&series, period, &config)
+                }
+            }
             other => {
                 return Err(CliError::Usage(format!(
-                    "unknown --algorithm {other:?} (apriori|hitset|parallel)"
+                    "unknown --engine {other:?} (apriori|hitset|parallel|vertical)"
                 )))
             }
         };
@@ -492,9 +501,9 @@ mod tests {
         ))
         .unwrap();
         let first_line = base.lines().next().unwrap().to_owned();
-        for algo in ["apriori", "parallel"] {
+        for algo in ["apriori", "parallel", "vertical"] {
             let text = run_cli(&format!(
-                "mine --input {} --period 3 --min-conf 0.6 --algorithm {algo}",
+                "mine --input {} --period 3 --min-conf 0.6 --engine {algo}",
                 path.display()
             ))
             .unwrap();
@@ -598,12 +607,50 @@ mod tests {
     #[test]
     fn bad_algorithm_is_usage_error() {
         let path = sample_series_file("ppms");
+        for flag in ["--algorithm magic", "--engine magic"] {
+            let err = run_cli(&format!(
+                "mine --input {} --period 3 --min-conf 0.6 {flag}",
+                path.display()
+            ))
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{flag}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn engine_and_algorithm_together_is_usage_error() {
+        let path = sample_series_file("ppms");
         let err = run_cli(&format!(
-            "mine --input {} --period 3 --min-conf 0.6 --algorithm magic",
+            "mine --input {} --period 3 --min-conf 0.6 --engine vertical --algorithm hitset",
             path.display()
         ))
         .unwrap_err();
         assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn vertical_engine_mines_with_two_scans_and_threads() {
+        let path = sample_series_file("ppms");
+        let base = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6",
+            path.display()
+        ))
+        .unwrap();
+        let vertical = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --engine vertical",
+            path.display()
+        ))
+        .unwrap();
+        assert_eq!(base, vertical, "vertical must report identical patterns");
+        assert!(vertical.contains("2 scans"), "{vertical}");
+        let threaded = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --engine vertical --threads 3",
+            path.display()
+        ))
+        .unwrap();
+        assert_eq!(base, threaded, "threaded vertical must agree too");
         std::fs::remove_file(path).ok();
     }
 
@@ -793,14 +840,14 @@ mod tests {
     #[test]
     fn audit_full_is_clean_for_all_algorithms() {
         let path = sample_series_file("ppms");
-        for algo in ["hitset", "apriori", "parallel"] {
+        for algo in ["hitset", "apriori", "parallel", "vertical"] {
             let text = run_cli(&format!(
-                "mine --input {} --period 3 --min-conf 0.6 --algorithm {algo} --audit full",
+                "mine --input {} --period 3 --min-conf 0.6 --engine {algo} --audit full",
                 path.display()
             ))
             .unwrap();
             assert!(text.contains("audit: clean"), "{algo}: {text}");
-            assert!(text.contains("cross-check: 3 engines"), "{algo}: {text}");
+            assert!(text.contains("cross-check: 4 engines"), "{algo}: {text}");
         }
         std::fs::remove_file(path).ok();
     }

@@ -36,6 +36,20 @@ pub fn apply_guards(args: &Parsed, mut config: MineConfig) -> Result<MineConfig,
     Ok(config)
 }
 
+/// Resolves the counting engine from `--engine` (preferred) or its older
+/// spelling `--algorithm`; both given at once is ambiguous and rejected.
+/// Defaults to the hit-set engine. Which values are legal depends on the
+/// command, so validation happens at the call site.
+pub fn resolve_engine(args: &Parsed) -> Result<&str, CliError> {
+    match (args.get("engine"), args.get("algorithm")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--engine and --algorithm are the same flag; pass only one".into(),
+        )),
+        (Some(e), None) | (None, Some(e)) => Ok(e),
+        (None, None) => Ok("hitset"),
+    }
+}
+
 /// Series file formats, chosen by extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Format {

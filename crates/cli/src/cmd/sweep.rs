@@ -10,9 +10,10 @@
 use std::io::Write;
 
 use ppm_core::multi::{mine_periods_looping, mine_periods_shared, PeriodRange};
+use ppm_core::vertical::mine_vertical_encoded;
 use ppm_core::{hitset, Algorithm, MineConfig, StatsRollup};
 use ppm_observe::Json;
-use ppm_timeseries::FeatureSeries;
+use ppm_timeseries::{EncodedSeries, FeatureSeries};
 
 use crate::args::Parsed;
 use crate::checkpoint::{PeriodRow, SweepCheckpoint};
@@ -80,6 +81,26 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<SweepOutcome, CliErro
     let to: usize = args.required_parsed("to")?;
     let min_conf: f64 = args.required_parsed("min-conf")?;
 
+    let engine = super::resolve_engine(args)?;
+    if !matches!(engine, "hitset" | "apriori" | "vertical") {
+        return Err(CliError::Usage(format!(
+            "sweep supports --engine hitset|apriori|vertical, not {engine:?}"
+        )));
+    }
+    if engine != "hitset" && (args.switch("looping") || args.switch("checkpoint")) {
+        return Err(CliError::Usage(format!(
+            "--looping and --checkpoint are hit-set sweep modes; \
+             they do not combine with --engine {engine}"
+        )));
+    }
+    if args.switch("compare-tree") && engine != "vertical" {
+        return Err(CliError::Usage(
+            "--compare-tree only applies to --engine vertical (it races the \
+             vertical derivation against the tree walk)"
+                .into(),
+        ));
+    }
+
     let (series, _catalog) = super::load_series(input)?;
     let config = super::apply_guards(args, MineConfig::new(min_conf)?)?;
     let range = PeriodRange::new(from, to)?;
@@ -98,22 +119,32 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<SweepOutcome, CliErro
         );
     }
 
-    let result = if args.switch("looping") {
-        mine_periods_looping(&series, range, &config, Algorithm::HitSet)?
+    if engine == "vertical" {
+        return run_vertical(args, &series, range, &config, from, to, min_conf, out);
+    }
+
+    let (result, how) = if engine == "apriori" {
+        (
+            mine_periods_looping(&series, range, &config, Algorithm::Apriori)?,
+            "looping Apriori, Alg 3.3/3.1",
+        )
+    } else if args.switch("looping") {
+        (
+            mine_periods_looping(&series, range, &config, Algorithm::HitSet)?,
+            "looping, Alg 3.3",
+        )
     } else {
-        mine_periods_shared(&series, range, &config)?
+        (
+            mine_periods_shared(&series, range, &config)?,
+            "shared, Alg 3.4",
+        )
     };
 
     writeln!(
         out,
         "periods {from}..={to}, min_conf {min_conf}, {} total series scans \
-         ({}):",
+         ({how}):",
         result.total_scans,
-        if args.switch("looping") {
-            "looping, Alg 3.3"
-        } else {
-            "shared, Alg 3.4"
-        }
     )?;
     let mut rollup = StatsRollup::new();
     let rows: Vec<PeriodRow> = result
@@ -137,9 +168,69 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<SweepOutcome, CliErro
     })
 }
 
+/// A vertical-engine sweep: the series is bit-packed once into an
+/// [`EncodedSeries`] and every period is mined columnarly from that cache
+/// ([`mine_vertical_encoded`]). With `--compare-tree` each period is also
+/// mined with the hit-set tree walk and the two frequent sets are diffed —
+/// a disagreement is a verification failure, and a bench report captures
+/// both engines' `*.derive` phases for the speedup line.
+#[allow(clippy::too_many_arguments)]
+fn run_vertical(
+    args: &Parsed,
+    series: &FeatureSeries,
+    range: PeriodRange,
+    config: &MineConfig,
+    from: usize,
+    to: usize,
+    min_conf: f64,
+    out: &mut dyn Write,
+) -> Result<SweepOutcome, CliError> {
+    let compare = args.switch("compare-tree");
+    let encoded = EncodedSeries::encode(series);
+    let mut rollup = StatsRollup::new();
+    let mut rows = Vec::new();
+    for period in range.iter().filter(|&p| p <= series.len()) {
+        let result = mine_vertical_encoded(series, &encoded, period, config)?;
+        if compare {
+            let tree = hitset::mine(series, period, config)?;
+            if result.frequent != tree.frequent {
+                return Err(CliError::Audit(format!(
+                    "vertical and tree-walk derivations disagree at period {period} \
+                     ({} vs {} patterns)",
+                    result.len(),
+                    tree.len()
+                )));
+            }
+        }
+        rollup.add(&result.stats);
+        rows.push(PeriodRow {
+            period,
+            patterns: result.len(),
+            f1: result.alphabet.len(),
+            max_len: result.max_l_length(),
+            scans: result.stats.series_scans,
+        });
+    }
+    let total_scans: usize = rows.iter().map(|r| r.scans).sum();
+    writeln!(
+        out,
+        "periods {from}..={to}, min_conf {min_conf}, {total_scans} total series scans \
+         (vertical bitmap engine{}):",
+        if compare { ", tree cross-checked" } else { "" }
+    )?;
+    print_table(&rows, out)?;
+    Ok(SweepOutcome {
+        rollup,
+        physical_scans: total_scans,
+    })
+}
+
 /// Writes `BENCH_<name>.json`: a machine-readable benchmark record with a
 /// stable schema — per-phase wall-clock aggregates from the collected
-/// spans, the peak tree size across periods, and the scan totals.
+/// spans, gauge maxima, the peak tree size across periods, and the scan
+/// totals. When both the vertical and tree-walk derivation phases ran
+/// (`--engine vertical --compare-tree`), a `derive_compare` object records
+/// their wall-clock head-to-head.
 fn write_bench_report(
     name: &str,
     args: &Parsed,
@@ -148,14 +239,23 @@ fn write_bench_report(
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let events = obs.collector().map(|c| c.events()).unwrap_or_default();
-    let phases: Vec<Json> = ppm_observe::aggregate_phases(&events)
-        .iter()
-        .map(|p| p.to_json())
+    let aggregates = ppm_observe::aggregate_phases(&events);
+    let phases: Vec<Json> = aggregates.iter().map(|p| p.to_json()).collect();
+    let gauges: Vec<(String, Json)> = obs
+        .collector()
+        .map(|c| c.gauge_maxima())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(k, v)| (k, Json::from_u64(v)))
         .collect();
     let wall_us = events.last().map(|e| e.at_us()).unwrap_or(0);
-    let doc = Json::Obj(vec![
+    let mut fields = vec![
         ("type".to_owned(), Json::Str("bench".to_owned())),
         ("name".to_owned(), Json::Str(name.to_owned())),
+        (
+            "engine".to_owned(),
+            Json::Str(super::resolve_engine(args)?.to_owned()),
+        ),
         (
             "from".to_owned(),
             Json::from_usize(args.required_parsed("from")?),
@@ -166,6 +266,7 @@ fn write_bench_report(
         ),
         ("wall_us".to_owned(), Json::from_u64(wall_us)),
         ("phases".to_owned(), Json::Arr(phases)),
+        ("gauges".to_owned(), Json::Obj(gauges)),
         (
             "peak_tree_nodes".to_owned(),
             Json::from_usize(sweep.rollup.max_tree_nodes),
@@ -175,7 +276,31 @@ fn write_bench_report(
             Json::from_usize(sweep.physical_scans),
         ),
         ("stats_rollup".to_owned(), rollup_json(&sweep.rollup)),
-    ]);
+    ];
+    let phase_us = |name: &str| {
+        aggregates
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.total_us)
+    };
+    if let (Some(vertical_us), Some(treewalk_us)) =
+        (phase_us("vertical.derive"), phase_us("hitset.derive"))
+    {
+        let speedup = if vertical_us > 0 {
+            treewalk_us as f64 / vertical_us as f64
+        } else {
+            0.0
+        };
+        fields.push((
+            "derive_compare".to_owned(),
+            Json::Obj(vec![
+                ("vertical_us".to_owned(), Json::from_u64(vertical_us)),
+                ("treewalk_us".to_owned(), Json::from_u64(treewalk_us)),
+                ("speedup".to_owned(), Json::Num(speedup)),
+            ]),
+        ));
+    }
+    let doc = Json::Obj(fields);
     let path = format!("BENCH_{name}.json");
     std::fs::write(&path, format!("{}\n", doc.render()))?;
     writeln!(out, "bench report written to {path}")?;
@@ -557,6 +682,79 @@ mod tests {
         std::fs::remove_file(ckpt).ok();
         std::fs::remove_file(metrics).ok();
         std::fs::remove_file(metrics2).ok();
+    }
+
+    #[test]
+    fn vertical_sweep_reports_the_same_table_as_shared() {
+        let path = sample_series_file("ppms");
+        let shared = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6",
+            path.display()
+        ))
+        .unwrap();
+        let vertical = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --engine vertical",
+            path.display()
+        ))
+        .unwrap();
+        assert!(vertical.contains("vertical bitmap engine"), "{vertical}");
+        // Same per-period table, different engine line: compare from the
+        // table header down.
+        let table = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.contains("patterns"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&shared), table(&vertical));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compare_tree_sweep_records_the_derivation_race() {
+        use ppm_observe::Json;
+
+        let path = sample_series_file("ppms");
+        let name = format!("test-vertical-{}", std::process::id());
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 \
+             --engine vertical --compare-tree --bench-report {name}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("tree cross-checked"), "{text}");
+        let report = format!("BENCH_{name}.json");
+        let doc = Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(doc.get("engine").unwrap().as_str(), Some("vertical"));
+        let gauges = doc.get("gauges").unwrap();
+        assert!(gauges.get("vertical.bitmap_bytes").is_some(), "{doc:?}");
+        let race = doc.get("derive_compare").unwrap();
+        assert!(race.get("vertical_us").unwrap().as_u64().is_some());
+        assert!(race.get("treewalk_us").unwrap().as_u64().is_some());
+        assert!(race.get("speedup").unwrap().as_f64().is_some());
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(report).ok();
+    }
+
+    #[test]
+    fn vertical_engine_flag_combinations_are_usage_errors() {
+        let path = sample_series_file("ppms");
+        let ckpt = temp_path("sweep-vertical-ckpt", "ckpt");
+        for extra in [
+            "--engine vertical --looping".to_owned(),
+            format!("--engine vertical --checkpoint {}", ckpt.display()),
+            "--compare-tree".to_owned(),
+            "--engine parallel".to_owned(),
+            "--engine vertical --algorithm hitset".to_owned(),
+        ] {
+            let err = run_cli(&format!(
+                "sweep --input {} --from 2 --to 6 --min-conf 0.6 {extra}",
+                path.display()
+            ))
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{extra}: {err}");
+        }
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

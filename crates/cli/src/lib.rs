@@ -5,8 +5,8 @@
 //! ```text
 //! ppm generate --length 100000 --period 50 --max-pat-length 6 --f1 12 --out data.ppms
 //! ppm info     --input data.ppms
-//! ppm mine     --input data.ppms --period 50 --min-conf 0.6 [--algorithm hitset] [--limit 20]
-//! ppm sweep    --input data.ppms --from 40 --to 60 --min-conf 0.6 [--looping]
+//! ppm mine     --input data.ppms --period 50 --min-conf 0.6 [--engine vertical] [--limit 20]
+//! ppm sweep    --input data.ppms --from 40 --to 60 --min-conf 0.6 [--engine vertical]
 //! ppm perfect  --input data.ppms --from 40 --to 60
 //! ppm convert  --input data.txt --out data.ppms
 //! ```
@@ -62,7 +62,7 @@ USAGE:
   ppm generate --length N --period P --max-pat-length L --f1 K --out FILE [--seed S]
   ppm info     --input FILE [--period P [--min-conf C]]
   ppm mine     --input FILE --period P --min-conf C
-               [--algorithm apriori|hitset|parallel] [--threads N] [--stream]
+               [--engine apriori|hitset|parallel|vertical] [--threads N] [--stream]
                [--max-letters M] [--offsets 1,2,3] [--limit N] [--tsv]
                [--maximal | --closed]
                [--audit [full|sample|N]] [--quarantine] [--strict]
@@ -72,6 +72,7 @@ USAGE:
   ppm verify   --input FILE --patterns FILE.tsv --period P --min-conf C
                [--sample [N]]
   ppm sweep    --input FILE --from P1 --to P2 --min-conf C [--looping]
+               [--engine hitset|apriori|vertical] [--compare-tree]
                [--checkpoint FILE] [--deadline-ms MS] [--max-tree-nodes N]
                [--trace] [--metrics-out FILE] [--bench-report NAME]
   ppm perfect  --input FILE --from P1 --to P2
@@ -91,11 +92,21 @@ records each completed period and resumes after a crash or abort without
 re-mining; convert --salvage recovers the valid record prefix of a
 truncated .ppmstream.
 
+Engines: --engine picks the counting strategy (--algorithm is the same
+flag). hitset is the paper's two-scan max-subpattern method; apriori is
+the level-wise Alg 3.1; parallel shards the hit-set scans across threads;
+vertical replaces the tree with per-letter segment bitmaps — counting a
+candidate is a k-way AND + popcount — and honours --threads too. sweep
+--engine vertical bit-packs the series once and mines every period from
+that cache; --compare-tree additionally races each period against the
+tree walk and fails on any disagreement.
+
 Verification: mine --audit checks the result against the paper's
 invariants (anti-monotone counts, downward closure, confidence bounds,
 Property 3.2 bookkeeping), recounts patterns with an independent oracle
-(full, or a deterministic sample), and diffs the hit-set, Apriori, and
-streaming engines against each other; violations exit non-zero.
+(full, or a deterministic sample), and diffs the hit-set, Apriori,
+streaming, and vertical engines against each other; violations exit
+non-zero.
 mine --quarantine skips malformed instants at the scan boundary and
 reports them (counts become sound lower bounds); --strict fails fast on
 the first one instead. verify re-audits an exported `mine --tsv` file

@@ -3,14 +3,15 @@
 //! The paper proves Algorithms 3.1 (Apriori) and 3.2 (max-subpattern hit
 //! set) compute the *same* frequent set with the *same* counts; the
 //! streaming engines are refactorings of the same algorithms over a
-//! [`ppm_timeseries::SeriesSource`]. Running all of them on the same input
-//! and diffing the outputs is therefore a free correctness oracle: any
-//! disagreement is a bug in at least one engine, found without knowing
-//! which answer is right.
+//! [`ppm_timeseries::SeriesSource`], and the vertical engine
+//! ([`crate::vertical`]) recounts the same definition columnarly. Running
+//! all of them on the same input and diffing the outputs is therefore a
+//! free correctness oracle: any disagreement is a bug in at least one
+//! engine, found without knowing which answer is right.
 
 use std::collections::HashMap;
 
-use ppm_timeseries::{FeatureCatalog, FeatureSeries, MemorySource};
+use ppm_timeseries::{EncodedSeries, FeatureCatalog, FeatureSeries, MemorySource};
 
 use crate::letters::LetterSet;
 use crate::pattern::Pattern;
@@ -144,8 +145,13 @@ fn diff_pair(
     }
 }
 
-/// Mines `series` with the hit-set, Apriori, and streaming hit-set engines
-/// and diffs the results pairwise against the hit-set baseline.
+/// Mines `series` with the hit-set, Apriori, streaming hit-set, and
+/// vertical engines and diffs the results pairwise against the hit-set
+/// baseline.
+///
+/// The vertical re-mine reuses one [`EncodedSeries`] cache, so the oracle
+/// probes packed instant bitmaps instead of re-merge-walking raw feature
+/// slices.
 ///
 /// The miners canonicalize ordering before returning, so equal results
 /// compare equal structurally; any difference in membership or counts
@@ -163,6 +169,10 @@ pub fn cross_check(
     let streamed = {
         let mut src = MemorySource::new(series);
         crate::streaming::mine_hitset_streaming(&mut src, period, config)?
+    };
+    let vertical = {
+        let encoded = EncodedSeries::encode(series);
+        crate::vertical::mine_vertical_encoded(series, &encoded, period, config)?
     };
 
     let mut report = AuditReport::new();
@@ -182,8 +192,16 @@ pub fn cross_check(
         catalog,
         &mut report,
     );
+    diff_pair(
+        "hitset",
+        &baseline,
+        "vertical",
+        &vertical,
+        catalog,
+        &mut report,
+    );
     let check = CrossCheck {
-        algorithms: vec!["hitset", "apriori", "streaming-hitset"],
+        algorithms: vec!["hitset", "apriori", "streaming-hitset", "vertical"],
         compared: baseline.len(),
         report,
     };
@@ -225,7 +243,7 @@ mod tests {
         let config = MineConfig::new(0.5).unwrap();
         let check = cross_check(&series, 3, &config, &catalog).unwrap();
         assert!(check.agreed(), "{:?}", check.report.violations);
-        assert_eq!(check.algorithms.len(), 3);
+        assert_eq!(check.algorithms.len(), 4);
         assert!(check.compared > 0);
     }
 

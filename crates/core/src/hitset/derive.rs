@@ -7,12 +7,15 @@
 //! of its superpattern hits in the tree — the node's own count plus those
 //! of its *reachable ancestors* in the paper's formulation.
 //!
-//! Two counting strategies are exposed for the ablation study (DESIGN.md
+//! Three counting strategies are exposed for the ablation study (DESIGN.md
 //! experiment E7):
 //!
 //! * [`CountStrategy::TreeWalk`] — the paper's pruned trie traversal;
 //! * [`CountStrategy::LinearScan`] — a flat pass over the distinct hits
-//!   with one bitset subset test each.
+//!   with one bitset subset test each;
+//! * [`CountStrategy::Vertical`] — a columnar transpose of the distinct
+//!   hits (one weighted segment bitmap per letter, see
+//!   [`crate::vertical`]) counted by word-wide AND + popcount.
 
 use crate::apriori::join_candidates;
 use crate::hitset::tree::MaxSubpatternTree;
@@ -20,6 +23,7 @@ use crate::letters::LetterSet;
 use crate::result::FrequentPattern;
 use crate::scan::Scan1;
 use crate::stats::MiningStats;
+use crate::vertical::VerticalIndex;
 
 /// How candidate counts are extracted from the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,14 +34,21 @@ pub enum CountStrategy {
     TreeWalk,
     /// Flat scan over the nodes with count > 0.
     LinearScan,
+    /// Columnar counting over a weighted transpose of the distinct hits.
+    Vertical,
 }
 
 impl CountStrategy {
     /// Counts the superpattern hits of `p` under this strategy.
+    ///
+    /// The `Vertical` arm rebuilds the transpose on every call, so it costs
+    /// O(tree) — fine for spot checks, but derivation builds the index once
+    /// and amortizes it over every candidate (see [`derive_frequent`]).
     pub fn count(self, tree: &MaxSubpatternTree, p: &LetterSet) -> u64 {
         match self {
             CountStrategy::TreeWalk => tree.count_superpatterns_walk(p),
             CountStrategy::LinearScan => tree.count_superpatterns_linear(p),
+            CountStrategy::Vertical => VerticalIndex::from_tree(tree).count(p),
         }
     }
 }
@@ -50,6 +61,33 @@ pub fn derive_frequent(
     tree: &MaxSubpatternTree,
     scan1: &Scan1,
     strategy: CountStrategy,
+    frequent: &mut Vec<FrequentPattern>,
+    stats: &mut MiningStats,
+) {
+    match strategy {
+        CountStrategy::Vertical => {
+            // Transpose once, then every candidate is AND + popcount.
+            let index = VerticalIndex::from_tree(tree);
+            let mut and_ops = 0u64;
+            derive_frequent_with(
+                |p| index.count_with(p, &mut and_ops),
+                scan1,
+                frequent,
+                stats,
+            );
+            ppm_observe::gauge("vertical.bitmap_bytes", index.bitmap_bytes() as u64);
+            ppm_observe::gauge("vertical.and_ops", and_ops);
+        }
+        _ => derive_frequent_with(|p| strategy.count(tree, p), scan1, frequent, stats),
+    }
+}
+
+/// The level-wise Apriori derivation loop over an arbitrary counting
+/// oracle — the tree strategies and the vertical segment index plug in the
+/// same way (Property 3.1 is independent of how counting is done).
+pub(crate) fn derive_frequent_with(
+    mut count: impl FnMut(&LetterSet) -> u64,
+    scan1: &Scan1,
     frequent: &mut Vec<FrequentPattern>,
     stats: &mut MiningStats,
 ) {
@@ -69,7 +107,7 @@ pub fn derive_frequent(
         for cand in candidates {
             let set = LetterSet::from_indices(n_letters, cand.iter().map(|&l| l as usize));
             stats.subset_tests += 1;
-            let count = strategy.count(tree, &set);
+            let count = count(&set);
             if count >= scan1.min_count {
                 frequent.push(FrequentPattern {
                     letters: set,
@@ -117,7 +155,11 @@ mod tests {
         for _ in 0..10 {
             tree.insert(&set(4, &[0, 1, 2]));
         }
-        for strategy in [CountStrategy::TreeWalk, CountStrategy::LinearScan] {
+        for strategy in [
+            CountStrategy::TreeWalk,
+            CountStrategy::LinearScan,
+            CountStrategy::Vertical,
+        ] {
             let mut frequent = Vec::new();
             let mut stats = MiningStats::default();
             derive_frequent(&tree, &scan1, strategy, &mut frequent, &mut stats);
@@ -180,7 +222,9 @@ mod tests {
         };
         let a = run(CountStrategy::TreeWalk);
         let b = run(CountStrategy::LinearScan);
+        let c = run(CountStrategy::Vertical);
         assert_eq!(a, b);
+        assert_eq!(a, c);
         assert!(!a.is_empty());
     }
 

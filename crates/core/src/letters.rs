@@ -160,34 +160,94 @@ impl Alphabet {
             }
         }
     }
+
+    /// [`Self::project_instant`] against a pre-encoded instant: membership
+    /// is one bit test per letter at the offset (bit `f` of `instant_words`
+    /// set iff feature id `f` occurs at the instant), skipping the merge
+    /// walk over the raw feature slice. `instant_words` shorter than the
+    /// feature universe reads as absent features.
+    pub fn project_encoded(&self, offset: usize, instant_words: &[u64], set: &mut LetterSet) {
+        for li in self.letters_at(offset) {
+            let f = self.letters[li].1.index();
+            if instant_words
+                .get(f / 64)
+                .is_some_and(|w| w & (1u64 << (f % 64)) != 0)
+            {
+                set.insert(li);
+            }
+        }
+    }
 }
 
 /// A set of letter indices over an [`Alphabet`], stored as a fixed-width
 /// bitset. All sets drawn from the same alphabet have the same width, so
 /// subset/intersection tests are straight word loops.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// Universes of at most 64 letters — the common case in the paper's
+/// experiments — are stored inline in one machine word; only larger
+/// alphabets heap-allocate. The representation is chosen by universe size
+/// alone, so sets over the same alphabet always share a layout and
+/// equality/hashing stay content-based (see the manual impls below).
+#[derive(Clone)]
 pub struct LetterSet {
     /// Number of valid bits (the alphabet size this set was created for).
     universe: u32,
-    words: Box<[u64]>,
+    words: Words,
+}
+
+/// Bit storage for a [`LetterSet`].
+#[derive(Clone)]
+enum Words {
+    /// Universe ≤ 64: the whole set in one inline word, no allocation.
+    Inline(u64),
+    /// Universe > 64: `div_ceil(universe, 64)` words on the heap.
+    Heap(Box<[u64]>),
 }
 
 impl LetterSet {
     /// An empty set over a universe of `n` letters.
     pub fn new(n: usize) -> Self {
+        let words = if n <= 64 {
+            Words::Inline(0)
+        } else {
+            Words::Heap(vec![0u64; n.div_ceil(64)].into_boxed_slice())
+        };
         LetterSet {
             universe: n as u32,
-            words: vec![0u64; n.div_ceil(64)].into_boxed_slice(),
+            words,
         }
     }
 
-    /// The full set `{0, …, n−1}`.
+    /// The full set `{0, …, n−1}`, filled a word at a time.
     pub fn full(n: usize) -> Self {
         let mut s = Self::new(n);
-        for i in 0..n {
-            s.insert(i);
+        let full_words = n / 64;
+        let tail_bits = n % 64;
+        let words = s.words_mut();
+        for w in words.iter_mut().take(full_words) {
+            *w = !0u64;
+        }
+        if tail_bits > 0 {
+            words[full_words] = (1u64 << tail_bits) - 1;
         }
         s
+    }
+
+    /// The set's backing words (an inline set reads as a 1-word slice).
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(w) => std::slice::from_ref(w),
+            Words::Heap(b) => b,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.words {
+            Words::Inline(w) => std::slice::from_mut(w),
+            Words::Heap(b) => b,
+        }
     }
 
     /// Builds a set from indices (any order, duplicates fine).
@@ -214,37 +274,37 @@ impl LetterSet {
             "letter {i} outside universe {}",
             self.universe
         );
-        self.words[i / 64] |= 1u64 << (i % 64);
+        self.words_mut()[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Removes letter `i` (no-op if absent).
     pub fn remove(&mut self, i: usize) {
         if i < self.universe as usize {
-            self.words[i / 64] &= !(1u64 << (i % 64));
+            self.words_mut()[i / 64] &= !(1u64 << (i % 64));
         }
     }
 
     /// Whether letter `i` is present.
     pub fn contains(&self, i: usize) -> bool {
-        i < self.universe as usize && self.words[i / 64] & (1u64 << (i % 64)) != 0
+        i < self.universe as usize && self.words()[i / 64] & (1u64 << (i % 64)) != 0
     }
 
     /// Number of letters present (the pattern's L-length).
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether no letters are present.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &LetterSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words
+        self.words()
             .iter()
-            .zip(other.words.iter())
+            .zip(other.words().iter())
             .all(|(&a, &b)| a & !b == 0)
     }
 
@@ -256,16 +316,16 @@ impl LetterSet {
     /// Whether the sets share no letters.
     pub fn is_disjoint(&self, other: &LetterSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words
+        self.words()
             .iter()
-            .zip(other.words.iter())
+            .zip(other.words().iter())
             .all(|(&a, &b)| a & b == 0)
     }
 
     /// In-place union.
     pub fn union_with(&mut self, other: &LetterSet) {
         debug_assert_eq!(self.universe, other.universe);
-        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+        for (a, &b) in self.words_mut().iter_mut().zip(other.words().iter()) {
             *a |= b;
         }
     }
@@ -273,7 +333,7 @@ impl LetterSet {
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &LetterSet) {
         debug_assert_eq!(self.universe, other.universe);
-        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+        for (a, &b) in self.words_mut().iter_mut().zip(other.words().iter()) {
             *a &= b;
         }
     }
@@ -281,7 +341,7 @@ impl LetterSet {
     /// In-place difference (`self \ other`).
     pub fn difference_with(&mut self, other: &LetterSet) {
         debug_assert_eq!(self.universe, other.universe);
-        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+        for (a, &b) in self.words_mut().iter_mut().zip(other.words().iter()) {
             *a &= !b;
         }
     }
@@ -295,23 +355,41 @@ impl LetterSet {
 
     /// Clears all bits, keeping the allocation.
     pub fn clear(&mut self) {
-        for w in self.words.iter_mut() {
+        for w in self.words_mut().iter_mut() {
             *w = 0;
         }
     }
 
     /// Iterates present letter indices in ascending order.
     pub fn iter(&self) -> LetterIter<'_> {
+        let words = self.words();
         LetterIter {
-            words: &self.words,
+            words,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: words.first().copied().unwrap_or(0),
         }
     }
 
     /// The smallest present letter, if any.
     pub fn first(&self) -> Option<usize> {
         self.iter().next()
+    }
+}
+
+// Equality and hashing go through the word *slice*, never the storage
+// variant, so they are stable across representations by construction.
+impl PartialEq for LetterSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe && self.words() == other.words()
+    }
+}
+
+impl Eq for LetterSet {}
+
+impl std::hash::Hash for LetterSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.universe.hash(state);
+        self.words().hash(state);
     }
 }
 
@@ -500,6 +578,59 @@ mod tests {
         assert!(s.is_empty());
         a.project_instant(1, &[fid(1)], &mut s); // no letters at offset 1
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn inline_and_heap_boundary() {
+        // Universe 64 is the last inline size; 65 spills to the heap. Both
+        // must behave identically through the whole API.
+        for n in [1usize, 63, 64, 65, 128, 129] {
+            let full = LetterSet::full(n);
+            assert_eq!(full.len(), n, "full({n})");
+            assert_eq!(full.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+            let mut s = LetterSet::new(n);
+            s.insert(n - 1);
+            assert!(s.contains(n - 1));
+            assert!(s.is_subset(&full));
+            assert!(full.is_superset(&s));
+            let mut d = full.clone();
+            d.difference_with(&s);
+            assert_eq!(d.len(), n - 1);
+            assert!(!d.contains(n - 1));
+        }
+        assert_eq!(LetterSet::full(0).len(), 0);
+        assert!(LetterSet::full(0).is_empty());
+    }
+
+    #[test]
+    fn eq_and_hash_across_sizes() {
+        use std::collections::HashSet;
+        // Hashing must agree for equal sets regardless of storage variant;
+        // the variant is universe-determined, so spot-check both regimes.
+        for n in [9usize, 64, 65, 200] {
+            let a = LetterSet::from_indices(n, [1, n - 1]);
+            let b = LetterSet::from_indices(n, [n - 1, 1, 1]);
+            assert_eq!(a, b);
+            let mut set = HashSet::new();
+            set.insert(a);
+            assert!(set.contains(&b));
+        }
+    }
+
+    #[test]
+    fn project_encoded_matches_project_instant() {
+        let a = Alphabet::new(2, [(0, fid(1)), (0, fid(3)), (1, fid(1))]);
+        // Instant features {0, 1, 2} as a bitmap.
+        let instant = [0b0111u64];
+        let mut enc = a.empty_set();
+        a.project_encoded(0, &instant, &mut enc);
+        let mut raw = a.empty_set();
+        a.project_instant(0, &[fid(0), fid(1), fid(2)], &mut raw);
+        assert_eq!(enc, raw);
+        assert!(enc.contains(0) && !enc.contains(1) && !enc.contains(2));
+        // A short (or empty) word slice reads as no features present.
+        a.project_encoded(1, &[], &mut enc);
+        assert!(!enc.contains(2));
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod perturb;
 pub mod rules;
 pub mod stats;
 pub mod streaming;
+pub mod vertical;
 
 pub use error::{Error, Result};
 pub use letters::{Alphabet, LetterIter, LetterSet};

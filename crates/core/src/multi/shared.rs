@@ -1,16 +1,14 @@
 //! Algorithm 3.4: shared mining of multiple periods in two scans.
 
-use std::collections::HashMap;
-
-use ppm_timeseries::{FeatureId, FeatureSeries};
+use ppm_timeseries::{EncodedSeries, FeatureSeries};
 
 use crate::error::Result;
 use crate::hitset::derive::{derive_frequent, CountStrategy};
 use crate::hitset::MaxSubpatternTree;
-use crate::letters::{Alphabet, LetterSet};
+use crate::letters::LetterSet;
 use crate::multi::{MultiPeriodResult, PeriodRange};
 use crate::result::{FrequentPattern, MiningResult};
-use crate::scan::{MineConfig, Scan1};
+use crate::scan::{scan1_from_counts, CountTable, MineConfig, Scan1};
 use crate::stats::MiningStats;
 
 /// Mines every period in `range` with **two physical scans total** (paper
@@ -36,14 +34,27 @@ pub fn mine_periods_shared(
     let n = series.len();
 
     // ---- Scan 1: per-period (offset, feature) counts, one physical pass.
+    // The same pass packs each instant into the encoded-series cache, so
+    // scan 2 probes bitmaps for every period instead of merge-walking the
+    // raw feature slices once per period.
     let scan1_span = ppm_observe::span("shared.scan1");
-    let mut counts: Vec<HashMap<(u32, FeatureId), u64>> =
-        periods.iter().map(|_| HashMap::new()).collect();
+    let mut counts: Vec<CountTable> = periods
+        .iter()
+        .map(|&p| CountTable::with_width(p, CountTable::width_of(series)))
+        .collect();
     let usable: Vec<usize> = periods.iter().map(|&p| (n / p) * p).collect();
+    let enc_width = EncodedSeries::width_for(series);
+    let words_per_instant = enc_width.div_ceil(64);
+    let mut enc_words = vec![0u64; n * words_per_instant];
     for t in 0..n {
         let instant = series.instant(t);
         if instant.is_empty() {
             continue;
+        }
+        let base = t * words_per_instant;
+        for &f in instant {
+            let idx = f.index();
+            enc_words[base + idx / 64] |= 1u64 << (idx % 64);
         }
         for (pi, &p) in periods.iter().enumerate() {
             if t >= usable[pi] {
@@ -51,10 +62,12 @@ pub fn mine_periods_shared(
             }
             let offset = (t % p) as u32;
             for &f in instant {
-                *counts[pi].entry((offset, f)).or_insert(0) += 1;
+                counts[pi].add(offset, f);
             }
         }
     }
+    let encoded = EncodedSeries::from_chunks(enc_width, n, vec![enc_words]);
+    ppm_observe::gauge("shared.encoded_bytes", encoded.bytes() as u64);
 
     // Materialize a Scan1 per period.
     let scans: Vec<Scan1> = periods
@@ -62,33 +75,15 @@ pub fn mine_periods_shared(
         .zip(&counts)
         .map(|(&p, table)| {
             let m = n / p;
-            let min_count = config.min_count(m);
-            let alphabet = Alphabet::new(
-                p,
-                table
-                    .iter()
-                    .filter(|&(_, &c)| c >= min_count)
-                    .map(|(&(o, f), _)| (o as usize, f)),
-            );
-            let letter_counts = (0..alphabet.len())
-                .map(|i| {
-                    let (o, f) = alphabet.letter(i);
-                    table[&(o as u32, f)]
-                })
-                .collect();
-            Scan1 {
-                alphabet,
-                letter_counts,
-                segment_count: m,
-                min_count,
-            }
+            scan1_from_counts(table, p, m, config.min_count(m))
         })
         .collect();
     drop(counts);
     drop(scan1_span);
 
-    // ---- Scan 2: per-period trees, one physical pass. Each period keeps a
-    // rolling hit buffer that is flushed whenever its segment completes.
+    // ---- Scan 2: per-period trees, one physical pass over the encoded
+    // cache. Each period keeps a rolling hit buffer that is flushed
+    // whenever its segment completes.
     let scan2_span = ppm_observe::span("shared.scan2");
     let mut trees: Vec<MaxSubpatternTree> = scans
         .iter()
@@ -96,16 +91,17 @@ pub fn mine_periods_shared(
         .collect();
     let mut hits: Vec<LetterSet> = scans.iter().map(|s| s.alphabet.empty_set()).collect();
     for t in 0..n {
-        let instant = series.instant(t);
+        let inst_words = encoded.instant_words(t);
+        let has_features = inst_words.iter().any(|&w| w != 0);
         for (pi, &p) in periods.iter().enumerate() {
             if t >= usable[pi] {
                 continue;
             }
             let offset = t % p;
-            if !instant.is_empty() {
+            if has_features {
                 scans[pi]
                     .alphabet
-                    .project_instant(offset, instant, &mut hits[pi]);
+                    .project_encoded(offset, inst_words, &mut hits[pi]);
             }
             if offset == p - 1 {
                 if hits[pi].len() >= 2 {
@@ -168,7 +164,7 @@ pub fn mine_periods_shared(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppm_timeseries::SeriesBuilder;
+    use ppm_timeseries::{FeatureId, SeriesBuilder};
 
     use crate::multi::mine_periods_looping;
     use crate::Algorithm;

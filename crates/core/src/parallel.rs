@@ -1,4 +1,4 @@
-//! Parallel max-subpattern hit-set mining.
+//! Parallel max-subpattern hit-set (and vertical) mining.
 //!
 //! Both scans of Algorithm 3.2 are embarrassingly parallel over period
 //! segments: scan 1's per-letter counts are a sum over segments, and scan
@@ -6,23 +6,31 @@
 //! `m` segments across threads, has each thread count letters / build its
 //! own max-subpattern tree, then merges (counts add;
 //! [`MaxSubpatternTree::merge_from`] folds trees). Derivation is unchanged.
+//! Scan 2 probes a chunk-encoded [`EncodedSeries`] cache (built by the
+//! same workers) instead of merge-walking raw feature slices.
 //!
-//! Results are bit-for-bit identical to the sequential miner — asserted by
-//! the tests — because every reduction here is a commutative sum.
+//! [`mine_parallel_vertical`] runs the same partitioning for the vertical
+//! engine: each worker fills the column bits of its own segment block into
+//! a per-letter bitmap index, and the partial indexes OR together (the
+//! blocks are disjoint column ranges, so the merge is exact).
+//!
+//! Results are bit-for-bit identical to the sequential miners — asserted
+//! by the tests — because every reduction here is a commutative sum or a
+//! disjoint bitwise OR.
 
 use std::any::Any;
-use std::collections::HashMap;
 
-use ppm_timeseries::{FeatureId, FeatureSeries};
+use ppm_timeseries::{EncodedSeries, FeatureSeries};
 
 use crate::error::{Error, Result};
 use crate::guard::ResourceGuard;
 use crate::hitset::derive::{derive_frequent, CountStrategy};
 use crate::hitset::MaxSubpatternTree;
-use crate::letters::{Alphabet, LetterSet};
+use crate::letters::LetterSet;
 use crate::result::{FrequentPattern, MiningResult};
-use crate::scan::{MineConfig, Scan1};
+use crate::scan::{scan1_from_counts, CountTable, MineConfig, Scan1};
 use crate::stats::MiningStats;
+use crate::vertical::{derive_vertical, VerticalIndex};
 
 /// Converts a worker panic payload into the typed [`Error::WorkerPanic`],
 /// so a crashing worker cannot take down the caller. Panic payloads are
@@ -76,61 +84,8 @@ pub fn mine_parallel(
         .filter(|(lo, hi)| lo < hi)
         .collect();
 
-    // ---- Scan 1, partitioned: each worker counts its segments. Workers
-    // attach the captured observability handle so their spans land in the
-    // caller's sink, nested under `parallel.scan1`.
-    let scan1_span = ppm_observe::span("parallel.scan1");
-    let obs = ppm_observe::current();
-    let partials: Vec<HashMap<(u32, FeatureId), u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(lo, hi)| {
-                let obs = obs.clone();
-                scope.spawn(move || {
-                    let _obs = ppm_observe::attach(obs);
-                    let _span = ppm_observe::span("parallel.worker.scan1");
-                    let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
-                    for t in lo * period..hi * period {
-                        let offset = (t % period) as u32;
-                        for &f in series.instant(t) {
-                            *counts.entry((offset, f)).or_insert(0) += 1;
-                        }
-                    }
-                    counts
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().map_err(worker_panic))
-            .collect::<Result<Vec<_>>>()
-    })?;
-    drop(scan1_span);
-    let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
-    for partial in partials {
-        for (k, v) in partial {
-            *counts.entry(k).or_insert(0) += v;
-        }
-    }
-    let alphabet = Alphabet::new(
-        period,
-        counts
-            .iter()
-            .filter(|&(_, &c)| c >= min_count)
-            .map(|(&(o, f), _)| (o as usize, f)),
-    );
-    let letter_counts: Vec<u64> = (0..alphabet.len())
-        .map(|i| {
-            let (o, f) = alphabet.letter(i);
-            counts[&(o as u32, f)]
-        })
-        .collect();
-    let scan1 = Scan1 {
-        alphabet,
-        letter_counts,
-        segment_count: m,
-        min_count,
-    };
+    // ---- Scan 1, partitioned: each worker counts its segments.
+    let scan1 = parallel_scan1(series, period, m, min_count, &ranges)?;
     let mut stats = MiningStats {
         series_scans: 2,
         max_level: 1,
@@ -142,10 +97,14 @@ pub fn mine_parallel(
         ..Default::default()
     })?;
 
-    // ---- Scan 2, partitioned: per-thread trees, merged afterwards.
+    // ---- Scan 2, partitioned: the workers first chunk-encode the series
+    // into per-instant bitmaps, then build per-thread trees (probing the
+    // encoding instead of merge-walking raw slices), merged afterwards.
     let scan2_span = ppm_observe::span("parallel.scan2");
+    let encoded = encode_parallel(series, period, m, &ranges)?;
     let obs = ppm_observe::current();
     let scan1_ref = &scan1;
+    let encoded_ref = &encoded;
     let trees: Vec<MaxSubpatternTree> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
@@ -159,9 +118,9 @@ pub fn mine_parallel(
                     for j in lo..hi {
                         hit.clear();
                         for offset in 0..period {
-                            scan1_ref.alphabet.project_instant(
+                            scan1_ref.alphabet.project_encoded(
                                 offset,
-                                series.instant(j * period + offset),
+                                encoded_ref.instant_words(j * period + offset),
                                 &mut hit,
                             );
                         }
@@ -231,10 +190,189 @@ pub fn mine_parallel(
     Ok(result)
 }
 
+/// [`crate::vertical::mine_vertical`] with both scans partitioned across
+/// `threads` worker threads (clamped to ≥ 1; `threads == 1` falls back to
+/// the sequential vertical miner).
+///
+/// Scan 2 gives each worker the full-geometry bitmap index but only its
+/// own block of segment columns to fill; the partial indexes then merge by
+/// bitwise OR, which is exact because the column ranges are disjoint.
+pub fn mine_parallel_vertical(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+    threads: usize,
+) -> Result<MiningResult> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return crate::vertical::mine_vertical(series, period, config);
+    }
+    if period == 0 || period > series.len() {
+        return Err(Error::InvalidPeriod {
+            period,
+            series_len: series.len(),
+        });
+    }
+    let _mine_span = ppm_observe::span("parallel.mine");
+    let guard = ResourceGuard::new(config);
+    let m = series.len() / period;
+    let min_count = config.min_count(m);
+    ppm_observe::gauge("parallel.threads", threads as u64);
+    ppm_observe::gauge("vertical.segments_total", m as u64);
+
+    let per_thread = m.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|i| (i * per_thread, ((i + 1) * per_thread).min(m)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+
+    // ---- Scan 1, partitioned (same reduction as the tree miner).
+    let scan1 = parallel_scan1(series, period, m, min_count, &ranges)?;
+    ppm_observe::gauge("vertical.f1_letters", scan1.alphabet.len() as u64);
+    let mut stats = MiningStats {
+        series_scans: 2,
+        max_level: 1,
+        ..Default::default()
+    };
+    guard.check_deadline(&MiningStats {
+        series_scans: 1,
+        max_level: 1,
+        ..Default::default()
+    })?;
+
+    // ---- Scan 2, partitioned: chunk-encode, then per-worker bitmap fills
+    // OR-merged into one index.
+    let scan2_span = ppm_observe::span("parallel.scan2");
+    let encoded = encode_parallel(series, period, m, &ranges)?;
+    let obs = ppm_observe::current();
+    let scan1_ref = &scan1;
+    let encoded_ref = &encoded;
+    let parts: Vec<VerticalIndex> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let _obs = ppm_observe::attach(obs);
+                    let _span = ppm_observe::span("parallel.worker.scan2");
+                    let mut part = VerticalIndex::with_columns(scan1_ref.alphabet.len(), m);
+                    part.fill_segments(series, Some(encoded_ref), &scan1_ref.alphabet, lo..hi);
+                    ppm_observe::counter("vertical.segments", (hi - lo) as u64);
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(worker_panic))
+            .collect::<Result<Vec<_>>>()
+    })?;
+    let mut index = VerticalIndex::with_columns(scan1.alphabet.len(), m);
+    for part in &parts {
+        index.or_merge(part);
+    }
+    drop(scan2_span);
+    ppm_observe::gauge("vertical.bitmap_bytes", index.bitmap_bytes() as u64);
+    guard.check_deadline(&stats)?;
+
+    // ---- Derivation (sequential: AND + popcount per candidate).
+    let frequent = {
+        let _span = ppm_observe::span("parallel.derive");
+        derive_vertical(&index, &scan1, &mut stats)
+    };
+
+    let mut result = MiningResult {
+        period,
+        segment_count: m,
+        min_confidence: config.min_confidence(),
+        min_count,
+        alphabet: scan1.alphabet,
+        frequent,
+        stats,
+    };
+    result.sort();
+    Ok(result)
+}
+
+/// Scan 1 partitioned across workers: each counts its segment block into a
+/// [`CountTable`] partial. Every partial is laid out for the same explicit
+/// `(period, width)` key space, so the merge is a plain elementwise sum.
+fn parallel_scan1(
+    series: &FeatureSeries,
+    period: usize,
+    m: usize,
+    min_count: u64,
+    ranges: &[(usize, usize)],
+) -> Result<Scan1> {
+    let _span = ppm_observe::span("parallel.scan1");
+    let width = CountTable::width_of(series);
+    let obs = ppm_observe::current();
+    let partials: Vec<CountTable> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let _obs = ppm_observe::attach(obs);
+                    let _span = ppm_observe::span("parallel.worker.scan1");
+                    let mut counts = CountTable::with_width(period, width);
+                    for t in lo * period..hi * period {
+                        let offset = (t % period) as u32;
+                        for &f in series.instant(t) {
+                            counts.add(offset, f);
+                        }
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(worker_panic))
+            .collect::<Result<Vec<_>>>()
+    })?;
+    let mut counts = CountTable::with_width(period, width);
+    for partial in partials {
+        counts.absorb(partial);
+    }
+    Ok(scan1_from_counts(&counts, period, m, min_count))
+}
+
+/// Encodes the mined prefix (`m·p` instants) into per-instant bitmaps, one
+/// chunk per worker block. The blocks are consecutive, so the chunks
+/// concatenate into the whole cache.
+fn encode_parallel(
+    series: &FeatureSeries,
+    period: usize,
+    m: usize,
+    ranges: &[(usize, usize)],
+) -> Result<EncodedSeries> {
+    let _span = ppm_observe::span("parallel.encode");
+    let width = EncodedSeries::width_for(series);
+    let obs = ppm_observe::current();
+    let chunks: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let _obs = ppm_observe::attach(obs);
+                    EncodedSeries::encode_range(series, lo * period, hi * period, width)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(worker_panic))
+            .collect::<Result<Vec<_>>>()
+    })?;
+    Ok(EncodedSeries::from_chunks(width, m * period, chunks))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppm_timeseries::SeriesBuilder;
+    use ppm_timeseries::{FeatureId, SeriesBuilder};
 
     fn fid(i: u32) -> FeatureId {
         FeatureId::from_raw(i)
@@ -300,6 +438,49 @@ mod tests {
         let s = noisy_series(60);
         let config = MineConfig::new(0.5).unwrap();
         assert!(mine_parallel(&s, 6, &config, 0).is_ok());
+    }
+
+    #[test]
+    fn parallel_vertical_equals_sequential_vertical_and_hitset() {
+        let s = noisy_series(1200);
+        let config = MineConfig::new(0.4).unwrap();
+        let sequential = crate::vertical::mine_vertical(&s, 6, &config).unwrap();
+        let hitset = crate::hitset::mine(&s, 6, &config).unwrap();
+        assert_eq!(sequential.frequent, hitset.frequent);
+        for threads in [2, 3, 4, 8] {
+            let parallel = mine_parallel_vertical(&s, 6, &config, threads).unwrap();
+            assert_eq!(parallel.frequent, sequential.frequent, "threads={threads}");
+            assert_eq!(parallel.segment_count, sequential.segment_count);
+            assert_eq!(parallel.stats.series_scans, 2);
+        }
+    }
+
+    #[test]
+    fn parallel_vertical_one_thread_delegates() {
+        let s = noisy_series(120);
+        let config = MineConfig::new(0.5).unwrap();
+        let a = mine_parallel_vertical(&s, 6, &config, 1).unwrap();
+        let b = crate::vertical::mine_vertical(&s, 6, &config).unwrap();
+        assert_eq!(a.frequent, b.frequent);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn parallel_vertical_honours_zero_deadline() {
+        let s = noisy_series(1200);
+        let config = MineConfig::new(0.4)
+            .unwrap()
+            .with_deadline(std::time::Duration::ZERO);
+        let err = mine_parallel_vertical(&s, 6, &config, 4).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn parallel_vertical_rejects_invalid_period() {
+        let s = noisy_series(10);
+        let config = MineConfig::default();
+        assert!(mine_parallel_vertical(&s, 0, &config, 4).is_err());
+        assert!(mine_parallel_vertical(&s, 11, &config, 4).is_err());
     }
 
     #[test]

@@ -101,6 +101,118 @@ impl Default for MineConfig {
     }
 }
 
+/// Cap on dense scan-1 table slots (`period × feature-width`): 4M `u64`
+/// slots ≈ 32 MiB. Series whose `period × width` product exceeds this fall
+/// back to the hash map, which only pays for pairs that actually occur.
+const DENSE_TABLE_LIMIT: usize = 1 << 22;
+
+/// The scan-1 counting table.
+///
+/// Catalog feature ids are interned densely, so for realistic alphabets the
+/// `(offset, feature)` key space is small and `offset · width + feature`
+/// indexes a flat `Vec<u64>` — no hashing on the hot path of the first
+/// scan. Degenerate inputs (huge periods or raw feature ids) spill to a
+/// `HashMap`. The representation is a pure function of `(period, width)`,
+/// so tables built by parallel workers over the same series always agree
+/// and can be merged with [`CountTable::absorb`].
+pub(crate) enum CountTable {
+    /// Flat table: `counts[offset * width + feature.index()]`.
+    Dense { counts: Vec<u64>, width: usize },
+    /// Fallback for key spaces past [`DENSE_TABLE_LIMIT`].
+    Sparse(HashMap<(u32, FeatureId), u64>),
+}
+
+impl CountTable {
+    /// A table sized for `series` mined at `period`.
+    pub(crate) fn for_series(period: usize, series: &FeatureSeries) -> Self {
+        Self::with_width(period, Self::width_of(series))
+    }
+
+    /// The dense key-space width for `series`: max feature id + 1.
+    pub(crate) fn width_of(series: &FeatureSeries) -> usize {
+        series.max_feature_id().map_or(0, |f| f.index() + 1)
+    }
+
+    /// A table for an explicit `(period, width)` key space — used by
+    /// parallel workers so every partial table picks the same layout.
+    pub(crate) fn with_width(period: usize, width: usize) -> Self {
+        if width > 0
+            && period
+                .checked_mul(width)
+                .is_some_and(|slots| slots <= DENSE_TABLE_LIMIT)
+        {
+            CountTable::Dense {
+                counts: vec![0; period * width],
+                width,
+            }
+        } else {
+            CountTable::Sparse(HashMap::new())
+        }
+    }
+
+    /// Counts one `(offset, feature)` occurrence.
+    #[inline]
+    pub(crate) fn add(&mut self, offset: u32, feature: FeatureId) {
+        match self {
+            CountTable::Dense { counts, width } => {
+                counts[offset as usize * *width + feature.index()] += 1;
+            }
+            CountTable::Sparse(map) => *map.entry((offset, feature)).or_insert(0) += 1,
+        }
+    }
+
+    /// The count for `(offset, feature)` (zero if never seen).
+    pub(crate) fn get(&self, offset: u32, feature: FeatureId) -> u64 {
+        match self {
+            CountTable::Dense { counts, width } => {
+                counts[offset as usize * *width + feature.index()]
+            }
+            CountTable::Sparse(map) => map.get(&(offset, feature)).copied().unwrap_or(0),
+        }
+    }
+
+    /// Merges `other` (a partial table over the same key space) into self.
+    pub(crate) fn absorb(&mut self, other: CountTable) {
+        match (self, other) {
+            (
+                CountTable::Dense { counts, width },
+                CountTable::Dense {
+                    counts: o,
+                    width: ow,
+                },
+            ) => {
+                debug_assert_eq!(*width, ow, "partial tables disagree on width");
+                for (a, b) in counts.iter_mut().zip(o) {
+                    *a += b;
+                }
+            }
+            (CountTable::Sparse(map), CountTable::Sparse(o)) => {
+                for (k, v) in o {
+                    *map.entry(k).or_insert(0) += v;
+                }
+            }
+            _ => unreachable!("partial tables over one series share a representation"),
+        }
+    }
+
+    /// The `(offset, feature)` pairs whose count reaches `min_count`.
+    pub(crate) fn frequent_pairs(&self, min_count: u64) -> Vec<(usize, FeatureId)> {
+        match self {
+            CountTable::Dense { counts, width } => counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c >= min_count)
+                .map(|(slot, _)| (slot / width, FeatureId::from_raw((slot % width) as u32)))
+                .collect(),
+            CountTable::Sparse(map) => map
+                .iter()
+                .filter(|&(_, &c)| c >= min_count)
+                .map(|(&(o, f), _)| (o as usize, f))
+                .collect(),
+        }
+    }
+}
+
 /// Output of the first scan: the frequent-letter alphabet and exact counts.
 #[derive(Debug, Clone)]
 pub struct Scan1 {
@@ -131,32 +243,38 @@ pub fn scan_frequent_letters(
     let m = series.len() / period;
     let min_count = config.min_count(m);
 
-    let mut counts: HashMap<(u32, FeatureId), u64> = HashMap::new();
+    let mut counts = CountTable::for_series(period, series);
     for t in 0..m * period {
         let offset = (t % period) as u32;
         for &f in series.instant(t) {
-            *counts.entry((offset, f)).or_insert(0) += 1;
+            counts.add(offset, f);
         }
     }
 
-    let frequent = counts
-        .iter()
-        .filter(|&(_, &c)| c >= min_count)
-        .map(|(&(o, f), _)| (o as usize, f));
-    let alphabet = Alphabet::new(period, frequent);
+    Ok(scan1_from_counts(&counts, period, m, min_count))
+}
+
+/// Builds a [`Scan1`] from a finished counting table (shared by the
+/// single-period, parallel, and multi-period scan-1 implementations).
+pub(crate) fn scan1_from_counts(
+    counts: &CountTable,
+    period: usize,
+    m: usize,
+    min_count: u64,
+) -> Scan1 {
+    let alphabet = Alphabet::new(period, counts.frequent_pairs(min_count));
     let letter_counts = (0..alphabet.len())
         .map(|i| {
             let (o, f) = alphabet.letter(i);
-            counts[&(o as u32, f)]
+            counts.get(o as u32, f)
         })
         .collect();
-
-    Ok(Scan1 {
+    Scan1 {
         alphabet,
         letter_counts,
         segment_count: m,
         min_count,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +386,58 @@ mod tests {
         let cfg = MineConfig::default();
         assert!(scan_frequent_letters(&s, 0, &cfg).is_err());
         assert!(scan_frequent_letters(&s, 2, &cfg).is_err());
+    }
+
+    #[test]
+    fn count_table_picks_dense_for_small_key_spaces() {
+        assert!(matches!(
+            CountTable::with_width(25, 100),
+            CountTable::Dense { .. }
+        ));
+        // Zero width (no features at all) and oversized key spaces go sparse.
+        assert!(matches!(
+            CountTable::with_width(25, 0),
+            CountTable::Sparse(_)
+        ));
+        assert!(matches!(
+            CountTable::with_width(1 << 12, 1 << 12),
+            CountTable::Sparse(_)
+        ));
+    }
+
+    #[test]
+    fn count_table_dense_and_sparse_agree() {
+        for mut table in [
+            CountTable::with_width(3, 5),
+            CountTable::Sparse(HashMap::new()),
+        ] {
+            table.add(0, fid(4));
+            table.add(0, fid(4));
+            table.add(2, fid(1));
+            assert_eq!(table.get(0, fid(4)), 2);
+            assert_eq!(table.get(2, fid(1)), 1);
+            assert_eq!(table.get(1, fid(0)), 0);
+            let mut frequent = table.frequent_pairs(2);
+            frequent.sort();
+            assert_eq!(frequent, vec![(0, fid(4))]);
+        }
+    }
+
+    #[test]
+    fn count_table_absorb_merges_partials() {
+        for make in [
+            (|| CountTable::with_width(2, 3)) as fn() -> CountTable,
+            || CountTable::Sparse(HashMap::new()),
+        ] {
+            let mut a = make();
+            a.add(0, fid(1));
+            let mut b = make();
+            b.add(0, fid(1));
+            b.add(1, fid(2));
+            a.absorb(b);
+            assert_eq!(a.get(0, fid(1)), 2);
+            assert_eq!(a.get(1, fid(2)), 1);
+        }
     }
 
     #[test]

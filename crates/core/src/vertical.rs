@@ -1,0 +1,527 @@
+//! The vertical (columnar) counting engine.
+//!
+//! The hit-set method (paper Algorithm 3.2) pays for its two-scan guarantee
+//! in the derivation phase: one pruned trie traversal per Apriori
+//! candidate. This module transposes that work. During scan 2 it
+//! materializes, for each frequent letter, a **segment bitmap** — bit `j`
+//! set iff whole segment `j` contains the letter — so the frequency of any
+//! k-letter candidate is a k-way AND over `⌈m/64⌉` words followed by a
+//! popcount. The frequent set is identical to the hit-set and Apriori
+//! miners' (Property 3.1 is independent of how counting is done); only the
+//! counting substrate changes.
+//!
+//! Memory: `n_L` bitmaps of `m` bits — `n_L · m / 8` bytes, reported via
+//! the `vertical.bitmap_bytes` gauge. For the alphabet sizes the paper
+//! works with this is a few words per segment, far below the series
+//! itself.
+//!
+//! The same structure doubles as a *weighted* transpose of the
+//! max-subpattern tree ([`VerticalIndex::from_tree`]): columns become the
+//! tree's distinct hits and each column carries the hit's count, which is
+//! what [`CountStrategy::Vertical`](crate::hitset::derive::CountStrategy)
+//! plugs into the tree-based miner's derivation.
+
+use ppm_timeseries::{EncodedSeries, FeatureSeries};
+
+use crate::error::Result;
+use crate::guard::{ResourceGuard, DEADLINE_CHECK_INTERVAL};
+use crate::hitset::derive::derive_frequent_with;
+use crate::hitset::tree::MaxSubpatternTree;
+use crate::letters::{Alphabet, LetterSet};
+use crate::result::{FrequentPattern, MiningResult};
+use crate::scan::{scan_frequent_letters, MineConfig, Scan1};
+use crate::stats::MiningStats;
+
+/// Per-letter column bitmaps over a set of counting columns.
+///
+/// Built either over *segments* (unweighted: each column is one whole
+/// period segment) or over the *distinct hits of a max-subpattern tree*
+/// (weighted: each column carries the hit's stored count).
+#[derive(Debug, Clone)]
+pub struct VerticalIndex {
+    n_letters: usize,
+    n_columns: usize,
+    words_per_row: usize,
+    /// Row-major: `words[letter * words_per_row + w]`.
+    words: Vec<u64>,
+    /// Column weights for tree transposes; `None` ⇒ every column counts 1.
+    weights: Option<Vec<u64>>,
+}
+
+impl VerticalIndex {
+    /// An all-zero index of `n_letters` rows over `n_columns` columns.
+    pub(crate) fn with_columns(n_letters: usize, n_columns: usize) -> Self {
+        let words_per_row = n_columns.div_ceil(64);
+        VerticalIndex {
+            n_letters,
+            n_columns,
+            words_per_row,
+            words: vec![0u64; n_letters * words_per_row],
+            weights: None,
+        }
+    }
+
+    /// Sets bit `col` in `letter`'s bitmap.
+    #[inline]
+    fn set(&mut self, letter: usize, col: usize) {
+        self.words[letter * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Projects segments `segments.start..segments.end` of `series` onto
+    /// `alphabet` and sets the matching column bits — the chunked building
+    /// block the parallel miner partitions across workers.
+    pub(crate) fn fill_segments(
+        &mut self,
+        series: &FeatureSeries,
+        encoded: Option<&EncodedSeries>,
+        alphabet: &Alphabet,
+        segments: std::ops::Range<usize>,
+    ) {
+        let period = alphabet.period();
+        let mut hit = alphabet.empty_set();
+        for j in segments {
+            hit.clear();
+            for offset in 0..period {
+                let t = j * period + offset;
+                match encoded {
+                    Some(enc) => alphabet.project_encoded(offset, enc.instant_words(t), &mut hit),
+                    None => alphabet.project_instant(offset, series.instant(t), &mut hit),
+                }
+            }
+            for letter in hit.iter() {
+                self.set(letter, j);
+            }
+        }
+    }
+
+    /// Scan 2 of the vertical engine: one pass over the whole segments,
+    /// building every letter's segment bitmap. The deadline guard fires
+    /// once per [`DEADLINE_CHECK_INTERVAL`] segments, like the tree build.
+    pub(crate) fn from_segments(
+        series: &FeatureSeries,
+        encoded: Option<&EncodedSeries>,
+        scan1: &Scan1,
+        stats: &MiningStats,
+        guard: &ResourceGuard,
+    ) -> Result<Self> {
+        let m = scan1.segment_count;
+        let mut index = Self::with_columns(scan1.alphabet.len(), m);
+        let mut start = 0usize;
+        while start < m {
+            let end = (start + DEADLINE_CHECK_INTERVAL).min(m);
+            index.fill_segments(series, encoded, &scan1.alphabet, start..end);
+            ppm_observe::counter("vertical.segments", (end - start) as u64);
+            if guard.deadline_exceeded() {
+                return Err(guard.deadline_error(stats));
+            }
+            start = end;
+        }
+        Ok(index)
+    }
+
+    /// The weighted transpose of `tree`'s distinct hits: one column per
+    /// counted node, carrying the node's count. Counting a candidate
+    /// against this index equals summing the counts of its superpattern
+    /// hits — the same total the trie traversal computes.
+    pub fn from_tree(tree: &MaxSubpatternTree) -> Self {
+        let nodes: Vec<(&LetterSet, u64)> = tree.counted_nodes().collect();
+        let mut index = Self::with_columns(tree.c_max().universe(), nodes.len());
+        let mut weights = Vec::with_capacity(nodes.len());
+        for (col, (pattern, count)) in nodes.iter().enumerate() {
+            for letter in pattern.iter() {
+                index.set(letter, col);
+            }
+            weights.push(*count);
+        }
+        index.weights = Some(weights);
+        index
+    }
+
+    /// ORs a partial index (same geometry, disjoint column ranges) into
+    /// self — how the parallel miner merges per-worker bitmaps.
+    pub(crate) fn or_merge(&mut self, other: &VerticalIndex) {
+        debug_assert_eq!(self.n_letters, other.n_letters);
+        debug_assert_eq!(self.n_columns, other.n_columns);
+        debug_assert!(self.weights.is_none() && other.weights.is_none());
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// The number of columns whose pattern is a superpattern of `p`,
+    /// weighted by column weight — i.e. `p`'s frequency count.
+    pub fn count(&self, p: &LetterSet) -> u64 {
+        let mut and_ops = 0u64;
+        self.count_with(p, &mut and_ops)
+    }
+
+    /// [`Self::count`], accumulating the number of word-level AND/popcount
+    /// operations into `and_ops` (surfaced as the `vertical.and_ops`
+    /// gauge).
+    pub fn count_with(&self, p: &LetterSet, and_ops: &mut u64) -> u64 {
+        debug_assert_eq!(p.universe(), self.n_letters);
+        let letters: Vec<usize> = p.iter().collect();
+        let Some((&first, rest)) = letters.split_first() else {
+            // The empty pattern is a subpattern of every column.
+            return match &self.weights {
+                Some(ws) => ws.iter().sum(),
+                None => self.n_columns as u64,
+            };
+        };
+        let mut total = 0u64;
+        for w in 0..self.words_per_row {
+            let mut acc = self.words[first * self.words_per_row + w];
+            *and_ops += 1;
+            for &l in rest {
+                if acc == 0 {
+                    break;
+                }
+                acc &= self.words[l * self.words_per_row + w];
+                *and_ops += 1;
+            }
+            match &self.weights {
+                None => total += u64::from(acc.count_ones()),
+                Some(ws) => {
+                    let mut bits = acc;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        total += ws[w * 64 + b];
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Number of letter rows.
+    pub fn n_letters(&self) -> usize {
+        self.n_letters
+    }
+
+    /// Number of counting columns (segments, or distinct tree hits).
+    pub fn n_columns(&self) -> usize {
+        self.n_columns
+    }
+
+    /// Index size in bytes: bitmap words plus any column weights.
+    pub fn bitmap_bytes(&self) -> usize {
+        let weight_bytes = self.weights.as_ref().map_or(0, |w| w.len() * 8);
+        self.words.len() * 8 + weight_bytes
+    }
+}
+
+/// Mines all frequent partial periodic patterns of `period` in `series`
+/// with the vertical engine: scan 1 as in Algorithm 3.2, then a second
+/// scan that builds per-letter segment bitmaps instead of a max-subpattern
+/// tree, and a derivation phase of word-wide AND + popcount per candidate.
+///
+/// Exactly two scans of the series, like the hit-set miner, and the same
+/// result bit for bit — the audit cross-check enforces this.
+pub fn mine_vertical(
+    series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    mine_vertical_impl(series, None, period, config)
+}
+
+/// [`mine_vertical`] reusing a pre-built [`EncodedSeries`] cache, so
+/// callers mining several periods (or re-mining for an audit) skip the
+/// per-period merge walk over raw feature slices.
+///
+/// # Panics
+/// Panics if `encoded` does not cover exactly the instants of `series`
+/// (an internal contract: build it with [`EncodedSeries::encode`]).
+pub fn mine_vertical_encoded(
+    series: &FeatureSeries,
+    encoded: &EncodedSeries,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    assert_eq!(
+        encoded.len(),
+        series.len(),
+        "encoded cache must cover the series"
+    );
+    mine_vertical_impl(series, Some(encoded), period, config)
+}
+
+fn mine_vertical_impl(
+    series: &FeatureSeries,
+    encoded: Option<&EncodedSeries>,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    let _mine_span = ppm_observe::span("vertical.mine");
+    let guard = ResourceGuard::new(config);
+
+    // Scan 1: frequent 1-patterns and C_max (shared with the other engines).
+    let scan1 = {
+        let _span = ppm_observe::span("vertical.scan1");
+        scan_frequent_letters(series, period, config)?
+    };
+    ppm_observe::gauge("vertical.segments_total", scan1.segment_count as u64);
+    ppm_observe::gauge("vertical.f1_letters", scan1.alphabet.len() as u64);
+    let mut stats = MiningStats {
+        series_scans: 1,
+        max_level: 1,
+        ..Default::default()
+    };
+    guard.check_deadline(&stats)?;
+
+    // Scan 2: per-letter segment bitmaps instead of a tree.
+    let index = {
+        let _span = ppm_observe::span("vertical.scan2");
+        VerticalIndex::from_segments(series, encoded, &scan1, &stats, &guard)?
+    };
+    stats.series_scans += 1;
+    ppm_observe::gauge("vertical.bitmap_bytes", index.bitmap_bytes() as u64);
+
+    // Derivation: 1-letter counts from scan 1, the rest by AND + popcount.
+    let frequent = {
+        let _span = ppm_observe::span("vertical.derive");
+        derive_vertical(&index, &scan1, &mut stats)
+    };
+
+    let mut result = MiningResult {
+        period,
+        segment_count: scan1.segment_count,
+        min_confidence: config.min_confidence(),
+        min_count: scan1.min_count,
+        alphabet: scan1.alphabet,
+        frequent,
+        stats,
+    };
+    result.sort();
+    Ok(result)
+}
+
+/// The vertical derivation phase: seeds the 1-letter patterns from scan-1
+/// counts, then runs the level-wise loop against `index`. Shared by the
+/// sequential and parallel vertical miners.
+pub(crate) fn derive_vertical(
+    index: &VerticalIndex,
+    scan1: &Scan1,
+    stats: &mut MiningStats,
+) -> Vec<FrequentPattern> {
+    let n_letters = scan1.alphabet.len();
+    let mut frequent: Vec<FrequentPattern> = scan1
+        .letter_counts
+        .iter()
+        .enumerate()
+        .map(|(idx, &count)| FrequentPattern {
+            letters: LetterSet::from_indices(n_letters, [idx]),
+            count,
+        })
+        .collect();
+    let mut and_ops = 0u64;
+    derive_frequent_with(
+        |p| index.count_with(p, &mut and_ops),
+        scan1,
+        &mut frequent,
+        stats,
+    );
+    ppm_observe::gauge("vertical.and_ops", and_ops);
+    frequent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::{FeatureCatalog, FeatureId, SeriesBuilder};
+
+    use crate::error::Error;
+    use crate::pattern::Pattern;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    /// The paper's §2 example series "a{b,c}b aeb ace d", period 3.
+    fn example_series(cat: &mut FeatureCatalog) -> FeatureSeries {
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let c = cat.intern("c");
+        let e = cat.intern("e");
+        let d = cat.intern("d");
+        let mut builder = SeriesBuilder::new();
+        builder.push_instant([a]);
+        builder.push_instant([b, c]);
+        builder.push_instant([b]);
+        builder.push_instant([a]);
+        builder.push_instant([e]);
+        builder.push_instant([b]);
+        builder.push_instant([a]);
+        builder.push_instant([c]);
+        builder.push_instant([e]);
+        builder.push_instant([d]);
+        builder.finish()
+    }
+
+    fn busy_series(n: usize, features: u32) -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 7;
+        for _ in 0..n {
+            let mut inst = Vec::new();
+            for f in 0..features {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 33).is_multiple_of(2) {
+                    inst.push(fid(f));
+                }
+            }
+            b.push_instant(inst);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn mines_paper_example_identically_to_hitset() {
+        let mut cat = FeatureCatalog::new();
+        let series = example_series(&mut cat);
+        let config = MineConfig::new(0.6).unwrap();
+        let vertical = mine_vertical(&series, 3, &config).unwrap();
+        let hitset = crate::hitset::mine(&series, 3, &config).unwrap();
+        assert_eq!(vertical.frequent, hitset.frequent);
+        assert_eq!(vertical.segment_count, hitset.segment_count);
+        assert_eq!(vertical.min_count, hitset.min_count);
+        let a_star_b = Pattern::parse("a * b", &mut cat).unwrap();
+        assert_eq!(vertical.count_of(&a_star_b), Some(2));
+    }
+
+    #[test]
+    fn two_scans_and_no_tree() {
+        let series = busy_series(600, 4);
+        let result = mine_vertical(&series, 6, &MineConfig::new(0.3).unwrap()).unwrap();
+        assert_eq!(result.stats.series_scans, 2);
+        assert_eq!(result.stats.tree_nodes, 0);
+        assert_eq!(result.stats.distinct_hits, 0);
+        assert_eq!(result.stats.hit_insertions, 0);
+        assert!(result.stats.subset_tests > 0);
+    }
+
+    #[test]
+    fn matches_hitset_on_busy_series() {
+        for (n, p, conf) in [(400, 8, 0.2), (600, 6, 0.4), (900, 5, 0.6)] {
+            let series = busy_series(n, 4);
+            let config = MineConfig::new(conf).unwrap();
+            let vertical = mine_vertical(&series, p, &config).unwrap();
+            let hitset = crate::hitset::mine(&series, p, &config).unwrap();
+            assert_eq!(vertical.frequent, hitset.frequent, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn encoded_cache_changes_nothing() {
+        let series = busy_series(500, 4);
+        let encoded = EncodedSeries::encode(&series);
+        let config = MineConfig::new(0.3).unwrap();
+        let plain = mine_vertical(&series, 5, &config).unwrap();
+        let cached = mine_vertical_encoded(&series, &encoded, 5, &config).unwrap();
+        assert_eq!(plain.frequent, cached.frequent);
+        assert_eq!(plain.stats, cached.stats);
+    }
+
+    #[test]
+    fn tree_transpose_counts_like_the_walk() {
+        let series = busy_series(640, 4);
+        let config = MineConfig::new(0.2).unwrap();
+        let scan1 = scan_frequent_letters(&series, 8, &config).unwrap();
+        let mut stats = MiningStats::default();
+        let tree = crate::hitset::build_tree(&series, &scan1, &mut stats);
+        let index = VerticalIndex::from_tree(&tree);
+        assert_eq!(index.n_columns(), tree.distinct_hits());
+        // Every 2-letter candidate must count identically in all three
+        // substrates (weighted transpose, trie walk, flat scan).
+        let n = scan1.alphabet.len();
+        for i in 0..n {
+            for j in i + 1..n {
+                let p = LetterSet::from_indices(n, [i, j]);
+                let walk = tree.count_superpatterns_walk(&p);
+                assert_eq!(index.count(&p), walk, "candidate {{{i},{j}}}");
+                assert_eq!(tree.count_superpatterns_linear(&p), walk);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_index_singletons_match_scan1_counts() {
+        let series = busy_series(480, 4);
+        let config = MineConfig::new(0.25).unwrap();
+        let scan1 = scan_frequent_letters(&series, 6, &config).unwrap();
+        let index = VerticalIndex::from_segments(
+            &series,
+            None,
+            &scan1,
+            &MiningStats::default(),
+            &ResourceGuard::unlimited(),
+        )
+        .unwrap();
+        let n = scan1.alphabet.len();
+        for (i, &count) in scan1.letter_counts.iter().enumerate() {
+            let p = LetterSet::from_indices(n, [i]);
+            assert_eq!(index.count(&p), count, "letter {i}");
+        }
+        // The empty pattern matches every segment.
+        assert_eq!(index.count(&LetterSet::new(n)), scan1.segment_count as u64);
+    }
+
+    #[test]
+    fn or_merge_equals_single_pass_fill() {
+        let series = busy_series(480, 4);
+        let config = MineConfig::new(0.25).unwrap();
+        let scan1 = scan_frequent_letters(&series, 6, &config).unwrap();
+        let m = scan1.segment_count;
+        let whole = VerticalIndex::from_segments(
+            &series,
+            None,
+            &scan1,
+            &MiningStats::default(),
+            &ResourceGuard::unlimited(),
+        )
+        .unwrap();
+        let mut merged = VerticalIndex::with_columns(scan1.alphabet.len(), m);
+        for range in [0..m / 3, m / 3..m / 2, m / 2..m] {
+            let mut part = VerticalIndex::with_columns(scan1.alphabet.len(), m);
+            part.fill_segments(&series, None, &scan1.alphabet, range);
+            merged.or_merge(&part);
+        }
+        assert_eq!(merged.words, whole.words);
+    }
+
+    #[test]
+    fn zero_deadline_aborts_with_typed_error() {
+        let series = busy_series(400, 4);
+        let config = MineConfig::new(0.2)
+            .unwrap()
+            .with_deadline(std::time::Duration::ZERO);
+        let err = mine_vertical(&series, 8, &config).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn invalid_period_is_rejected() {
+        let series = busy_series(10, 2);
+        let config = MineConfig::new(0.5).unwrap();
+        assert!(matches!(
+            mine_vertical(&series, 0, &config),
+            Err(Error::InvalidPeriod { .. })
+        ));
+        assert!(matches!(
+            mine_vertical(&series, 11, &config),
+            Err(Error::InvalidPeriod { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_alphabet_short_circuits() {
+        let mut b = SeriesBuilder::new();
+        for t in 0..10u32 {
+            b.push_instant([fid(t)]);
+        }
+        let series = b.finish();
+        let result = mine_vertical(&series, 2, &MineConfig::new(0.9).unwrap()).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.stats.series_scans, 2);
+    }
+}

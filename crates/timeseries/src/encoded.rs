@@ -1,0 +1,209 @@
+//! Packed per-instant feature bitmaps: the encoded-series cache.
+//!
+//! The mining layer's second scan repeatedly asks "does instant `t`
+//! contain feature `f`?" — once per frequent letter per instant, and once
+//! per *period* when several periods are mined over the same series
+//! (Algorithm 3.4) or the audit oracle re-mines for a differential check.
+//! [`EncodedSeries`] answers that question with a single bit test: each
+//! instant's feature set is packed into `⌈width/64⌉` words, where bit `f`
+//! of the row is set iff feature id `f` occurs at the instant. Encoding
+//! costs one pass over the CSR series; every later consumer — the shared
+//! multi-period scan, the parallel miner's workers, the vertical engine —
+//! reuses the same cache instead of re-merge-walking raw feature slices.
+//!
+//! Feature ids are interned densely by the catalog, so `width` (one past
+//! the max raw id) is small in practice and a row is a handful of words;
+//! the whole cache is `len · ⌈width/64⌉ · 8` bytes, reported by
+//! [`EncodedSeries::bytes`].
+
+use crate::catalog::FeatureId;
+use crate::series::FeatureSeries;
+
+/// A series re-encoded as one fixed-width feature bitmap per instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedSeries {
+    /// Feature-id universe: max raw id + 1 (0 for an empty-feature series).
+    width: usize,
+    /// Words per instant row: `⌈width/64⌉`.
+    words_per_instant: usize,
+    /// Number of encoded instants.
+    n_instants: usize,
+    /// Row-major bitmap words, `n_instants · words_per_instant` long.
+    words: Vec<u64>,
+}
+
+impl EncodedSeries {
+    /// The bitmap width [`Self::encode`] would pick for `series`.
+    pub fn width_for(series: &FeatureSeries) -> usize {
+        series.max_feature_id().map_or(0, |f| f.index() + 1)
+    }
+
+    /// Encodes every instant of `series` in one pass.
+    pub fn encode(series: &FeatureSeries) -> Self {
+        let width = Self::width_for(series);
+        let chunk = Self::encode_range(series, 0, series.len(), width);
+        Self::from_chunks(width, series.len(), vec![chunk])
+    }
+
+    /// Encodes instants `start..end` of `series` into raw row words — the
+    /// building block for chunked parallel encoding. All chunks of one
+    /// series must share the same `width` (use [`Self::width_for`]).
+    ///
+    /// # Panics
+    /// Panics if `start..end` is not a valid instant range.
+    pub fn encode_range(
+        series: &FeatureSeries,
+        start: usize,
+        end: usize,
+        width: usize,
+    ) -> Vec<u64> {
+        assert!(start <= end && end <= series.len(), "bad encode range");
+        let wpi = width.div_ceil(64);
+        let mut words = vec![0u64; (end - start) * wpi];
+        for t in start..end {
+            let base = (t - start) * wpi;
+            for &f in series.instant(t) {
+                let idx = f.index();
+                words[base + idx / 64] |= 1u64 << (idx % 64);
+            }
+        }
+        words
+    }
+
+    /// Assembles an encoding from consecutive [`Self::encode_range`] chunks
+    /// covering instants `0..n_instants` in order.
+    ///
+    /// # Panics
+    /// Panics if the chunks don't add up to exactly `n_instants` rows.
+    pub fn from_chunks(width: usize, n_instants: usize, chunks: Vec<Vec<u64>>) -> Self {
+        let words_per_instant = width.div_ceil(64);
+        let mut words = Vec::with_capacity(n_instants * words_per_instant);
+        for chunk in chunks {
+            words.extend_from_slice(&chunk);
+        }
+        assert_eq!(
+            words.len(),
+            n_instants * words_per_instant,
+            "encoded chunks don't cover the series"
+        );
+        EncodedSeries {
+            width,
+            words_per_instant,
+            n_instants,
+            words,
+        }
+    }
+
+    /// Number of encoded instants.
+    pub fn len(&self) -> usize {
+        self.n_instants
+    }
+
+    /// Whether no instants were encoded.
+    pub fn is_empty(&self) -> bool {
+        self.n_instants == 0
+    }
+
+    /// The feature-id universe this encoding covers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Instant `t`'s feature bitmap (bit `f` set iff feature `f` occurs).
+    ///
+    /// # Panics
+    /// Panics if `t >= len()`.
+    pub fn instant_words(&self, t: usize) -> &[u64] {
+        assert!(t < self.n_instants, "instant {t} out of range");
+        &self.words[t * self.words_per_instant..(t + 1) * self.words_per_instant]
+    }
+
+    /// Whether instant `t` contains `feature`.
+    pub fn contains(&self, t: usize, feature: FeatureId) -> bool {
+        let idx = feature.index();
+        idx < self.width && self.instant_words(t)[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Cache size in bytes (the bitmap words only).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesBuilder;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn sample() -> FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        b.push_instant([fid(0), fid(2)]);
+        b.push_instant([]);
+        b.push_instant([fid(65)]);
+        b.push_instant([fid(0), fid(64), fid(65)]);
+        b.finish()
+    }
+
+    #[test]
+    fn encode_round_trips_membership() {
+        let series = sample();
+        let enc = EncodedSeries::encode(&series);
+        assert_eq!(enc.len(), series.len());
+        assert_eq!(enc.width(), 66);
+        for t in 0..series.len() {
+            for raw in 0..66u32 {
+                assert_eq!(
+                    enc.contains(t, fid(raw)),
+                    series.instant(t).contains(&fid(raw)),
+                    "instant {t} feature {raw}"
+                );
+            }
+        }
+        // Features past the width read as absent, not out of bounds.
+        assert!(!enc.contains(0, fid(1000)));
+    }
+
+    #[test]
+    fn chunked_encoding_equals_whole_series_encoding() {
+        let series = sample();
+        let width = EncodedSeries::width_for(&series);
+        let chunks = vec![
+            EncodedSeries::encode_range(&series, 0, 1, width),
+            EncodedSeries::encode_range(&series, 1, 3, width),
+            EncodedSeries::encode_range(&series, 3, 4, width),
+        ];
+        let assembled = EncodedSeries::from_chunks(width, series.len(), chunks);
+        assert_eq!(assembled, EncodedSeries::encode(&series));
+    }
+
+    #[test]
+    fn instant_words_expose_the_raw_bitmap() {
+        let enc = EncodedSeries::encode(&sample());
+        assert_eq!(enc.instant_words(0), &[0b101u64, 0]);
+        assert_eq!(enc.instant_words(1), &[0u64, 0]);
+        assert_eq!(enc.instant_words(3), &[1u64, 0b11]);
+        assert_eq!(enc.bytes(), 4 * 2 * 8);
+    }
+
+    #[test]
+    fn empty_series_encodes_to_nothing() {
+        let series = SeriesBuilder::new().finish();
+        let enc = EncodedSeries::encode(&series);
+        assert!(enc.is_empty());
+        assert_eq!(enc.width(), 0);
+        assert_eq!(enc.bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "don't cover")]
+    fn from_chunks_rejects_short_coverage() {
+        let series = sample();
+        let width = EncodedSeries::width_for(&series);
+        let chunk = EncodedSeries::encode_range(&series, 0, 2, width);
+        EncodedSeries::from_chunks(width, series.len(), vec![chunk]);
+    }
+}

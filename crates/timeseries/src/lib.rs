@@ -12,6 +12,9 @@
 //!   the mining layer works on small integers instead of strings.
 //! * [`FeatureSeries`] — a compact, immutable, CSR-encoded series of feature
 //!   sets, built through [`SeriesBuilder`].
+//! * [`EncodedSeries`] — an optional cache of per-instant feature *bitmaps*
+//!   so repeated membership probes (multi-period mining, parallel workers,
+//!   the vertical engine, audit re-mines) are single bit tests.
 //! * [`segment`] — period-segment views (`m = ⌊N/p⌋` whole segments of a
 //!   period `p`), the unit over which pattern confidence is defined.
 //! * [`storage`] — a versioned binary on-disk format plus a line-oriented
@@ -53,6 +56,7 @@
 #![forbid(unsafe_code)]
 
 mod catalog;
+mod encoded;
 mod error;
 mod series;
 
@@ -69,6 +73,7 @@ pub mod taxonomy;
 pub mod window;
 
 pub use catalog::{FeatureCatalog, FeatureId};
+pub use encoded::EncodedSeries;
 pub use error::{Error, Result};
 pub use fault::{Fault, FaultInjectingSource, FaultPlan};
 pub use quarantine::{

@@ -50,7 +50,7 @@ pub use ppm_timeseries as timeseries;
 
 pub use ppm_core::{
     apriori, audit, closed, constraints, evolution, hitset, maximal, multi, multilevel, parallel,
-    perfect, perturb, rules, stats, streaming, Algorithm, FrequentPattern, MineConfig,
+    perfect, perturb, rules, stats, streaming, vertical, Algorithm, FrequentPattern, MineConfig,
     MiningResult, Pattern, Symbol,
 };
 pub use ppm_datagen::SyntheticSpec;

@@ -8,12 +8,13 @@
 
 use partial_periodic::audit::{audit, cross_check, verify_claims, AuditMode, Violation};
 use partial_periodic::core::export::{parse_patterns_tsv, patterns_tsv};
-use partial_periodic::parallel::mine_parallel;
+use partial_periodic::parallel::{mine_parallel, mine_parallel_vertical};
 use partial_periodic::streaming::mine_hitset_streaming;
 use partial_periodic::timeseries::{
-    Fault, FaultInjectingSource, FaultPlan, MemorySource, QuarantineMode, QuarantiningSource,
-    SeriesSource,
+    EncodedSeries, Fault, FaultInjectingSource, FaultPlan, MemorySource, QuarantineMode,
+    QuarantiningSource, SeriesSource,
 };
+use partial_periodic::vertical::{mine_vertical, mine_vertical_encoded};
 use partial_periodic::{
     apriori, hitset, FeatureCatalog, FeatureId, FeatureSeries, MineConfig, MiningResult,
     SeriesBuilder,
@@ -87,6 +88,11 @@ fn honest_runs_audit_clean_for_every_engine() {
             let mut src = MemorySource::new(&series);
             assert_clean(
                 &mine_hitset_streaming(&mut src, p, &config).unwrap(),
+                &series,
+                &catalog,
+            );
+            assert_clean(
+                &mine_vertical(&series, p, &config).unwrap(),
                 &series,
                 &catalog,
             );
@@ -176,8 +182,85 @@ fn engines_cross_check_clean_on_random_series() {
         let (series, catalog) = random_series(seed, 540, 6);
         let check = cross_check(&series, 6, &MineConfig::new(0.45).unwrap(), &catalog).unwrap();
         assert!(check.agreed(), "seed {seed}: {:?}", check.report.violations);
-        assert_eq!(check.algorithms.len(), 3);
+        assert_eq!(check.algorithms.len(), 4);
     }
+}
+
+/// The vertical engine's differential suite: on every workload shape the
+/// bitmap counts must be **bit-for-bit identical** to the tree walk and to
+/// Apriori — same patterns, same counts, same thresholds.
+#[test]
+fn vertical_engine_is_bit_identical_across_workloads() {
+    let config = MineConfig::new(0.4).unwrap();
+    for seed in [3u64, 19, 31] {
+        for (instants, p) in [(240usize, 4usize), (540, 6), (90, 9)] {
+            let (series, _catalog) = random_series(seed, instants, p);
+            let baseline = hitset::mine(&series, p, &config).unwrap();
+            let apriori = apriori::mine(&series, p, &config).unwrap();
+            let vertical = mine_vertical(&series, p, &config).unwrap();
+            let encoded = EncodedSeries::encode(&series);
+            let cached = mine_vertical_encoded(&series, &encoded, p, &config).unwrap();
+            let threaded = mine_parallel_vertical(&series, p, &config, 3).unwrap();
+            for (name, result) in [
+                ("vertical", &vertical),
+                ("vertical+cache", &cached),
+                ("vertical+threads", &threaded),
+            ] {
+                assert_eq!(
+                    result.frequent, baseline.frequent,
+                    "seed {seed} p {p}: {name} vs hitset"
+                );
+                assert_eq!(
+                    result.frequent, apriori.frequent,
+                    "seed {seed} p {p}: {name} vs apriori"
+                );
+                assert_eq!(result.min_count, baseline.min_count);
+                assert_eq!(result.segment_count, baseline.segment_count);
+            }
+        }
+    }
+}
+
+/// Noise-only input (no planted structure, high threshold): typically an
+/// empty or tiny frequent set — the engines must agree on that too.
+#[test]
+fn vertical_engine_agrees_on_noise_and_empty_alphabets() {
+    let strict = MineConfig::new(0.99).unwrap();
+    let (noise, _) = random_series(77, 300, 5);
+    let baseline = hitset::mine(&noise, 5, &strict).unwrap();
+    let vertical = mine_vertical(&noise, 5, &strict).unwrap();
+    assert_eq!(vertical.frequent, baseline.frequent);
+
+    // An all-empty series has no frequent letters at all: the alphabet is
+    // empty and the derivation must short-circuit identically.
+    let mut b = SeriesBuilder::new();
+    for _ in 0..40 {
+        b.push_instant([]);
+    }
+    let empty = b.finish();
+    let baseline = hitset::mine(&empty, 5, &MineConfig::new(0.5).unwrap()).unwrap();
+    let vertical = mine_vertical(&empty, 5, &MineConfig::new(0.5).unwrap()).unwrap();
+    assert_eq!(vertical.frequent, baseline.frequent);
+    assert!(vertical.frequent.is_empty());
+    assert_eq!(vertical.alphabet.len(), 0);
+}
+
+/// The segment-count boundary: a period equal to the series length gives
+/// exactly one segment (`m = 1`, a one-word bitmap), and one past it is
+/// the same typed rejection from both engines — the vertical path must not
+/// mis-size bitmaps or accept what the tree walk rejects.
+#[test]
+fn vertical_engine_handles_the_segment_count_boundary() {
+    let (series, _) = random_series(41, 8, 4);
+    let config = MineConfig::new(0.5).unwrap();
+    let baseline = hitset::mine(&series, 8, &config).unwrap();
+    let vertical = mine_vertical(&series, 8, &config).unwrap();
+    assert_eq!(vertical.frequent, baseline.frequent);
+    assert_eq!(vertical.segment_count, 1);
+
+    let b = hitset::mine(&series, 9, &config).unwrap_err();
+    let v = mine_vertical(&series, 9, &config).unwrap_err();
+    assert_eq!(b.to_string(), v.to_string());
 }
 
 /// Decodes a result's letter sets to `(offset, feature)` pairs so patterns
