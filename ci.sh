@@ -81,6 +81,12 @@ fi
 grep -qi "checksum" "$smoke_dir/ckpt.log"
 
 echo "==> perf smoke: vertical derivation vs the tree walk (BENCH_PR4.json)"
+# Capture the committed baseline before this run overwrites it: the PR5
+# step gates the fresh vertical derive time against it (>20% = regression).
+committed_vertical_us=""
+if [ -f BENCH_PR4.json ]; then
+  committed_vertical_us="$(grep -o '"vertical_us":[0-9]*' BENCH_PR4.json | cut -d: -f2)"
+fi
 # A dense E7-style workload (long patterns, big F1) where derivation
 # dominates: the sweep mines every period vertically, races each against
 # the tree walk (--compare-tree fails on any disagreement), and the bench
@@ -99,5 +105,44 @@ if [ "$treewalk_us" -le "$vertical_us" ]; then
   echo "vertical derivation did not beat the tree walk" >&2; exit 1
 fi
 cp "$smoke_dir/BENCH_PR4.json" BENCH_PR4.json
+
+echo "==> perf smoke: columnar store + work-stealing sweep (BENCH_PR5.json)"
+# The same dense workload, round-tripped through text so the columnar
+# catalog matches what a fresh text parse would intern. One sweep run on
+# the .ppmc input produces both head-to-heads: --compare-ingest races
+# text parse+encode against the columnar open (must win by >= 5x), and
+# --workers + --bench-report races the work-stealing scheduler off one
+# shared load against the sequential per-period pipeline (must win by
+# >= 2x). The committed BENCH_PR5.json is this step's artifact.
+./target/release/ppm convert --input "$smoke_dir/dense.ppms" \
+  --out "$smoke_dir/dense.txt"
+./target/release/ppm convert --input "$smoke_dir/dense.txt" \
+  --out "$smoke_dir/dense.ppmc"
+(cd "$smoke_dir" && "$OLDPWD/target/release/ppm" sweep --input dense.ppmc \
+  --from 30 --to 39 --min-conf 0.6 --engine vertical --workers 8 \
+  --compare-ingest dense.txt --bench-report PR5 >sweep5.log)
+grep -q "work-stealing scheduler" "$smoke_dir/sweep5.log"
+text_us="$(grep -o '"text_us":[0-9]*' "$smoke_dir/BENCH_PR5.json" | cut -d: -f2)"
+columnar_us="$(grep -o '"columnar_us":[0-9]*' "$smoke_dir/BENCH_PR5.json" | cut -d: -f2)"
+scheduler_us="$(grep -o '"scheduler_us":[0-9]*' "$smoke_dir/BENCH_PR5.json" | cut -d: -f2)"
+sequential_us="$(grep -o '"sequential_us":[0-9]*' "$smoke_dir/BENCH_PR5.json" | cut -d: -f2)"
+echo "    ingest: text parse+encode ${text_us}us vs columnar open ${columnar_us}us"
+echo "    sweep:  sequential per-period ${sequential_us}us vs scheduler ${scheduler_us}us"
+if [ "$text_us" -lt $((columnar_us * 5)) ]; then
+  echo "columnar open is not >= 5x faster than text parse+encode" >&2; exit 1
+fi
+if [ "$sequential_us" -lt $((scheduler_us * 2)) ]; then
+  echo "work-stealing sweep is not >= 2x faster than the per-period pipeline" >&2; exit 1
+fi
+# Derive-regression gate: the fresh vertical derive time (measured by the
+# PR4 step above on this machine) must stay within 20% of the committed
+# baseline. Skipped on a first run with no committed BENCH_PR4.json.
+if [ -n "$committed_vertical_us" ]; then
+  echo "    derive gate: fresh ${vertical_us}us vs committed ${committed_vertical_us}us (+20% allowed)"
+  if [ "$vertical_us" -gt $((committed_vertical_us * 6 / 5)) ]; then
+    echo "vertical derive regressed >20% vs the committed BENCH_PR4.json" >&2; exit 1
+  fi
+fi
+cp "$smoke_dir/BENCH_PR5.json" BENCH_PR5.json
 
 echo "CI green."

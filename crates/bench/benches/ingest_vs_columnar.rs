@@ -1,0 +1,85 @@
+//! Text ingestion vs the columnar store: the cost of getting a series
+//! into minable (bit-packed) form. The text path pays parse + intern +
+//! encode on every open; the columnar path reads the `.ppmc` file whose
+//! byte layout *is* the encoded layout, so "ingest" is one read, one
+//! checksum pass, and one endianness-normalising copy of the word block.
+//! A `sweep` subtracts this difference once per run; a per-period
+//! pipeline without the shared load pays it once per period.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppm_timeseries::columnar::{write_columnar, ColumnarReader};
+use ppm_timeseries::storage::{parse_series, render_series};
+use ppm_timeseries::{EncodedSeries, FeatureCatalog, FeatureId, SeriesBuilder};
+
+/// A dense periodic series with `f1` planted features, sized so parse +
+/// encode dominates over file-system noise.
+fn dense_series(length: usize, period: usize, f1: usize) -> (ppm_timeseries::FeatureSeries, FeatureCatalog) {
+    let mut catalog = FeatureCatalog::new();
+    let ids: Vec<FeatureId> = (0..f1).map(|i| catalog.intern(&format!("f{i}"))).collect();
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let mut b = SeriesBuilder::new();
+    for t in 0..length {
+        let mut inst = Vec::new();
+        if t % period < f1 {
+            inst.push(ids[t % period]);
+        }
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if (x >> 60) < 6 {
+            inst.push(ids[(x >> 33) as usize % f1]);
+        }
+        b.push_instant(inst);
+    }
+    (b.finish(), catalog)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_vs_columnar");
+    for &length in &[20_000usize, 60_000] {
+        let (series, catalog) = dense_series(length, 24, 24);
+        let dir = std::env::temp_dir();
+        let txt = dir.join(format!("ppm-bench-ingest-{length}.txt"));
+        let ppmc = dir.join(format!("ppm-bench-ingest-{length}.ppmc"));
+        std::fs::write(&txt, render_series(&series, &catalog)).unwrap();
+        write_columnar(&ppmc, &series, &catalog).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("text_parse_encode", length),
+            &txt,
+            |b, path| {
+                b.iter(|| {
+                    let text = std::fs::read_to_string(path).unwrap();
+                    let mut cat = FeatureCatalog::new();
+                    let series = parse_series(&text, &mut cat).unwrap();
+                    black_box(EncodedSeries::encode(&series).bytes())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("columnar_open", length),
+            &ppmc,
+            |b, path| {
+                b.iter(|| {
+                    let reader = ColumnarReader::open(path).unwrap();
+                    black_box(reader.view().bytes())
+                })
+            },
+        );
+        std::fs::remove_file(&txt).ok();
+        std::fs::remove_file(&ppmc).ok();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_ingest
+}
+criterion_main!(benches);

@@ -10,11 +10,12 @@ use ppm_core::parallel::{mine_parallel, mine_parallel_vertical};
 use ppm_core::streaming::{mine_apriori_streaming, mine_hitset_streaming};
 use ppm_core::vertical::mine_vertical;
 use ppm_core::{mine, Algorithm, MineConfig, MiningResult, MiningStats, Pattern};
+use ppm_timeseries::columnar::ColumnarReader;
 use ppm_timeseries::storage::stream::FileSource;
 use ppm_timeseries::{
-    Fault, FaultInjectingSource, FaultPlan, FeatureCatalog, FeatureSeries, MemorySource,
-    QuarantineMode, QuarantineReport, QuarantiningSource, RetryPolicy, RetryingSource,
-    SeriesBuilder, SeriesSource,
+    EncodedSeriesView, Fault, FaultInjectingSource, FaultPlan, FeatureCatalog, FeatureSeries,
+    MemorySource, QuarantineMode, QuarantineReport, QuarantiningSource, RetryPolicy,
+    RetryingSource, SeriesBuilder, SeriesSource,
 };
 
 use crate::args::Parsed;
@@ -161,6 +162,55 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
         }
         print_result(&result, &catalog, period, min_conf, limit, out)?;
         return Ok(Some(result.stats));
+    }
+
+    // Columnar fast path: a `.ppmc` file's bytes *are* the bitmap rows, so
+    // the view-backed engines mine straight off the load with no series
+    // materialized. Modes that need raw instants (quarantine, maximal,
+    // closed, constraints) fall through to the materializing path below.
+    let needs_instants = quarantine
+        || strict
+        || args.switch("maximal")
+        || args.switch("closed")
+        || args.switch("offsets")
+        || args.switch("max-letters");
+    if super::format_of(input) == super::Format::Columnar && !needs_instants {
+        let threads: usize = args.parsed_or("threads", 1)?;
+        let viewable =
+            matches!(algorithm, "hitset" | "apriori") || (algorithm == "vertical" && threads <= 1);
+        if viewable {
+            let reader = ColumnarReader::open(input)?;
+            let view = reader.view();
+            let result = match algorithm {
+                "apriori" => ppm_core::apriori::mine_view(view, period, &config),
+                "vertical" => ppm_core::vertical::mine_vertical_view(view, period, &config),
+                _ => ppm_core::hitset::mine_view(view, period, &config),
+            };
+            let mut result = report_if_aborted(result, out)?;
+            if let Some(idx) = perturb {
+                if idx >= result.frequent.len() {
+                    return Err(CliError::Usage(format!(
+                        "--perturb-count {idx}: result has only {} patterns",
+                        result.frequent.len()
+                    )));
+                }
+                result.frequent[idx].count += 1;
+                writeln!(out, "perturbed pattern #{idx}: count bumped by 1")?;
+            }
+            if args.switch("tsv") {
+                write!(
+                    out,
+                    "{}",
+                    ppm_core::export::patterns_tsv(&result, reader.catalog())
+                )?;
+                return Ok(Some(result.stats));
+            }
+            print_result(&result, reader.catalog(), period, min_conf, limit, out)?;
+            if let Some(mode) = audit_mode {
+                run_audit_view(view, &result, reader.catalog(), period, &config, mode, out)?;
+            }
+            return Ok(Some(result.stats));
+        }
     }
 
     let (series, catalog) = super::load_series(input)?;
@@ -388,8 +438,43 @@ fn run_audit(
     mode: AuditMode,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let mut report = audit::audit(series, result, catalog, mode)?;
+    let report = audit::audit(series, result, catalog, mode)?;
     let check = audit::cross_check(series, period, config, catalog)?;
+    finish_audit(report, check, out)
+}
+
+/// [`run_audit`] for a result mined off a borrowed columnar view: the
+/// cross-engine diff runs straight off the packed rows
+/// ([`audit::cross_check_view`] — hit-set, Apriori, vertical); the recount
+/// oracle needs raw instants, so the view is rebuilt into a series just
+/// for that check.
+fn run_audit_view(
+    view: EncodedSeriesView<'_>,
+    result: &MiningResult,
+    catalog: &FeatureCatalog,
+    period: usize,
+    config: &MineConfig,
+    mode: AuditMode,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut builder = SeriesBuilder::new();
+    for t in 0..view.len() {
+        builder.push_instant(view.features_at(t));
+    }
+    let series = builder.finish();
+    let report = audit::audit(&series, result, catalog, mode)?;
+    let check = audit::cross_check_view(view, period, config, catalog)?;
+    finish_audit(report, check, out)
+}
+
+/// Shared audit reporting: prints the cross-check verdict and the merged
+/// summary, then fails loudly ([`CliError::Audit`], exit code 1) on any
+/// violation.
+fn finish_audit(
+    mut report: ppm_core::audit::AuditReport,
+    check: ppm_core::audit::CrossCheck,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     writeln!(
         out,
         "cross-check: {} engines on {} patterns — {}",
@@ -963,6 +1048,76 @@ mod tests {
             .unwrap_err();
             assert_eq!(err.exit_code(), 2, "{extra}: {err}");
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn columnar_input_mines_identically_on_every_view_engine() {
+        let ppms = sample_series_file("ppms");
+        let ppmc = sample_series_file("ppmc");
+        for engine in ["hitset", "apriori", "vertical"] {
+            let from_binary = run_cli(&format!(
+                "mine --input {} --period 3 --min-conf 0.6 --engine {engine}",
+                ppms.display()
+            ))
+            .unwrap();
+            let from_columnar = run_cli(&format!(
+                "mine --input {} --period 3 --min-conf 0.6 --engine {engine}",
+                ppmc.display()
+            ))
+            .unwrap();
+            assert_eq!(from_binary, from_columnar, "{engine}");
+        }
+        std::fs::remove_file(ppms).ok();
+        std::fs::remove_file(ppmc).ok();
+    }
+
+    #[test]
+    fn columnar_audit_runs_the_view_oracle() {
+        let path = sample_series_file("ppmc");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --audit full",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("cross-check: 3 engines"), "{text}");
+        assert!(text.contains("audit: clean"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn columnar_audit_catches_a_perturbed_count() {
+        let path = sample_series_file("ppmc");
+        let argv: Vec<String> = format!(
+            "mine --input {} --period 3 --min-conf 0.6 --audit full --perturb-count 0",
+            path.display()
+        )
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+        let mut out = Vec::new();
+        let err = crate::run(&argv, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("count mismatch"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn columnar_input_materializes_for_instant_modes() {
+        let path = sample_series_file("ppmc");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --maximal",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("maximal patterns"), "{text}");
+        let text = run_cli(&format!(
+            "mine --input {} --period 3 --min-conf 0.6 --quarantine",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("quarantined 0 instants"), "{text}");
         std::fs::remove_file(path).ok();
     }
 

@@ -13,6 +13,7 @@ pub mod verify;
 use std::path::Path;
 
 use ppm_core::MineConfig;
+use ppm_timeseries::columnar::{self, ColumnarReader};
 use ppm_timeseries::storage::{self, stream};
 use ppm_timeseries::{FeatureCatalog, FeatureSeries};
 
@@ -59,6 +60,24 @@ pub enum Format {
     Binary,
     /// Record-streaming binary (`.ppmstream`).
     Stream,
+    /// Columnar bitmap store (`.ppmc`) — the on-disk layout *is* the
+    /// encoded-series layout, so miners borrow the loaded words directly.
+    Columnar,
+}
+
+impl Format {
+    /// Parses an explicit format name (the `convert --to` values).
+    pub fn parse(name: &str) -> Result<Format, CliError> {
+        match name {
+            "text" => Ok(Format::Text),
+            "binary" => Ok(Format::Binary),
+            "stream" => Ok(Format::Stream),
+            "columnar" => Ok(Format::Columnar),
+            other => Err(CliError::Usage(format!(
+                "unknown format `{other}` (expected text, binary, stream, or columnar)"
+            ))),
+        }
+    }
 }
 
 /// Detects the format of `path` from its extension.
@@ -66,6 +85,7 @@ pub fn format_of(path: &str) -> Format {
     match Path::new(path).extension().and_then(|e| e.to_str()) {
         Some(ext) if ext.eq_ignore_ascii_case("txt") => Format::Text,
         Some(ext) if ext.eq_ignore_ascii_case("ppmstream") => Format::Stream,
+        Some(ext) if ext.eq_ignore_ascii_case("ppmc") => Format::Columnar,
         _ => Format::Binary,
     }
 }
@@ -87,6 +107,12 @@ pub fn load_series(path: &str) -> Result<(FeatureSeries, FeatureCatalog), CliErr
             let catalog = source.catalog().clone();
             Ok((series, catalog))
         }
+        Format::Columnar => {
+            let reader = ColumnarReader::open(path)?;
+            let series = reader.to_series();
+            let catalog = reader.catalog().clone();
+            Ok((series, catalog))
+        }
     }
 }
 
@@ -96,7 +122,18 @@ pub fn save_series(
     series: &FeatureSeries,
     catalog: &FeatureCatalog,
 ) -> Result<(), CliError> {
-    match format_of(path) {
+    save_series_as(path, format_of(path), series, catalog)
+}
+
+/// Saves a series to `path` in an explicitly chosen format, regardless of
+/// the path's extension (the `convert --to` escape hatch).
+pub fn save_series_as(
+    path: &str,
+    format: Format,
+    series: &FeatureSeries,
+    catalog: &FeatureCatalog,
+) -> Result<(), CliError> {
+    match format {
         Format::Text => {
             std::fs::write(path, storage::render_series(series, catalog))?;
             Ok(())
@@ -107,6 +144,10 @@ pub fn save_series(
         }
         Format::Stream => {
             stream::StreamWriter::create(path, catalog)?.write_series(series)?;
+            Ok(())
+        }
+        Format::Columnar => {
+            columnar::write_columnar(path, series, catalog)?;
             Ok(())
         }
     }
@@ -157,7 +198,7 @@ pub(crate) mod testutil {
 
     #[test]
     fn all_formats_round_trip_through_helpers() {
-        for ext in ["txt", "ppms", "ppmstream"] {
+        for ext in ["txt", "ppms", "ppmstream", "ppmc"] {
             let path = sample_series_file(ext);
             let (series, catalog) = load_series(path.to_str().unwrap()).unwrap();
             assert_eq!(series.len(), 90, "{ext}");
@@ -172,6 +213,16 @@ pub(crate) mod testutil {
         assert_eq!(format_of("a.TXT"), Format::Text);
         assert_eq!(format_of("a.ppms"), Format::Binary);
         assert_eq!(format_of("a.ppmstream"), Format::Stream);
+        assert_eq!(format_of("a.ppmc"), Format::Columnar);
         assert_eq!(format_of("noext"), Format::Binary);
+    }
+
+    #[test]
+    fn explicit_format_names_parse() {
+        assert_eq!(Format::parse("text").unwrap(), Format::Text);
+        assert_eq!(Format::parse("binary").unwrap(), Format::Binary);
+        assert_eq!(Format::parse("stream").unwrap(), Format::Stream);
+        assert_eq!(Format::parse("columnar").unwrap(), Format::Columnar);
+        assert_eq!(Format::parse("parquet").unwrap_err().exit_code(), 2);
     }
 }

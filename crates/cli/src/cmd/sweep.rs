@@ -1,5 +1,11 @@
 //! `ppm sweep` — multi-period mining over a range (Algs 3.3/3.4).
 //!
+//! Every engine shares **one** encode/load: columnar (`.ppmc`) input opens
+//! straight into the bitmap rows; other formats are bit-packed once and
+//! every period mines from that borrowed view. `--workers N` replaces the
+//! per-period loop with the work-stealing scheduler
+//! ([`ppm_core::multi::mine_periods_scheduled`]).
+//!
 //! With `--checkpoint FILE` the sweep mines one period at a time (the
 //! looping strategy of Alg 3.3), records each completed period in the
 //! checkpoint, and on a rerun resumes without re-mining anything already
@@ -8,12 +14,17 @@
 //! the checkpoint instead of the whole run dying.
 
 use std::io::Write;
+use std::time::Instant;
 
-use ppm_core::multi::{mine_periods_looping, mine_periods_shared, PeriodRange};
-use ppm_core::vertical::mine_vertical_encoded;
+use ppm_core::multi::{
+    mine_periods_looping_view, mine_periods_scheduled, mine_periods_shared_view, MultiPeriodResult,
+    PeriodRange, SweepEngine,
+};
+use ppm_core::vertical::{mine_vertical, mine_vertical_view};
 use ppm_core::{hitset, Algorithm, MineConfig, StatsRollup};
 use ppm_observe::Json;
-use ppm_timeseries::{EncodedSeries, FeatureSeries};
+use ppm_timeseries::columnar::ColumnarReader;
+use ppm_timeseries::{storage, EncodedSeries, EncodedSeriesView, FeatureCatalog, FeatureSeries};
 
 use crate::args::Parsed;
 use crate::checkpoint::{PeriodRow, SweepCheckpoint};
@@ -67,10 +78,44 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
 /// What a sweep reports upward: the cross-period stats rollup plus the
 /// number of *physical* series scans — for shared mining that is 2, while
 /// the rollup's `total.series_scans` sums every period's logical count.
+/// The optional comparison records land in the bench report.
 #[derive(Clone)]
 struct SweepOutcome {
     rollup: StatsRollup,
     physical_scans: usize,
+    sweep_compare: Option<SweepCompare>,
+    ingest_compare: Option<IngestCompare>,
+}
+
+impl SweepOutcome {
+    fn new(rollup: StatsRollup, physical_scans: usize) -> Self {
+        SweepOutcome {
+            rollup,
+            physical_scans,
+            sweep_compare: None,
+            ingest_compare: None,
+        }
+    }
+}
+
+/// The scheduler-vs-sequential head-to-head (`--workers N --bench-report`):
+/// one shared load feeding the work-stealing pool against the honest
+/// per-period baseline that loads and encodes from scratch for every
+/// period, exactly as a standalone `mine` per period would.
+#[derive(Clone)]
+struct SweepCompare {
+    scheduler_us: u64,
+    sequential_us: u64,
+    workers: usize,
+}
+
+/// The ingest head-to-head (`--compare-ingest TEXTFILE`): text parse +
+/// bit-pack against a columnar open that loads the rows as they sit on
+/// disk. The two encodings are asserted bit-identical before timing wins.
+#[derive(Clone)]
+struct IngestCompare {
+    text_us: u64,
+    columnar_us: u64,
 }
 
 /// The sweep body; returns the rollup and scan count for the metrics
@@ -100,13 +145,32 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<SweepOutcome, CliErro
                 .into(),
         ));
     }
+    let workers: usize = if args.switch("workers") {
+        let w: usize = args.required_parsed("workers")?;
+        if w == 0 {
+            return Err(CliError::Usage("--workers must be at least 1".into()));
+        }
+        w
+    } else {
+        1
+    };
+    if workers > 1 {
+        for flag in ["checkpoint", "compare-tree", "looping"] {
+            if args.switch(flag) {
+                return Err(CliError::Usage(format!(
+                    "--workers runs the work-stealing scheduler; it does not \
+                     combine with --{flag}"
+                )));
+            }
+        }
+    }
 
-    let (series, _catalog) = super::load_series(input)?;
     let config = super::apply_guards(args, MineConfig::new(min_conf)?)?;
     let range = PeriodRange::new(from, to)?;
 
     if args.switch("checkpoint") {
         let checkpoint_path = args.required("checkpoint")?;
+        let (series, _catalog) = super::load_series(input)?;
         return run_checkpointed(
             input,
             from,
@@ -119,35 +183,72 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<SweepOutcome, CliErro
         );
     }
 
-    if engine == "vertical" {
-        return run_vertical(args, &series, range, &config, from, to, min_conf, out);
-    }
-
-    let (result, how) = if engine == "apriori" {
-        (
-            mine_periods_looping(&series, range, &config, Algorithm::Apriori)?,
-            "looping Apriori, Alg 3.3/3.1",
-        )
-    } else if args.switch("looping") {
-        (
-            mine_periods_looping(&series, range, &config, Algorithm::HitSet)?,
-            "looping, Alg 3.3",
-        )
-    } else {
-        (
-            mine_periods_shared(&series, range, &config)?,
-            "shared, Alg 3.4",
-        )
+    // One-time encode/load shared by EVERY engine: a columnar file opens
+    // straight into the bitmap rows (the on-disk layout is the encoded
+    // layout); any other format is materialized and bit-packed exactly
+    // once, here, never again per period.
+    let reader_slot;
+    let encoded_slot;
+    let view: EncodedSeriesView<'_> = match super::format_of(input) {
+        super::Format::Columnar => {
+            reader_slot = ColumnarReader::open(input)?;
+            reader_slot.view()
+        }
+        _ => {
+            let (series, _catalog) = super::load_series(input)?;
+            encoded_slot = EncodedSeries::encode(&series);
+            encoded_slot.view()
+        }
     };
 
-    writeln!(
-        out,
-        "periods {from}..={to}, min_conf {min_conf}, {} total series scans \
-         ({how}):",
-        result.total_scans,
-    )?;
+    let ingest_compare = if args.switch("compare-ingest") {
+        Some(run_ingest_compare(args, input, out)?)
+    } else {
+        None
+    };
+
+    let mut outcome = if workers > 1 {
+        run_scheduled(
+            args, input, view, range, &config, engine, workers, from, to, min_conf, out,
+        )?
+    } else if engine == "vertical" {
+        run_vertical(args, view, range, &config, from, to, min_conf, out)?
+    } else {
+        let (result, how) = if engine == "apriori" {
+            (
+                mine_periods_looping_view(view, range, &config, Algorithm::Apriori)?,
+                "looping Apriori, Alg 3.3/3.1",
+            )
+        } else if args.switch("looping") {
+            (
+                mine_periods_looping_view(view, range, &config, Algorithm::HitSet)?,
+                "looping, Alg 3.3",
+            )
+        } else {
+            (
+                mine_periods_shared_view(view, range, &config)?,
+                "shared, Alg 3.4",
+            )
+        };
+
+        writeln!(
+            out,
+            "periods {from}..={to}, min_conf {min_conf}, {} total series scans \
+             ({how}):",
+            result.total_scans,
+        )?;
+        let (rollup, rows) = tabulate(&result);
+        print_table(&rows, out)?;
+        SweepOutcome::new(rollup, result.total_scans)
+    };
+    outcome.ingest_compare = ingest_compare;
+    Ok(outcome)
+}
+
+/// Folds a multi-period result into the stats rollup and the report rows.
+fn tabulate(result: &MultiPeriodResult) -> (StatsRollup, Vec<PeriodRow>) {
     let mut rollup = StatsRollup::new();
-    let rows: Vec<PeriodRow> = result
+    let rows = result
         .results
         .iter()
         .map(|r| {
@@ -161,23 +262,199 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<SweepOutcome, CliErro
             }
         })
         .collect();
+    (rollup, rows)
+}
+
+/// The `--workers N` path: the whole range is mined by the work-stealing
+/// scheduler off the shared view. With `--bench-report` the sequential
+/// per-period baseline (fresh load + encode + mine per period, exactly the
+/// standalone `mine` pipeline) runs afterwards; its results must be
+/// bit-identical and the wall-clock head-to-head lands in `sweep_compare`.
+#[allow(clippy::too_many_arguments)]
+fn run_scheduled(
+    args: &Parsed,
+    input: &str,
+    view: EncodedSeriesView<'_>,
+    range: PeriodRange,
+    config: &MineConfig,
+    engine: &str,
+    workers: usize,
+    from: usize,
+    to: usize,
+    min_conf: f64,
+    out: &mut dyn Write,
+) -> Result<SweepOutcome, CliError> {
+    let sweep_engine = match engine {
+        "apriori" => SweepEngine::Apriori,
+        "vertical" => SweepEngine::Vertical,
+        _ => SweepEngine::HitSet,
+    };
+    let start = Instant::now();
+    let result = mine_periods_scheduled(view, range, config, sweep_engine, workers)?;
+    let scheduler_us = start.elapsed().as_micros() as u64;
+
+    let sweep_compare = if args.switch("bench-report") {
+        let start = Instant::now();
+        let baseline = sequential_baseline(input, range, config, engine)?;
+        let sequential_us = start.elapsed().as_micros() as u64;
+        if baseline.results.len() != result.results.len() {
+            return Err(CliError::Audit(format!(
+                "scheduler mined {} periods, sequential baseline {}",
+                result.results.len(),
+                baseline.results.len()
+            )));
+        }
+        for (a, b) in result.results.iter().zip(&baseline.results) {
+            if a.period != b.period || a.frequent != b.frequent {
+                return Err(CliError::Audit(format!(
+                    "scheduler and sequential baseline disagree at period {} \
+                     ({} vs {} patterns)",
+                    a.period,
+                    a.len(),
+                    b.len()
+                )));
+            }
+        }
+        writeln!(
+            out,
+            "sweep compare: scheduler {scheduler_us} us ({workers} workers, one shared load) \
+             vs sequential per-period {sequential_us} us ({:.2}x)",
+            sequential_us as f64 / scheduler_us.max(1) as f64
+        )?;
+        Some(SweepCompare {
+            scheduler_us,
+            sequential_us,
+            workers,
+        })
+    } else {
+        None
+    };
+
+    writeln!(
+        out,
+        "periods {from}..={to}, min_conf {min_conf}, {} total series scans \
+         (work-stealing scheduler, {workers} workers):",
+        result.total_scans,
+    )?;
+    let (rollup, rows) = tabulate(&result);
     print_table(&rows, out)?;
-    Ok(SweepOutcome {
-        rollup,
-        physical_scans: result.total_scans,
+    let mut outcome = SweepOutcome::new(rollup, result.total_scans);
+    outcome.sweep_compare = sweep_compare;
+    Ok(outcome)
+}
+
+/// The honest sequential baseline for `sweep_compare`: every period pays
+/// the full standalone pipeline — load the input, (re-)encode, mine — the
+/// cost an operator pays running `mine` once per period. Skips periods
+/// longer than the series like every sweep does.
+fn sequential_baseline(
+    input: &str,
+    range: PeriodRange,
+    config: &MineConfig,
+    engine: &str,
+) -> Result<MultiPeriodResult, CliError> {
+    let mut results = Vec::new();
+    let mut total_scans = 0;
+    for period in range.iter() {
+        let (series, _catalog) = super::load_series(input)?;
+        if period > series.len() {
+            continue;
+        }
+        let r = match engine {
+            "apriori" => ppm_core::mine(&series, period, config, Algorithm::Apriori)?,
+            "vertical" => mine_vertical(&series, period, config)?,
+            _ => ppm_core::mine(&series, period, config, Algorithm::HitSet)?,
+        };
+        total_scans += r.stats.series_scans;
+        results.push(r);
+    }
+    Ok(MultiPeriodResult {
+        results,
+        total_scans,
     })
 }
 
-/// A vertical-engine sweep: the series is bit-packed once into an
-/// [`EncodedSeries`] and every period is mined columnarly from that cache
-/// ([`mine_vertical_encoded`]). With `--compare-tree` each period is also
-/// mined with the hit-set tree walk and the two frequent sets are diffed —
-/// a disagreement is a verification failure, and a bench report captures
-/// both engines' `*.derive` phases for the speedup line.
+/// The `--compare-ingest TEXTFILE` head-to-head (columnar input only):
+/// parse + bit-pack the text twin, then open the columnar store, assert
+/// the two encodings bit-identical, and report both wall-clocks.
+fn run_ingest_compare(
+    args: &Parsed,
+    input: &str,
+    out: &mut dyn Write,
+) -> Result<IngestCompare, CliError> {
+    if super::format_of(input) != super::Format::Columnar {
+        return Err(CliError::Usage(
+            "--compare-ingest races text ingestion against a columnar open; \
+             the sweep input must be a .ppmc file"
+                .into(),
+        ));
+    }
+    let text_path = args.required("compare-ingest")?;
+    if super::format_of(text_path) != super::Format::Text {
+        return Err(CliError::Usage(
+            "--compare-ingest expects the text (.txt) twin of the columnar input".into(),
+        ));
+    }
+
+    // Best-of-3 per side: a single shot on a busy machine measures the
+    // scheduler's mood, not the ingest path. The minimum is the honest
+    // steady-state cost of each pipeline.
+    let mut text_us = u64::MAX;
+    let mut encoded = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let text = std::fs::read_to_string(text_path)?;
+        let mut catalog = FeatureCatalog::new();
+        let series = storage::parse_series(&text, &mut catalog)?;
+        let round = EncodedSeries::encode(&series);
+        text_us = text_us.min(start.elapsed().as_micros() as u64);
+        encoded = Some(round);
+    }
+    let encoded = encoded.expect("three ingest rounds ran");
+
+    let mut columnar_us = u64::MAX;
+    let mut reader = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let round = ColumnarReader::open(input)?;
+        columnar_us = columnar_us.min(start.elapsed().as_micros() as u64);
+        reader = Some(round);
+    }
+    let reader = reader.expect("three columnar opens ran");
+
+    let fresh = encoded.view();
+    let opened = reader.view();
+    let identical = fresh.len() == opened.len()
+        && fresh.width() == opened.width()
+        && (0..fresh.len()).all(|t| fresh.instant_words(t) == opened.instant_words(t));
+    if !identical {
+        return Err(CliError::Audit(format!(
+            "--compare-ingest: {text_path} does not encode bit-identically to {input}"
+        )));
+    }
+    writeln!(
+        out,
+        "ingest compare: text parse+encode {text_us} us vs columnar open {columnar_us} us \
+         ({:.2}x)",
+        text_us as f64 / columnar_us.max(1) as f64
+    )?;
+    Ok(IngestCompare {
+        text_us,
+        columnar_us,
+    })
+}
+
+/// A vertical-engine sweep: every period is mined columnarly from the
+/// shared bitmap view ([`mine_vertical_view`]) — one encode or one
+/// columnar load for the whole range. With `--compare-tree` each period is
+/// also mined with the hit-set tree walk off the same view and the two
+/// frequent sets are diffed — a disagreement is a verification failure,
+/// and a bench report captures both engines' `*.derive` phases for the
+/// speedup line.
 #[allow(clippy::too_many_arguments)]
 fn run_vertical(
     args: &Parsed,
-    series: &FeatureSeries,
+    view: EncodedSeriesView<'_>,
     range: PeriodRange,
     config: &MineConfig,
     from: usize,
@@ -186,13 +463,12 @@ fn run_vertical(
     out: &mut dyn Write,
 ) -> Result<SweepOutcome, CliError> {
     let compare = args.switch("compare-tree");
-    let encoded = EncodedSeries::encode(series);
     let mut rollup = StatsRollup::new();
     let mut rows = Vec::new();
-    for period in range.iter().filter(|&p| p <= series.len()) {
-        let result = mine_vertical_encoded(series, &encoded, period, config)?;
+    for period in range.iter().filter(|&p| p <= view.len()) {
+        let result = mine_vertical_view(view, period, config)?;
         if compare {
-            let tree = hitset::mine(series, period, config)?;
+            let tree = hitset::mine_view(view, period, config)?;
             if result.frequent != tree.frequent {
                 return Err(CliError::Audit(format!(
                     "vertical and tree-walk derivations disagree at period {period} \
@@ -219,10 +495,7 @@ fn run_vertical(
         if compare { ", tree cross-checked" } else { "" }
     )?;
     print_table(&rows, out)?;
-    Ok(SweepOutcome {
-        rollup,
-        physical_scans: total_scans,
-    })
+    Ok(SweepOutcome::new(rollup, total_scans))
 }
 
 /// Writes `BENCH_<name>.json`: a machine-readable benchmark record with a
@@ -283,6 +556,37 @@ fn write_bench_report(
             .find(|p| p.name == name)
             .map(|p| p.total_us)
     };
+    if let Some(sc) = &sweep.sweep_compare {
+        let speedup = if sc.scheduler_us > 0 {
+            sc.sequential_us as f64 / sc.scheduler_us as f64
+        } else {
+            0.0
+        };
+        fields.push((
+            "sweep_compare".to_owned(),
+            Json::Obj(vec![
+                ("scheduler_us".to_owned(), Json::from_u64(sc.scheduler_us)),
+                ("sequential_us".to_owned(), Json::from_u64(sc.sequential_us)),
+                ("speedup".to_owned(), Json::Num(speedup)),
+                ("workers".to_owned(), Json::from_usize(sc.workers)),
+            ]),
+        ));
+    }
+    if let Some(ic) = &sweep.ingest_compare {
+        let speedup = if ic.columnar_us > 0 {
+            ic.text_us as f64 / ic.columnar_us as f64
+        } else {
+            0.0
+        };
+        fields.push((
+            "ingest_compare".to_owned(),
+            Json::Obj(vec![
+                ("text_us".to_owned(), Json::from_u64(ic.text_us)),
+                ("columnar_us".to_owned(), Json::from_u64(ic.columnar_us)),
+                ("speedup".to_owned(), Json::Num(speedup)),
+            ]),
+        ));
+    }
     if let (Some(vertical_us), Some(treewalk_us)) =
         (phase_us("vertical.derive"), phase_us("hitset.derive"))
     {
@@ -408,6 +712,7 @@ fn run_checkpointed(
     )?;
     print_table(&checkpoint.rows, out)?;
 
+    let outcome = SweepOutcome::new(rollup, total_scans);
     match aborted {
         Some(e) => {
             // Persist the header even if no period completed, so the rerun
@@ -429,10 +734,7 @@ fn run_checkpointed(
             )?;
         }
     }
-    Ok(SweepOutcome {
-        rollup,
-        physical_scans: total_scans,
-    })
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -755,6 +1057,159 @@ mod tests {
             assert_eq!(err.exit_code(), 2, "{extra}: {err}");
         }
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn columnar_sweep_matches_binary_sweep_on_every_engine() {
+        let ppms = sample_series_file("ppms");
+        let ppmc = sample_series_file("ppmc");
+        for extra in ["", "--engine vertical", "--engine apriori", "--looping"] {
+            let from_binary = run_cli(&format!(
+                "sweep --input {} --from 2 --to 6 --min-conf 0.6 {extra}",
+                ppms.display()
+            ))
+            .unwrap();
+            let from_columnar = run_cli(&format!(
+                "sweep --input {} --from 2 --to 6 --min-conf 0.6 {extra}",
+                ppmc.display()
+            ))
+            .unwrap();
+            assert_eq!(from_binary, from_columnar, "{extra}");
+        }
+        std::fs::remove_file(ppms).ok();
+        std::fs::remove_file(ppmc).ok();
+    }
+
+    #[test]
+    fn workers_sweep_matches_the_sequential_table() {
+        let path = sample_series_file("ppms");
+        for engine in ["hitset", "apriori", "vertical"] {
+            let sequential = run_cli(&format!(
+                "sweep --input {} --from 2 --to 6 --min-conf 0.6 --engine {engine} --looping",
+                path.display()
+            ));
+            // --looping is hitset-only; use the engine's own sequential path.
+            let sequential = match sequential {
+                Ok(s) => s,
+                Err(_) => run_cli(&format!(
+                    "sweep --input {} --from 2 --to 6 --min-conf 0.6 --engine {engine}",
+                    path.display()
+                ))
+                .unwrap(),
+            };
+            let scheduled = run_cli(&format!(
+                "sweep --input {} --from 2 --to 6 --min-conf 0.6 --engine {engine} --workers 3",
+                path.display()
+            ))
+            .unwrap();
+            assert!(
+                scheduled.contains("work-stealing scheduler, 3 workers"),
+                "{scheduled}"
+            );
+            let table = |s: &str| {
+                s.lines()
+                    .skip_while(|l| !l.contains("patterns"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(table(&sequential), table(&scheduled), "{engine}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn workers_flag_combinations_are_usage_errors() {
+        let path = sample_series_file("ppms");
+        let ckpt = temp_path("sweep-workers-ckpt", "ckpt");
+        for extra in [
+            "--workers 2 --looping".to_owned(),
+            format!("--workers 2 --checkpoint {}", ckpt.display()),
+            "--workers 2 --engine vertical --compare-tree".to_owned(),
+            "--workers 0".to_owned(),
+            "--workers".to_owned(),
+        ] {
+            let err = run_cli(&format!(
+                "sweep --input {} --from 2 --to 6 --min-conf 0.6 {extra}",
+                path.display()
+            ))
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{extra}: {err}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn workers_bench_report_records_the_sweep_compare() {
+        use ppm_observe::Json;
+
+        let path = sample_series_file("ppmc");
+        let name = format!("test-workers-{}", std::process::id());
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 \
+             --engine vertical --workers 2 --bench-report {name}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(text.contains("sweep compare: scheduler"), "{text}");
+        let report = format!("BENCH_{name}.json");
+        let doc = Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let compare = doc.get("sweep_compare").unwrap();
+        assert!(compare.get("scheduler_us").unwrap().as_u64().is_some());
+        assert!(compare.get("sequential_us").unwrap().as_u64().is_some());
+        assert!(compare.get("speedup").unwrap().as_f64().is_some());
+        assert_eq!(compare.get("workers").unwrap().as_u64(), Some(2));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(report).ok();
+    }
+
+    #[test]
+    fn compare_ingest_races_text_against_columnar() {
+        use ppm_observe::Json;
+
+        let txt = sample_series_file("txt");
+        let ppmc = temp_path("sweep-ingest", "ppmc");
+        run_cli(&format!(
+            "convert --input {} --out {}",
+            txt.display(),
+            ppmc.display()
+        ))
+        .unwrap();
+        let name = format!("test-ingest-{}", std::process::id());
+        let text = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --engine vertical \
+             --compare-ingest {} --bench-report {name}",
+            ppmc.display(),
+            txt.display()
+        ))
+        .unwrap();
+        assert!(text.contains("ingest compare: text parse+encode"), "{text}");
+        let report = format!("BENCH_{name}.json");
+        let doc = Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let compare = doc.get("ingest_compare").unwrap();
+        assert!(compare.get("text_us").unwrap().as_u64().is_some());
+        assert!(compare.get("columnar_us").unwrap().as_u64().is_some());
+        assert!(compare.get("speedup").unwrap().as_f64().is_some());
+        // The columnar load feeds the mmap-bytes gauge into the report.
+        let gauges = doc.get("gauges").unwrap();
+        assert!(gauges.get("columnar.mmap_bytes").is_some(), "{doc:?}");
+        std::fs::remove_file(txt).ok();
+        std::fs::remove_file(ppmc).ok();
+        std::fs::remove_file(report).ok();
+    }
+
+    #[test]
+    fn compare_ingest_requires_columnar_input() {
+        let ppms = sample_series_file("ppms");
+        let txt = sample_series_file("txt");
+        let err = run_cli(&format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --compare-ingest {}",
+            ppms.display(),
+            txt.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(ppms).ok();
+        std::fs::remove_file(txt).ok();
     }
 
     #[test]

@@ -155,6 +155,21 @@ mod tests {
     }
 
     #[test]
+    fn columnar_input_verifies() {
+        let input = sample_series_file("ppmc");
+        let claims = export_tsv(&input);
+        let text = run_cli(&format!(
+            "verify --input {} --patterns {} --period 3 --min-conf 0.6",
+            input.display(),
+            claims.display()
+        ))
+        .unwrap();
+        assert!(text.contains("verify: clean"), "{text}");
+        std::fs::remove_file(input).ok();
+        std::fs::remove_file(claims).ok();
+    }
+
+    #[test]
     fn missing_flags_are_usage_errors() {
         let err = run_cli("verify --input x.ppms --period 3").unwrap_err();
         assert_eq!(err.exit_code(), 2);

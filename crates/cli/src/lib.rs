@@ -73,17 +73,22 @@ USAGE:
                [--sample [N]]
   ppm sweep    --input FILE --from P1 --to P2 --min-conf C [--looping]
                [--engine hitset|apriori|vertical] [--compare-tree]
+               [--workers N] [--compare-ingest FILE.txt]
                [--checkpoint FILE] [--deadline-ms MS] [--max-tree-nodes N]
                [--trace] [--metrics-out FILE] [--bench-report NAME]
   ppm perfect  --input FILE --from P1 --to P2
   ppm rules    --input FILE --period P --min-conf C [--min-rule-conf R] [--tsv]
   ppm evolve   --input FILE --period P --min-conf C --window W [--stride S]
   ppm convert  --input FILE --out FILE [--salvage]
+               [--to text|binary|stream|columnar]
   ppm help
 
 Series files by extension: .ppms (block binary, checksummed), .ppmstream
 (record streaming, minable out of core with --stream), .txt (one instant
-per line, features space-separated, '-' = empty).
+per line, features space-separated, '-' = empty), .ppmc (columnar bitmap
+store whose on-disk layout is the miners' encoded layout — mine, sweep,
+and verify open it straight into a borrowed view with no re-encoding;
+write one with convert --to columnar).
 
 Resilience: --retries N re-scans a .ppmstream up to N extra times on
 transient I/O errors; --deadline-ms / --max-tree-nodes abort runaway mines
@@ -96,10 +101,16 @@ Engines: --engine picks the counting strategy (--algorithm is the same
 flag). hitset is the paper's two-scan max-subpattern method; apriori is
 the level-wise Alg 3.1; parallel shards the hit-set scans across threads;
 vertical replaces the tree with per-letter segment bitmaps — counting a
-candidate is a k-way AND + popcount — and honours --threads too. sweep
---engine vertical bit-packs the series once and mines every period from
-that cache; --compare-tree additionally races each period against the
-tree walk and fails on any disagreement.
+candidate is a k-way AND + popcount — and honours --threads too. Every
+sweep engine shares ONE encode/load (a .ppmc input opens directly as the
+bitmap rows); --compare-tree additionally races each period against the
+tree walk and fails on any disagreement. sweep --workers N mines the
+range with a work-stealing scheduler (per-worker deques plus a shared
+injector, idle workers steal periods from peers) off that one shared
+load; with --bench-report the sequential per-period baseline also runs
+and the head-to-head lands in sweep_compare. sweep --compare-ingest
+FILE.txt (columnar input only) races text parse+encode against the
+columnar open and records ingest_compare.
 
 Verification: mine --audit checks the result against the paper's
 invariants (anti-monotone counts, downward closure, confidence bounds,

@@ -14,6 +14,6 @@ mod candidate;
 mod single_period;
 
 pub use candidate::{for_each_combination, join_candidates};
-pub use single_period::mine;
+pub use single_period::{mine, mine_view};
 
 pub(crate) use candidate::binomial;

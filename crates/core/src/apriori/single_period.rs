@@ -1,12 +1,13 @@
 //! Algorithm 3.1: single-period Apriori mining.
 
-use ppm_timeseries::FeatureSeries;
+use ppm_timeseries::{EncodedSeriesView, FeatureSeries};
 
 use crate::apriori::candidate::{binomial, for_each_combination, join_candidates};
 use crate::error::Result;
 use crate::letters::LetterSet;
 use crate::result::{FrequentPattern, MiningResult};
-use crate::scan::{scan_frequent_letters, MineConfig, Scan1};
+use crate::rows::Rows;
+use crate::scan::{scan_frequent_letters_rows, MineConfig, Scan1};
 use crate::stats::MiningStats;
 
 /// Mines all frequent partial periodic patterns of `period` in `series`
@@ -17,10 +18,26 @@ use crate::stats::MiningStats;
 /// yields no candidates (so the total is at most `period` scans, typically
 /// `max_pattern_length + 1`).
 pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Result<MiningResult> {
+    mine_rows(Rows::Series(series), period, config)
+}
+
+/// [`mine`] over a borrowed bitmap view (an
+/// [`EncodedSeries`](ppm_timeseries::EncodedSeries) cache or a columnar
+/// file load): every per-level scan probes the packed rows directly.
+pub fn mine_view(
+    view: EncodedSeriesView<'_>,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    mine_rows(Rows::View(view), period, config)
+}
+
+/// Algorithm 3.1 over either row substrate.
+fn mine_rows(rows: Rows<'_>, period: usize, config: &MineConfig) -> Result<MiningResult> {
     let _mine_span = ppm_observe::span("apriori.mine");
     let scan1 = {
         let _span = ppm_observe::span("apriori.scan1");
-        scan_frequent_letters(series, period, config)?
+        scan_frequent_letters_rows(rows, period, config)?
     };
     let mut stats = MiningStats {
         series_scans: 1,
@@ -55,7 +72,7 @@ pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Resul
         // so the paper's per-level candidate shrinkage is visible.
         let _level_span = ppm_observe::span("apriori.level");
         ppm_observe::counter("apriori.candidates", candidates.len() as u64);
-        let counts = count_candidates(series, &scan1, &candidates, &mut stats);
+        let counts = count_candidates(rows, &scan1, &candidates, &mut stats);
         stats.series_scans += 1;
 
         let mut next_level = Vec::new();
@@ -94,7 +111,7 @@ pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Resul
 /// there are few candidates). This mirrors the role of the hash-tree in
 /// association-rule Apriori.
 fn count_candidates(
-    series: &FeatureSeries,
+    rows: Rows<'_>,
     scan1: &Scan1,
     candidates: &[Vec<u32>],
     stats: &mut MiningStats,
@@ -123,9 +140,10 @@ fn count_candidates(
         // over the raw instants *is* the per-level series scan.
         projection.clear();
         for offset in 0..period {
-            scan1.alphabet.project_instant(
+            rows.project(
+                &scan1.alphabet,
                 offset,
-                series.instant(j * period + offset),
+                j * period + offset,
                 &mut projection,
             );
         }
@@ -295,5 +313,31 @@ mod tests {
             assert_eq!(count, brute, "pattern miscounted");
         }
         assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn view_mine_equals_series_mine() {
+        use ppm_timeseries::EncodedSeries;
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 9;
+        for _ in 0..240 {
+            let mut inst = Vec::new();
+            for f in 0..4u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 33).is_multiple_of(2) {
+                    inst.push(fid(f));
+                }
+            }
+            b.push_instant(inst);
+        }
+        let s = b.finish();
+        let encoded = EncodedSeries::encode(&s);
+        let config = MineConfig::new(0.25).unwrap();
+        for p in [4, 6] {
+            let plain = mine(&s, p, &config).unwrap();
+            let viewed = mine_view(encoded.view(), p, &config).unwrap();
+            assert_eq!(plain.frequent, viewed.frequent, "period {p}");
+            assert_eq!(plain.stats, viewed.stats, "period {p}");
+        }
     }
 }

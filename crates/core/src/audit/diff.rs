@@ -11,7 +11,9 @@
 
 use std::collections::HashMap;
 
-use ppm_timeseries::{EncodedSeries, FeatureCatalog, FeatureSeries, MemorySource};
+use ppm_timeseries::{
+    EncodedSeries, EncodedSeriesView, FeatureCatalog, FeatureSeries, MemorySource,
+};
 
 use crate::letters::LetterSet;
 use crate::pattern::Pattern;
@@ -219,6 +221,61 @@ pub fn cross_check(
     Ok(check)
 }
 
+/// [`cross_check`] over a borrowed bitmap view (a columnar file load or an
+/// [`EncodedSeries`] cache): mines with the view-backed hit-set, Apriori,
+/// and vertical engines and diffs pairwise against the hit-set baseline.
+///
+/// The streaming engine is absent — it consumes a
+/// [`ppm_timeseries::SeriesSource`], which a borrowed view does not
+/// provide — so this oracle covers the three engines that accept packed
+/// rows directly, without ever materializing a [`FeatureSeries`].
+pub fn cross_check_view(
+    view: EncodedSeriesView<'_>,
+    period: usize,
+    config: &MineConfig,
+    catalog: &FeatureCatalog,
+) -> crate::error::Result<CrossCheck> {
+    let _span = ppm_observe::span("audit.diff");
+    let baseline = crate::hitset::mine_view(view, period, config)?;
+    let apriori = crate::apriori::mine_view(view, period, config)?;
+    let vertical = crate::vertical::mine_vertical_view(view, period, config)?;
+
+    let mut report = AuditReport::new();
+    diff_pair(
+        "hitset",
+        &baseline,
+        "apriori",
+        &apriori,
+        catalog,
+        &mut report,
+    );
+    diff_pair(
+        "hitset",
+        &baseline,
+        "vertical",
+        &vertical,
+        catalog,
+        &mut report,
+    );
+    let check = CrossCheck {
+        algorithms: vec!["hitset", "apriori", "vertical"],
+        compared: baseline.len(),
+        report,
+    };
+    ppm_observe::mark("audit.diff.verdict", || {
+        if check.agreed() {
+            format!(
+                "{} engines agree on {} patterns",
+                check.algorithms.len(),
+                check.compared
+            )
+        } else {
+            format!("{} mismatches", check.report.violations.len())
+        }
+    });
+    Ok(check)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +302,18 @@ mod tests {
         assert!(check.agreed(), "{:?}", check.report.violations);
         assert_eq!(check.algorithms.len(), 4);
         assert!(check.compared > 0);
+    }
+
+    #[test]
+    fn view_engines_agree_on_a_real_mine() {
+        let (series, catalog) = sample();
+        let encoded = EncodedSeries::encode(&series);
+        let config = MineConfig::new(0.5).unwrap();
+        let check = cross_check_view(encoded.view(), 3, &config, &catalog).unwrap();
+        assert!(check.agreed(), "{:?}", check.report.violations);
+        assert_eq!(check.algorithms.len(), 3);
+        let series_check = cross_check(&series, 3, &config, &catalog).unwrap();
+        assert_eq!(check.compared, series_check.compared);
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod diff;
 mod invariants;
 mod oracle;
 
-pub use diff::{cross_check, CrossCheck};
+pub use diff::{cross_check, cross_check_view, CrossCheck};
 pub use invariants::check_invariants;
 pub use oracle::{recount_patterns, verify_claims, MISMATCH_SEGMENT_LIMIT};
 

@@ -19,7 +19,7 @@ pub mod tree;
 
 mod single_period;
 
-pub use single_period::{mine, mine_with_strategy};
+pub use single_period::{mine, mine_view, mine_with_strategy};
 pub use tree::MaxSubpatternTree;
 
 pub(crate) use single_period::build_tree;

@@ -1,6 +1,6 @@
 //! Algorithm 3.2: single-period mining via the max-subpattern hit set.
 
-use ppm_timeseries::FeatureSeries;
+use ppm_timeseries::{EncodedSeriesView, FeatureSeries};
 
 use crate::error::Result;
 use crate::guard::{ResourceGuard, DEADLINE_CHECK_INTERVAL};
@@ -8,7 +8,8 @@ use crate::hitset::derive::{derive_frequent, CountStrategy};
 use crate::hitset::tree::MaxSubpatternTree;
 use crate::letters::LetterSet;
 use crate::result::{FrequentPattern, MiningResult};
-use crate::scan::{scan_frequent_letters, MineConfig, Scan1};
+use crate::rows::Rows;
+use crate::scan::{scan_frequent_letters_rows, MineConfig, Scan1};
 use crate::stats::MiningStats;
 
 /// Mines all frequent partial periodic patterns of `period` in `series`
@@ -21,10 +22,32 @@ pub fn mine(series: &FeatureSeries, period: usize, config: &MineConfig) -> Resul
     mine_with_strategy(series, period, config, CountStrategy::default())
 }
 
+/// [`mine`] over a borrowed bitmap view (an
+/// [`EncodedSeries`](ppm_timeseries::EncodedSeries) cache or a columnar
+/// file load): both scans probe the packed rows, so no
+/// [`FeatureSeries`] needs to exist.
+pub fn mine_view(
+    view: EncodedSeriesView<'_>,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    mine_rows(Rows::View(view), period, config, CountStrategy::default())
+}
+
 /// [`mine`] with an explicit counting strategy (used by the ablation
 /// benches to compare the paper's tree traversal with a flat scan).
 pub fn mine_with_strategy(
     series: &FeatureSeries,
+    period: usize,
+    config: &MineConfig,
+    strategy: CountStrategy,
+) -> Result<MiningResult> {
+    mine_rows(Rows::Series(series), period, config, strategy)
+}
+
+/// Algorithm 3.2 over either row substrate.
+fn mine_rows(
+    rows: Rows<'_>,
     period: usize,
     config: &MineConfig,
     strategy: CountStrategy,
@@ -35,7 +58,7 @@ pub fn mine_with_strategy(
     // Scan 1: frequent 1-patterns and C_max.
     let scan1 = {
         let _span = ppm_observe::span("hitset.scan1");
-        scan_frequent_letters(series, period, config)?
+        scan_frequent_letters_rows(rows, period, config)?
     };
     ppm_observe::gauge("hitset.segments_total", scan1.segment_count as u64);
     ppm_observe::gauge("hitset.f1_letters", scan1.alphabet.len() as u64);
@@ -49,7 +72,7 @@ pub fn mine_with_strategy(
     // Scan 2: register each segment's maximal hit subpattern.
     let tree = {
         let _span = ppm_observe::span("hitset.scan2");
-        build_tree_guarded(series, &scan1, &mut stats, &guard)?
+        build_tree_guarded_rows(rows, &scan1, &mut stats, &guard)?
     };
     stats.series_scans += 1;
     stats.tree_nodes = tree.node_count();
@@ -94,16 +117,22 @@ pub(crate) fn build_tree(
     scan1: &Scan1,
     stats: &mut MiningStats,
 ) -> MaxSubpatternTree {
-    build_tree_guarded(series, scan1, stats, &ResourceGuard::unlimited())
-        .expect("an unlimited guard cannot abort the build")
+    build_tree_guarded_rows(
+        Rows::Series(series),
+        scan1,
+        stats,
+        &ResourceGuard::unlimited(),
+    )
+    .expect("an unlimited guard cannot abort the build")
 }
 
-/// [`build_tree`] with resource guards: the tree budget is checked after
-/// every insert, the deadline once per [`DEADLINE_CHECK_INTERVAL`]
-/// segments. On a violation the partial tree's statistics are folded into
-/// `stats` and the typed guard error is returned.
-pub(crate) fn build_tree_guarded(
-    series: &FeatureSeries,
+/// [`build_tree`] with resource guards, over either row substrate: the
+/// tree budget is checked after every insert, the deadline once per
+/// [`DEADLINE_CHECK_INTERVAL`] segments. On a violation the partial tree's
+/// statistics are folded into `stats` and the typed guard error is
+/// returned.
+pub(crate) fn build_tree_guarded_rows(
+    rows: Rows<'_>,
     scan1: &Scan1,
     stats: &mut MiningStats,
     guard: &ResourceGuard,
@@ -118,9 +147,7 @@ pub(crate) fn build_tree_guarded(
     for j in 0..m {
         hit.clear();
         for offset in 0..period {
-            scan1
-                .alphabet
-                .project_instant(offset, series.instant(j * period + offset), &mut hit);
+            rows.project(&scan1.alphabet, offset, j * period + offset, &mut hit);
         }
         if hit.len() >= 2 {
             tree.insert(&hit);
@@ -332,5 +359,19 @@ mod tests {
         let result = mine(&s, 2, &MineConfig::new(0.9).unwrap()).unwrap();
         assert!(result.is_empty());
         assert_eq!(result.stats.series_scans, 2);
+    }
+
+    #[test]
+    fn view_mine_equals_series_mine() {
+        use ppm_timeseries::EncodedSeries;
+        let s = busy_series(400);
+        let encoded = EncodedSeries::encode(&s);
+        let config = MineConfig::new(0.2).unwrap();
+        for p in [4, 8] {
+            let plain = mine(&s, p, &config).unwrap();
+            let viewed = mine_view(encoded.view(), p, &config).unwrap();
+            assert_eq!(plain.frequent, viewed.frequent, "period {p}");
+            assert_eq!(plain.stats, viewed.stats, "period {p}");
+        }
     }
 }

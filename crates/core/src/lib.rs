@@ -56,6 +56,7 @@ mod guard;
 mod letters;
 mod pattern;
 mod result;
+mod rows;
 mod scan;
 
 pub mod apriori;
@@ -80,7 +81,7 @@ pub use error::{Error, Result};
 pub use letters::{Alphabet, LetterIter, LetterSet};
 pub use pattern::{Pattern, PatternDisplay, Symbol};
 pub use result::{FrequentPattern, MiningResult};
-pub use scan::{scan_frequent_letters, MineConfig, Scan1};
+pub use scan::{scan_frequent_letters, scan_frequent_letters_view, MineConfig, Scan1};
 pub use stats::{hit_set_bound, MiningStats, StatsRollup};
 
 /// Which single-period mining algorithm to run.

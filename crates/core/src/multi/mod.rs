@@ -15,10 +15,12 @@
 //!   tables and trees held simultaneously) for I/O.
 
 mod looping;
+mod scheduler;
 mod shared;
 
-pub use looping::mine_periods_looping;
-pub use shared::mine_periods_shared;
+pub use looping::{mine_periods_looping, mine_periods_looping_view};
+pub use scheduler::{mine_periods_scheduled, SweepEngine};
+pub use shared::{mine_periods_shared, mine_periods_shared_view};
 
 use crate::error::{Error, Result};
 use crate::result::MiningResult;

@@ -1,0 +1,407 @@
+//! The work-stealing sweep scheduler.
+//!
+//! A period sweep is a bag of independent tasks — "mine period `p`" — whose
+//! costs vary wildly (short periods mean many segments, long periods mean
+//! wide alphabets), so a static partition leaves workers idle behind one
+//! slow period. This scheduler runs a persistent worker pool over a shared
+//! task bag instead: every worker owns a deque seeded round-robin, a shared
+//! injector deque holds overflow work, and an idle worker first drains its
+//! own deque (front), then the injector, then *steals* from the back of a
+//! peer's deque. All workers mine from the **same** borrowed
+//! [`EncodedSeriesView`] — one encode or one columnar file load for the
+//! whole sweep, never one per period.
+//!
+//! Results merge in period order, so the output is indistinguishable from
+//! the sequential loop (the integration tests assert bit-identical results
+//! and stats). Instrumented through `ppm-observe`: `sweep.tasks_stolen`
+//! (counter) and `sweep.worker_busy_us` (gauge, total busy time summed over
+//! workers).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ppm_timeseries::EncodedSeriesView;
+
+use crate::error::{Error, Result};
+use crate::multi::{MultiPeriodResult, PeriodRange};
+use crate::parallel::worker_panic;
+use crate::result::MiningResult;
+use crate::scan::MineConfig;
+
+/// Which engine each sweep task runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepEngine {
+    /// Algorithm 3.2 per period (two scans each).
+    HitSet,
+    /// Algorithm 3.1 per period (one scan per level).
+    Apriori,
+    /// The vertical bitmap engine per period (two scans each).
+    Vertical,
+}
+
+/// Mines one period from the shared view with the chosen engine.
+fn mine_one(
+    view: EncodedSeriesView<'_>,
+    period: usize,
+    config: &MineConfig,
+    engine: SweepEngine,
+) -> Result<MiningResult> {
+    match engine {
+        SweepEngine::HitSet => crate::hitset::mine_view(view, period, config),
+        SweepEngine::Apriori => crate::apriori::mine_view(view, period, config),
+        SweepEngine::Vertical => crate::vertical::mine_vertical_view(view, period, config),
+    }
+}
+
+/// The scheduler's task bag: per-worker deques plus a shared injector.
+///
+/// Tasks are indexes into the sweep's period list. The discipline is the
+/// classic work-stealing one: owners pop their own deque from the front,
+/// the injector feeds whoever gets to it first, and thieves take from the
+/// *back* of a victim's deque so owner and thief touch opposite ends.
+struct Deques {
+    injector: Mutex<VecDeque<usize>>,
+    workers: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl Deques {
+    /// Seeds `n_tasks` round-robin across `n_workers` worker deques, with
+    /// an empty injector.
+    fn seed(n_tasks: usize, n_workers: usize) -> Self {
+        let mut queues: Vec<VecDeque<usize>> = (0..n_workers).map(|_| VecDeque::new()).collect();
+        for task in 0..n_tasks {
+            queues[task % n_workers].push_back(task);
+        }
+        Deques {
+            injector: Mutex::new(VecDeque::new()),
+            workers: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Pushes late-arriving work onto the shared injector.
+    #[cfg(test)]
+    fn inject(&self, task: usize) {
+        self.injector
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// The next task for worker `me`, and whether it was stolen: own deque
+    /// front first, then the injector, then a scan of the other workers'
+    /// deque backs. `None` means the whole bag is empty.
+    fn pop(&self, me: usize) -> Option<(usize, bool)> {
+        if let Some(t) = self.workers[me].lock().expect("deque poisoned").pop_front() {
+            return Some((t, false));
+        }
+        if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
+            return Some((t, false));
+        }
+        for step in 1..self.workers.len() {
+            let victim = (me + step) % self.workers.len();
+            if let Some(t) = self.workers[victim]
+                .lock()
+                .expect("deque poisoned")
+                .pop_back()
+            {
+                return Some((t, true));
+            }
+        }
+        None
+    }
+}
+
+/// Mines every period in `range` from one shared bitmap view with a
+/// work-stealing pool of `workers` threads (clamped to ≥ 1; one worker, or
+/// a single-period range, runs inline with no pool).
+///
+/// The load/encode cost is paid **once** for the whole sweep — the view is
+/// borrowed by every worker — and results are merged in ascending period
+/// order, bit-identical to the sequential per-period loop. The first task
+/// error aborts the sweep (remaining tasks are dropped) and is returned;
+/// a panicking worker surfaces as [`Error::WorkerPanic`].
+///
+/// `total_scans` counts *logical* per-period scans, like
+/// [`mine_periods_looping`](crate::multi::mine_periods_looping), so sweep
+/// reports stay comparable across schedulers.
+pub fn mine_periods_scheduled(
+    view: EncodedSeriesView<'_>,
+    range: PeriodRange,
+    config: &MineConfig,
+    engine: SweepEngine,
+    workers: usize,
+) -> Result<MultiPeriodResult> {
+    let periods: Vec<usize> = range.iter().filter(|&p| p <= view.len()).collect();
+    if periods.is_empty() {
+        return Ok(MultiPeriodResult {
+            results: Vec::new(),
+            total_scans: 0,
+        });
+    }
+    let workers = workers.max(1).min(periods.len());
+    let _span = ppm_observe::span("sweep.schedule");
+    ppm_observe::gauge("sweep.workers", workers as u64);
+
+    if workers == 1 {
+        // Inline path: same shared view, no pool to pay for.
+        let start = Instant::now();
+        let mut results = Vec::with_capacity(periods.len());
+        for &p in &periods {
+            results.push(mine_one(view, p, config, engine)?);
+        }
+        ppm_observe::counter("sweep.tasks_stolen", 0);
+        ppm_observe::gauge("sweep.worker_busy_us", start.elapsed().as_micros() as u64);
+        let total_scans = results.iter().map(|r| r.stats.series_scans).sum();
+        return Ok(MultiPeriodResult {
+            results,
+            total_scans,
+        });
+    }
+
+    let deques = Deques::seed(periods.len(), workers);
+    let stolen = AtomicU64::new(0);
+    let abort = AtomicBool::new(false);
+    let collected: Mutex<Vec<(usize, MiningResult)>> =
+        Mutex::new(Vec::with_capacity(periods.len()));
+    let first_error: Mutex<Option<Error>> = Mutex::new(None);
+
+    let deques_ref = &deques;
+    let stolen_ref = &stolen;
+    let abort_ref = &abort;
+    let collected_ref = &collected;
+    let error_ref = &first_error;
+    let periods_ref = &periods;
+
+    // Workers run detached from the observe context on purpose: per-task
+    // engine spans from concurrent periods would interleave into one
+    // aggregate and poison per-phase timings. The scheduler reports its own
+    // metrics from the main thread after the join instead.
+    let busy_total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut busy_us = 0u64;
+                    while !abort_ref.load(Ordering::Relaxed) {
+                        let Some((task, was_stolen)) = deques_ref.pop(w) else {
+                            break;
+                        };
+                        if was_stolen {
+                            stolen_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let start = Instant::now();
+                        let outcome = mine_one(view, periods_ref[task], config, engine);
+                        busy_us += start.elapsed().as_micros() as u64;
+                        match outcome {
+                            Ok(result) => collected_ref
+                                .lock()
+                                .expect("results poisoned")
+                                .push((task, result)),
+                            Err(e) => {
+                                let mut slot = error_ref.lock().expect("error slot poisoned");
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                abort_ref.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    busy_us
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(worker_panic))
+            .sum::<Result<u64>>()
+    })?;
+
+    ppm_observe::counter("sweep.tasks_stolen", stolen.load(Ordering::Relaxed));
+    ppm_observe::gauge("sweep.worker_busy_us", busy_total);
+
+    if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    let mut collected = collected.into_inner().expect("results poisoned");
+    collected.sort_by_key(|&(task, _)| task);
+    debug_assert_eq!(collected.len(), periods.len());
+    let results: Vec<MiningResult> = collected.into_iter().map(|(_, r)| r).collect();
+    let total_scans = results.iter().map(|r| r.stats.series_scans).sum();
+    Ok(MultiPeriodResult {
+        results,
+        total_scans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::{EncodedSeries, FeatureId, SeriesBuilder};
+
+    use crate::multi::mine_periods_looping_view;
+    use crate::Algorithm;
+
+    fn fid(i: u32) -> FeatureId {
+        FeatureId::from_raw(i)
+    }
+
+    fn mixed_series(n: usize) -> ppm_timeseries::FeatureSeries {
+        let mut b = SeriesBuilder::new();
+        let mut x: u64 = 99;
+        for t in 0..n {
+            let mut inst = Vec::new();
+            if t % 3 == 1 {
+                inst.push(fid(0));
+            }
+            if t % 5 == 0 {
+                inst.push(fid(1));
+            }
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if (x >> 60) == 0 {
+                inst.push(fid(2));
+            }
+            b.push_instant(inst);
+        }
+        b.finish()
+    }
+
+    // ---- Deterministic deque mechanics (no thread timing involved). ----
+
+    #[test]
+    fn seeding_is_round_robin() {
+        let d = Deques::seed(5, 2);
+        let w0: Vec<usize> = d.workers[0].lock().unwrap().iter().copied().collect();
+        let w1: Vec<usize> = d.workers[1].lock().unwrap().iter().copied().collect();
+        assert_eq!(w0, vec![0, 2, 4]);
+        assert_eq!(w1, vec![1, 3]);
+        assert!(d.injector.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn owner_pops_its_own_deque_from_the_front() {
+        let d = Deques::seed(5, 2);
+        assert_eq!(d.pop(0), Some((0, false)));
+        assert_eq!(d.pop(0), Some((2, false)));
+        assert_eq!(d.pop(1), Some((1, false)));
+    }
+
+    #[test]
+    fn injector_feeds_before_stealing() {
+        let d = Deques::seed(2, 2); // one task per worker
+        assert_eq!(d.pop(0), Some((0, false)));
+        d.inject(7);
+        // Worker 0's own deque is empty: the injector wins over stealing
+        // worker 1's task.
+        assert_eq!(d.pop(0), Some((7, false)));
+        assert_eq!(d.pop(1), Some((1, false)));
+        assert_eq!(d.pop(0), None);
+    }
+
+    #[test]
+    fn thieves_take_from_the_back_of_a_victim() {
+        let d = Deques::seed(6, 2); // w0: [0,2,4], w1: [1,3,5]
+                                    // Exhaust worker 1's own deque.
+        assert_eq!(d.pop(1), Some((1, false)));
+        assert_eq!(d.pop(1), Some((3, false)));
+        assert_eq!(d.pop(1), Some((5, false)));
+        // Now worker 1 steals worker 0's *newest* task (back = 4), while
+        // worker 0 still pops its oldest (front = 0).
+        assert_eq!(d.pop(1), Some((4, true)));
+        assert_eq!(d.pop(0), Some((0, false)));
+        assert_eq!(d.pop(1), Some((2, true)));
+        assert_eq!(d.pop(0), None);
+        assert_eq!(d.pop(1), None);
+    }
+
+    // ---- Scheduler output equals the sequential per-period loop. ----
+
+    #[test]
+    fn scheduled_equals_looping_for_every_engine() {
+        let s = mixed_series(150);
+        let encoded = EncodedSeries::encode(&s);
+        let range = PeriodRange::new(2, 9).unwrap();
+        let config = MineConfig::new(0.6).unwrap();
+        for (engine, alg) in [
+            (SweepEngine::HitSet, Some(Algorithm::HitSet)),
+            (SweepEngine::Apriori, Some(Algorithm::Apriori)),
+            (SweepEngine::Vertical, None),
+        ] {
+            let scheduled =
+                mine_periods_scheduled(encoded.view(), range, &config, engine, 4).unwrap();
+            let sequential = match alg {
+                Some(a) => mine_periods_looping_view(encoded.view(), range, &config, a).unwrap(),
+                None => {
+                    let mut results = Vec::new();
+                    let mut total_scans = 0;
+                    for p in range.iter() {
+                        let r = crate::vertical::mine_vertical_view(encoded.view(), p, &config)
+                            .unwrap();
+                        total_scans += r.stats.series_scans;
+                        results.push(r);
+                    }
+                    MultiPeriodResult {
+                        results,
+                        total_scans,
+                    }
+                }
+            };
+            assert_eq!(scheduled.total_scans, sequential.total_scans, "{engine:?}");
+            assert_eq!(scheduled.results.len(), sequential.results.len());
+            for (a, b) in scheduled.results.iter().zip(&sequential.results) {
+                assert_eq!(a.period, b.period, "{engine:?}");
+                assert_eq!(a.frequent, b.frequent, "{engine:?} period {}", a.period);
+                assert_eq!(a.stats, b.stats, "{engine:?} period {}", a.period);
+            }
+        }
+    }
+
+    #[test]
+    fn one_worker_runs_inline_with_identical_results() {
+        let s = mixed_series(90);
+        let encoded = EncodedSeries::encode(&s);
+        let range = PeriodRange::new(2, 6).unwrap();
+        let config = MineConfig::new(0.7).unwrap();
+        let pooled =
+            mine_periods_scheduled(encoded.view(), range, &config, SweepEngine::Vertical, 4)
+                .unwrap();
+        let inline =
+            mine_periods_scheduled(encoded.view(), range, &config, SweepEngine::Vertical, 1)
+                .unwrap();
+        assert_eq!(pooled.results.len(), inline.results.len());
+        for (a, b) in pooled.results.iter().zip(&inline.results) {
+            assert_eq!(a.frequent, b.frequent, "period {}", a.period);
+        }
+    }
+
+    #[test]
+    fn empty_range_after_filtering() {
+        let s = mixed_series(5);
+        let encoded = EncodedSeries::encode(&s);
+        let range = PeriodRange::new(10, 12).unwrap();
+        let out = mine_periods_scheduled(
+            encoded.view(),
+            range,
+            &MineConfig::default(),
+            SweepEngine::HitSet,
+            4,
+        )
+        .unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.total_scans, 0);
+    }
+
+    #[test]
+    fn task_errors_abort_the_sweep() {
+        let s = mixed_series(600);
+        let encoded = EncodedSeries::encode(&s);
+        let range = PeriodRange::new(2, 9).unwrap();
+        let config = MineConfig::new(0.5)
+            .unwrap()
+            .with_deadline(std::time::Duration::ZERO);
+        let err = mine_periods_scheduled(encoded.view(), range, &config, SweepEngine::Vertical, 4)
+            .unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got {err:?}");
+    }
+}

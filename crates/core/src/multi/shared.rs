@@ -1,6 +1,6 @@
 //! Algorithm 3.4: shared mining of multiple periods in two scans.
 
-use ppm_timeseries::{EncodedSeries, FeatureSeries};
+use ppm_timeseries::{EncodedSeries, EncodedSeriesView, FeatureSeries};
 
 use crate::error::Result;
 use crate::hitset::derive::{derive_frequent, CountStrategy};
@@ -81,9 +81,88 @@ pub fn mine_periods_shared(
     drop(counts);
     drop(scan1_span);
 
-    // ---- Scan 2: per-period trees, one physical pass over the encoded
-    // cache. Each period keeps a rolling hit buffer that is flushed
-    // whenever its segment completes.
+    let results = scan2_and_derive(encoded.view(), &periods, &usable, scans, config);
+    Ok(MultiPeriodResult {
+        results,
+        total_scans: 2,
+    })
+}
+
+/// [`mine_periods_shared`] over a borrowed bitmap view (an
+/// [`EncodedSeries`] cache or a columnar file load): the encode step of
+/// scan 1 disappears entirely — the rows *are* the encoding — so the two
+/// "scans" are two passes over packed words with no series materialized.
+pub fn mine_periods_shared_view(
+    view: EncodedSeriesView<'_>,
+    range: PeriodRange,
+    config: &MineConfig,
+) -> Result<MultiPeriodResult> {
+    let periods: Vec<usize> = range.iter().filter(|&p| p <= view.len()).collect();
+    if periods.is_empty() {
+        return Ok(MultiPeriodResult {
+            results: Vec::new(),
+            total_scans: 0,
+        });
+    }
+    let _mine_span = ppm_observe::span("shared.mine");
+    ppm_observe::gauge("shared.periods", periods.len() as u64);
+    let n = view.len();
+
+    // ---- Scan 1: per-period (offset, feature) counts, one physical pass
+    // over the packed rows.
+    let scan1_span = ppm_observe::span("shared.scan1");
+    let mut counts: Vec<CountTable> = periods
+        .iter()
+        .map(|&p| CountTable::with_width(p, view.width()))
+        .collect();
+    let usable: Vec<usize> = periods.iter().map(|&p| (n / p) * p).collect();
+    let mut features = Vec::new();
+    for t in 0..n {
+        features.clear();
+        features.extend(view.features_at(t));
+        if features.is_empty() {
+            continue;
+        }
+        for (pi, &p) in periods.iter().enumerate() {
+            if t >= usable[pi] {
+                continue;
+            }
+            let offset = (t % p) as u32;
+            for &f in &features {
+                counts[pi].add(offset, f);
+            }
+        }
+    }
+    ppm_observe::gauge("shared.encoded_bytes", view.bytes() as u64);
+    let scans: Vec<Scan1> = periods
+        .iter()
+        .zip(&counts)
+        .map(|(&p, table)| {
+            let m = n / p;
+            scan1_from_counts(table, p, m, config.min_count(m))
+        })
+        .collect();
+    drop(counts);
+    drop(scan1_span);
+
+    let results = scan2_and_derive(view, &periods, &usable, scans, config);
+    Ok(MultiPeriodResult {
+        results,
+        total_scans: 2,
+    })
+}
+
+/// Scan 2 plus derivation, shared by the series-backed and view-backed
+/// entry points: one physical pass over the packed rows feeding every
+/// period's max-subpattern tree, then the in-memory derivation per period.
+fn scan2_and_derive(
+    view: EncodedSeriesView<'_>,
+    periods: &[usize],
+    usable: &[usize],
+    scans: Vec<Scan1>,
+    config: &MineConfig,
+) -> Vec<MiningResult> {
+    let n = view.len();
     let scan2_span = ppm_observe::span("shared.scan2");
     let mut trees: Vec<MaxSubpatternTree> = scans
         .iter()
@@ -91,7 +170,7 @@ pub fn mine_periods_shared(
         .collect();
     let mut hits: Vec<LetterSet> = scans.iter().map(|s| s.alphabet.empty_set()).collect();
     for t in 0..n {
-        let inst_words = encoded.instant_words(t);
+        let inst_words = view.instant_words(t);
         let has_features = inst_words.iter().any(|&w| w != 0);
         for (pi, &p) in periods.iter().enumerate() {
             if t >= usable[pi] {
@@ -154,11 +233,7 @@ pub fn mine_periods_shared(
         result.sort();
         results.push(result);
     }
-
-    Ok(MultiPeriodResult {
-        results,
-        total_scans: 2,
-    })
+    results
 }
 
 #[cfg(test)]
@@ -241,5 +316,32 @@ mod tests {
         let single = crate::hitset::mine(&s, 3, &config).unwrap();
         assert_eq!(shared.results.len(), 1);
         assert_eq!(shared.results[0].frequent, single.frequent);
+    }
+
+    #[test]
+    fn view_shared_equals_series_shared() {
+        let s = mixed_series(150);
+        let encoded = EncodedSeries::encode(&s);
+        let range = PeriodRange::new(2, 8).unwrap();
+        let config = MineConfig::new(0.7).unwrap();
+        let from_series = mine_periods_shared(&s, range, &config).unwrap();
+        let from_view = mine_periods_shared_view(encoded.view(), range, &config).unwrap();
+        assert_eq!(from_view.total_scans, 2);
+        assert_eq!(from_series.results.len(), from_view.results.len());
+        for (a, b) in from_series.results.iter().zip(&from_view.results) {
+            assert_eq!(a.period, b.period);
+            assert_eq!(a.frequent, b.frequent, "period {}", a.period);
+            assert_eq!(a.stats, b.stats, "period {}", a.period);
+        }
+    }
+
+    #[test]
+    fn view_shared_empty_range_after_filtering() {
+        let s = mixed_series(5);
+        let encoded = EncodedSeries::encode(&s);
+        let range = PeriodRange::new(10, 12).unwrap();
+        let out = mine_periods_shared_view(encoded.view(), range, &MineConfig::default()).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.total_scans, 0);
     }
 }

@@ -28,6 +28,7 @@ use crate::hitset::derive::{derive_frequent, CountStrategy};
 use crate::hitset::MaxSubpatternTree;
 use crate::letters::LetterSet;
 use crate::result::{FrequentPattern, MiningResult};
+use crate::rows::Rows;
 use crate::scan::{scan1_from_counts, CountTable, MineConfig, Scan1};
 use crate::stats::MiningStats;
 use crate::vertical::{derive_vertical, VerticalIndex};
@@ -36,7 +37,7 @@ use crate::vertical::{derive_vertical, VerticalIndex};
 /// so a crashing worker cannot take down the caller. Panic payloads are
 /// `&str` or `String` in practice (that is what `panic!` produces); any
 /// other payload gets a placeholder.
-fn worker_panic(payload: Box<dyn Any + Send>) -> Error {
+pub(crate) fn worker_panic(payload: Box<dyn Any + Send>) -> Error {
     let detail = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -256,7 +257,7 @@ pub fn mine_parallel_vertical(
                     let _obs = ppm_observe::attach(obs);
                     let _span = ppm_observe::span("parallel.worker.scan2");
                     let mut part = VerticalIndex::with_columns(scan1_ref.alphabet.len(), m);
-                    part.fill_segments(series, Some(encoded_ref), &scan1_ref.alphabet, lo..hi);
+                    part.fill_segments(Rows::View(encoded_ref.view()), &scan1_ref.alphabet, lo..hi);
                     ppm_observe::counter("vertical.segments", (hi - lo) as u64);
                     part
                 })

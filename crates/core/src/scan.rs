@@ -9,10 +9,11 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use ppm_timeseries::{FeatureId, FeatureSeries};
+use ppm_timeseries::{EncodedSeriesView, FeatureId, FeatureSeries};
 
 use crate::error::{Error, Result};
 use crate::letters::Alphabet;
+use crate::rows::Rows;
 
 /// Mining configuration: the confidence threshold (validated to lie in
 /// `(0, 1]`) plus optional resource guards — a wall-clock deadline and a
@@ -123,11 +124,6 @@ pub(crate) enum CountTable {
 }
 
 impl CountTable {
-    /// A table sized for `series` mined at `period`.
-    pub(crate) fn for_series(period: usize, series: &FeatureSeries) -> Self {
-        Self::with_width(period, Self::width_of(series))
-    }
-
     /// The dense key-space width for `series`: max feature id + 1.
     pub(crate) fn width_of(series: &FeatureSeries) -> usize {
         series.max_feature_id().map_or(0, |f| f.index() + 1)
@@ -234,21 +230,39 @@ pub fn scan_frequent_letters(
     period: usize,
     config: &MineConfig,
 ) -> Result<Scan1> {
-    if period == 0 || period > series.len() {
+    scan_frequent_letters_rows(Rows::Series(series), period, config)
+}
+
+/// [`scan_frequent_letters`] over a borrowed bitmap view (an
+/// [`EncodedSeries`](ppm_timeseries::EncodedSeries) cache or a columnar
+/// file load): the same one pass, probing packed instant rows.
+pub fn scan_frequent_letters_view(
+    view: EncodedSeriesView<'_>,
+    period: usize,
+    config: &MineConfig,
+) -> Result<Scan1> {
+    scan_frequent_letters_rows(Rows::View(view), period, config)
+}
+
+/// Scan 1 over either row substrate.
+pub(crate) fn scan_frequent_letters_rows(
+    rows: Rows<'_>,
+    period: usize,
+    config: &MineConfig,
+) -> Result<Scan1> {
+    if period == 0 || period > rows.len() {
         return Err(Error::InvalidPeriod {
             period,
-            series_len: series.len(),
+            series_len: rows.len(),
         });
     }
-    let m = series.len() / period;
+    let m = rows.len() / period;
     let min_count = config.min_count(m);
 
-    let mut counts = CountTable::for_series(period, series);
+    let mut counts = CountTable::with_width(period, rows.count_width());
     for t in 0..m * period {
         let offset = (t % period) as u32;
-        for &f in series.instant(t) {
-            counts.add(offset, f);
-        }
+        rows.add_counts(t, offset, &mut counts);
     }
 
     Ok(scan1_from_counts(&counts, period, m, min_count))

@@ -21,7 +21,7 @@
 //! what [`CountStrategy::Vertical`](crate::hitset::derive::CountStrategy)
 //! plugs into the tree-based miner's derivation.
 
-use ppm_timeseries::{EncodedSeries, FeatureSeries};
+use ppm_timeseries::{EncodedSeries, EncodedSeriesView, FeatureSeries};
 
 use crate::error::Result;
 use crate::guard::{ResourceGuard, DEADLINE_CHECK_INTERVAL};
@@ -29,7 +29,8 @@ use crate::hitset::derive::derive_frequent_with;
 use crate::hitset::tree::MaxSubpatternTree;
 use crate::letters::{Alphabet, LetterSet};
 use crate::result::{FrequentPattern, MiningResult};
-use crate::scan::{scan_frequent_letters, MineConfig, Scan1};
+use crate::rows::Rows;
+use crate::scan::{scan_frequent_letters_rows, MineConfig, Scan1};
 use crate::stats::MiningStats;
 
 /// Per-letter column bitmaps over a set of counting columns.
@@ -67,13 +68,12 @@ impl VerticalIndex {
         self.words[letter * self.words_per_row + col / 64] |= 1u64 << (col % 64);
     }
 
-    /// Projects segments `segments.start..segments.end` of `series` onto
+    /// Projects segments `segments.start..segments.end` of `rows` onto
     /// `alphabet` and sets the matching column bits — the chunked building
     /// block the parallel miner partitions across workers.
     pub(crate) fn fill_segments(
         &mut self,
-        series: &FeatureSeries,
-        encoded: Option<&EncodedSeries>,
+        rows: Rows<'_>,
         alphabet: &Alphabet,
         segments: std::ops::Range<usize>,
     ) {
@@ -82,11 +82,7 @@ impl VerticalIndex {
         for j in segments {
             hit.clear();
             for offset in 0..period {
-                let t = j * period + offset;
-                match encoded {
-                    Some(enc) => alphabet.project_encoded(offset, enc.instant_words(t), &mut hit),
-                    None => alphabet.project_instant(offset, series.instant(t), &mut hit),
-                }
+                rows.project(alphabet, offset, j * period + offset, &mut hit);
             }
             for letter in hit.iter() {
                 self.set(letter, j);
@@ -98,8 +94,7 @@ impl VerticalIndex {
     /// building every letter's segment bitmap. The deadline guard fires
     /// once per [`DEADLINE_CHECK_INTERVAL`] segments, like the tree build.
     pub(crate) fn from_segments(
-        series: &FeatureSeries,
-        encoded: Option<&EncodedSeries>,
+        rows: Rows<'_>,
         scan1: &Scan1,
         stats: &MiningStats,
         guard: &ResourceGuard,
@@ -109,7 +104,7 @@ impl VerticalIndex {
         let mut start = 0usize;
         while start < m {
             let end = (start + DEADLINE_CHECK_INTERVAL).min(m);
-            index.fill_segments(series, encoded, &scan1.alphabet, start..end);
+            index.fill_segments(rows, &scan1.alphabet, start..end);
             ppm_observe::counter("vertical.segments", (end - start) as u64);
             if guard.deadline_exceeded() {
                 return Err(guard.deadline_error(stats));
@@ -223,7 +218,18 @@ pub fn mine_vertical(
     period: usize,
     config: &MineConfig,
 ) -> Result<MiningResult> {
-    mine_vertical_impl(series, None, period, config)
+    mine_vertical_impl(Rows::Series(series), period, config)
+}
+
+/// [`mine_vertical`] over a borrowed bitmap view — the zero-materialization
+/// path for columnar (`.ppmc`) input: both scans probe the packed rows
+/// directly, so no [`FeatureSeries`] is ever built.
+pub fn mine_vertical_view(
+    view: EncodedSeriesView<'_>,
+    period: usize,
+    config: &MineConfig,
+) -> Result<MiningResult> {
+    mine_vertical_impl(Rows::View(view), period, config)
 }
 
 /// [`mine_vertical`] reusing a pre-built [`EncodedSeries`] cache, so
@@ -244,22 +250,17 @@ pub fn mine_vertical_encoded(
         series.len(),
         "encoded cache must cover the series"
     );
-    mine_vertical_impl(series, Some(encoded), period, config)
+    mine_vertical_impl(Rows::View(encoded.view()), period, config)
 }
 
-fn mine_vertical_impl(
-    series: &FeatureSeries,
-    encoded: Option<&EncodedSeries>,
-    period: usize,
-    config: &MineConfig,
-) -> Result<MiningResult> {
+fn mine_vertical_impl(rows: Rows<'_>, period: usize, config: &MineConfig) -> Result<MiningResult> {
     let _mine_span = ppm_observe::span("vertical.mine");
     let guard = ResourceGuard::new(config);
 
     // Scan 1: frequent 1-patterns and C_max (shared with the other engines).
     let scan1 = {
         let _span = ppm_observe::span("vertical.scan1");
-        scan_frequent_letters(series, period, config)?
+        scan_frequent_letters_rows(rows, period, config)?
     };
     ppm_observe::gauge("vertical.segments_total", scan1.segment_count as u64);
     ppm_observe::gauge("vertical.f1_letters", scan1.alphabet.len() as u64);
@@ -273,7 +274,7 @@ fn mine_vertical_impl(
     // Scan 2: per-letter segment bitmaps instead of a tree.
     let index = {
         let _span = ppm_observe::span("vertical.scan2");
-        VerticalIndex::from_segments(series, encoded, &scan1, &stats, &guard)?
+        VerticalIndex::from_segments(rows, &scan1, &stats, &guard)?
     };
     stats.series_scans += 1;
     ppm_observe::gauge("vertical.bitmap_bytes", index.bitmap_bytes() as u64);
@@ -333,6 +334,7 @@ mod tests {
 
     use crate::error::Error;
     use crate::pattern::Pattern;
+    use crate::scan_frequent_letters;
 
     fn fid(i: u32) -> FeatureId {
         FeatureId::from_raw(i)
@@ -423,6 +425,19 @@ mod tests {
     }
 
     #[test]
+    fn view_mine_equals_series_mine() {
+        let series = busy_series(500, 4);
+        let encoded = EncodedSeries::encode(&series);
+        let config = MineConfig::new(0.3).unwrap();
+        for p in [3, 5, 8] {
+            let plain = mine_vertical(&series, p, &config).unwrap();
+            let viewed = mine_vertical_view(encoded.view(), p, &config).unwrap();
+            assert_eq!(plain.frequent, viewed.frequent, "period {p}");
+            assert_eq!(plain.stats, viewed.stats, "period {p}");
+        }
+    }
+
+    #[test]
     fn tree_transpose_counts_like_the_walk() {
         let series = busy_series(640, 4);
         let config = MineConfig::new(0.2).unwrap();
@@ -450,8 +465,7 @@ mod tests {
         let config = MineConfig::new(0.25).unwrap();
         let scan1 = scan_frequent_letters(&series, 6, &config).unwrap();
         let index = VerticalIndex::from_segments(
-            &series,
-            None,
+            Rows::Series(&series),
             &scan1,
             &MiningStats::default(),
             &ResourceGuard::unlimited(),
@@ -473,8 +487,7 @@ mod tests {
         let scan1 = scan_frequent_letters(&series, 6, &config).unwrap();
         let m = scan1.segment_count;
         let whole = VerticalIndex::from_segments(
-            &series,
-            None,
+            Rows::Series(&series),
             &scan1,
             &MiningStats::default(),
             &ResourceGuard::unlimited(),
@@ -483,7 +496,7 @@ mod tests {
         let mut merged = VerticalIndex::with_columns(scan1.alphabet.len(), m);
         for range in [0..m / 3, m / 3..m / 2, m / 2..m] {
             let mut part = VerticalIndex::with_columns(scan1.alphabet.len(), m);
-            part.fill_segments(&series, None, &scan1.alphabet, range);
+            part.fill_segments(Rows::Series(&series), &scan1.alphabet, range);
             merged.or_merge(&part);
         }
         assert_eq!(merged.words, whole.words);

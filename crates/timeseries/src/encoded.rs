@@ -126,7 +126,132 @@ impl EncodedSeries {
 
     /// Cache size in bytes (the bitmap words only).
     pub fn bytes(&self) -> usize {
-        self.words.len() * std::mem::size_of::<u64>()
+        std::mem::size_of_val(&self.words[..])
+    }
+
+    /// A borrowed [`EncodedSeriesView`] over this cache — the common
+    /// currency between in-memory encodings and file-backed columnar
+    /// loads, accepted by every bitmap-probing consumer.
+    pub fn view(&self) -> EncodedSeriesView<'_> {
+        EncodedSeriesView {
+            width: self.width,
+            words_per_instant: self.words_per_instant,
+            n_instants: self.n_instants,
+            words: &self.words,
+        }
+    }
+}
+
+/// A borrowed, zero-copy view over row-major per-instant bitmap words.
+///
+/// Both [`EncodedSeries::view`] and the columnar store
+/// ([`crate::columnar::ColumnarReader::view`]) produce this type, so mining
+/// code written against the view runs identically over an in-memory encode
+/// and a one-read file load — no per-row allocation either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedSeriesView<'a> {
+    width: usize,
+    words_per_instant: usize,
+    n_instants: usize,
+    words: &'a [u64],
+}
+
+impl<'a> EncodedSeriesView<'a> {
+    /// Wraps raw row-major words as a view.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `n_instants · ⌈width/64⌉` long.
+    pub fn new(width: usize, n_instants: usize, words: &'a [u64]) -> Self {
+        let words_per_instant = width.div_ceil(64);
+        assert_eq!(
+            words.len(),
+            n_instants * words_per_instant,
+            "words don't cover {n_instants} instants at width {width}"
+        );
+        EncodedSeriesView {
+            width,
+            words_per_instant,
+            n_instants,
+            words,
+        }
+    }
+
+    /// Number of encoded instants.
+    pub fn len(&self) -> usize {
+        self.n_instants
+    }
+
+    /// Whether no instants are covered.
+    pub fn is_empty(&self) -> bool {
+        self.n_instants == 0
+    }
+
+    /// The feature-id universe this encoding covers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Words per instant row: `⌈width/64⌉`.
+    pub fn words_per_instant(&self) -> usize {
+        self.words_per_instant
+    }
+
+    /// Instant `t`'s feature bitmap (bit `f` set iff feature `f` occurs).
+    ///
+    /// # Panics
+    /// Panics if `t >= len()`.
+    pub fn instant_words(&self, t: usize) -> &'a [u64] {
+        assert!(t < self.n_instants, "instant {t} out of range");
+        &self.words[t * self.words_per_instant..(t + 1) * self.words_per_instant]
+    }
+
+    /// Whether instant `t` contains `feature`.
+    pub fn contains(&self, t: usize, feature: FeatureId) -> bool {
+        let idx = feature.index();
+        idx < self.width && self.instant_words(t)[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Iterates the features present at instant `t` in ascending id order —
+    /// the bitmap equivalent of `FeatureSeries::instant`.
+    pub fn features_at(&self, t: usize) -> FeatureBits<'a> {
+        FeatureBits {
+            words: self.instant_words(t),
+            next_word: 0,
+            current: 0,
+            base: 0,
+        }
+    }
+
+    /// View size in bytes (the bitmap words only).
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of_val(self.words)
+    }
+}
+
+/// Iterator over the set feature bits of one instant row.
+#[derive(Debug, Clone)]
+pub struct FeatureBits<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    current: u64,
+    base: u32,
+}
+
+impl Iterator for FeatureBits<'_> {
+    type Item = FeatureId;
+
+    fn next(&mut self) -> Option<FeatureId> {
+        while self.current == 0 {
+            if self.next_word >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.next_word];
+            self.base = (self.next_word * 64) as u32;
+            self.next_word += 1;
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(FeatureId::from_raw(self.base + bit))
     }
 }
 
@@ -205,5 +330,72 @@ mod tests {
         let width = EncodedSeries::width_for(&series);
         let chunk = EncodedSeries::encode_range(&series, 0, 2, width);
         EncodedSeries::from_chunks(width, series.len(), vec![chunk]);
+    }
+
+    #[test]
+    fn view_mirrors_the_owned_encoding() {
+        let series = sample();
+        let enc = EncodedSeries::encode(&series);
+        let view = enc.view();
+        assert_eq!(view.len(), enc.len());
+        assert_eq!(view.width(), enc.width());
+        assert_eq!(view.bytes(), enc.bytes());
+        assert_eq!(view.words_per_instant(), 2);
+        for t in 0..series.len() {
+            assert_eq!(view.instant_words(t), enc.instant_words(t));
+            for raw in 0..70u32 {
+                assert_eq!(view.contains(t, fid(raw)), enc.contains(t, fid(raw)));
+            }
+            let bits: Vec<FeatureId> = view.features_at(t).collect();
+            assert_eq!(bits, series.instant(t), "instant {t}");
+        }
+    }
+
+    #[test]
+    fn view_new_validates_geometry() {
+        let words = vec![0u64; 6];
+        let v = EncodedSeriesView::new(66, 3, &words);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.width(), 66);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "don't cover")]
+    fn view_new_rejects_bad_geometry() {
+        let words = vec![0u64; 5];
+        EncodedSeriesView::new(66, 3, &words);
+    }
+
+    /// Widths 64 and 65 straddle the one-word/two-word row boundary (and
+    /// the inline→spill boundary of the mining layer's `LetterSet`).
+    #[test]
+    fn view_boundary_widths_64_and_65() {
+        for top in [63u32, 64u32] {
+            let mut b = SeriesBuilder::new();
+            b.push_instant([fid(0), fid(top)]);
+            b.push_instant([fid(top)]);
+            b.push_instant([]);
+            let series = b.finish();
+            let enc = EncodedSeries::encode(&series);
+            assert_eq!(enc.width(), top as usize + 1);
+            let view = enc.view();
+            assert_eq!(view.words_per_instant(), (top as usize + 1).div_ceil(64));
+            for t in 0..series.len() {
+                let bits: Vec<FeatureId> = view.features_at(t).collect();
+                assert_eq!(bits, series.instant(t), "width {} instant {t}", top + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_view_has_width_zero() {
+        let series = SeriesBuilder::new().finish();
+        let enc = EncodedSeries::encode(&series);
+        let view = enc.view();
+        assert!(view.is_empty());
+        assert_eq!(view.width(), 0);
+        assert_eq!(view.words_per_instant(), 0);
+        assert_eq!(view.bytes(), 0);
     }
 }

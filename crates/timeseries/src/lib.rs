@@ -17,6 +17,9 @@
 //!   the vertical engine, audit re-mines) are single bit tests.
 //! * [`segment`] — period-segment views (`m = ⌊N/p⌋` whole segments of a
 //!   period `p`), the unit over which pattern confidence is defined.
+//! * [`columnar`] — a binary columnar store whose on-disk layout *is* the
+//!   [`EncodedSeries`] layout, so opening a `.ppmc` file loads straight into
+//!   a borrowed [`EncodedSeriesView`] with zero per-row allocation.
 //! * [`storage`] — a versioned binary on-disk format plus a line-oriented
 //!   text (CSV-like) import/export, so series larger than memory pressure
 //!   allows can be staged on disk as the paper assumes in §5.
@@ -61,6 +64,7 @@ mod error;
 mod series;
 
 pub mod calendar;
+pub mod columnar;
 pub mod discretize;
 pub mod events;
 pub mod fault;
@@ -73,7 +77,7 @@ pub mod taxonomy;
 pub mod window;
 
 pub use catalog::{FeatureCatalog, FeatureId};
-pub use encoded::EncodedSeries;
+pub use encoded::{EncodedSeries, EncodedSeriesView, FeatureBits};
 pub use error::{Error, Result};
 pub use fault::{Fault, FaultInjectingSource, FaultPlan};
 pub use quarantine::{

@@ -27,26 +27,26 @@ use crate::series::FeatureSeries;
 const MAGIC: &[u8; 4] = b"PPMS";
 const VERSION: u32 = 1;
 
-/// Streaming FNV-1a, 64-bit.
+/// Streaming FNV-1a, 64-bit — shared with the columnar store's trailer.
 #[derive(Debug, Clone)]
-struct Fnv64(u64);
+pub(crate) struct Fnv64(u64);
 
 impl Fnv64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv64(Self::OFFSET)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
