@@ -60,11 +60,15 @@ if ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
   echo "perturbed mine was not caught by the audit" >&2; exit 1
 fi
 grep -q "count mismatch" "$smoke_dir/perturb.log"
-# Quarantine skips injected garbage and keeps mining; strict fails fast.
+# Quarantine skips injected garbage and keeps mining; exit code 4 marks
+# the printed counts as sound lower bounds. Strict fails fast instead.
 # (Capture to a file: the quarantine report prints before mining, so a
 # `grep -q` pipe would close early and EPIPE the miner under pipefail.)
+quarantine_status=0
 ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
-  --min-conf 0.6 --quarantine --inject-garbage 3 >"$smoke_dir/quarantine.log"
+  --min-conf 0.6 --quarantine --inject-garbage 3 \
+  >"$smoke_dir/quarantine.log" || quarantine_status=$?
+test "$quarantine_status" -eq 4
 grep -q "quarantined 1 instants" "$smoke_dir/quarantine.log"
 if ./target/release/ppm mine --input "$smoke_dir/smoke.ppms" --period 25 \
   --min-conf 0.6 --strict --inject-garbage 3 >/dev/null 2>&1; then
@@ -104,7 +108,8 @@ echo "    derive wall-clock: vertical ${vertical_us}us vs tree walk ${treewalk_u
 if [ "$treewalk_us" -le "$vertical_us" ]; then
   echo "vertical derivation did not beat the tree walk" >&2; exit 1
 fi
-cp "$smoke_dir/BENCH_PR4.json" BENCH_PR4.json
+# (The fresh BENCH_PR4.json is committed at the end of the PR5 step, after
+# every perf gate has passed — a failed run must not ratchet the baseline.)
 
 echo "==> perf smoke: columnar store + work-stealing sweep (BENCH_PR5.json)"
 # The same dense workload, round-tripped through text so the columnar
@@ -143,6 +148,98 @@ if [ -n "$committed_vertical_us" ]; then
     echo "vertical derive regressed >20% vs the committed BENCH_PR4.json" >&2; exit 1
   fi
 fi
+cp "$smoke_dir/BENCH_PR4.json" BENCH_PR4.json
 cp "$smoke_dir/BENCH_PR5.json" BENCH_PR5.json
+
+echo "==> daemon smoke: serve/query, guard trip, quarantine, kill -9 recovery, SIGTERM drain"
+# The daemon serves .ppmc stores; its mine answers must be byte-identical
+# to direct `ppm mine` on the same store. --test-faults unlocks the
+# fault-injection ops the smoke leans on (inject_garbage).
+./target/release/ppm convert --input "$smoke_dir/smoke.ppms" \
+  --out "$smoke_dir/smoke.ppmc"
+for eng in hitset apriori vertical; do
+  for period in 24 25 26; do
+    ./target/release/ppm mine --input "$smoke_dir/smoke.ppmc" \
+      --period "$period" --min-conf 0.6 --engine "$eng" \
+      >"$smoke_dir/direct-$eng-$period.log"
+  done
+done
+./target/release/ppm serve --stores "$smoke_dir/smoke.ppmc" --port 0 \
+  --cache "$smoke_dir/results.ppmcache" --test-faults \
+  >"$smoke_dir/serve1.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+  grep -q "listening on tcp" "$smoke_dir/serve1.log" 2>/dev/null && break
+  sleep 0.1
+done
+port="$(sed -n 's/^listening on tcp .*:\([0-9][0-9]*\) .*/\1/p' "$smoke_dir/serve1.log")"
+test -n "$port"
+# Nine concurrent clients (three engines x three periods) hammer the one
+# shared view at once; each completed answer must diff clean against the
+# direct baseline.
+query_pids=()
+for eng in hitset apriori vertical; do
+  for period in 24 25 26; do
+    ./target/release/ppm query --port "$port" --store smoke \
+      --period "$period" --min-conf 0.6 --engine "$eng" \
+      >"$smoke_dir/query-$eng-$period.log" &
+    query_pids+=("$!")
+  done
+done
+for pid in "${query_pids[@]}"; do wait "$pid"; done
+for eng in hitset apriori vertical; do
+  for period in 24 25 26; do
+    cmp "$smoke_dir/direct-$eng-$period.log" "$smoke_dir/query-$eng-$period.log"
+  done
+done
+# A resource-guard trip comes back as a typed partial-result error (exit 3
+# with partial progress), and the daemon keeps serving afterwards.
+# (--no-cache: a warm cache entry would answer before the guard can trip.)
+guard_status=0
+./target/release/ppm query --port "$port" --store smoke --period 25 \
+  --min-conf 0.6 --deadline-ms 0 --no-cache \
+  >"$smoke_dir/daemon-guard.log" || guard_status=$?
+test "$guard_status" -eq 3
+grep -q "partial progress" "$smoke_dir/daemon-guard.log"
+# Injected garbage is quarantined at the scan boundary (exit 4, counts are
+# sound lower bounds) and bypasses the cache.
+dq_status=0
+./target/release/ppm query --port "$port" --store smoke --period 25 \
+  --min-conf 0.6 --quarantine --inject-garbage 3 --show-cached \
+  >"$smoke_dir/daemon-quarantine.log" || dq_status=$?
+test "$dq_status" -eq 4
+grep -q "quarantined 1 instants" "$smoke_dir/daemon-quarantine.log"
+grep -q "cached: bypass" "$smoke_dir/daemon-quarantine.log"
+# Crash-safety: kill -9 (no drain, no graceful flush) must leave a cache a
+# fresh daemon can recover warm — every completed insert was published
+# atomically.
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+test -s "$smoke_dir/results.ppmcache"
+./target/release/ppm serve --stores "$smoke_dir/smoke.ppmc" --port 0 \
+  --cache "$smoke_dir/results.ppmcache" >"$smoke_dir/serve2.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+  grep -q "listening on tcp" "$smoke_dir/serve2.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "warm entries" "$smoke_dir/serve2.log"
+if grep -q "(0 warm entries)" "$smoke_dir/serve2.log"; then
+  echo "kill -9 lost the result cache" >&2; exit 1
+fi
+port="$(sed -n 's/^listening on tcp .*:\([0-9][0-9]*\) .*/\1/p' "$smoke_dir/serve2.log")"
+test -n "$port"
+# The recovered cache answers the same query byte-identically...
+./target/release/ppm query --port "$port" --store smoke --period 25 \
+  --min-conf 0.6 >"$smoke_dir/query-warm.log"
+cmp "$smoke_dir/direct-hitset-25.log" "$smoke_dir/query-warm.log"
+# ...and reports it came from the warm cache, not a re-mine.
+./target/release/ppm query --port "$port" --store smoke --period 25 \
+  --min-conf 0.6 --show-cached >"$smoke_dir/query-cached.log"
+grep -q "cached: hit" "$smoke_dir/query-cached.log"
+# SIGTERM drains and exits 0 with a clean-stop banner.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q "daemon stopped cleanly" "$smoke_dir/serve2.log"
 
 echo "CI green."

@@ -161,6 +161,13 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
             print_quarantine(rep, out)?;
         }
         print_result(&result, &catalog, period, min_conf, limit, out)?;
+        // Quarantined instants mean the printed counts are lower bounds;
+        // scripts learn that through the dedicated exit code.
+        if let Some(rep) = &qreport {
+            if !rep.is_empty() {
+                return Err(CliError::Quarantined { skipped: rep.len() });
+            }
+        }
         return Ok(Some(result.stats));
     }
 
@@ -218,9 +225,11 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
     // Quarantine: pass every instant through scan-boundary validation and
     // mine the cleaned series. Quarantined instants become empty, so all
     // reported counts/confidences are sound lower bounds.
+    let mut skipped = 0;
     let series = if quarantine || strict {
         let (cleaned, rep) = quarantine_series(&series, inject, strict)?;
         print_quarantine(&rep, out)?;
+        skipped = rep.len();
         cleaned
     } else {
         series
@@ -245,7 +254,7 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
                 fp.count as f64 / result.segment_count as f64
             )?;
         }
-        return Ok(Some(result.stats));
+        return finish_mined(result.stats, skipped);
     }
 
     // Closed-only mode: the lossless compression of the frequent set.
@@ -267,7 +276,7 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
                 fp.count as f64 / result.segment_count as f64
             )?;
         }
-        return Ok(Some(result.stats));
+        return finish_mined(result.stats, skipped);
     }
 
     let offsets = args.parsed_list::<usize>("offsets")?;
@@ -323,13 +332,24 @@ fn run_inner(args: &Parsed, out: &mut dyn Write) -> Result<Option<MiningStats>, 
 
     if args.switch("tsv") {
         write!(out, "{}", ppm_core::export::patterns_tsv(&result, &catalog))?;
-        return Ok(Some(result.stats));
+        return finish_mined(result.stats, skipped);
     }
     print_result(&result, &catalog, period, min_conf, limit, out)?;
     if let Some(mode) = audit_mode {
         run_audit(&series, &result, &catalog, period, &config, mode, out)?;
     }
-    Ok(Some(result.stats))
+    finish_mined(result.stats, skipped)
+}
+
+/// The tail of every mined path: a run that quarantined instants reports
+/// its (sound, lower-bound) results and then exits with the dedicated
+/// quarantine code so scripts can tell "exact" from "defensible".
+fn finish_mined(stats: MiningStats, skipped: usize) -> Result<Option<MiningStats>, CliError> {
+    if skipped > 0 {
+        Err(CliError::Quarantined { skipped })
+    } else {
+        Ok(Some(stats))
+    }
 }
 
 /// Parses `--audit` / `--audit full` / `--audit sample` / `--audit N`
@@ -765,7 +785,8 @@ mod tests {
         .collect();
         let mut out = Vec::new();
         let err = crate::run(&argv, &mut out).unwrap_err();
-        assert_eq!(err.exit_code(), 1);
+        // Guard trips have their own exit code: partial result, not failure.
+        assert_eq!(err.exit_code(), 3);
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("mining aborted"), "{text}");
         assert!(text.contains("partial progress"), "{text}");
@@ -876,7 +897,7 @@ mod tests {
         .collect();
         let mut out = Vec::new();
         let err = crate::run(&argv, &mut out).unwrap_err();
-        assert_eq!(err.exit_code(), 1);
+        assert_eq!(err.exit_code(), 3);
 
         let raw = std::fs::read_to_string(&metrics).unwrap();
         let summary = Json::parse(raw.lines().last().unwrap()).unwrap();
@@ -972,11 +993,19 @@ mod tests {
     #[test]
     fn quarantine_reports_injected_garbage_and_still_mines() {
         let path = sample_series_file("ppms");
-        let text = run_cli(&format!(
+        let argv: Vec<String> = format!(
             "mine --input {} --period 3 --min-conf 0.6 --quarantine --inject-garbage 1",
             path.display()
-        ))
-        .unwrap();
+        )
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+        let mut out = Vec::new();
+        // Lower-bound results still print, but the exit code says
+        // "quarantined" so scripts can tell exact from defensible.
+        let err = crate::run(&argv, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        let text = String::from_utf8(out).unwrap();
         assert!(text.contains("quarantined 1 instants"), "{text}");
         assert!(text.contains("instant 1:"), "{text}");
         assert!(text.contains("frequent patterns"), "{text}");
@@ -1018,11 +1047,17 @@ mod tests {
     #[test]
     fn quarantine_works_in_stream_mode() {
         let path = sample_series_file("ppmstream");
-        let text = run_cli(&format!(
+        let argv: Vec<String> = format!(
             "mine --input {} --period 3 --min-conf 0.6 --stream --quarantine --inject-garbage 1",
             path.display()
-        ))
-        .unwrap();
+        )
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+        let mut out = Vec::new();
+        let err = crate::run(&argv, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        let text = String::from_utf8(out).unwrap();
         assert!(text.contains("quarantined 1 instants"), "{text}");
         assert!(text.contains("frequent patterns"), "{text}");
         std::fs::remove_file(path).ok();

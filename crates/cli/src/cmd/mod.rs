@@ -6,7 +6,9 @@ pub mod generate;
 pub mod info;
 pub mod mine;
 pub mod perfect;
+pub mod query;
 pub mod rules;
+pub mod serve;
 pub mod sweep;
 pub mod verify;
 

@@ -1,0 +1,346 @@
+//! `ppm query` — client for a running `ppm serve` daemon.
+//!
+//! Sends one request frame and renders the response. A `mine` query
+//! prints byte-for-byte what a direct `ppm mine` against the same store
+//! would print, so scripts can diff the two; daemon-side failures carry
+//! their wire code straight through to the exit status (see
+//! [`crate::error::CliError`] for the taxonomy).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use ppm_observe::Json;
+use ppm_serve::protocol::{self, read_frame, write_frame};
+use ppm_serve::ErrorCode;
+
+use crate::args::Parsed;
+use crate::error::CliError;
+
+/// Runs one query against the daemon.
+pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let op = args.get("op").unwrap_or("mine");
+    let request = build_request(op, args)?;
+    let response = exchange(args, &request)?;
+    render(op, args, &response, out)
+}
+
+/// Builds the request frame for `op` from the command-line flags.
+fn build_request(op: &str, args: &Parsed) -> Result<Json, CliError> {
+    let mut fields = vec![
+        ("v".to_owned(), Json::from_u64(protocol::VERSION)),
+        ("op".to_owned(), Json::Str(op.to_owned())),
+    ];
+    match op {
+        "mine" | "rules" | "verify" => {
+            fields.push((
+                "store".to_owned(),
+                Json::Str(args.required("store")?.into()),
+            ));
+            fields.push((
+                "period".to_owned(),
+                Json::from_u64(args.required_parsed("period")?),
+            ));
+            fields.push((
+                "min_conf".to_owned(),
+                Json::Num(args.required_parsed("min-conf")?),
+            ));
+            if let Some(engine) = args.get("engine") {
+                fields.push(("engine".to_owned(), Json::Str(engine.to_owned())));
+            }
+            fields.push((
+                "limit".to_owned(),
+                Json::from_u64(args.parsed_or("limit", 20)?),
+            ));
+            if args.switch("deadline-ms") {
+                fields.push((
+                    "deadline_ms".to_owned(),
+                    Json::from_u64(args.required_parsed("deadline-ms")?),
+                ));
+            }
+            if args.switch("max-tree-nodes") {
+                fields.push((
+                    "max_tree_nodes".to_owned(),
+                    Json::from_u64(args.required_parsed("max-tree-nodes")?),
+                ));
+            }
+            if args.switch("no-cache") {
+                fields.push(("no_cache".to_owned(), Json::Bool(true)));
+            }
+            if args.switch("quarantine") {
+                fields.push(("quarantine".to_owned(), Json::Bool(true)));
+            }
+            if args.switch("inject-garbage") {
+                fields.push((
+                    "inject_garbage".to_owned(),
+                    Json::from_u64(args.required_parsed("inject-garbage")?),
+                ));
+            }
+            if op == "rules" {
+                fields.push((
+                    "min_rule_conf".to_owned(),
+                    Json::Num(args.parsed_or("min-rule-conf", 0.8)?),
+                ));
+            }
+        }
+        "info" => {
+            if let Some(store) = args.get("store") {
+                fields.push(("store".to_owned(), Json::Str(store.to_owned())));
+            }
+        }
+        "stats" | "shutdown" | "panic" => {}
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --op {other:?} (mine|rules|verify|info|stats|shutdown)"
+            )))
+        }
+    }
+    Ok(Json::Obj(fields))
+}
+
+/// Connects (TCP via `--host`/`--port`, or `--socket PATH`), sends the
+/// request, reads the one response frame.
+fn exchange(args: &Parsed, request: &Json) -> Result<Json, CliError> {
+    let read = |resp: std::io::Result<Option<Json>>| -> Result<Json, CliError> {
+        resp?.ok_or_else(|| {
+            CliError::Daemon(
+                ErrorCode::Internal,
+                "daemon closed the connection without responding".into(),
+            )
+        })
+    };
+    if let Some(path) = args.get("socket") {
+        let mut conn = UnixStream::connect(path)?;
+        write_frame(&mut conn, request)?;
+        return read(read_frame(&mut conn));
+    }
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.required_parsed("port")?;
+    let mut conn = TcpStream::connect((host, port))?;
+    write_frame(&mut conn, request)?;
+    read(read_frame(&mut conn))
+}
+
+/// Renders the response and maps failures onto the exit-code taxonomy.
+fn render(op: &str, args: &Parsed, resp: &Json, out: &mut dyn Write) -> Result<(), CliError> {
+    match resp.get("type").and_then(Json::as_str) {
+        Some("overload") => {
+            let retry_after_ms = resp
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            Err(CliError::Overloaded { retry_after_ms })
+        }
+        Some("error") => {
+            let code = ErrorCode::from_wire(resp.get("code").and_then(Json::as_u64).unwrap_or(1));
+            let message = resp
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("(no message)")
+                .to_owned();
+            // Guard trips print their partial progress like direct `ppm
+            // mine` does before exiting with the partial-result code (the
+            // daemon message already carries the "mining aborted:" prefix).
+            if let Some(stats) = resp.get("partial_stats") {
+                writeln!(out, "{message}")?;
+                let n = |f: &str| stats.get(f).and_then(Json::as_u64).unwrap_or(0);
+                writeln!(
+                    out,
+                    "partial progress: {} series scans, {} tree nodes, \
+                     {} hit insertions; raise --deadline-ms / --max-tree-nodes to finish",
+                    n("series_scans"),
+                    n("tree_nodes"),
+                    n("hit_insertions")
+                )?;
+            }
+            Err(CliError::Daemon(code, message))
+        }
+        Some("result") => render_result(op, args, resp, out),
+        other => Err(CliError::Daemon(
+            ErrorCode::Internal,
+            format!("malformed daemon response (type {other:?})"),
+        )),
+    }
+}
+
+/// Success rendering, per op.
+fn render_result(
+    op: &str,
+    args: &Parsed,
+    resp: &Json,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let u = |field: &str| resp.get(field).and_then(Json::as_u64).unwrap_or(0);
+    match op {
+        "mine" => {
+            let quarantined = resp.get("quarantined").and_then(Json::as_u64);
+            if let Some(n) = quarantined {
+                if n == 0 {
+                    writeln!(out, "quarantined 0 instants")?;
+                } else {
+                    writeln!(
+                        out,
+                        "quarantined {n} instants; counts below are sound lower bounds:"
+                    )?;
+                }
+            }
+            print_mine_rows(args, resp, out)?;
+            if args.switch("show-cached") {
+                let cached = resp.get("cached").and_then(Json::as_str).unwrap_or("?");
+                writeln!(out, "cached: {cached}")?;
+            }
+            if let Some(n) = quarantined.filter(|&n| n > 0) {
+                return Err(CliError::Quarantined {
+                    skipped: n as usize,
+                });
+            }
+            Ok(())
+        }
+        "rules" => {
+            let min_rule_conf = resp
+                .get("min_rule_conf")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.8);
+            let limit: usize = args.parsed_or("limit", 20)?;
+            writeln!(
+                out,
+                "{} rules at confidence >= {min_rule_conf} (from {} frequent patterns, \
+                 period {}); showing up to {limit}:",
+                u("n_rules"),
+                u("n_frequent"),
+                u("period")
+            )?;
+            for row in rows_of(resp) {
+                if let Some(text) = row.as_str() {
+                    writeln!(out, "  {text}")?;
+                }
+            }
+            Ok(())
+        }
+        "verify" => {
+            let agreed = matches!(resp.get("agreed"), Some(Json::Bool(true)));
+            writeln!(
+                out,
+                "cross-check: {} engines on {} patterns — {}",
+                u("engines"),
+                u("compared"),
+                if agreed { "agree" } else { "DISAGREE" }
+            )?;
+            let violations = resp
+                .get("violations")
+                .and_then(Json::as_arr)
+                .map(|v| v.len())
+                .unwrap_or(0);
+            if let Some(Json::Arr(vs)) = resp.get("violations") {
+                for v in vs {
+                    if let Some(text) = v.as_str() {
+                        writeln!(out, "  {text}")?;
+                    }
+                }
+            }
+            if agreed {
+                Ok(())
+            } else {
+                Err(CliError::Audit(format!(
+                    "{violations} violations (details above)"
+                )))
+            }
+        }
+        "info" => {
+            if let Some(Json::Arr(stores)) = resp.get("stores") {
+                for s in stores {
+                    writeln!(
+                        out,
+                        "{}: {} instants, {}-bit rows, {} features, {} bytes, fingerprint {}",
+                        s.get("name").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("instants").and_then(Json::as_u64).unwrap_or(0),
+                        s.get("width").and_then(Json::as_u64).unwrap_or(0),
+                        s.get("features").and_then(Json::as_u64).unwrap_or(0),
+                        s.get("file_bytes").and_then(Json::as_u64).unwrap_or(0),
+                        s.get("fingerprint").and_then(Json::as_str).unwrap_or("?"),
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        "stats" => {
+            for field in ["queue_depth", "shed", "served", "panics", "stores"] {
+                writeln!(out, "{field}: {}", u(field))?;
+            }
+            if let Some(cache) = resp.get("cache") {
+                for field in ["entries", "hits", "derived", "misses", "rejected"] {
+                    writeln!(
+                        out,
+                        "cache.{field}: {}",
+                        cache.get(field).and_then(Json::as_u64).unwrap_or(0)
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        "shutdown" => {
+            writeln!(out, "daemon draining")?;
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Prints the `mine` rows exactly as `ppm mine`'s `print_result` does, so
+/// the two outputs diff clean.
+fn print_mine_rows(args: &Parsed, resp: &Json, out: &mut dyn Write) -> Result<(), CliError> {
+    let min_conf: f64 = args.required_parsed("min-conf")?;
+    let limit: usize = args.parsed_or("limit", 20)?;
+    let patterns = resp.get("patterns").and_then(Json::as_u64).unwrap_or(0);
+    let segments = resp.get("segments").and_then(Json::as_u64).unwrap_or(0);
+    let scans = resp.get("scans").and_then(Json::as_u64).unwrap_or(0);
+    let period = resp.get("period").and_then(Json::as_u64).unwrap_or(0);
+    writeln!(
+        out,
+        "{patterns} frequent patterns (period {period}, {segments} segments, \
+         min_conf {min_conf}, {scans} scans); showing up to {limit}, longest first:",
+    )?;
+    for row in rows_of(resp) {
+        let cells = match row.as_arr() {
+            Some(cells) if cells.len() == 3 => cells,
+            _ => continue,
+        };
+        let display = cells[0].as_str().unwrap_or("?");
+        let count = cells[2].as_u64().unwrap_or(0);
+        writeln!(
+            out,
+            "  {display}  count={count} conf={:.3}",
+            count as f64 / segments as f64
+        )?;
+    }
+    Ok(())
+}
+
+/// The response's `rows` array (empty when absent).
+fn rows_of(resp: &Json) -> &[Json] {
+    resp.get("rows").and_then(Json::as_arr).unwrap_or(&[])
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::testutil::run_cli;
+
+    #[test]
+    fn unknown_op_is_usage_error() {
+        let err = run_cli("query --op launch --port 1").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn missing_port_and_socket_is_usage_error() {
+        let err = run_cli("query --op stats").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn connection_refused_is_io_error() {
+        // Port 1 is privileged and never our daemon.
+        let err = run_cli("query --op stats --port 1").unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! `ppm serve` — the fault-tolerant mining daemon.
+//!
+//! Keeps every `--stores` `.ppmc` open as a shared zero-copy view and
+//! answers concurrent queries (see `ppm query`) over TCP or a Unix
+//! socket until SIGTERM/SIGINT, which drains in-flight work and flushes
+//! the crash-safe result cache before exiting.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use ppm_serve::server::{Bind, ServeConfig, Server};
+use ppm_serve::StoreRegistry;
+
+use crate::args::Parsed;
+use crate::error::CliError;
+
+/// Runs the daemon until a termination signal (or a `shutdown` query).
+pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let stores: Vec<String> = args
+        .required("stores")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+
+    let bind = match args.get("socket") {
+        Some(path) => Bind::Unix(PathBuf::from(path)),
+        None => {
+            let host = args.get("host").unwrap_or("127.0.0.1");
+            let port: u16 = args.parsed_or("port", 0)?;
+            Bind::Tcp(format!("{host}:{port}"))
+        }
+    };
+
+    let mut config = ServeConfig::new(bind);
+    config.workers = args.parsed_or("workers", 4)?;
+    config.queue_cap = args.parsed_or("queue", 16)?;
+    config.cache_path = args.get("cache").map(PathBuf::from);
+    if args.switch("deadline-ms") {
+        config.default_deadline_ms = Some(args.required_parsed("deadline-ms")?);
+    }
+    if args.switch("max-tree-nodes") {
+        config.default_max_tree_nodes = Some(args.required_parsed("max-tree-nodes")?);
+    }
+    config.drain_ms = args.parsed_or("drain-ms", 5_000)?;
+    config.retry_after_ms = args.parsed_or("retry-after-ms", 100)?;
+    config.test_faults = args.switch("test-faults");
+    if config.workers == 0 || config.queue_cap == 0 {
+        return Err(CliError::Usage(
+            "--workers and --queue must be at least 1".into(),
+        ));
+    }
+
+    let obs = crate::obs::ObsSetup::from_args(args)?;
+    let guard = obs.install();
+    let _shutdown = ppm_serve::signal::install_termination_handler();
+
+    let registry = StoreRegistry::open(&stores).map_err(CliError::Usage)?;
+    let server = Server::bind(registry, config.clone())?;
+
+    for store in server_stores(&server) {
+        writeln!(out, "store {store}")?;
+    }
+    writeln!(
+        out,
+        "cache: {} ({} warm entries)",
+        config
+            .cache_path
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "memory only".to_owned()),
+        server.warm_cache_entries()
+    )?;
+    // The last banner line carries the resolved address — scripts parse it
+    // to learn the port when `--port 0` picked one.
+    writeln!(
+        out,
+        "listening on {} ({} workers, queue {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_cap
+    )?;
+    out.flush()?;
+
+    server.run()?;
+    drop(guard);
+    writeln!(out, "daemon stopped cleanly")?;
+    Ok(())
+}
+
+/// One banner line per store: name, size, fingerprint.
+fn server_stores(server: &Server) -> Vec<String> {
+    server
+        .registry()
+        .iter()
+        .map(|s| {
+            format!(
+                "{}: {} instants, {} features, fingerprint {:016x}",
+                s.name,
+                s.reader.len(),
+                s.reader.catalog().len(),
+                s.fingerprint()
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::testutil::{run_cli, sample_series_file};
+
+    #[test]
+    fn missing_stores_is_usage_error() {
+        let err = run_cli("serve --port 0").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn unopenable_store_is_usage_error() {
+        let err = run_cli("serve --stores /definitely/not/here.ppmc --port 0").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("cannot open store"), "{err}");
+    }
+
+    #[test]
+    fn zero_workers_is_usage_error() {
+        let path = sample_series_file("ppmc");
+        let err = run_cli(&format!(
+            "serve --stores {} --port 0 --workers 0",
+            path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(path).ok();
+    }
+}

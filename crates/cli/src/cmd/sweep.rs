@@ -293,6 +293,37 @@ fn run_scheduled(
     let result = mine_periods_scheduled(view, range, config, sweep_engine, workers)?;
     let scheduler_us = start.elapsed().as_micros() as u64;
 
+    // Guard trips fail only the periods that hit them; the completed
+    // periods still print, the aborted ones are named with their partial
+    // progress, and the process exits with the partial-result code.
+    if !result.failures.is_empty() {
+        for f in &result.failures {
+            writeln!(out, "period {} aborted: {}", f.period, f.error)?;
+            if let Some(stats) = f.error.partial_stats() {
+                writeln!(
+                    out,
+                    "  partial progress: {} series scans, {} tree nodes, {} hit insertions",
+                    stats.series_scans, stats.tree_nodes, stats.hit_insertions
+                )?;
+            }
+        }
+        writeln!(
+            out,
+            "periods {from}..={to}: {} completed, {} aborted by resource guards; \
+             raise --deadline-ms / --max-tree-nodes to finish:",
+            result.results.len(),
+            result.failures.len()
+        )?;
+        let (_rollup, rows) = tabulate(&result);
+        print_table(&rows, out)?;
+        let first = result
+            .failures
+            .into_iter()
+            .next()
+            .expect("checked nonempty");
+        return Err(CliError::Mining(first.error));
+    }
+
     let sweep_compare = if args.switch("bench-report") {
         let start = Instant::now();
         let baseline = sequential_baseline(input, range, config, engine)?;
@@ -368,10 +399,7 @@ fn sequential_baseline(
         total_scans += r.stats.series_scans;
         results.push(r);
     }
-    Ok(MultiPeriodResult {
-        results,
-        total_scans,
-    })
+    Ok(MultiPeriodResult::complete(results, total_scans))
 }
 
 /// The `--compare-ingest TEXTFILE` head-to-head (columnar input only):
@@ -1236,5 +1264,30 @@ mod tests {
         assert!(text.contains("sweep complete"), "{text}");
         std::fs::remove_file(path).ok();
         std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn scheduled_guard_trips_fail_per_period_with_exit_3() {
+        let path = sample_series_file("ppms");
+        // A zero deadline trips the guard in every scheduled worker; each
+        // period fails individually, the failures are named with partial
+        // progress, and the process exits with the partial-result code.
+        let argv: Vec<String> = format!(
+            "sweep --input {} --from 2 --to 6 --min-conf 0.6 --workers 3 --deadline-ms 0",
+            path.display()
+        )
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+        let mut out = Vec::new();
+        let err = crate::run(&argv, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        let text = String::from_utf8(out).unwrap();
+        for period in 2..=6 {
+            assert!(text.contains(&format!("period {period} aborted")), "{text}");
+        }
+        assert!(text.contains("partial progress"), "{text}");
+        assert!(text.contains("0 completed, 5 aborted"), "{text}");
+        std::fs::remove_file(path).ok();
     }
 }

@@ -43,6 +43,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "rules" => cmd::rules::run(&parsed, out),
         "evolve" => cmd::evolve::run(&parsed, out),
         "verify" => cmd::verify::run(&parsed, out),
+        "serve" => cmd::serve::run(&parsed, out),
+        "query" => cmd::query::run(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -81,6 +83,15 @@ USAGE:
   ppm evolve   --input FILE --period P --min-conf C --window W [--stride S]
   ppm convert  --input FILE --out FILE [--salvage]
                [--to text|binary|stream|columnar]
+  ppm serve    --stores A.ppmc,B.ppmc [--port P | --socket PATH]
+               [--workers N] [--queue N] [--cache FILE]
+               [--deadline-ms MS] [--max-tree-nodes N]
+               [--drain-ms MS] [--retry-after-ms MS] [--test-faults]
+  ppm query    [--port P | --socket PATH] [--op mine|rules|verify|info|stats|shutdown]
+               [--store NAME --period P --min-conf C]
+               [--engine hitset|apriori|vertical] [--limit N] [--no-cache]
+               [--quarantine [--inject-garbage T]] [--show-cached]
+               [--deadline-ms MS] [--max-tree-nodes N] [--min-rule-conf R]
   ppm help
 
 Series files by extension: .ppms (block binary, checksummed), .ppmstream
@@ -89,6 +100,24 @@ per line, features space-separated, '-' = empty), .ppmc (columnar bitmap
 store whose on-disk layout is the miners' encoded layout — mine, sweep,
 and verify open it straight into a borrowed view with no re-encoding;
 write one with convert --to columnar).
+
+Serving: ppm serve keeps every --stores .ppmc open as one shared
+zero-copy view and answers concurrent queries over a length-prefixed
+JSON protocol (TCP or Unix socket). Admission control sheds queries
+beyond --queue with an explicit retry-after response; a panicking query
+is contained to an error response; mined results land in a crash-safe
+cache (--cache FILE, checksummed entries, atomic publish) keyed by
+store fingerprint + period + min_conf + engine, where a lower-confidence
+entry also answers higher-confidence queries by anti-monotone filtering.
+SIGTERM drains in-flight queries under --drain-ms, flushes the cache,
+and exits cleanly. ppm query is the matching client; its mine output is
+byte-identical to direct ppm mine on the same store.
+
+Exit codes (shared between direct commands and the daemon): 0 success;
+1 internal failure; 2 usage; 3 partial result (a --deadline-ms /
+--max-tree-nodes guard tripped; partial progress was reported); 4 input
+quarantined (counts are sound lower bounds); 5 transient-I/O retries
+exhausted; 6 daemon overloaded (retry after the hinted backoff).
 
 Resilience: --retries N re-scans a .ppmstream up to N extra times on
 transient I/O errors; --deadline-ms / --max-tree-nodes abort runaway mines

@@ -30,10 +30,7 @@ pub fn mine_periods_looping(
         total_scans += r.stats.series_scans;
         results.push(r);
     }
-    Ok(MultiPeriodResult {
-        results,
-        total_scans,
-    })
+    Ok(MultiPeriodResult::complete(results, total_scans))
 }
 
 /// [`mine_periods_looping`] over a borrowed bitmap view: each period is
@@ -58,10 +55,7 @@ pub fn mine_periods_looping_view(
         total_scans += r.stats.series_scans;
         results.push(r);
     }
-    Ok(MultiPeriodResult {
-        results,
-        total_scans,
-    })
+    Ok(MultiPeriodResult::complete(results, total_scans))
 }
 
 #[cfg(test)]

@@ -72,18 +72,48 @@ impl PeriodRange {
     }
 }
 
+/// A period whose task tripped a resource guard mid-sweep.
+///
+/// Produced by [`mine_periods_scheduled`]: instead of one runaway period
+/// aborting the whole sweep, a guard trip ([`Error::DeadlineExceeded`] /
+/// [`Error::TreeBudgetExceeded`]) is recorded here — the carried error
+/// still holds the partial [`crate::MiningStats`] accumulated before the
+/// abort — and the remaining periods keep mining.
+#[derive(Debug)]
+pub struct PeriodFailure {
+    /// The period whose mining task was aborted.
+    pub period: usize,
+    /// The typed guard error, carrying partial stats
+    /// (`error.partial_stats()` is always `Some` for recorded failures).
+    pub error: Error,
+}
+
 /// Result of mining a period range: one [`MiningResult`] per period plus
 /// the *physical* scan count over the series (the headline difference
 /// between Algorithms 3.3 and 3.4).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MultiPeriodResult {
     /// Per-period results, in ascending period order.
     pub results: Vec<MiningResult>,
     /// Physical scans over the time series performed in total.
     pub total_scans: usize,
+    /// Periods whose tasks tripped a resource guard, in ascending period
+    /// order. Empty for the sequential strategies, which abort on the first
+    /// guard trip instead (their single-threaded deadline makes every
+    /// later period a foregone conclusion).
+    pub failures: Vec<PeriodFailure>,
 }
 
 impl MultiPeriodResult {
+    /// A result where every period completed (no per-period failures).
+    pub fn complete(results: Vec<MiningResult>, total_scans: usize) -> Self {
+        MultiPeriodResult {
+            results,
+            total_scans,
+            failures: Vec::new(),
+        }
+    }
+
     /// The result for a specific period, if it was in the range.
     pub fn for_period(&self, period: usize) -> Option<&MiningResult> {
         self.results.iter().find(|r| r.period == period)

@@ -25,7 +25,7 @@ use std::time::Instant;
 use ppm_timeseries::EncodedSeriesView;
 
 use crate::error::{Error, Result};
-use crate::multi::{MultiPeriodResult, PeriodRange};
+use crate::multi::{MultiPeriodResult, PeriodFailure, PeriodRange};
 use crate::parallel::worker_panic;
 use crate::result::MiningResult;
 use crate::scan::MineConfig;
@@ -119,9 +119,18 @@ impl Deques {
 ///
 /// The load/encode cost is paid **once** for the whole sweep — the view is
 /// borrowed by every worker — and results are merged in ascending period
-/// order, bit-identical to the sequential per-period loop. The first task
-/// error aborts the sweep (remaining tasks are dropped) and is returned;
-/// a panicking worker surfaces as [`Error::WorkerPanic`].
+/// order, bit-identical to the sequential per-period loop.
+///
+/// Resource guards (`--deadline-ms` / `--max-tree-nodes` via
+/// [`MineConfig::with_deadline`] / [`MineConfig::with_max_tree_nodes`])
+/// propagate into every worker task. A guard trip aborts only *that
+/// period*: the typed error — still carrying its partial
+/// [`crate::MiningStats`] — is recorded as a [`PeriodFailure`] in
+/// [`MultiPeriodResult::failures`] and the remaining periods keep mining,
+/// so one pathological period degrades into a partial sweep instead of
+/// killing it. Non-guard task errors (corruption, invalid config) still
+/// abort the whole sweep and are returned; a panicking worker surfaces as
+/// [`Error::WorkerPanic`].
 ///
 /// `total_scans` counts *logical* per-period scans, like
 /// [`mine_periods_looping`](crate::multi::mine_periods_looping), so sweep
@@ -135,21 +144,27 @@ pub fn mine_periods_scheduled(
 ) -> Result<MultiPeriodResult> {
     let periods: Vec<usize> = range.iter().filter(|&p| p <= view.len()).collect();
     if periods.is_empty() {
-        return Ok(MultiPeriodResult {
-            results: Vec::new(),
-            total_scans: 0,
-        });
+        return Ok(MultiPeriodResult::complete(Vec::new(), 0));
     }
     let workers = workers.max(1).min(periods.len());
     let _span = ppm_observe::span("sweep.schedule");
     ppm_observe::gauge("sweep.workers", workers as u64);
 
     if workers == 1 {
-        // Inline path: same shared view, no pool to pay for.
+        // Inline path: same shared view, no pool to pay for — including the
+        // same guard discipline (a tripped period is recorded, not fatal).
         let start = Instant::now();
         let mut results = Vec::with_capacity(periods.len());
+        let mut failures = Vec::new();
         for &p in &periods {
-            results.push(mine_one(view, p, config, engine)?);
+            match mine_one(view, p, config, engine) {
+                Ok(r) => results.push(r),
+                Err(e) if e.partial_stats().is_some() => failures.push(PeriodFailure {
+                    period: p,
+                    error: e,
+                }),
+                Err(e) => return Err(e),
+            }
         }
         ppm_observe::counter("sweep.tasks_stolen", 0);
         ppm_observe::gauge("sweep.worker_busy_us", start.elapsed().as_micros() as u64);
@@ -157,6 +172,7 @@ pub fn mine_periods_scheduled(
         return Ok(MultiPeriodResult {
             results,
             total_scans,
+            failures,
         });
     }
 
@@ -165,12 +181,14 @@ pub fn mine_periods_scheduled(
     let abort = AtomicBool::new(false);
     let collected: Mutex<Vec<(usize, MiningResult)>> =
         Mutex::new(Vec::with_capacity(periods.len()));
+    let failed: Mutex<Vec<PeriodFailure>> = Mutex::new(Vec::new());
     let first_error: Mutex<Option<Error>> = Mutex::new(None);
 
     let deques_ref = &deques;
     let stolen_ref = &stolen;
     let abort_ref = &abort;
     let collected_ref = &collected;
+    let failed_ref = &failed;
     let error_ref = &first_error;
     let periods_ref = &periods;
 
@@ -198,6 +216,17 @@ pub fn mine_periods_scheduled(
                                 .lock()
                                 .expect("results poisoned")
                                 .push((task, result)),
+                            // A guard trip fails only this period; the rest
+                            // of the bag keeps draining.
+                            Err(e) if e.partial_stats().is_some() => {
+                                failed_ref
+                                    .lock()
+                                    .expect("failures poisoned")
+                                    .push(PeriodFailure {
+                                        period: periods_ref[task],
+                                        error: e,
+                                    });
+                            }
                             Err(e) => {
                                 let mut slot = error_ref.lock().expect("error slot poisoned");
                                 if slot.is_none() {
@@ -226,12 +255,15 @@ pub fn mine_periods_scheduled(
     }
     let mut collected = collected.into_inner().expect("results poisoned");
     collected.sort_by_key(|&(task, _)| task);
-    debug_assert_eq!(collected.len(), periods.len());
+    let mut failures = failed.into_inner().expect("failures poisoned");
+    failures.sort_by_key(|f| f.period);
+    debug_assert_eq!(collected.len() + failures.len(), periods.len());
     let results: Vec<MiningResult> = collected.into_iter().map(|(_, r)| r).collect();
     let total_scans = results.iter().map(|r| r.stats.series_scans).sum();
     Ok(MultiPeriodResult {
         results,
         total_scans,
+        failures,
     })
 }
 
@@ -341,10 +373,7 @@ mod tests {
                         total_scans += r.stats.series_scans;
                         results.push(r);
                     }
-                    MultiPeriodResult {
-                        results,
-                        total_scans,
-                    }
+                    MultiPeriodResult::complete(results, total_scans)
                 }
             };
             assert_eq!(scheduled.total_scans, sequential.total_scans, "{engine:?}");
@@ -393,15 +422,85 @@ mod tests {
     }
 
     #[test]
-    fn task_errors_abort_the_sweep() {
+    fn guard_trips_surface_as_per_period_failures() {
         let s = mixed_series(600);
         let encoded = EncodedSeries::encode(&s);
         let range = PeriodRange::new(2, 9).unwrap();
         let config = MineConfig::new(0.5)
             .unwrap()
             .with_deadline(std::time::Duration::ZERO);
-        let err = mine_periods_scheduled(encoded.view(), range, &config, SweepEngine::Vertical, 4)
-            .unwrap_err();
-        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got {err:?}");
+        for workers in [1, 4] {
+            let out = mine_periods_scheduled(
+                encoded.view(),
+                range,
+                &config,
+                SweepEngine::Vertical,
+                workers,
+            )
+            .unwrap();
+            // An already-expired deadline trips every period, but the sweep
+            // itself completes with a full per-period accounting.
+            assert!(out.results.is_empty(), "workers={workers}");
+            assert_eq!(out.failures.len(), range.len(), "workers={workers}");
+            let periods: Vec<usize> = out.failures.iter().map(|f| f.period).collect();
+            assert_eq!(periods, range.iter().collect::<Vec<_>>(), "sorted");
+            for f in &out.failures {
+                assert!(
+                    matches!(f.error, Error::DeadlineExceeded { .. }),
+                    "period {}: {:?}",
+                    f.period,
+                    f.error
+                );
+                assert!(f.error.partial_stats().is_some(), "period {}", f.period);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_budget_fails_only_the_periods_over_it() {
+        let s = mixed_series(400);
+        let encoded = EncodedSeries::encode(&s);
+        let range = PeriodRange::new(2, 9).unwrap();
+        let config = MineConfig::new(0.3).unwrap();
+        // Per-period tree sizes vary; pick a budget strictly between the
+        // smallest and largest so the split is deterministic but non-trivial.
+        let sizes: Vec<(usize, usize)> = range
+            .iter()
+            .map(|p| {
+                let r = crate::hitset::mine_view(encoded.view(), p, &config).unwrap();
+                (p, r.stats.tree_nodes)
+            })
+            .collect();
+        let min = sizes.iter().map(|&(_, n)| n).min().unwrap();
+        let max = sizes.iter().map(|&(_, n)| n).max().unwrap();
+        assert!(
+            min < max,
+            "series must produce varied tree sizes: {sizes:?}"
+        );
+        let budget = (min + max) / 2;
+        let expect_fail: Vec<usize> = sizes
+            .iter()
+            .filter(|&&(_, n)| n > budget)
+            .map(|&(p, _)| p)
+            .collect();
+        let guarded = MineConfig::new(0.3).unwrap().with_max_tree_nodes(budget);
+        let out = mine_periods_scheduled(encoded.view(), range, &guarded, SweepEngine::HitSet, 4)
+            .unwrap();
+        let failed: Vec<usize> = out.failures.iter().map(|f| f.period).collect();
+        assert_eq!(failed, expect_fail);
+        assert_eq!(out.results.len() + out.failures.len(), range.len());
+        for f in &out.failures {
+            assert!(
+                matches!(f.error, Error::TreeBudgetExceeded { .. }),
+                "period {}: {:?}",
+                f.period,
+                f.error
+            );
+        }
+        // Completed periods are bit-identical to an unguarded mine.
+        for r in &out.results {
+            let plain = crate::hitset::mine_view(encoded.view(), r.period, &config).unwrap();
+            assert_eq!(r.frequent, plain.frequent, "period {}", r.period);
+        }
     }
 }

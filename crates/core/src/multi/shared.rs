@@ -24,10 +24,7 @@ pub fn mine_periods_shared(
 ) -> Result<MultiPeriodResult> {
     let periods: Vec<usize> = range.iter().filter(|&p| p <= series.len()).collect();
     if periods.is_empty() {
-        return Ok(MultiPeriodResult {
-            results: Vec::new(),
-            total_scans: 0,
-        });
+        return Ok(MultiPeriodResult::complete(Vec::new(), 0));
     }
     let _mine_span = ppm_observe::span("shared.mine");
     ppm_observe::gauge("shared.periods", periods.len() as u64);
@@ -82,10 +79,7 @@ pub fn mine_periods_shared(
     drop(scan1_span);
 
     let results = scan2_and_derive(encoded.view(), &periods, &usable, scans, config);
-    Ok(MultiPeriodResult {
-        results,
-        total_scans: 2,
-    })
+    Ok(MultiPeriodResult::complete(results, 2))
 }
 
 /// [`mine_periods_shared`] over a borrowed bitmap view (an
@@ -99,10 +93,7 @@ pub fn mine_periods_shared_view(
 ) -> Result<MultiPeriodResult> {
     let periods: Vec<usize> = range.iter().filter(|&p| p <= view.len()).collect();
     if periods.is_empty() {
-        return Ok(MultiPeriodResult {
-            results: Vec::new(),
-            total_scans: 0,
-        });
+        return Ok(MultiPeriodResult::complete(Vec::new(), 0));
     }
     let _mine_span = ppm_observe::span("shared.mine");
     ppm_observe::gauge("shared.periods", periods.len() as u64);
@@ -146,10 +137,7 @@ pub fn mine_periods_shared_view(
     drop(scan1_span);
 
     let results = scan2_and_derive(view, &periods, &usable, scans, config);
-    Ok(MultiPeriodResult {
-        results,
-        total_scans: 2,
-    })
+    Ok(MultiPeriodResult::complete(results, 2))
 }
 
 /// Scan 2 plus derivation, shared by the series-backed and view-backed

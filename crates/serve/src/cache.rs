@@ -1,0 +1,570 @@
+//! The crash-safe result cache: mined answers keyed by
+//! `(store fingerprint, period, min_conf, engine)`, persisted with the
+//! checksummed atomic-publish discipline, exploiting anti-monotonicity to
+//! answer *stricter* queries from *looser* cached results.
+//!
+//! ## The anti-monotonicity rule
+//!
+//! A pattern is frequent at confidence `c` iff its segment count reaches
+//! `min_count(c) = max(1, ceil(c · m))` over `m` segments, and
+//! `min_count` is monotone in `c`. A cached result mined at `c_lo`
+//! therefore contains a superset of every result at `c_hi ≥ c_lo` for the
+//! same `(fingerprint, period, engine)`: filtering its rows by
+//! `count ≥ min_count(c_hi)` reproduces the direct mine *bit-identically*,
+//! because rows are stored in the canonical report order (pattern length
+//! desc, count desc) which filtering preserves.
+//!
+//! Derivation is restricted to the `hitset` and `vertical` engines, whose
+//! scan count is a constant 2 regardless of confidence — so the echoed
+//! `scans` field also matches a direct mine. Apriori's scan count varies
+//! with the confidence, so Apriori entries only ever answer exact-key
+//! hits.
+//!
+//! ## Crash safety
+//!
+//! The file is line-oriented: a magic header, then one `entry <fnv16hex>
+//! <json>` line per cached result, each line's checksum covering its own
+//! JSON. Saves go through a same-directory temp file + fsync + atomic
+//! rename + parent-dir fsync. On load, a damaged line is *rejected by
+//! name* (the offending line number and, when parseable, its key are
+//! reported) while intact entries survive — a torn tail after `kill -9`
+//! costs at most the entry being written, never the warm cache.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ppm_core::MineConfig;
+use ppm_observe::Json;
+
+const MAGIC: &str = "ppm-serve-cache v1";
+
+/// FNV-1a over `bytes` (the same streaming hash the storage formats use).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A cache key. Confidence is keyed by its exact bit pattern — two
+/// requests hit the same entry only when they asked for the same `f64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// The store's content fingerprint.
+    pub fingerprint: u64,
+    /// Mining period.
+    pub period: usize,
+    /// `min_conf.to_bits()`.
+    pub conf_bits: u64,
+    /// Engine name (`hitset` / `apriori` / `vertical`).
+    pub engine: String,
+}
+
+impl CacheKey {
+    fn conf(&self) -> f64 {
+        f64::from_bits(self.conf_bits)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "fp={:016x} period={} conf={} engine={}",
+            self.fingerprint,
+            self.period,
+            self.conf(),
+            self.engine
+        )
+    }
+}
+
+/// One cached pattern row, in canonical report order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedRow {
+    /// The rendered pattern (catalog names are fixed per fingerprint).
+    pub display: String,
+    /// Number of letters in the pattern (the primary sort key).
+    pub letters: usize,
+    /// Segment count of the pattern.
+    pub count: u64,
+}
+
+/// A cached mining answer: everything a `mine` response needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResult {
+    /// Segments the period divided the series into.
+    pub segment_count: usize,
+    /// Physical series scans the original mine performed.
+    pub scans: usize,
+    /// Every frequent pattern, sorted (letters desc, count desc).
+    pub rows: Vec<CachedRow>,
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The exact key was cached.
+    Hit,
+    /// Derived from a lower-confidence entry by anti-monotone filtering.
+    Derived,
+    /// Not answerable from cache.
+    Miss,
+}
+
+/// Counters the daemon's `stats` op exposes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Exact-key hits.
+    pub hits: u64,
+    /// Anti-monotone derivations.
+    pub derived: u64,
+    /// Lookups that had to mine.
+    pub misses: u64,
+    /// Entries rejected as damaged at load time.
+    pub rejected: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+/// The cache proper. All mutation goes through [`Self::insert`], which
+/// persists immediately when a backing path is configured.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: Option<PathBuf>,
+    entries: Vec<(CacheKey, CachedResult)>,
+    hits: u64,
+    derived: u64,
+    misses: u64,
+    rejected: u64,
+}
+
+impl ResultCache {
+    /// An in-memory cache (no persistence).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            path: None,
+            entries: Vec::new(),
+            hits: 0,
+            derived: 0,
+            misses: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Opens (or initializes) a persistent cache at `path`. A missing file
+    /// starts empty; a present file is loaded entry by entry, rejecting
+    /// damaged lines by name while keeping every intact one.
+    pub fn open(path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let mut cache = ResultCache {
+            path: Some(path.clone()),
+            entries: Vec::new(),
+            hits: 0,
+            derived: 0,
+            misses: 0,
+            rejected: 0,
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return cache,
+        };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first == MAGIC => {}
+            _ => {
+                ppm_observe::mark("serve.cache.rejected", || {
+                    format!("cache {} has a bad header; starting cold", path.display())
+                });
+                cache.rejected += 1;
+                return cache;
+            }
+        }
+        for (lineno, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            match Self::parse_entry(line) {
+                Ok((key, value)) => cache.entries.push((key, value)),
+                Err(why) => {
+                    cache.rejected += 1;
+                    ppm_observe::mark("serve.cache.rejected", || {
+                        format!("cache line {}: {why}", lineno + 1)
+                    });
+                }
+            }
+        }
+        cache
+    }
+
+    /// Parses one `entry <fnv16hex> <json>` line.
+    fn parse_entry(line: &str) -> Result<(CacheKey, CachedResult), String> {
+        let rest = line
+            .strip_prefix("entry ")
+            .ok_or_else(|| format!("unrecognized line {line:?}"))?;
+        let (sum_hex, json_text) = rest
+            .split_once(' ')
+            .ok_or_else(|| "missing checksum separator".to_owned())?;
+        let stored = u64::from_str_radix(sum_hex, 16).map_err(|_| "bad checksum hex".to_owned())?;
+        if fnv64(json_text.as_bytes()) != stored {
+            // Name the damaged entry when its key is still readable.
+            let named = Json::parse(json_text)
+                .ok()
+                .and_then(|j| Self::json_key(&j).ok())
+                .map(|k| k.describe())
+                .unwrap_or_else(|| "unreadable key".to_owned());
+            return Err(format!("checksum mismatch, rejecting entry ({named})"));
+        }
+        let json = Json::parse(json_text).map_err(|e| format!("bad entry JSON: {e}"))?;
+        let key = Self::json_key(&json)?;
+        let segment_count = json
+            .get("segments")
+            .and_then(Json::as_u64)
+            .ok_or("missing segments")? as usize;
+        let scans = json
+            .get("scans")
+            .and_then(Json::as_u64)
+            .ok_or("missing scans")? as usize;
+        let rows = json
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("missing rows")?
+            .iter()
+            .map(|row| {
+                let arr = row
+                    .as_arr()
+                    .filter(|a| a.len() == 3)
+                    .ok_or("malformed row")?;
+                Ok(CachedRow {
+                    display: arr[0]
+                        .as_str()
+                        .ok_or("row display not a string")?
+                        .to_owned(),
+                    letters: arr[1].as_u64().ok_or("row letters not a number")? as usize,
+                    count: arr[2].as_u64().ok_or("row count not a number")?,
+                })
+            })
+            .collect::<Result<Vec<_>, &str>>()
+            .map_err(str::to_owned)?;
+        Ok((
+            key,
+            CachedResult {
+                segment_count,
+                scans,
+                rows,
+            },
+        ))
+    }
+
+    fn json_key(json: &Json) -> Result<CacheKey, String> {
+        let hex = |field: &str| {
+            json.get(field)
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| format!("missing hex field {field:?}"))
+        };
+        Ok(CacheKey {
+            fingerprint: hex("fp")?,
+            period: json
+                .get("period")
+                .and_then(Json::as_u64)
+                .ok_or("missing period")? as usize,
+            conf_bits: hex("conf_bits")?,
+            engine: json
+                .get("engine")
+                .and_then(Json::as_str)
+                .ok_or("missing engine")?
+                .to_owned(),
+        })
+    }
+
+    /// Looks up `key`. Exact hits return the entry verbatim; for the
+    /// constant-scan engines (`hitset` / `vertical`) a cached entry at a
+    /// *lower* confidence answers by anti-monotone filtering (see module
+    /// docs). Counters update accordingly.
+    pub fn lookup(&mut self, key: &CacheKey) -> (Option<CachedResult>, CacheOutcome) {
+        if let Some((_, v)) = self.entries.iter().find(|(k, _)| k == key) {
+            self.hits += 1;
+            return (Some(v.clone()), CacheOutcome::Hit);
+        }
+        if matches!(key.engine.as_str(), "hitset" | "vertical") {
+            let conf = key.conf();
+            // The best donor: the *highest* cached confidence not above the
+            // query's, so the filter discards as little as possible.
+            let donor = self
+                .entries
+                .iter()
+                .filter(|(k, _)| {
+                    k.fingerprint == key.fingerprint
+                        && k.period == key.period
+                        && k.engine == key.engine
+                        && k.conf() <= conf
+                })
+                .max_by(|(a, _), (b, _)| a.conf().total_cmp(&b.conf()));
+            if let Some((_, v)) = donor {
+                let min_count = match MineConfig::new(conf) {
+                    Ok(c) => c.min_count(v.segment_count),
+                    Err(_) => {
+                        self.misses += 1;
+                        return (None, CacheOutcome::Miss);
+                    }
+                };
+                let rows: Vec<CachedRow> = v
+                    .rows
+                    .iter()
+                    .filter(|r| r.count >= min_count)
+                    .cloned()
+                    .collect();
+                let derived = CachedResult {
+                    segment_count: v.segment_count,
+                    scans: v.scans,
+                    rows,
+                };
+                self.derived += 1;
+                return (Some(derived), CacheOutcome::Derived);
+            }
+        }
+        self.misses += 1;
+        (None, CacheOutcome::Miss)
+    }
+
+    /// Inserts (or replaces) an entry and persists the cache when backed
+    /// by a file. Persistence failures are reported as a mark, not an
+    /// error — the cache is an accelerator, never a correctness gate.
+    pub fn insert(&mut self, key: CacheKey, value: CachedResult) {
+        self.entries.retain(|(k, _)| k != &key);
+        self.entries.push((key, value));
+        self.flush();
+    }
+
+    /// Writes the cache file atomically (no-op for in-memory caches).
+    pub fn flush(&self) {
+        let Some(path) = &self.path else { return };
+        if let Err(e) = self.save_to(path) {
+            ppm_observe::mark("serve.cache.save_failed", || {
+                format!("cache save to {} failed: {e}", path.display())
+            });
+        }
+    }
+
+    fn save_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = String::with_capacity(1024);
+        text.push_str(MAGIC);
+        text.push('\n');
+        for (key, value) in &self.entries {
+            let json = Self::entry_json(key, value).render();
+            let _ = writeln!(text, "entry {:016x} {json}", fnv64(json.as_bytes()));
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                d.sync_all().ok();
+            }
+        }
+        Ok(())
+    }
+
+    fn entry_json(key: &CacheKey, value: &CachedResult) -> Json {
+        Json::Obj(vec![
+            (
+                "fp".to_owned(),
+                Json::Str(format!("{:016x}", key.fingerprint)),
+            ),
+            ("period".to_owned(), Json::from_usize(key.period)),
+            (
+                "conf_bits".to_owned(),
+                Json::Str(format!("{:016x}", key.conf_bits)),
+            ),
+            ("engine".to_owned(), Json::Str(key.engine.clone())),
+            ("segments".to_owned(), Json::from_usize(value.segment_count)),
+            ("scans".to_owned(), Json::from_usize(value.scans)),
+            (
+                "rows".to_owned(),
+                Json::Arr(
+                    value
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            Json::Arr(vec![
+                                Json::Str(r.display.clone()),
+                                Json::from_usize(r.letters),
+                                Json::from_u64(r.count),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            derived: self.derived,
+            misses: self.misses,
+            rejected: self.rejected,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(conf: f64) -> CacheKey {
+        CacheKey {
+            fingerprint: 0xabcd,
+            period: 3,
+            conf_bits: conf.to_bits(),
+            engine: "hitset".to_owned(),
+        }
+    }
+
+    fn sample_value() -> CachedResult {
+        CachedResult {
+            segment_count: 10,
+            scans: 2,
+            rows: vec![
+                CachedRow {
+                    display: "a b".into(),
+                    letters: 2,
+                    count: 5,
+                },
+                CachedRow {
+                    display: "a *".into(),
+                    letters: 1,
+                    count: 9,
+                },
+                CachedRow {
+                    display: "* b".into(),
+                    letters: 1,
+                    count: 5,
+                },
+            ],
+        }
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ppm-serve-cache-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn exact_hits_and_misses() {
+        let mut c = ResultCache::in_memory();
+        assert_eq!(c.lookup(&key(0.5)).1, CacheOutcome::Miss);
+        c.insert(key(0.5), sample_value());
+        let (got, outcome) = c.lookup(&key(0.5));
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(got.unwrap(), sample_value());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn higher_confidence_derives_by_filtering() {
+        let mut c = ResultCache::in_memory();
+        c.insert(key(0.4), sample_value());
+        // min_count(0.9, 10) = 9: only the count-9 row survives.
+        let (got, outcome) = c.lookup(&key(0.9));
+        assert_eq!(outcome, CacheOutcome::Derived);
+        let got = got.unwrap();
+        assert_eq!(got.rows.len(), 1);
+        assert_eq!(got.rows[0].display, "a *");
+        assert_eq!(got.scans, 2, "scans echo the donor entry");
+        // Lower confidence than any cached entry cannot be derived.
+        assert_eq!(c.lookup(&key(0.1)).1, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn apriori_entries_only_answer_exact_keys() {
+        let mut c = ResultCache::in_memory();
+        let mut k = key(0.4);
+        k.engine = "apriori".to_owned();
+        c.insert(k.clone(), sample_value());
+        assert_eq!(c.lookup(&k).1, CacheOutcome::Hit);
+        let mut higher = k.clone();
+        higher.conf_bits = 0.9f64.to_bits();
+        assert_eq!(c.lookup(&higher).1, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn persists_and_reloads() {
+        let path = temp("reload");
+        {
+            let mut c = ResultCache::open(&path);
+            c.insert(key(0.5), sample_value());
+        }
+        let mut c = ResultCache::open(&path);
+        let (got, outcome) = c.lookup(&key(0.5));
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(got.unwrap(), sample_value());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn damaged_entries_are_rejected_by_name_and_the_rest_survive() {
+        let path = temp("damaged");
+        {
+            let mut c = ResultCache::open(&path);
+            c.insert(key(0.5), sample_value());
+            let mut other = key(0.7);
+            other.period = 4;
+            c.insert(other, sample_value());
+        }
+        // Corrupt the second entry's JSON tail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        assert_eq!(lines.len(), 3);
+        let n = lines[2].len();
+        lines[2].replace_range(n - 3..n, "!!!");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let mut c = ResultCache::open(&path);
+        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.lookup(&key(0.5)).1, CacheOutcome::Hit);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn torn_tail_after_a_crash_keeps_the_prefix() {
+        let path = temp("torn");
+        {
+            let mut c = ResultCache::open(&path);
+            c.insert(key(0.5), sample_value());
+            c.insert(key(0.6), sample_value());
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        // Simulate kill -9 mid-write: truncate at every byte; the loader
+        // must never panic and always keep the intact prefix entries.
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let c = ResultCache::open(&path);
+            assert!(c.stats().entries <= 2, "cut {cut}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_starts_cold() {
+        let c = ResultCache::open(temp("missing"));
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().rejected, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! The error-code taxonomy shared by the daemon wire protocol and the CLI.
+//!
+//! One numbering, two surfaces: the daemon reports these codes in `error`
+//! frames (`code` field) and the CLI maps its own failures — and any
+//! daemon error a `ppm query` relays — onto the same numbers as process
+//! exit codes. Scripts can therefore branch on a single documented
+//! taxonomy whether they drive the binary or the socket.
+
+use std::fmt;
+
+/// The shared failure taxonomy. The discriminant *is* both the wire code
+/// and the process exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Unclassified failure: I/O, corruption, audit violations, panics.
+    Internal = 1,
+    /// Bad invocation or malformed request: unknown op/store/flag,
+    /// unsupported protocol version.
+    Usage = 2,
+    /// A resource guard (deadline / tree budget) tripped; the carried
+    /// result is partial but its stats are sound.
+    PartialResult = 3,
+    /// Mining completed but quarantined malformed instants; reported
+    /// counts are sound lower bounds, not exact.
+    Quarantined = 4,
+    /// A transient I/O failure survived every configured retry.
+    RetriesExhausted = 5,
+    /// The daemon's admission queue was full; retry after the hinted
+    /// backoff.
+    Overloaded = 6,
+}
+
+impl ErrorCode {
+    /// The process exit code this maps to.
+    pub fn exit_code(self) -> i32 {
+        self as i32
+    }
+
+    /// The wire representation (the `code` field of an `error` frame).
+    pub fn wire(self) -> u64 {
+        self as u64
+    }
+
+    /// Parses a wire code; unknown codes collapse to [`Self::Internal`]
+    /// so a newer daemon never makes an older client panic.
+    pub fn from_wire(code: u64) -> ErrorCode {
+        match code {
+            2 => ErrorCode::Usage,
+            3 => ErrorCode::PartialResult,
+            4 => ErrorCode::Quarantined,
+            5 => ErrorCode::RetriesExhausted,
+            6 => ErrorCode::Overloaded,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// The stable lowercase name used in logs and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Internal => "internal",
+            ErrorCode::Usage => "usage",
+            ErrorCode::PartialResult => "partial-result",
+            ErrorCode::Quarantined => "quarantined",
+            ErrorCode::RetriesExhausted => "retries-exhausted",
+            ErrorCode::Overloaded => "overloaded",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (code {})", self.name(), self.wire())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_the_wire() {
+        for code in [
+            ErrorCode::Internal,
+            ErrorCode::Usage,
+            ErrorCode::PartialResult,
+            ErrorCode::Quarantined,
+            ErrorCode::RetriesExhausted,
+            ErrorCode::Overloaded,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.wire()), code);
+            assert_eq!(code.exit_code() as u64, code.wire());
+        }
+        // Unknown wire codes degrade to Internal, never panic.
+        assert_eq!(ErrorCode::from_wire(0), ErrorCode::Internal);
+        assert_eq!(ErrorCode::from_wire(99), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn display_names_the_code() {
+        assert_eq!(ErrorCode::Overloaded.to_string(), "overloaded (code 6)");
+    }
+}

@@ -1,0 +1,43 @@
+//! `ppm-serve`: a fault-tolerant multi-tenant mining daemon.
+//!
+//! The daemon keeps hot `.ppmc` columnar stores open for the process
+//! lifetime and answers concurrent `mine` / `rules` / `verify` / `info`
+//! queries over a length-prefixed JSON protocol ([`protocol`]) on TCP or
+//! a Unix socket. It is built from four robustness mechanisms, each its
+//! own module:
+//!
+//! * **Admission control** ([`server`]) — a bounded queue between the
+//!   accept loop and the worker pool; overload sheds with an explicit
+//!   retry hint instead of queueing without bound.
+//! * **Fault containment** ([`server`]) — every query runs under
+//!   `catch_unwind`; a panicking query becomes a structured error
+//!   response while the daemon keeps serving.
+//! * **Crash-safe caching** ([`cache`]) — mined results keyed by
+//!   (store fingerprint, period, min_conf, engine), persisted with
+//!   per-entry checksums and atomic publish; a lower-confidence entry
+//!   answers higher-confidence queries by anti-monotone filtering.
+//! * **Graceful lifecycle** ([`signal`], [`server`]) — SIGTERM drains
+//!   in-flight work under a deadline, rejects new admissions, flushes
+//!   the cache, and exits cleanly; `kill -9` is recovered by the cache's
+//!   checksums and the store's atomic publish discipline.
+//!
+//! The error taxonomy ([`ErrorCode`]) is shared with the CLI, so
+//! `ppm query` exits with the same codes the daemon speaks on the wire.
+
+// `deny`, not `forbid`: the signal shim opts back in for its two-line
+// `extern "C"` declaration (the workspace is dependency-free, so there is
+// no `libc` crate to hide it behind).
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+pub mod store;
+
+pub use cache::{CacheKey, CacheOutcome, CacheStats, CachedResult, CachedRow, ResultCache};
+pub use error::ErrorCode;
+pub use server::{Bind, BoundAddr, ServeConfig, Server};
+pub use store::{Store, StoreRegistry};

@@ -1,0 +1,907 @@
+//! The daemon: admission control, worker pool, panic isolation, graceful
+//! drain.
+//!
+//! ## Life of a query
+//!
+//! The accept loop (non-blocking, polling the shutdown flag) admits each
+//! connection into a bounded queue. A full queue sheds the connection
+//! with an explicit `overload` frame carrying a retry hint — the client
+//! is told, never hung up on silently. Workers pop connections, read one
+//! request frame at a time, and dispatch it under `catch_unwind`: a
+//! panicking query produces a structured `error` response and a bumped
+//! `panics` counter while the worker (and daemon) keep serving.
+//!
+//! ## Lifecycle
+//!
+//! SIGTERM/SIGINT (or the `shutdown` op) flip the stop flag. The accept
+//! loop closes admissions; workers drain the queued connections under the
+//! configured drain deadline, then exit; the result cache is flushed one
+//! final time and the Unix socket file (if any) removed. `kill -9` is the
+//! crash path the cache's checksummed entries and the columnar store's
+//! atomic publishes are built for.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ppm_core::{Algorithm, MineConfig, MiningResult, Pattern};
+use ppm_observe::Json;
+use ppm_timeseries::{
+    Fault, FaultInjectingSource, FaultPlan, FeatureCatalog, MemorySource, QuarantineMode,
+    QuarantiningSource, SeriesBuilder, SeriesSource,
+};
+
+use crate::cache::{CacheKey, CacheOutcome, CachedResult, CachedRow, ResultCache};
+use crate::error::ErrorCode;
+use crate::protocol::{
+    self, error_response, overload_response, req_f64, req_str, req_u64, result_response,
+};
+use crate::signal;
+use crate::store::StoreRegistry;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// A TCP address, e.g. `127.0.0.1:7070` (port `0` picks one).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// The address actually bound (TCP reports the resolved port).
+#[derive(Debug, Clone)]
+pub enum BoundAddr {
+    /// Bound TCP socket address.
+    Tcp(SocketAddr),
+    /// Bound Unix socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundAddr::Tcp(a) => write!(f, "tcp {a}"),
+            BoundAddr::Unix(p) => write!(f, "unix {}", p.display()),
+        }
+    }
+}
+
+/// Daemon tuning. Every field has a safe default; construct with
+/// [`ServeConfig::new`] and override as needed.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub bind: Bind,
+    /// Worker threads handling queries.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed.
+    pub queue_cap: usize,
+    /// Result-cache file; `None` keeps the cache in memory only.
+    pub cache_path: Option<PathBuf>,
+    /// Default per-query deadline (ms) when the request names none.
+    pub default_deadline_ms: Option<u64>,
+    /// Default per-query tree budget when the request names none.
+    pub default_max_tree_nodes: Option<usize>,
+    /// How long workers may keep draining after shutdown is requested.
+    pub drain_ms: u64,
+    /// The backoff hint stamped on overload responses.
+    pub retry_after_ms: u64,
+    /// Enables the fault-injection surface (`panic` op, `inject_garbage`)
+    /// for tests and soaks; production daemons leave it off.
+    pub test_faults: bool,
+}
+
+impl ServeConfig {
+    /// A config with defaults for everything but the bind address.
+    pub fn new(bind: Bind) -> Self {
+        ServeConfig {
+            bind,
+            workers: 4,
+            queue_cap: 16,
+            cache_path: None,
+            default_deadline_ms: None,
+            default_max_tree_nodes: None,
+            drain_ms: 5_000,
+            retry_after_ms: 100,
+            test_faults: false,
+        }
+    }
+}
+
+/// Daemon-level counters exposed through the `stats` op and mirrored to
+/// `ppm-observe` gauges.
+#[derive(Debug, Default)]
+struct Gauges {
+    queue_depth: AtomicU64,
+    shed: AtomicU64,
+    served: AtomicU64,
+    panics: AtomicU64,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Blocking mode with bounded timeouts: a stalled peer costs a worker
+    /// at most the timeout, never a hang.
+    fn configure(&self) -> io::Result<()> {
+        let t = Some(Duration::from_secs(2));
+        match self {
+            Conn::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(t)?;
+                s.set_write_timeout(t)
+            }
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(t)?;
+                s.set_write_timeout(t)
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The admission queue shared between the accept loop and the workers.
+struct Queue {
+    conns: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+    stop: AtomicBool,
+    drain_until: Mutex<Option<Instant>>,
+}
+
+/// The daemon. [`Server::bind`] opens the socket (so the caller can learn
+/// the resolved port before serving); [`Server::run`] blocks until
+/// shutdown completes.
+pub struct Server {
+    listener: Listener,
+    bound: BoundAddr,
+    registry: StoreRegistry,
+    config: ServeConfig,
+    cache: Mutex<ResultCache>,
+    gauges: Gauges,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listen socket and loads (or initializes) the result
+    /// cache.
+    pub fn bind(registry: StoreRegistry, config: ServeConfig) -> io::Result<Server> {
+        let (listener, bound) = match &config.bind {
+            Bind::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let a = l.local_addr()?;
+                (Listener::Tcp(l), BoundAddr::Tcp(a))
+            }
+            Bind::Unix(path) => {
+                // The daemon owns its socket path; a stale file from a
+                // previous crash would otherwise block the bind forever.
+                std::fs::remove_file(path).ok();
+                let l = UnixListener::bind(path)?;
+                (Listener::Unix(l), BoundAddr::Unix(path.clone()))
+            }
+        };
+        let cache = match &config.cache_path {
+            Some(p) => ResultCache::open(p),
+            None => ResultCache::in_memory(),
+        };
+        Ok(Server {
+            listener,
+            bound,
+            registry,
+            config,
+            cache: Mutex::new(cache),
+            gauges: Gauges::default(),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound.
+    pub fn local_addr(&self) -> &BoundAddr {
+        &self.bound
+    }
+
+    /// The stores this daemon serves.
+    pub fn registry(&self) -> &StoreRegistry {
+        &self.registry
+    }
+
+    /// A handle that requests shutdown when stored `true` (tests use this
+    /// in place of a signal).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// Number of cache entries recovered at startup (for the "warm cache"
+    /// banner).
+    pub fn warm_cache_entries(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").stats().entries
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    /// Serves until shutdown, then drains, flushes the cache, and returns.
+    pub fn run(self) -> io::Result<()> {
+        match &self.listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+        }
+        let queue = Queue {
+            conns: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            drain_until: Mutex::new(None),
+        };
+        let obs = ppm_observe::current();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                let obs = obs.clone();
+                let queue = &queue;
+                let server = &self;
+                scope.spawn(move || {
+                    let _g = ppm_observe::attach(obs);
+                    server.worker_loop(queue);
+                });
+            }
+
+            // Accept loop: poll-accept so the shutdown flag is observed
+            // within one tick even with no traffic.
+            loop {
+                if self.shutting_down() {
+                    break;
+                }
+                let accepted = match &self.listener {
+                    Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                    Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+                };
+                match accepted {
+                    Ok(conn) => self.admit(conn, &queue),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+
+            // Drain: no new admissions; workers finish the queue under the
+            // deadline, then exit.
+            *queue.drain_until.lock().expect("drain poisoned") =
+                Some(Instant::now() + Duration::from_millis(self.config.drain_ms));
+            queue.stop.store(true, Ordering::SeqCst);
+            queue.ready.notify_all();
+        });
+
+        self.cache.lock().expect("cache poisoned").flush();
+        if let BoundAddr::Unix(path) = &self.bound {
+            std::fs::remove_file(path).ok();
+        }
+        ppm_observe::mark("serve.stopped", || {
+            format!(
+                "served {} queries, shed {}, {} panics contained",
+                self.gauges.served.load(Ordering::Relaxed),
+                self.gauges.shed.load(Ordering::Relaxed),
+                self.gauges.panics.load(Ordering::Relaxed)
+            )
+        });
+        Ok(())
+    }
+
+    /// Admission control: into the bounded queue, or shed with an
+    /// explicit overload frame.
+    fn admit(&self, conn: Conn, queue: &Queue) {
+        if conn.configure().is_err() {
+            return;
+        }
+        let mut conns = queue.conns.lock().expect("queue poisoned");
+        if conns.len() >= self.config.queue_cap {
+            drop(conns);
+            self.gauges.shed.fetch_add(1, Ordering::Relaxed);
+            ppm_observe::counter("serve.shed", 1);
+            let mut conn = conn;
+            let _ =
+                protocol::write_frame(&mut conn, &overload_response(self.config.retry_after_ms));
+            return;
+        }
+        conns.push_back(conn);
+        let depth = conns.len() as u64;
+        drop(conns);
+        self.gauges.queue_depth.store(depth, Ordering::Relaxed);
+        ppm_observe::gauge("serve.queue_depth", depth);
+        queue.ready.notify_one();
+    }
+
+    /// One worker: pop connections until the queue closes (or the drain
+    /// deadline expires), serving every frame on each.
+    fn worker_loop(&self, queue: &Queue) {
+        loop {
+            let conn = {
+                let mut conns = queue.conns.lock().expect("queue poisoned");
+                loop {
+                    let stopping = queue.stop.load(Ordering::SeqCst);
+                    if stopping {
+                        let expired = queue
+                            .drain_until
+                            .lock()
+                            .expect("drain poisoned")
+                            .is_some_and(|d| Instant::now() >= d);
+                        if expired {
+                            break None;
+                        }
+                    }
+                    if let Some(c) = conns.pop_front() {
+                        self.gauges
+                            .queue_depth
+                            .store(conns.len() as u64, Ordering::Relaxed);
+                        break Some(c);
+                    }
+                    if stopping {
+                        break None;
+                    }
+                    let (guard, _) = queue
+                        .ready
+                        .wait_timeout(conns, Duration::from_millis(50))
+                        .expect("queue poisoned");
+                    conns = guard;
+                }
+            };
+            match conn {
+                Some(c) => self.serve_conn(c),
+                None => break,
+            }
+        }
+    }
+
+    /// Serves every frame on one connection; a panic inside dispatch is
+    /// contained to an error response.
+    fn serve_conn(&self, mut conn: Conn) {
+        loop {
+            let req = match protocol::read_frame(&mut conn) {
+                Ok(Some(req)) => req,
+                Ok(None) | Err(_) => return,
+            };
+            let _span = ppm_observe::span("serve.request");
+            let resp = match catch_unwind(AssertUnwindSafe(|| self.dispatch(&req))) {
+                Ok(resp) => resp,
+                Err(payload) => {
+                    self.gauges.panics.fetch_add(1, Ordering::Relaxed);
+                    ppm_observe::counter("serve.panics", 1);
+                    let what = panic_message(&payload);
+                    error_response(
+                        ErrorCode::Internal,
+                        format!("query panicked ({what}); the daemon is still serving"),
+                        Vec::new(),
+                    )
+                }
+            };
+            self.gauges.served.fetch_add(1, Ordering::Relaxed);
+            if protocol::write_frame(&mut conn, &resp).is_err() {
+                return;
+            }
+            if self.shutting_down() {
+                return;
+            }
+        }
+    }
+
+    /// Validates the envelope and routes to the op handler; every failure
+    /// becomes a typed error response.
+    fn dispatch(&self, req: &Json) -> Json {
+        match req.get("v").and_then(Json::as_u64) {
+            Some(protocol::VERSION) => {}
+            other => {
+                return error_response(
+                    ErrorCode::Usage,
+                    format!(
+                        "unsupported protocol version {other:?}; this daemon speaks v{}",
+                        protocol::VERSION
+                    ),
+                    Vec::new(),
+                )
+            }
+        }
+        let op = match req.get("op").and_then(Json::as_str) {
+            Some(op) => op,
+            None => {
+                return error_response(
+                    ErrorCode::Usage,
+                    "request has no \"op\" field".into(),
+                    Vec::new(),
+                )
+            }
+        };
+        let outcome = match op {
+            "mine" => self.op_mine(req),
+            "rules" => self.op_rules(req),
+            "verify" => self.op_verify(req),
+            "info" => self.op_info(req),
+            "stats" => Ok(self.op_stats()),
+            "shutdown" => {
+                self.stop.store(true, Ordering::SeqCst);
+                Ok(result_response(
+                    "shutdown",
+                    vec![("draining".to_owned(), Json::Bool(true))],
+                ))
+            }
+            "panic" if self.config.test_faults => panic!("injected test panic"),
+            other => Err(OpError::usage(format!(
+                "unknown op {other:?} (mine|rules|verify|info|stats|shutdown)"
+            ))),
+        };
+        match outcome {
+            Ok(resp) => resp,
+            Err(e) => error_response(e.code, e.message, e.extras),
+        }
+    }
+
+    fn op_mine(&self, req: &Json) -> Result<Json, OpError> {
+        let q = MineQuery::parse(req, &self.config)?;
+        let store = self
+            .registry
+            .get(&q.store)
+            .ok_or_else(|| OpError::usage(format!("unknown store {:?}", q.store)))?;
+
+        if q.quarantine {
+            return self.mine_quarantined(store, &q);
+        }
+
+        let key = CacheKey {
+            fingerprint: store.fingerprint(),
+            period: q.period,
+            conf_bits: q.min_conf.to_bits(),
+            engine: q.engine.clone(),
+        };
+        if !q.no_cache {
+            let (cached, outcome) = self.cache.lock().expect("cache poisoned").lookup(&key);
+            if let Some(c) = cached {
+                let label = match outcome {
+                    CacheOutcome::Hit => "hit",
+                    CacheOutcome::Derived => "derived",
+                    CacheOutcome::Miss => unreachable!("lookup returned a value"),
+                };
+                ppm_observe::counter("serve.cache.answers", 1);
+                return Ok(mine_response(&q, &c, label, None));
+            }
+        }
+
+        let _span = ppm_observe::span("serve.mine");
+        let view = store.view();
+        let mined = match q.engine.as_str() {
+            "apriori" => ppm_core::apriori::mine_view(view, q.period, &q.config),
+            "vertical" => ppm_core::vertical::mine_vertical_view(view, q.period, &q.config),
+            _ => ppm_core::hitset::mine_view(view, q.period, &q.config),
+        };
+        let result = mined.map_err(OpError::from_mining)?;
+        let cached = to_cached(&result, store.reader.catalog());
+        if !q.no_cache {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            cache.insert(key, cached.clone());
+        }
+        Ok(mine_response(&q, &cached, "miss", None))
+    }
+
+    /// The quarantine path: materialize, clean (optionally injecting
+    /// garbage when the fault surface is enabled), mine the cleaned
+    /// series. Never cached — the cleaned series is not the store.
+    fn mine_quarantined(
+        &self,
+        store: &crate::store::Store,
+        q: &MineQuery,
+    ) -> Result<Json, OpError> {
+        if q.inject_garbage.is_some() && !self.config.test_faults {
+            return Err(OpError::usage(
+                "inject_garbage requires the daemon to run with --test-faults".into(),
+            ));
+        }
+        let series = store.reader.to_series();
+        let mem = MemorySource::new(&series);
+        let mut faulty;
+        let mut plain;
+        let source: &mut dyn SeriesSource = match q.inject_garbage {
+            Some(t) => {
+                let mut plan = FaultPlan::new();
+                for attempt in 0..32 {
+                    plan = plan.fail_scan(attempt, Fault::Garbage { instant: t });
+                }
+                faulty = FaultInjectingSource::new(mem, plan);
+                &mut faulty
+            }
+            None => {
+                plain = mem;
+                &mut plain
+            }
+        };
+        let mut qsrc = QuarantiningSource::new(source, QuarantineMode::Quarantine);
+        let mut builder = SeriesBuilder::new();
+        qsrc.scan(&mut |_, feats| builder.push_instant(feats.iter().copied()))
+            .map_err(|e| OpError::internal(format!("quarantine scan failed: {e}")))?;
+        let (_, report) = qsrc.into_parts();
+        let cleaned = builder.finish();
+
+        let mined = match q.engine.as_str() {
+            "apriori" => ppm_core::mine(&cleaned, q.period, &q.config, Algorithm::Apriori),
+            "vertical" => ppm_core::vertical::mine_vertical(&cleaned, q.period, &q.config),
+            _ => ppm_core::mine(&cleaned, q.period, &q.config, Algorithm::HitSet),
+        };
+        let result = mined.map_err(OpError::from_mining)?;
+        let cached = to_cached(&result, store.reader.catalog());
+        Ok(mine_response(q, &cached, "bypass", Some(report.len())))
+    }
+
+    fn op_rules(&self, req: &Json) -> Result<Json, OpError> {
+        let q = MineQuery::parse(req, &self.config)?;
+        let store = self
+            .registry
+            .get(&q.store)
+            .ok_or_else(|| OpError::usage(format!("unknown store {:?}", q.store)))?;
+        let min_rule_conf = req
+            .get("min_rule_conf")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.8);
+        let _span = ppm_observe::span("serve.rules");
+        let result = ppm_core::hitset::mine_view(store.view(), q.period, &q.config)
+            .map_err(OpError::from_mining)?;
+        let rules = ppm_core::rules::generate_rules(&result, min_rule_conf);
+        let rows: Vec<Json> = rules
+            .iter()
+            .take(q.limit)
+            .map(|r| Json::Str(r.display(&result, store.reader.catalog())))
+            .collect();
+        Ok(result_response(
+            "rules",
+            vec![
+                ("store".to_owned(), Json::Str(q.store.clone())),
+                ("period".to_owned(), Json::from_usize(q.period)),
+                ("min_rule_conf".to_owned(), Json::Num(min_rule_conf)),
+                ("n_rules".to_owned(), Json::from_usize(rules.len())),
+                ("n_frequent".to_owned(), Json::from_usize(result.len())),
+                ("rows".to_owned(), Json::Arr(rows)),
+            ],
+        ))
+    }
+
+    fn op_verify(&self, req: &Json) -> Result<Json, OpError> {
+        let q = MineQuery::parse(req, &self.config)?;
+        let store = self
+            .registry
+            .get(&q.store)
+            .ok_or_else(|| OpError::usage(format!("unknown store {:?}", q.store)))?;
+        let _span = ppm_observe::span("serve.verify");
+        let check = ppm_core::audit::cross_check_view(
+            store.view(),
+            q.period,
+            &q.config,
+            store.reader.catalog(),
+        )
+        .map_err(OpError::from_mining)?;
+        let agreed = check.agreed();
+        let violations: Vec<Json> = check
+            .report
+            .violations
+            .iter()
+            .map(|v| Json::Str(v.to_string()))
+            .collect();
+        Ok(result_response(
+            "verify",
+            vec![
+                ("store".to_owned(), Json::Str(q.store.clone())),
+                ("period".to_owned(), Json::from_usize(q.period)),
+                (
+                    "engines".to_owned(),
+                    Json::from_usize(check.algorithms.len()),
+                ),
+                ("compared".to_owned(), Json::from_usize(check.compared)),
+                ("agreed".to_owned(), Json::Bool(agreed)),
+                ("violations".to_owned(), Json::Arr(violations)),
+            ],
+        ))
+    }
+
+    fn op_info(&self, req: &Json) -> Result<Json, OpError> {
+        let filter = req.get("store").and_then(Json::as_str);
+        let mut stores = Vec::new();
+        for s in self.registry.iter() {
+            if filter.is_some_and(|f| f != s.name) {
+                continue;
+            }
+            stores.push(Json::Obj(vec![
+                ("name".to_owned(), Json::Str(s.name.clone())),
+                ("instants".to_owned(), Json::from_usize(s.reader.len())),
+                ("width".to_owned(), Json::from_usize(s.reader.width())),
+                (
+                    "features".to_owned(),
+                    Json::from_usize(s.reader.catalog().len()),
+                ),
+                (
+                    "file_bytes".to_owned(),
+                    Json::from_usize(s.reader.file_bytes()),
+                ),
+                (
+                    "fingerprint".to_owned(),
+                    Json::Str(format!("{:016x}", s.fingerprint())),
+                ),
+            ]));
+        }
+        if let Some(name) = filter {
+            if stores.is_empty() {
+                return Err(OpError::usage(format!("unknown store {name:?}")));
+            }
+        }
+        Ok(result_response(
+            "info",
+            vec![("stores".to_owned(), Json::Arr(stores))],
+        ))
+    }
+
+    fn op_stats(&self) -> Json {
+        let cache = self.cache.lock().expect("cache poisoned").stats();
+        result_response(
+            "stats",
+            vec![
+                (
+                    "queue_depth".to_owned(),
+                    Json::from_u64(self.gauges.queue_depth.load(Ordering::Relaxed)),
+                ),
+                (
+                    "shed".to_owned(),
+                    Json::from_u64(self.gauges.shed.load(Ordering::Relaxed)),
+                ),
+                (
+                    "served".to_owned(),
+                    Json::from_u64(self.gauges.served.load(Ordering::Relaxed)),
+                ),
+                (
+                    "panics".to_owned(),
+                    Json::from_u64(self.gauges.panics.load(Ordering::Relaxed)),
+                ),
+                ("stores".to_owned(), Json::from_usize(self.registry.len())),
+                (
+                    "cache".to_owned(),
+                    Json::Obj(vec![
+                        ("entries".to_owned(), Json::from_usize(cache.entries)),
+                        ("hits".to_owned(), Json::from_u64(cache.hits)),
+                        ("derived".to_owned(), Json::from_u64(cache.derived)),
+                        ("misses".to_owned(), Json::from_u64(cache.misses)),
+                        ("rejected".to_owned(), Json::from_u64(cache.rejected)),
+                    ]),
+                ),
+            ],
+        )
+    }
+}
+
+/// What the common query ops parse out of a request.
+struct MineQuery {
+    store: String,
+    period: usize,
+    min_conf: f64,
+    engine: String,
+    limit: usize,
+    config: MineConfig,
+    quarantine: bool,
+    inject_garbage: Option<usize>,
+    no_cache: bool,
+}
+
+impl MineQuery {
+    fn parse(req: &Json, server: &ServeConfig) -> Result<MineQuery, OpError> {
+        let store = req_str(req, "store").map_err(OpError::usage)?.to_owned();
+        let period = req_u64(req, "period").map_err(OpError::usage)? as usize;
+        if period == 0 {
+            return Err(OpError::usage("period must be at least 1".into()));
+        }
+        let min_conf = req_f64(req, "min_conf").map_err(OpError::usage)?;
+        let engine = req
+            .get("engine")
+            .and_then(Json::as_str)
+            .unwrap_or("hitset")
+            .to_owned();
+        if !matches!(engine.as_str(), "hitset" | "apriori" | "vertical") {
+            return Err(OpError::usage(format!(
+                "engine {engine:?} is not servable (hitset|apriori|vertical)"
+            )));
+        }
+        let limit = req.get("limit").and_then(Json::as_u64).unwrap_or(20) as usize;
+        let mut config =
+            MineConfig::new(min_conf).map_err(|e| OpError::usage(format!("bad min_conf: {e}")))?;
+        let deadline_ms = req
+            .get("deadline_ms")
+            .and_then(Json::as_u64)
+            .or(server.default_deadline_ms);
+        if let Some(ms) = deadline_ms {
+            config = config.with_deadline(Duration::from_millis(ms));
+        }
+        let max_tree_nodes = req
+            .get("max_tree_nodes")
+            .and_then(Json::as_u64)
+            .map(|n| n as usize)
+            .or(server.default_max_tree_nodes);
+        if let Some(n) = max_tree_nodes {
+            config = config.with_max_tree_nodes(n);
+        }
+        Ok(MineQuery {
+            store,
+            period,
+            min_conf,
+            engine,
+            limit,
+            config,
+            quarantine: matches!(req.get("quarantine"), Some(Json::Bool(true))),
+            inject_garbage: req
+                .get("inject_garbage")
+                .and_then(Json::as_u64)
+                .map(|t| t as usize),
+            no_cache: matches!(req.get("no_cache"), Some(Json::Bool(true))),
+        })
+    }
+}
+
+/// A typed op failure on its way to an `error` frame.
+struct OpError {
+    code: ErrorCode,
+    message: String,
+    extras: Vec<(String, Json)>,
+}
+
+impl OpError {
+    fn usage(message: String) -> OpError {
+        OpError {
+            code: ErrorCode::Usage,
+            message,
+            extras: Vec::new(),
+        }
+    }
+
+    fn internal(message: String) -> OpError {
+        OpError {
+            code: ErrorCode::Internal,
+            message,
+            extras: Vec::new(),
+        }
+    }
+
+    /// Maps a mining failure onto the taxonomy: guard trips carry their
+    /// partial stats (code 3), transient exhaustion is code 5, the rest
+    /// is internal.
+    fn from_mining(e: ppm_core::Error) -> OpError {
+        if let Some(stats) = e.partial_stats() {
+            return OpError {
+                code: ErrorCode::PartialResult,
+                message: format!("mining aborted: {e}"),
+                extras: vec![(
+                    "partial_stats".to_owned(),
+                    Json::Obj(vec![
+                        (
+                            "series_scans".to_owned(),
+                            Json::from_usize(stats.series_scans),
+                        ),
+                        ("tree_nodes".to_owned(), Json::from_usize(stats.tree_nodes)),
+                        (
+                            "hit_insertions".to_owned(),
+                            Json::from_u64(stats.hit_insertions),
+                        ),
+                    ]),
+                )],
+            };
+        }
+        if e.is_transient() {
+            return OpError {
+                code: ErrorCode::RetriesExhausted,
+                message: format!("transient failure survived retries: {e}"),
+                extras: Vec::new(),
+            };
+        }
+        OpError::internal(format!("mining error: {e}"))
+    }
+}
+
+/// Converts a mined result into canonical cached rows (report order).
+fn to_cached(result: &MiningResult, catalog: &FeatureCatalog) -> CachedResult {
+    let mut rows: Vec<&ppm_core::FrequentPattern> = result.frequent.iter().collect();
+    rows.sort_by(|a, b| {
+        b.letters
+            .len()
+            .cmp(&a.letters.len())
+            .then(b.count.cmp(&a.count))
+    });
+    CachedResult {
+        segment_count: result.segment_count,
+        scans: result.stats.series_scans,
+        rows: rows
+            .into_iter()
+            .map(|fp| CachedRow {
+                display: Pattern::from_letter_set(&result.alphabet, &fp.letters)
+                    .display(catalog)
+                    .to_string(),
+                letters: fp.letters.len(),
+                count: fp.count,
+            })
+            .collect(),
+    }
+}
+
+/// Builds the `mine` result frame: totals plus up to `limit` rows.
+fn mine_response(
+    q: &MineQuery,
+    c: &CachedResult,
+    cached: &str,
+    quarantined: Option<usize>,
+) -> Json {
+    let rows: Vec<Json> = c
+        .rows
+        .iter()
+        .take(q.limit)
+        .map(|r| {
+            Json::Arr(vec![
+                Json::Str(r.display.clone()),
+                Json::from_usize(r.letters),
+                Json::from_u64(r.count),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("store".to_owned(), Json::Str(q.store.clone())),
+        ("period".to_owned(), Json::from_usize(q.period)),
+        ("min_conf".to_owned(), Json::Num(q.min_conf)),
+        ("engine".to_owned(), Json::Str(q.engine.clone())),
+        ("patterns".to_owned(), Json::from_usize(c.rows.len())),
+        ("segments".to_owned(), Json::from_usize(c.segment_count)),
+        ("scans".to_owned(), Json::from_usize(c.scans)),
+        ("cached".to_owned(), Json::Str(cached.to_owned())),
+        ("rows".to_owned(), Json::Arr(rows)),
+    ];
+    if let Some(n) = quarantined {
+        fields.push(("quarantined".to_owned(), Json::from_usize(n)));
+    }
+    result_response("mine", fields)
+}
+
+/// Best-effort panic payload rendering for the error message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal signal hookup: flips a flag on SIGTERM/SIGINT.
+//!
+//! The workspace is zero-dependency, so instead of the `libc` crate this
+//! module declares the two symbols it needs from the C library that `std`
+//! already links. The handler is async-signal-safe by construction — it
+//! performs exactly one atomic store — and everything else (draining,
+//! cache flush, exit) happens on ordinary threads that poll the flag.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// `SIGINT` on every platform this workspace targets.
+const SIGINT: i32 = 2;
+/// `SIGTERM` on every platform this workspace targets.
+const SIGTERM: i32 = 15;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the termination handler (idempotent) and returns the flag it
+/// flips. The returned handle is the same process-wide flag every call
+/// sees; [`requested`] reads it without installing anything.
+pub fn install_termination_handler() -> Arc<ShutdownFlag> {
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+    Arc::new(ShutdownFlag(()))
+}
+
+/// Whether a termination signal has been observed (or [`ShutdownFlag::set`]
+/// was called programmatically).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// A handle over the process-wide shutdown flag.
+#[derive(Debug)]
+pub struct ShutdownFlag(());
+
+impl ShutdownFlag {
+    /// Whether shutdown has been requested.
+    pub fn is_set(&self) -> bool {
+        requested()
+    }
+
+    /// Requests shutdown programmatically (the `shutdown` op and tests use
+    /// this; signals go through the handler).
+    pub fn set(&self) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears the flag — for tests that run several server lifecycles in
+    /// one process.
+    pub fn clear(&self) {
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,141 @@
+//! The daemon's hot-store registry: validated `.ppmc` loads kept open for
+//! the process lifetime and shared read-only across every worker.
+//!
+//! Each store is one [`ColumnarReader`]; queries borrow its
+//! [`EncodedSeriesView`] concurrently with zero copying (the reader is
+//! immutable after load, so sharing needs no locks). Stores are addressed
+//! by their file stem — `trades.ppmc` serves as `"trades"` — and each
+//! carries the content fingerprint the result cache keys on.
+
+use std::path::{Path, PathBuf};
+
+use ppm_timeseries::columnar::ColumnarReader;
+use ppm_timeseries::EncodedSeriesView;
+
+/// One open store.
+#[derive(Debug)]
+pub struct Store {
+    /// The query-addressable name (the file stem).
+    pub name: String,
+    /// Where the store was loaded from.
+    pub path: PathBuf,
+    /// The validated load, shared read-only.
+    pub reader: ColumnarReader,
+}
+
+impl Store {
+    /// The borrowed bitmap view queries mine from.
+    pub fn view(&self) -> EncodedSeriesView<'_> {
+        self.reader.view()
+    }
+
+    /// The store's content fingerprint (see
+    /// [`ColumnarReader::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.reader.fingerprint()
+    }
+}
+
+/// Every store the daemon serves, loaded and checksum-verified at startup.
+#[derive(Debug)]
+pub struct StoreRegistry {
+    stores: Vec<Store>,
+}
+
+impl StoreRegistry {
+    /// Opens every path, validating each as a `.ppmc` store. Fails fast on
+    /// the first unopenable store or duplicate name — a daemon that
+    /// silently served a subset would mask a deployment error.
+    pub fn open(paths: &[impl AsRef<Path>]) -> Result<Self, String> {
+        if paths.is_empty() {
+            return Err("no stores given: pass at least one .ppmc path".into());
+        }
+        let mut stores: Vec<Store> = Vec::with_capacity(paths.len());
+        for p in paths {
+            let path = p.as_ref().to_path_buf();
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("store path {} has no usable file stem", path.display()))?
+                .to_owned();
+            if stores.iter().any(|s| s.name == name) {
+                return Err(format!(
+                    "duplicate store name {name:?} ({})",
+                    path.display()
+                ));
+            }
+            let reader = ColumnarReader::open(&path)
+                .map_err(|e| format!("cannot open store {}: {e}", path.display()))?;
+            stores.push(Store { name, path, reader });
+        }
+        Ok(StoreRegistry { stores })
+    }
+
+    /// The store named `name`, if loaded.
+    pub fn get(&self, name: &str) -> Option<&Store> {
+        self.stores.iter().find(|s| s.name == name)
+    }
+
+    /// Iterates every loaded store.
+    pub fn iter(&self) -> impl Iterator<Item = &Store> {
+        self.stores.iter()
+    }
+
+    /// Number of loaded stores.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Whether the registry is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_timeseries::columnar::write_columnar;
+    use ppm_timeseries::{FeatureCatalog, SeriesBuilder};
+
+    fn sample_store(tag: &str) -> PathBuf {
+        let mut cat = FeatureCatalog::new();
+        let a = cat.intern("alpha");
+        let mut b = SeriesBuilder::new();
+        for _ in 0..6 {
+            b.push_instant([a]);
+            b.push_instant([]);
+        }
+        let path =
+            std::env::temp_dir().join(format!("ppm-serve-store-{}-{tag}.ppmc", std::process::id()));
+        write_columnar(&path, &b.finish(), &cat).unwrap();
+        path
+    }
+
+    #[test]
+    fn registry_addresses_stores_by_stem() {
+        let path = sample_store("stem");
+        let reg = StoreRegistry::open(&[&path]).unwrap();
+        assert_eq!(reg.len(), 1);
+        let name = path.file_stem().unwrap().to_str().unwrap();
+        let store = reg.get(name).unwrap();
+        assert_eq!(store.reader.len(), 12);
+        assert!(reg.get("nope").is_none());
+        assert!(!reg.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn duplicate_names_and_missing_files_fail_fast() {
+        let path = sample_store("dup");
+        let err = StoreRegistry::open(&[&path, &path]).unwrap_err();
+        assert!(err.contains("duplicate store name"), "{err}");
+        let err = StoreRegistry::open(&["/nonexistent/missing.ppmc"]).unwrap_err();
+        assert!(err.contains("cannot open store"), "{err}");
+        let empty: [&str; 0] = [];
+        let err = StoreRegistry::open(&empty).unwrap_err();
+        assert!(err.contains("no stores"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,326 @@
+//! Fault-injected soak: concurrent clients, guard trips, contained
+//! panics, overload shedding, graceful drain, and warm-cache restart —
+//! all against a real in-process daemon on a loopback socket.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::Duration;
+
+use ppm_observe::Json;
+use ppm_serve::protocol::{read_frame, write_frame, VERSION};
+use ppm_serve::server::{Bind, BoundAddr, ServeConfig, Server};
+use ppm_serve::StoreRegistry;
+use ppm_timeseries::columnar::{write_columnar, ColumnarReader};
+use ppm_timeseries::{FeatureCatalog, SeriesBuilder};
+
+/// The CLI testsuite's sample series: period 3, alpha always at offset 0,
+/// beta at offset 1 in two thirds of segments.
+fn sample_store(tag: &str) -> PathBuf {
+    let mut catalog = FeatureCatalog::new();
+    let a = catalog.intern("alpha");
+    let b = catalog.intern("beta");
+    let mut builder = SeriesBuilder::new();
+    for j in 0..30 {
+        builder.push_instant([a]);
+        builder.push_instant(if j % 3 != 0 { vec![b] } else { vec![] });
+        builder.push_instant([]);
+    }
+    let path = std::env::temp_dir().join(format!("ppm-soak-{}-{tag}.ppmc", std::process::id()));
+    write_columnar(&path, &builder.finish(), &catalog).unwrap();
+    path
+}
+
+fn serve_config(bind: Bind) -> ServeConfig {
+    let mut config = ServeConfig::new(bind);
+    config.test_faults = true;
+    config
+}
+
+/// Starts a daemon on a fresh loopback port; returns (address, run-thread,
+/// stop-handle).
+fn start(
+    store: &PathBuf,
+    tweak: impl FnOnce(&mut ServeConfig),
+) -> (
+    std::net::SocketAddr,
+    thread::JoinHandle<()>,
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+) {
+    let registry = StoreRegistry::open(&[store]).unwrap();
+    let mut config = serve_config(Bind::Tcp("127.0.0.1:0".into()));
+    tweak(&mut config);
+    let server = Server::bind(registry, config).unwrap();
+    let addr = match server.local_addr() {
+        BoundAddr::Tcp(a) => *a,
+        BoundAddr::Unix(_) => unreachable!("bound tcp"),
+    };
+    let stop = server.stop_handle();
+    let handle = thread::spawn(move || server.run().unwrap());
+    (addr, handle, stop)
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn mine_req(store: &str, period: u64, conf: f64, engine: &str) -> Json {
+    obj(vec![
+        ("v", Json::from_u64(VERSION)),
+        ("op", Json::Str("mine".into())),
+        ("store", Json::Str(store.into())),
+        ("period", Json::from_u64(period)),
+        ("min_conf", Json::Num(conf)),
+        ("engine", Json::Str(engine.into())),
+        ("limit", Json::from_u64(100)),
+    ])
+}
+
+fn request(addr: std::net::SocketAddr, req: &Json) -> Json {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write_frame(&mut conn, req).unwrap();
+    read_frame(&mut conn).unwrap().expect("a response frame")
+}
+
+/// The daemon's rows for a clean mine must be bit-identical to mining the
+/// store directly (CLI report order: letters desc, then count desc).
+fn direct_rows(store: &PathBuf, period: usize, conf: f64, engine: &str) -> Vec<(String, u64)> {
+    let reader = ColumnarReader::open(store).unwrap();
+    let config = ppm_core::MineConfig::new(conf).unwrap();
+    let result = match engine {
+        "apriori" => ppm_core::apriori::mine_view(reader.view(), period, &config),
+        "vertical" => ppm_core::vertical::mine_vertical_view(reader.view(), period, &config),
+        _ => ppm_core::hitset::mine_view(reader.view(), period, &config),
+    }
+    .unwrap();
+    let mut rows: Vec<_> = result.frequent.iter().collect();
+    rows.sort_by(|a, b| {
+        b.letters
+            .len()
+            .cmp(&a.letters.len())
+            .then(b.count.cmp(&a.count))
+    });
+    rows.into_iter()
+        .map(|fp| {
+            (
+                ppm_core::Pattern::from_letter_set(&result.alphabet, &fp.letters)
+                    .display(reader.catalog())
+                    .to_string(),
+                fp.count,
+            )
+        })
+        .collect()
+}
+
+fn response_rows(resp: &Json) -> Vec<(String, u64)> {
+    resp.get("rows")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|row| {
+            let cells = row.as_arr().unwrap();
+            (
+                cells[0].as_str().unwrap().to_owned(),
+                cells[2].as_u64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn shutdown_req() -> Json {
+    obj(vec![
+        ("v", Json::from_u64(VERSION)),
+        ("op", Json::Str("shutdown".into())),
+    ])
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let store = sample_store("concurrent");
+    let name = store.file_stem().unwrap().to_str().unwrap().to_owned();
+    let (addr, handle, _stop) = start(&store, |c| c.workers = 4);
+
+    // 9 concurrent clients: 3 engines x 3 periods, every one checked
+    // against a direct mine of the same store.
+    let mut clients = Vec::new();
+    for engine in ["hitset", "apriori", "vertical"] {
+        for period in [2u64, 3, 5] {
+            let store = store.clone();
+            let name = name.clone();
+            clients.push(thread::spawn(move || {
+                let resp = request(addr, &mine_req(&name, period, 0.5, engine));
+                assert_eq!(
+                    resp.get("type").unwrap().as_str(),
+                    Some("result"),
+                    "{engine}/{period}"
+                );
+                assert_eq!(
+                    response_rows(&resp),
+                    direct_rows(&store, period as usize, 0.5, engine),
+                    "{engine} period {period} must be bit-identical to direct mining"
+                );
+            }));
+        }
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    request(addr, &shutdown_req());
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+}
+
+#[test]
+fn guard_trips_and_panics_are_contained_per_query() {
+    let store = sample_store("faults");
+    let name = store.file_stem().unwrap().to_str().unwrap().to_owned();
+    let (addr, handle, _stop) = start(&store, |c| c.workers = 2);
+
+    // A zero deadline trips the guard: typed code 3 with partial stats.
+    let mut req = mine_req(&name, 3, 0.6, "hitset");
+    if let Json::Obj(fields) = &mut req {
+        fields.push(("deadline_ms".into(), Json::from_u64(0)));
+    }
+    let resp = request(addr, &req);
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("error"));
+    assert_eq!(resp.get("code").unwrap().as_u64(), Some(3));
+    assert!(resp.get("partial_stats").is_some(), "{resp:?}");
+
+    // An injected panic is contained to an error response...
+    let resp = request(
+        addr,
+        &obj(vec![
+            ("v", Json::from_u64(VERSION)),
+            ("op", Json::Str("panic".into())),
+        ]),
+    );
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("error"));
+    assert_eq!(resp.get("code").unwrap().as_u64(), Some(1));
+    let message = resp.get("message").unwrap().as_str().unwrap();
+    assert!(message.contains("panicked"), "{message}");
+
+    // ...and the daemon keeps serving correct answers afterwards.
+    let resp = request(addr, &mine_req(&name, 3, 0.6, "hitset"));
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("result"));
+    assert_eq!(response_rows(&resp), direct_rows(&store, 3, 0.6, "hitset"));
+
+    // The stats op counted the contained panic.
+    let resp = request(
+        addr,
+        &obj(vec![
+            ("v", Json::from_u64(VERSION)),
+            ("op", Json::Str("stats".into())),
+        ]),
+    );
+    assert_eq!(resp.get("panics").unwrap().as_u64(), Some(1));
+
+    request(addr, &shutdown_req());
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+}
+
+#[test]
+fn overload_sheds_with_an_explicit_retry_hint() {
+    let store = sample_store("overload");
+    let (addr, handle, stop) = start(&store, |c| {
+        c.workers = 1;
+        c.queue_cap = 1;
+        c.retry_after_ms = 37;
+    });
+
+    // Occupy the single worker with a connection that never sends a frame
+    // (it blocks in the read until its timeout), then flood the admission
+    // queue; everything past the one queued slot must be shed.
+    let blocker = TcpStream::connect(addr).unwrap();
+    thread::sleep(Duration::from_millis(100));
+    let mut sheds = 0;
+    let mut conns = Vec::new();
+    for _ in 0..12 {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        match read_frame(&mut conn) {
+            Ok(Some(resp)) if resp.get("type").unwrap().as_str() == Some("overload") => {
+                assert_eq!(resp.get("retry_after_ms").unwrap().as_u64(), Some(37));
+                sheds += 1;
+            }
+            // Admitted connections see no frame until they send a request;
+            // the read times out. Keep them open so the queue stays full.
+            _ => conns.push(conn),
+        }
+    }
+    assert!(sheds >= 10, "expected most of 12 floods shed, got {sheds}");
+
+    drop(blocker);
+    drop(conns);
+    stop.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+}
+
+#[test]
+fn cache_survives_restart_and_derives_tighter_confidences() {
+    let store = sample_store("warmcache");
+    let name = store.file_stem().unwrap().to_str().unwrap().to_owned();
+    let cache = std::env::temp_dir().join(format!("ppm-soak-cache-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&cache).ok();
+
+    // Lifecycle 1: cold mine, then graceful shutdown flushes the cache.
+    let cache_path = cache.clone();
+    let (addr, handle, _stop) = start(&store, move |c| c.cache_path = Some(cache_path));
+    let resp = request(addr, &mine_req(&name, 3, 0.5, "hitset"));
+    assert_eq!(resp.get("cached").unwrap().as_str(), Some("miss"));
+    let cold_rows = response_rows(&resp);
+    request(addr, &shutdown_req());
+    handle.join().unwrap();
+    assert!(cache.exists(), "graceful shutdown must flush the cache");
+
+    // Lifecycle 2 (as after a restart): the same query is a warm hit with
+    // identical rows, and a *tighter* confidence is answered by
+    // anti-monotone filtering without re-mining.
+    let cache_path = cache.clone();
+    let (addr, handle, _stop) = start(&store, move |c| c.cache_path = Some(cache_path));
+    let resp = request(addr, &mine_req(&name, 3, 0.5, "hitset"));
+    assert_eq!(resp.get("cached").unwrap().as_str(), Some("hit"));
+    assert_eq!(response_rows(&resp), cold_rows);
+
+    let resp = request(addr, &mine_req(&name, 3, 0.9, "hitset"));
+    assert_eq!(resp.get("cached").unwrap().as_str(), Some("derived"));
+    assert_eq!(
+        response_rows(&resp),
+        direct_rows(&store, 3, 0.9, "hitset"),
+        "derived rows must equal a direct mine at the tighter confidence"
+    );
+
+    request(addr, &shutdown_req());
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+    std::fs::remove_file(cache).ok();
+}
+
+#[test]
+fn quarantine_path_reports_injected_garbage() {
+    let store = sample_store("quarantine");
+    let name = store.file_stem().unwrap().to_str().unwrap().to_owned();
+    let (addr, handle, _stop) = start(&store, |_| {});
+
+    let mut req = mine_req(&name, 3, 0.6, "hitset");
+    if let Json::Obj(fields) = &mut req {
+        fields.push(("quarantine".into(), Json::Bool(true)));
+        fields.push(("inject_garbage".into(), Json::from_u64(1)));
+    }
+    let resp = request(addr, &req);
+    assert_eq!(
+        resp.get("type").unwrap().as_str(),
+        Some("result"),
+        "{resp:?}"
+    );
+    assert_eq!(resp.get("quarantined").unwrap().as_u64(), Some(1));
+    assert_eq!(resp.get("cached").unwrap().as_str(), Some("bypass"));
+
+    request(addr, &shutdown_req());
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+}

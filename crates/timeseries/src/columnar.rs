@@ -24,18 +24,23 @@
 //! EOF−8      checksum         u64     FNV-1a over bytes [0, EOF−8)
 //! ```
 //!
-//! The trailer placement is what makes [`ColumnarAppender`] cheap: new
-//! segment rows overwrite the old trailer in place and the FNV state — a
-//! streaming hash — resumes from where the prefix left off, so appending
-//! `k` rows costs `O(k)` writes after the open-time validation.
+//! The trailer placement is what makes [`ColumnarAppender`] cheap to
+//! *assemble*: the FNV state — a streaming hash — resumes from where the
+//! prefix left off, so hashing `k` appended rows costs `O(k)`. Publication
+//! is crash-safe rather than in-place: [`ColumnarAppender::finish`] writes
+//! the complete new store to a same-directory temp file, fsyncs it, renames
+//! it over the original, and fsyncs the parent directory — so a crash at
+//! any byte leaves either the prior store or the fully-appended store on
+//! disk, never a torn hybrid (the same publish discipline as the sweep
+//! checkpoint).
 //!
 //! Corruption is rejected with a named byte offset (`Error::Corrupt`), the
 //! same policy as the checkpoint and stream-storage formats: a damaged
 //! header, a flipped bitmap word, or a truncated trailer must never
 //! mis-mine.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use crate::catalog::{FeatureCatalog, FeatureId};
@@ -113,6 +118,7 @@ pub struct ColumnarReader {
     words: Vec<u64>,
     catalog: FeatureCatalog,
     file_bytes: usize,
+    checksum: u64,
 }
 
 impl ColumnarReader {
@@ -221,6 +227,7 @@ impl ColumnarReader {
             words,
             catalog,
             file_bytes: len,
+            checksum: stored_sum,
         })
     }
 
@@ -254,6 +261,15 @@ impl ColumnarReader {
         self.file_bytes
     }
 
+    /// The store's content fingerprint: the verified trailer checksum
+    /// (FNV-1a over every byte before it). Two stores with the same
+    /// fingerprint hold byte-identical headers, catalogs, and bitmap rows,
+    /// so the fingerprint is a sound cache key for results derived from
+    /// this store; any append or rewrite changes it.
+    pub fn fingerprint(&self) -> u64 {
+        self.checksum
+    }
+
     /// Materializes the bitmaps back into a CSR [`FeatureSeries`] — for
     /// consumers that still need raw feature slices (quarantine, export,
     /// the tree-walk engines on non-view paths).
@@ -268,19 +284,23 @@ impl ColumnarReader {
 }
 
 /// Incremental segment arrival: appends encoded rows to an existing
-/// `.ppmc` file, rewriting only the trailer.
+/// `.ppmc` file with crash-safe publication.
 ///
 /// Opening validates the whole file (so a corrupt store is rejected before
-/// any write) and keeps the streaming FNV state over the prefix; each
-/// appended instant then costs one row of words, and [`Self::finish`]
-/// overwrites the old trailer with the new instant count and checksum.
+/// any write) and keeps the prefix bytes plus the streaming FNV state over
+/// them; each appended instant then costs one row of hashing, and
+/// [`Self::finish`] assembles the complete new store in a same-directory
+/// temp file, fsyncs, atomically renames it over the original, and fsyncs
+/// the parent directory. A crash (or `kill -9`) at any point leaves either
+/// the prior store or the finished store on disk — both openable — never a
+/// half-written hybrid.
 #[derive(Debug)]
 pub struct ColumnarAppender {
     path: PathBuf,
-    /// FNV state over bytes `[0, prefix_len)` plus any pending rows.
+    /// The validated existing file minus its trailer.
+    prefix: Vec<u8>,
+    /// FNV state over the prefix plus any pending rows.
     hash: Fnv64,
-    /// Byte offset of the trailer in the existing file.
-    prefix_len: u64,
     width: usize,
     words_per_instant: usize,
     n_instants: usize,
@@ -288,21 +308,34 @@ pub struct ColumnarAppender {
     pending: Vec<u8>,
 }
 
+/// The staging path `finish` publishes through: `<store>.tmp`, always in
+/// the store's own directory so the rename cannot cross filesystems.
+fn staging_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
 impl ColumnarAppender {
     /// Opens `path` for appending, validating the existing contents first.
+    ///
+    /// A stale staging file (`<path>.tmp`) left behind by a crashed append
+    /// is removed here: the rename never happened, so the original store is
+    /// authoritative and the orphan holds nothing worth keeping.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut r = File::open(&path)?;
         let mut bytes = Vec::new();
         r.read_to_end(&mut bytes)?;
         let existing = ColumnarReader::from_bytes(&bytes)?;
-        let prefix_len = (bytes.len() - TRAILER) as u64;
+        std::fs::remove_file(staging_path(&path)).ok();
+        bytes.truncate(bytes.len() - TRAILER);
         let mut hash = Fnv64::new();
-        hash.update(&bytes[..prefix_len as usize]);
+        hash.update(&bytes);
         Ok(ColumnarAppender {
             path,
+            prefix: bytes,
             hash,
-            prefix_len,
             width: existing.width,
             words_per_instant: existing.words_per_instant,
             n_instants: existing.n_instants,
@@ -350,17 +383,38 @@ impl ColumnarAppender {
         Ok(())
     }
 
-    /// Writes the pending rows and the refreshed trailer; returns the new
-    /// total instant count.
+    /// Publishes the appended store crash-safely; returns the new total
+    /// instant count.
+    ///
+    /// The complete new file — prefix, pending rows, refreshed trailer —
+    /// is written to `<path>.tmp` and fsynced *before* the atomic rename
+    /// over `path`, then the parent directory is fsynced so the rename
+    /// itself survives a power cut. If the rename fails the staging file
+    /// is removed and the original store is untouched.
     pub fn finish(mut self) -> Result<usize> {
-        let mut f = OpenOptions::new().write(true).open(&self.path)?;
-        f.seek(SeekFrom::Start(self.prefix_len))?;
-        f.write_all(&self.pending)?;
         let count_bytes = (self.n_instants as u64).to_le_bytes();
         self.hash.update(&count_bytes);
-        f.write_all(&count_bytes)?;
-        f.write_all(&self.hash.finish().to_le_bytes())?;
-        f.flush()?;
+        let checksum = self.hash.finish();
+
+        let tmp = staging_path(&self.path);
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            w.write_all(&self.prefix)?;
+            w.write_all(&self.pending)?;
+            w.write_all(&count_bytes)?;
+            w.write_all(&checksum.to_le_bytes())?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, &self.path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                d.sync_all().ok();
+            }
+        }
         Ok(self.n_instants)
     }
 }
@@ -492,6 +546,68 @@ mod tests {
             encode_columnar(&whole, &cat),
             "appended bytes must equal a fresh encode"
         );
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Kill-point fuzz for the crash-safe publish: simulate a crash at
+    /// every byte of the staging write (original store + truncated
+    /// `<path>.tmp` on disk) and assert the prior store still opens with
+    /// its old contents; then simulate the post-rename state and assert
+    /// the appended store opens. A fresh appender must also sweep the
+    /// stale staging file away.
+    #[test]
+    fn crash_at_any_kill_point_leaves_an_openable_store() {
+        let (s, cat) = sample();
+        let path = temp("kill-points");
+        write_columnar(&path, &s, &cat).unwrap();
+        let original = std::fs::read(&path).unwrap();
+
+        // The bytes a completed append would publish.
+        let mut appender = ColumnarAppender::open(&path).unwrap();
+        appender.append_instant(&[fid(1)]).unwrap();
+        appender.append_instant(&[fid(0), fid(2)]).unwrap();
+        appender.finish().unwrap();
+        let finished = std::fs::read(&path).unwrap();
+        assert_ne!(original, finished);
+
+        let tmp = staging_path(&path);
+        for cut in 0..finished.len() {
+            // Crash state: rename never ran; tmp holds `cut` bytes.
+            std::fs::write(&path, &original).unwrap();
+            std::fs::write(&tmp, &finished[..cut]).unwrap();
+            let reader = ColumnarReader::open(&path)
+                .unwrap_or_else(|e| panic!("kill point {cut}: prior store must open: {e}"));
+            assert_eq!(reader.len(), 4, "kill point {cut}");
+            assert_eq!(reader.to_series(), s, "kill point {cut}");
+            // Recovery: a fresh appender opens the prior store and sweeps
+            // the orphaned staging file.
+            let again = ColumnarAppender::open(&path)
+                .unwrap_or_else(|e| panic!("kill point {cut}: reopen for append: {e}"));
+            assert_eq!(again.len(), 4, "kill point {cut}");
+            assert!(!tmp.exists(), "kill point {cut}: stale tmp must be swept");
+        }
+
+        // Crash state: rename completed, crash before anything else.
+        std::fs::write(&path, &finished).unwrap();
+        let reader = ColumnarReader::open(&path).unwrap();
+        assert_eq!(reader.len(), 6, "post-rename store is the appended one");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_changes() {
+        let (s, cat) = sample();
+        let path = temp("fingerprint");
+        write_columnar(&path, &s, &cat).unwrap();
+        let before = ColumnarReader::open(&path).unwrap().fingerprint();
+        // Identical bytes → identical fingerprint.
+        assert_eq!(before, ColumnarReader::open(&path).unwrap().fingerprint());
+
+        let mut appender = ColumnarAppender::open(&path).unwrap();
+        appender.append_instant(&[fid(1)]).unwrap();
+        appender.finish().unwrap();
+        let after = ColumnarReader::open(&path).unwrap().fingerprint();
+        assert_ne!(before, after, "an append must change the fingerprint");
         std::fs::remove_file(path).ok();
     }
 

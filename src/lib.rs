@@ -22,6 +22,10 @@
 //!   metrics: spans, counters, gauges, marks, and pluggable sinks; the
 //!   miners are instrumented with it and it costs nothing when no sink is
 //!   installed.
+//! * [`serve`] (`ppm-serve`) — the fault-tolerant mining daemon behind
+//!   `ppm serve`: shared zero-copy store registry, length-prefixed JSON
+//!   wire protocol, admission control with load shedding, per-query panic
+//!   containment, and a crash-safe anti-monotone result cache.
 //!
 //! The most common items are re-exported at the top level:
 //!
@@ -46,6 +50,7 @@
 pub use ppm_core as core;
 pub use ppm_datagen as datagen;
 pub use ppm_observe as observe;
+pub use ppm_serve as serve;
 pub use ppm_timeseries as timeseries;
 
 pub use ppm_core::{

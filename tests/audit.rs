@@ -371,3 +371,68 @@ fn exported_claims_verify_and_tampering_is_caught() {
         report.violations
     );
 }
+
+/// One view-backed mine, dispatched by engine name.
+fn mine_on_view(
+    view: partial_periodic::timeseries::EncodedSeriesView<'_>,
+    period: usize,
+    engine: &str,
+    config: &MineConfig,
+) -> MiningResult {
+    match engine {
+        "apriori" => apriori::mine_view(view, period, config),
+        "vertical" => partial_periodic::vertical::mine_vertical_view(view, period, config),
+        _ => hitset::mine_view(view, period, config),
+    }
+    .unwrap()
+}
+
+/// The daemon's central sharing assumption, checked at the library level:
+/// one encoded series, many simultaneous borrowed views, each mined with a
+/// different (period, engine) pair — every concurrent result must be
+/// bit-identical to the same job run sequentially.
+#[test]
+fn shared_view_concurrent_readers_are_bit_identical_to_sequential() {
+    let (series, _catalog) = random_series(77, 3_000, 6);
+    let encoded = EncodedSeries::encode(&series);
+    let config = MineConfig::new(0.35).unwrap();
+    let jobs: Vec<(usize, &str)> = (2..=7)
+        .flat_map(|p| [(p, "hitset"), (p, "apriori"), (p, "vertical")])
+        .collect();
+
+    let sequential: Vec<MiningResult> = jobs
+        .iter()
+        .map(|&(p, engine)| mine_on_view(encoded.view(), p, engine, &config))
+        .collect();
+
+    // 18 reader threads share the one load with zero copying; nothing
+    // synchronizes them but the borrow checker.
+    let concurrent: Vec<MiningResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(p, engine)| {
+                let view = encoded.view();
+                let config = &config;
+                scope.spawn(move || mine_on_view(view, p, engine, config))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for ((seq, conc), &(p, engine)) in sequential.iter().zip(&concurrent).zip(&jobs) {
+        // Only the planted period is guaranteed to produce patterns at this
+        // confidence; off-period jobs still exercise the shared view and
+        // must match (possibly-empty) result for result.
+        if p == 6 {
+            assert!(
+                !seq.frequent.is_empty(),
+                "{engine} period {p}: trivial workload proves nothing"
+            );
+        }
+        assert_eq!(
+            seq.frequent, conc.frequent,
+            "{engine} period {p}: concurrent result must be bit-identical"
+        );
+        assert_eq!(symbolic(seq), symbolic(conc), "{engine} period {p}");
+    }
+}
