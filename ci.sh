@@ -151,7 +151,7 @@ fi
 cp "$smoke_dir/BENCH_PR4.json" BENCH_PR4.json
 cp "$smoke_dir/BENCH_PR5.json" BENCH_PR5.json
 
-echo "==> daemon smoke: serve/query, guard trip, quarantine, kill -9 recovery, SIGTERM drain"
+echo "==> daemon smoke: serve/query, metrics scrape, flight dump, guard trip, quarantine, kill -9 recovery, SIGTERM drain"
 # The daemon serves .ppmc stores; its mine answers must be byte-identical
 # to direct `ppm mine` on the same store. --test-faults unlocks the
 # fault-injection ops the smoke leans on (inject_garbage).
@@ -166,6 +166,9 @@ for eng in hitset apriori vertical; do
 done
 ./target/release/ppm serve --stores "$smoke_dir/smoke.ppmc" --port 0 \
   --cache "$smoke_dir/results.ppmcache" --test-faults \
+  --metrics-out "$smoke_dir/metrics.prom" \
+  --access-log "$smoke_dir/access.jsonl" --slow-ms 0 \
+  --flight-dump "$smoke_dir/flight.jsonl" \
   >"$smoke_dir/serve1.log" &
 serve_pid=$!
 for _ in $(seq 50); do
@@ -192,6 +195,59 @@ for eng in hitset apriori vertical; do
     cmp "$smoke_dir/direct-$eng-$period.log" "$smoke_dir/query-$eng-$period.log"
   done
 done
+# Observability under load: the stats op reports real latency histograms,
+# and the metrics op serves the same state as Prometheus text exposition.
+./target/release/ppm query --port "$port" --op stats \
+  >"$smoke_dir/daemon-stats.log"
+grep -q "latency.queue_wait: n=" "$smoke_dir/daemon-stats.log"
+grep -q "latency.service: n=" "$smoke_dir/daemon-stats.log"
+grep -Eq "latency\.service: .* p50=[0-9]+us .* p95=[0-9]+us p99=[0-9]+us" \
+  "$smoke_dir/daemon-stats.log"
+./target/release/ppm query --port "$port" --op metrics \
+  >"$smoke_dir/daemon-metrics.log"
+grep -q 'ppm_serve_queue_wait_us_bucket{le="' "$smoke_dir/daemon-metrics.log"
+grep -q "ppm_serve_queue_wait_us_p95 " "$smoke_dir/daemon-metrics.log"
+grep -q "ppm_serve_service_us_p50 " "$smoke_dir/daemon-metrics.log"
+grep -q "ppm_serve_service_us_p99 " "$smoke_dir/daemon-metrics.log"
+served="$(sed -n 's/^ppm_serve_served_total \([0-9]*\)$/\1/p' "$smoke_dir/daemon-metrics.log")"
+if [ -z "$served" ] || [ "$served" -lt 9 ]; then
+  echo "expected ppm_serve_served_total >= 9 after the concurrent clients, got '${served}'" >&2
+  exit 1
+fi
+# Every access-log line must be one valid JSON document with the fixed
+# fields; --slow-ms 0 forces full span detail onto each mine line.
+python3 - "$smoke_dir/access.jsonl" <<'PYEOF'
+import json, sys
+mines = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        for key in ("at_us", "op", "outcome", "queue_us", "service_us"):
+            assert key in rec, f"missing {key}: {line!r}"
+        if rec["op"] == "mine" and rec["outcome"] == "ok":
+            mines += 1
+            assert rec.get("slow") is True, line
+            assert isinstance(rec.get("spans"), list), line
+assert mines >= 9, f"expected >= 9 ok mine lines, got {mines}"
+PYEOF
+# SIGUSR1 dumps the flight recorder: a header line naming the trigger,
+# then one valid JSON line per ring-buffer event.
+kill -USR1 "$serve_pid"
+for _ in $(seq 50); do
+  test -s "$smoke_dir/flight.jsonl" 2>/dev/null && break
+  sleep 0.1
+done
+python3 - "$smoke_dir/flight.jsonl" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(l) for l in f]
+assert lines, "flight dump is empty"
+head = lines[0]
+assert head["kind"] == "flight_dump" and head["reason"] == "usr1", head
+assert len(lines) > 1, "flight dump carries no events"
+assert any(e.get("name") == "serve.request" for e in lines[1:]), \
+    "no serve.request event in the flight dump"
+PYEOF
 # A resource-guard trip comes back as a typed partial-result error (exit 3
 # with partial progress), and the daemon keeps serving afterwards.
 # (--no-cache: a warm cache entry would answer before the guard can trip.)

@@ -88,10 +88,10 @@ fn build_request(op: &str, args: &Parsed) -> Result<Json, CliError> {
                 fields.push(("store".to_owned(), Json::Str(store.to_owned())));
             }
         }
-        "stats" | "shutdown" | "panic" => {}
+        "stats" | "metrics" | "shutdown" | "panic" => {}
         other => {
             return Err(CliError::Usage(format!(
-                "unknown --op {other:?} (mine|rules|verify|info|stats|shutdown)"
+                "unknown --op {other:?} (mine|rules|verify|info|stats|metrics|shutdown)"
             )))
         }
     }
@@ -264,7 +264,15 @@ fn render_result(
             Ok(())
         }
         "stats" => {
-            for field in ["queue_depth", "shed", "served", "panics", "stores"] {
+            for field in [
+                "queue_depth",
+                "shed",
+                "served",
+                "panics",
+                "stores",
+                "uptime_s",
+                "worker_busy_us",
+            ] {
                 writeln!(out, "{field}: {}", u(field))?;
             }
             if let Some(cache) = resp.get("cache") {
@@ -276,6 +284,17 @@ fn render_result(
                     )?;
                 }
             }
+            if let Some(latency) = resp.get("latency") {
+                print_latency(latency, out)?;
+            }
+            Ok(())
+        }
+        "metrics" => {
+            // The raw Prometheus exposition, unmodified — pipe it to a
+            // file and a scraper can read it directly.
+            if let Some(text) = resp.get("exposition").and_then(Json::as_str) {
+                out.write_all(text.as_bytes())?;
+            }
             Ok(())
         }
         "shutdown" => {
@@ -284,6 +303,42 @@ fn render_result(
         }
         _ => Ok(()),
     }
+}
+
+/// Renders the `stats` latency block as one line per histogram:
+/// `latency.service: n=9 mean=2100us p50=1800us p90=4000us p95=4200us
+/// p99=4800us max=5000us`. Empty histograms print `n=0 (no samples)` so
+/// an idle daemon still shows the full set of series.
+fn print_latency(latency: &Json, out: &mut dyn Write) -> Result<(), CliError> {
+    for name in [
+        "queue_wait",
+        "service",
+        "scan1",
+        "scan2",
+        "derive",
+        "cache_lookup",
+    ] {
+        let Some(h) = latency.get(name) else {
+            continue;
+        };
+        let u = |f: &str| h.get(f).and_then(Json::as_u64).unwrap_or(0);
+        let count = u("count");
+        if count == 0 {
+            writeln!(out, "latency.{name}: n=0 (no samples)")?;
+            continue;
+        }
+        writeln!(
+            out,
+            "latency.{name}: n={count} mean={}us p50={}us p90={}us p95={}us p99={}us max={}us",
+            h.get("mean_us").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            u("p50_us"),
+            u("p90_us"),
+            u("p95_us"),
+            u("p99_us"),
+            u("max_us")
+        )?;
+    }
+    Ok(())
 }
 
 /// Prints the `mine` rows exactly as `ppm mine`'s `print_result` does, so

@@ -45,13 +45,25 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     config.drain_ms = args.parsed_or("drain-ms", 5_000)?;
     config.retry_after_ms = args.parsed_or("retry-after-ms", 100)?;
     config.test_faults = args.switch("test-faults");
+    // Observability surface: `--metrics-out` is the continuously
+    // rewritten Prometheus exposition file (not the JSON-lines sink the
+    // one-shot commands write), `--access-log` the per-query JSON-lines
+    // log, `--slow-ms` the full-span-detail threshold, `--flight-dump`
+    // where SIGUSR1/panic/shed flight-recorder dumps land.
+    config.metrics_out = args.get("metrics-out").map(PathBuf::from);
+    config.access_log = args.get("access-log").map(PathBuf::from);
+    if args.switch("slow-ms") {
+        config.slow_ms = Some(args.required_parsed("slow-ms")?);
+    }
+    config.flight_path = args.get("flight-dump").map(PathBuf::from);
+    config.flight_events = args.parsed_or("flight-events", config.flight_events)?;
     if config.workers == 0 || config.queue_cap == 0 {
         return Err(CliError::Usage(
             "--workers and --queue must be at least 1".into(),
         ));
     }
 
-    let obs = crate::obs::ObsSetup::from_args(args)?;
+    let obs = crate::obs::ObsSetup::for_daemon(args)?;
     let guard = obs.install();
     let _shutdown = ppm_serve::signal::install_termination_handler();
 
@@ -71,6 +83,15 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             .unwrap_or_else(|| "memory only".to_owned()),
         server.warm_cache_entries()
     )?;
+    if let Some(p) = &config.metrics_out {
+        writeln!(out, "metrics exposition: {}", p.display())?;
+    }
+    if let Some(p) = &config.access_log {
+        writeln!(out, "access log: {}", p.display())?;
+    }
+    if let Some(p) = &config.flight_path {
+        writeln!(out, "flight dumps: {} (SIGUSR1 to trigger)", p.display())?;
+    }
     // The last banner line carries the resolved address — scripts parse it
     // to learn the port when `--port 0` picked one.
     writeln!(

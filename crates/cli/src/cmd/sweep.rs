@@ -528,8 +528,9 @@ fn run_vertical(
 
 /// Writes `BENCH_<name>.json`: a machine-readable benchmark record with a
 /// stable schema — per-phase wall-clock aggregates from the collected
-/// spans, gauge maxima, the peak tree size across periods, and the scan
-/// totals. When both the vertical and tree-walk derivation phases ran
+/// spans, gauge maxima, a fixed cache/scheduler counter `snapshot`, the
+/// peak tree size across periods, and the scan totals. When both the
+/// vertical and tree-walk derivation phases ran
 /// (`--engine vertical --compare-tree`), a `derive_compare` object records
 /// their wall-clock head-to-head.
 fn write_bench_report(
@@ -550,6 +551,38 @@ fn write_bench_report(
         .map(|(k, v)| (k, Json::from_u64(v)))
         .collect();
     let wall_us = events.last().map(|e| e.at_us()).unwrap_or(0);
+    // A fixed-schema snapshot of the cache and scheduler counters, so
+    // report diffing never depends on which counters happened to fire:
+    // absent counters read as zero (sweeps never touch the serve cache,
+    // single-worker sweeps never steal).
+    let counter = |name: &str| obs.collector().map_or(0, |c| c.counter_total(name));
+    let gauge_max = |name: &str| {
+        obs.collector()
+            .and_then(|c| c.gauge_maxima().get(name).copied())
+            .unwrap_or(0)
+    };
+    let snapshot = Json::Obj(vec![
+        (
+            "cache_hits".to_owned(),
+            Json::from_u64(counter("serve.cache.hits")),
+        ),
+        (
+            "cache_derived".to_owned(),
+            Json::from_u64(counter("serve.cache.derived")),
+        ),
+        (
+            "cache_misses".to_owned(),
+            Json::from_u64(counter("serve.cache.misses")),
+        ),
+        (
+            "tasks_stolen".to_owned(),
+            Json::from_u64(counter("sweep.tasks_stolen")),
+        ),
+        (
+            "worker_busy_us".to_owned(),
+            Json::from_u64(gauge_max("sweep.worker_busy_us")),
+        ),
+    ]);
     let mut fields = vec![
         ("type".to_owned(), Json::Str("bench".to_owned())),
         ("name".to_owned(), Json::Str(name.to_owned())),
@@ -568,6 +601,7 @@ fn write_bench_report(
         ("wall_us".to_owned(), Json::from_u64(wall_us)),
         ("phases".to_owned(), Json::Arr(phases)),
         ("gauges".to_owned(), Json::Obj(gauges)),
+        ("snapshot".to_owned(), snapshot),
         (
             "peak_tree_nodes".to_owned(),
             Json::from_usize(sweep.rollup.max_tree_nodes),
@@ -1186,6 +1220,14 @@ mod tests {
         assert!(compare.get("sequential_us").unwrap().as_u64().is_some());
         assert!(compare.get("speedup").unwrap().as_f64().is_some());
         assert_eq!(compare.get("workers").unwrap().as_u64(), Some(2));
+        // The scheduler snapshot rides along: steal/busy counters are
+        // real, the serve-cache counters read zero outside the daemon.
+        let snapshot = doc.get("snapshot").unwrap();
+        assert!(snapshot.get("tasks_stolen").unwrap().as_u64().is_some());
+        assert!(snapshot.get("worker_busy_us").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(snapshot.get("cache_hits").unwrap().as_u64(), Some(0));
+        assert_eq!(snapshot.get("cache_derived").unwrap().as_u64(), Some(0));
+        assert_eq!(snapshot.get("cache_misses").unwrap().as_u64(), Some(0));
         std::fs::remove_file(path).ok();
         std::fs::remove_file(report).ok();
     }

@@ -45,15 +45,7 @@ impl ObsSetup {
     /// needs the aggregated phases for its report file).
     pub fn from_args_with(args: &Parsed, force_collector: bool) -> Result<ObsSetup, CliError> {
         let trace = args.switch("trace");
-        let progress = if args.switch("progress") {
-            let interval_ms: u64 = args.parsed_or("progress-interval-ms", 1000)?;
-            Some(Arc::new(ProgressSink::new(
-                Box::new(std::io::stderr()),
-                Duration::from_millis(interval_ms),
-            )))
-        } else {
-            None
-        };
+        let progress = parse_progress(args)?;
         let (json, metrics_path) = if args.switch("metrics-out") {
             let path = args.required("metrics-out")?.to_owned();
             let file = std::fs::File::create(&path)?;
@@ -77,6 +69,20 @@ impl ObsSetup {
             metrics_path,
             trace,
             progress,
+        })
+    }
+
+    /// The daemon variant: `--trace` / `--progress` still wire up sinks,
+    /// but `--metrics-out` is *not* consumed — `ppm serve` repurposes
+    /// that flag as its Prometheus exposition file path, which the daemon
+    /// rewrites continuously instead of appending JSON lines at exit.
+    pub fn for_daemon(args: &Parsed) -> Result<ObsSetup, CliError> {
+        Ok(ObsSetup {
+            collector: None,
+            json: None,
+            metrics_path: None,
+            trace: args.switch("trace"),
+            progress: parse_progress(args)?,
         })
     }
 
@@ -222,6 +228,19 @@ impl ObsSetup {
         }
         Ok(())
     }
+}
+
+/// Parses `--progress` / `--progress-interval-ms` into a stderr
+/// heartbeat sink.
+fn parse_progress(args: &Parsed) -> Result<Option<Arc<ProgressSink>>, CliError> {
+    if !args.switch("progress") {
+        return Ok(None);
+    }
+    let interval_ms: u64 = args.parsed_or("progress-interval-ms", 1000)?;
+    Ok(Some(Arc::new(ProgressSink::new(
+        Box::new(std::io::stderr()),
+        Duration::from_millis(interval_ms),
+    ))))
 }
 
 /// Counts retry events (`source.retries` counter total) in an event log.

@@ -14,14 +14,19 @@
 //! Results merge in period order, so the output is indistinguishable from
 //! the sequential loop (the integration tests assert bit-identical results
 //! and stats). Instrumented through `ppm-observe`: `sweep.tasks_stolen`
-//! (counter) and `sweep.worker_busy_us` (gauge, total busy time summed over
-//! workers).
+//! (counter), `sweep.worker_busy_us` (gauge, total busy time summed over
+//! workers), `sweep.tasks` (counter, periods mined), and the per-period
+//! task-latency distribution as `sweep.task_us_{p50,p90,p99,max}` gauges
+//! (each worker records task durations into a local log-linear
+//! [`Histogram`], merged after the join — recording never synchronizes
+//! the pool).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use ppm_observe::Histogram;
 use ppm_timeseries::EncodedSeriesView;
 
 use crate::error::{Error, Result};
@@ -53,6 +58,19 @@ fn mine_one(
         SweepEngine::Apriori => crate::apriori::mine_view(view, period, config),
         SweepEngine::Vertical => crate::vertical::mine_vertical_view(view, period, config),
     }
+}
+
+/// Emits the merged per-period task-latency distribution: a `sweep.tasks`
+/// counter plus quantile gauges. No-op for an empty sweep.
+fn report_task_latency(task_us: &Histogram) {
+    if task_us.count() == 0 {
+        return;
+    }
+    ppm_observe::counter("sweep.tasks", task_us.count());
+    ppm_observe::gauge("sweep.task_us_p50", task_us.value_at_quantile(0.50));
+    ppm_observe::gauge("sweep.task_us_p90", task_us.value_at_quantile(0.90));
+    ppm_observe::gauge("sweep.task_us_p99", task_us.value_at_quantile(0.99));
+    ppm_observe::gauge("sweep.task_us_max", task_us.max());
 }
 
 /// The scheduler's task bag: per-worker deques plus a shared injector.
@@ -156,8 +174,12 @@ pub fn mine_periods_scheduled(
         let start = Instant::now();
         let mut results = Vec::with_capacity(periods.len());
         let mut failures = Vec::new();
+        let mut task_us = Histogram::with_default_precision();
         for &p in &periods {
-            match mine_one(view, p, config, engine) {
+            let task_start = Instant::now();
+            let outcome = mine_one(view, p, config, engine);
+            task_us.record(task_start.elapsed().as_micros() as u64);
+            match outcome {
                 Ok(r) => results.push(r),
                 Err(e) if e.partial_stats().is_some() => failures.push(PeriodFailure {
                     period: p,
@@ -168,6 +190,7 @@ pub fn mine_periods_scheduled(
         }
         ppm_observe::counter("sweep.tasks_stolen", 0);
         ppm_observe::gauge("sweep.worker_busy_us", start.elapsed().as_micros() as u64);
+        report_task_latency(&task_us);
         let total_scans = results.iter().map(|r| r.stats.series_scans).sum();
         return Ok(MultiPeriodResult {
             results,
@@ -196,11 +219,12 @@ pub fn mine_periods_scheduled(
     // engine spans from concurrent periods would interleave into one
     // aggregate and poison per-phase timings. The scheduler reports its own
     // metrics from the main thread after the join instead.
-    let busy_total: u64 = std::thread::scope(|scope| {
+    let (busy_total, task_us): (u64, Histogram) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
                     let mut busy_us = 0u64;
+                    let mut task_us = Histogram::with_default_precision();
                     while !abort_ref.load(Ordering::Relaxed) {
                         let Some((task, was_stolen)) = deques_ref.pop(w) else {
                             break;
@@ -210,7 +234,9 @@ pub fn mine_periods_scheduled(
                         }
                         let start = Instant::now();
                         let outcome = mine_one(view, periods_ref[task], config, engine);
-                        busy_us += start.elapsed().as_micros() as u64;
+                        let elapsed_us = start.elapsed().as_micros() as u64;
+                        busy_us += elapsed_us;
+                        task_us.record(elapsed_us);
                         match outcome {
                             Ok(result) => collected_ref
                                 .lock()
@@ -237,18 +263,23 @@ pub fn mine_periods_scheduled(
                             }
                         }
                     }
-                    busy_us
+                    (busy_us, task_us)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().map_err(worker_panic))
-            .sum::<Result<u64>>()
+        let mut busy_total = 0u64;
+        let mut merged = Histogram::with_default_precision();
+        for h in handles {
+            let (busy_us, task_us) = h.join().map_err(worker_panic)?;
+            busy_total += busy_us;
+            merged.merge(&task_us);
+        }
+        Ok::<_, Error>((busy_total, merged))
     })?;
 
     ppm_observe::counter("sweep.tasks_stolen", stolen.load(Ordering::Relaxed));
     ppm_observe::gauge("sweep.worker_busy_us", busy_total);
+    report_task_latency(&task_us);
 
     if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
         return Err(e);

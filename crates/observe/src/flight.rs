@@ -1,0 +1,361 @@
+//! Always-on lock-free flight recorder.
+//!
+//! A [`FlightRecorder`] keeps the last `N` observability events per
+//! worker in fixed pre-allocated ring buffers, so when something goes
+//! wrong (a panic is contained, a query is shed, an operator sends
+//! `SIGUSR1`) the recent history can be dumped *post hoc* without having
+//! observed anything at the time — no re-run, no log level to remember
+//! to turn on.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Recording must never block or allocate.** Every slot field is a
+//!    plain atomic; a write is a ticket `fetch_add` plus six relaxed
+//!    stores. Event names are interned up front ([`register`]) so the
+//!    hot path passes a `u32`, not a string.
+//! 2. **One writer per ring, by convention.** Each daemon worker owns
+//!    ring `i`; the accept loop owns the last ring. The recorder does
+//!    not enforce this — two writers on one ring interleave tickets but
+//!    never corrupt memory (everything is atomic).
+//! 3. **Readers never stop writers.** A dump walks the slots with a
+//!    seqlock check: each slot carries a sequence word that is odd while
+//!    a write is in flight, so a reader that observes a torn slot simply
+//!    skips it. (The sequence check is best-effort — relaxed field
+//!    stores can in principle drift past the sequence stores — but a
+//!    missed tear yields one garbled diagnostic line, never unsoundness;
+//!    the crate stays `forbid(unsafe_code)`.)
+//!
+//! [`register`]: FlightRecorder::register
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Default events retained per ring.
+pub const DEFAULT_RING_EVENTS: usize = 256;
+
+/// An interned event-name handle (index into the recorder's name table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NameId(u32);
+
+/// What a flight-recorder event records. The two payload words `a`/`b`
+/// are kind-specific (span id + elapsed, counter delta, gauge value, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A span opened; `a` = span id.
+    SpanStart,
+    /// A span closed; `a` = span id, `b` = elapsed µs.
+    SpanEnd,
+    /// A counter bump; `a` = delta.
+    Counter,
+    /// A gauge sample; `a` = value.
+    Gauge,
+    /// A point-in-time annotation; `a`/`b` free-form.
+    Mark,
+}
+
+impl FlightKind {
+    fn as_u32(self) -> u32 {
+        match self {
+            FlightKind::SpanStart => 0,
+            FlightKind::SpanEnd => 1,
+            FlightKind::Counter => 2,
+            FlightKind::Gauge => 3,
+            FlightKind::Mark => 4,
+        }
+    }
+
+    fn label(code: u32) -> &'static str {
+        match code {
+            0 => "span_start",
+            1 => "span_end",
+            2 => "counter",
+            3 => "gauge",
+            _ => "mark",
+        }
+    }
+}
+
+/// One pre-allocated event slot. `seq` is `2*ticket + 1` while the
+/// writer is filling the slot and `2*ticket + 2` once it is complete;
+/// zero means never written.
+struct Slot {
+    seq: AtomicU64,
+    name: AtomicU32,
+    kind: AtomicU32,
+    at_us: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            name: AtomicU32::new(0),
+            kind: AtomicU32::new(0),
+            at_us: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One worker's ring: a ticket counter plus `capacity` slots.
+struct Ring {
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+/// A decoded event from a dump, in ticket order within its ring.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Which ring (worker) recorded it.
+    pub ring: usize,
+    /// Monotonic per-ring ticket (older events have smaller tickets).
+    pub ticket: u64,
+    /// Event kind label (`span_start`, `counter`, …).
+    pub kind: &'static str,
+    /// The interned event name.
+    pub name: String,
+    /// Recording timestamp, µs since the recorder's owner chose.
+    pub at_us: u64,
+    /// First payload word (see [`FlightKind`]).
+    pub a: u64,
+    /// Second payload word (see [`FlightKind`]).
+    pub b: u64,
+}
+
+/// The flight recorder: `rings` independent ring buffers over an
+/// interned name table.
+pub struct FlightRecorder {
+    names: Mutex<Vec<String>>,
+    rings: Vec<Ring>,
+    mask: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder with `rings` rings of `capacity` events each
+    /// (`capacity` is rounded up to a power of two, minimum 8).
+    pub fn new(rings: usize, capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(8).next_power_of_two();
+        FlightRecorder {
+            names: Mutex::new(Vec::new()),
+            rings: (0..rings.max(1))
+                .map(|_| Ring {
+                    head: AtomicU64::new(0),
+                    slots: (0..capacity).map(|_| Slot::empty()).collect(),
+                })
+                .collect(),
+            mask: capacity as u64 - 1,
+        }
+    }
+
+    /// Number of rings.
+    pub fn rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Events each ring retains.
+    pub fn capacity(&self) -> usize {
+        (self.mask + 1) as usize
+    }
+
+    /// Interns `name`, returning its handle. Call once per name at
+    /// startup — this takes a mutex and may allocate, unlike
+    /// [`record`](Self::record).
+    pub fn register(&self, name: &str) -> NameId {
+        let mut names = self.names.lock().expect("name table poisoned");
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return NameId(i as u32);
+        }
+        names.push(name.to_owned());
+        NameId((names.len() - 1) as u32)
+    }
+
+    /// Records an event on `ring`. Wait-free: one `fetch_add` and six
+    /// atomic stores. Out-of-range rings are clamped to the last ring so
+    /// a miscounted worker index degrades to sharing, not a panic.
+    pub fn record(&self, ring: usize, kind: FlightKind, name: NameId, at_us: u64, a: u64, b: u64) {
+        let ring = &self.rings[ring.min(self.rings.len() - 1)];
+        let ticket = ring.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &ring.slots[(ticket & self.mask) as usize];
+        slot.seq.store(2 * ticket + 1, Ordering::Release);
+        slot.name.store(name.0, Ordering::Relaxed);
+        slot.kind.store(kind.as_u32(), Ordering::Relaxed);
+        slot.at_us.store(at_us, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Decodes every completed event, per ring in ticket (oldest-first)
+    /// order. Slots mid-write or torn during the read are skipped.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let names = self.names.lock().expect("name table poisoned");
+        let mut out = Vec::new();
+        for (ring_idx, ring) in self.rings.iter().enumerate() {
+            let mut ring_events = Vec::new();
+            for slot in &ring.slots {
+                let seq = slot.seq.load(Ordering::Acquire);
+                if seq == 0 || seq % 2 == 1 {
+                    continue; // never written, or a write in flight
+                }
+                let name = slot.name.load(Ordering::Relaxed);
+                let kind = slot.kind.load(Ordering::Relaxed);
+                let at_us = slot.at_us.load(Ordering::Relaxed);
+                let a = slot.a.load(Ordering::Relaxed);
+                let b = slot.b.load(Ordering::Relaxed);
+                if slot.seq.load(Ordering::Acquire) != seq {
+                    continue; // torn by a concurrent overwrite
+                }
+                ring_events.push(FlightEvent {
+                    ring: ring_idx,
+                    ticket: seq / 2 - 1,
+                    kind: FlightKind::label(kind),
+                    name: names
+                        .get(name as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("name#{name}")),
+                    at_us,
+                    a,
+                    b,
+                });
+            }
+            ring_events.sort_by_key(|e| e.ticket);
+            out.extend(ring_events);
+        }
+        out
+    }
+
+    /// Writes every completed event as one JSON object per line:
+    /// `{"ring":0,"ticket":41,"kind":"span_end","name":"serve.mine",
+    /// "at_us":12345,"a":7,"b":310}`.
+    pub fn dump_json_lines(&self, w: &mut dyn Write) -> io::Result<()> {
+        for e in self.events() {
+            let line = Json::Obj(vec![
+                ("ring".to_owned(), Json::from_usize(e.ring)),
+                ("ticket".to_owned(), Json::from_u64(e.ticket)),
+                ("kind".to_owned(), Json::Str(e.kind.to_owned())),
+                ("name".to_owned(), Json::Str(e.name.clone())),
+                ("at_us".to_owned(), Json::from_u64(e.at_us)),
+                ("a".to_owned(), Json::from_u64(e.a)),
+                ("b".to_owned(), Json::from_u64(e.b)),
+            ]);
+            writeln!(w, "{}", line.render())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("rings", &self.rings.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_decodes_in_ticket_order() {
+        let fr = FlightRecorder::new(2, 8);
+        let mine = fr.register("serve.mine");
+        let shed = fr.register("serve.shed");
+        assert_eq!(fr.register("serve.mine"), mine, "idempotent interning");
+        fr.record(0, FlightKind::SpanStart, mine, 100, 1, 0);
+        fr.record(0, FlightKind::SpanEnd, mine, 400, 1, 300);
+        fr.record(1, FlightKind::Counter, shed, 500, 1, 0);
+        let events = fr.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "serve.mine");
+        assert_eq!(events[0].kind, "span_start");
+        assert_eq!(events[1].kind, "span_end");
+        assert_eq!(events[1].b, 300, "elapsed travels in b");
+        assert_eq!(events[2].ring, 1);
+        assert_eq!(events[2].name, "serve.shed");
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_capacity_events() {
+        let fr = FlightRecorder::new(1, 8);
+        let n = fr.register("x");
+        for i in 0..20u64 {
+            fr.record(0, FlightKind::Mark, n, i, i, 0);
+        }
+        let events = fr.events();
+        assert_eq!(events.len(), 8);
+        let tickets: Vec<u64> = events.iter().map(|e| e.ticket).collect();
+        assert_eq!(
+            tickets,
+            (12..20).collect::<Vec<_>>(),
+            "oldest evicted first"
+        );
+    }
+
+    #[test]
+    fn out_of_range_ring_clamps_instead_of_panicking() {
+        let fr = FlightRecorder::new(3, 8);
+        let n = fr.register("x");
+        fr.record(99, FlightKind::Mark, n, 1, 0, 0);
+        let events = fr.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ring, 2);
+    }
+
+    #[test]
+    fn dump_is_parseable_json_lines() {
+        let fr = FlightRecorder::new(1, 8);
+        let n = fr.register("serve.request");
+        fr.record(0, FlightKind::SpanEnd, n, 1234, 7, 56);
+        let mut buf = Vec::new();
+        fr.dump_json_lines(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = 0;
+        for line in text.lines() {
+            let v = Json::parse(line).expect("each line parses");
+            assert_eq!(v.get("name").and_then(Json::as_str), Some("serve.request"));
+            assert_eq!(v.get("kind").and_then(Json::as_str), Some("span_end"));
+            assert_eq!(v.get("b").and_then(Json::as_u64), Some(56));
+            lines += 1;
+        }
+        assert_eq!(lines, 1);
+    }
+
+    #[test]
+    fn concurrent_writers_and_reader_never_crash() {
+        let fr = std::sync::Arc::new(FlightRecorder::new(4, 16));
+        let names: Vec<NameId> = (0..4).map(|i| fr.register(&format!("w{i}"))).collect();
+        std::thread::scope(|scope| {
+            for (w, &name) in names.iter().enumerate() {
+                let fr = fr.clone();
+                scope.spawn(move || {
+                    for i in 0..5000u64 {
+                        fr.record(w, FlightKind::Counter, name, i, 1, 0);
+                    }
+                });
+            }
+            let fr = fr.clone();
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    for e in fr.events() {
+                        // Decoded names always come from the table.
+                        assert!(e.name.starts_with('w') || e.name.starts_with("name#"));
+                    }
+                }
+            });
+        });
+        // After the writers quiesce, every ring is full and consistent.
+        let events = fr.events();
+        assert_eq!(events.len(), 4 * 16);
+        for e in events {
+            assert_eq!(e.name, format!("w{}", e.ring));
+        }
+    }
+}

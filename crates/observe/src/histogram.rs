@@ -1,0 +1,448 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! A [`Histogram`] records `u64` values (microseconds, byte counts, …)
+//! into buckets whose width grows with magnitude: values below
+//! `2^grid_bits` get exact unit buckets, and every power-of-two octave
+//! above that is split into `2^grid_bits` equal sub-buckets. The result
+//! is a fixed, small table (a few KiB) whose *relative* quantile error is
+//! bounded by `1 / 2^grid_bits` regardless of the value range — the same
+//! layout HdrHistogram popularized, with none of the dependencies.
+//!
+//! Two variants share the bucket math:
+//!
+//! * [`Histogram`] — plain `u64` buckets for single-threaded recording;
+//!   cheap to [`merge`](Histogram::merge), which is how per-worker
+//!   histograms roll up after a join.
+//! * [`AtomicHistogram`] — `AtomicU64` buckets for lock-free concurrent
+//!   recording (the daemon's workers all record into one);
+//!   [`snapshot`](AtomicHistogram::snapshot) peels off a plain
+//!   [`Histogram`] for rendering.
+//!
+//! Quantiles report the recorded maximum for `q = 1.0` and otherwise the
+//! *upper bound* of the bucket holding the target rank, so a reported
+//! percentile never understates the true value by more than the
+//! configured relative error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest supported sub-bucket precision (2 bits → 25% relative error).
+pub const MIN_GRID_BITS: u32 = 2;
+/// Largest supported sub-bucket precision (10 bits → ~0.1% relative
+/// error, ~55 KiB of buckets).
+pub const MAX_GRID_BITS: u32 = 10;
+/// The default precision: 5 sub-bucket bits → ≤ 3.125% relative error,
+/// 1888 buckets (~15 KiB plain, ~15 KiB atomic).
+pub const DEFAULT_GRID_BITS: u32 = 5;
+
+/// Number of buckets a histogram with `grid_bits` precision needs to
+/// cover the full `u64` range.
+fn bucket_len(grid_bits: u32) -> usize {
+    // 2^g unit buckets, then (64 - g) octaves of 2^g sub-buckets each.
+    (65 - grid_bits as usize) << grid_bits
+}
+
+/// The bucket index for `value`: identity below `2^g`, log-linear above.
+fn bucket_index(grid_bits: u32, value: u64) -> usize {
+    let g = grid_bits;
+    if value < (1u64 << g) {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let sub = ((value >> (exp - g)) - (1u64 << g)) as usize;
+    (((exp - g + 1) as usize) << g) | sub
+}
+
+/// The inclusive `[low, high]` value range of bucket `index`.
+fn bucket_bounds(grid_bits: u32, index: usize) -> (u64, u64) {
+    let g = grid_bits;
+    if index < (1 << g) {
+        return (index as u64, index as u64);
+    }
+    let octave = (index >> g) as u32; // >= 1
+    let sub = (index & ((1 << g) - 1)) as u64;
+    let low = ((1u64 << g) + sub) << (octave - 1);
+    let width = 1u64 << (octave - 1);
+    (low, low + (width - 1))
+}
+
+/// A mergeable log-linear histogram of `u64` values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    grid_bits: u32,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with `grid_bits` sub-bucket precision bits
+    /// (clamped to [`MIN_GRID_BITS`]..=[`MAX_GRID_BITS`]). The relative
+    /// quantile error is at most `1 / 2^grid_bits`.
+    pub fn new(grid_bits: u32) -> Histogram {
+        let grid_bits = grid_bits.clamp(MIN_GRID_BITS, MAX_GRID_BITS);
+        Histogram {
+            grid_bits,
+            counts: vec![0; bucket_len(grid_bits)],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// An empty histogram at the default precision
+    /// ([`DEFAULT_GRID_BITS`]).
+    pub fn with_default_precision() -> Histogram {
+        Histogram::new(DEFAULT_GRID_BITS)
+    }
+
+    /// The configured sub-bucket precision bits.
+    pub fn grid_bits(&self) -> u32 {
+        self.grid_bits
+    }
+
+    /// The maximum relative error of any reported quantile.
+    pub fn relative_error(&self) -> f64 {
+        1.0 / (1u64 << self.grid_bits) as f64
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(self.grid_bits, value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the value of rank `ceil(q * count)`, clamped to
+    /// the recorded maximum (so `value_at_quantile(1.0) == max()`).
+    /// Returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(self.grid_bits, i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The inclusive bucket range `value` falls into — the interval any
+    /// quantile report for it is drawn from.
+    pub fn range_of(&self, value: u64) -> (u64, u64) {
+        bucket_bounds(self.grid_bits, bucket_index(self.grid_bits, value))
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different
+    /// `grid_bits` (their buckets would not line up).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.grid_bits, other.grid_bits,
+            "cannot merge histograms with different precision"
+        );
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs in
+    /// ascending value order — the raw material for a Prometheus-style
+    /// bucket exposition (cumulate the counts, then append `+Inf`).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bounds(self.grid_bits, i).1, c))
+            .collect()
+    }
+}
+
+/// A lock-free log-linear histogram for concurrent recording.
+///
+/// Recording is wait-free (`fetch_add` / `fetch_max` / `fetch_min`);
+/// [`snapshot`](Self::snapshot) reads the buckets without stopping
+/// writers, so a snapshot taken mid-record may be off by the records in
+/// flight — fine for monitoring, where the next scrape catches up.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    grid_bits: u32,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// An empty atomic histogram with `grid_bits` precision bits
+    /// (clamped like [`Histogram::new`]).
+    pub fn new(grid_bits: u32) -> AtomicHistogram {
+        let grid_bits = grid_bits.clamp(MIN_GRID_BITS, MAX_GRID_BITS);
+        AtomicHistogram {
+            grid_bits,
+            counts: (0..bucket_len(grid_bits))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// An empty atomic histogram at the default precision.
+    pub fn with_default_precision() -> AtomicHistogram {
+        AtomicHistogram::new(DEFAULT_GRID_BITS)
+    }
+
+    /// Records one value, lock-free.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(self.grid_bits, value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A plain [`Histogram`] copy of the current state.
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new(self.grid_bits);
+        let mut count = 0u64;
+        for (dst, src) in h.counts.iter_mut().zip(&self.counts) {
+            let c = src.load(Ordering::Relaxed);
+            *dst = c;
+            count += c;
+        }
+        h.count = count;
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h.min = self.min.load(Ordering::Relaxed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_range_is_exact() {
+        let mut h = Histogram::new(5);
+        for v in 0..32 {
+            h.record(v);
+            assert_eq!(h.range_of(v), (v, v), "unit buckets below 2^g");
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index_everywhere() {
+        for g in [MIN_GRID_BITS, 5, MAX_GRID_BITS] {
+            for idx in 0..bucket_len(g) {
+                let (low, high) = bucket_bounds(g, idx);
+                assert!(low <= high, "g={g} idx={idx}");
+                assert_eq!(bucket_index(g, low), idx, "g={g} low of {idx}");
+                assert_eq!(bucket_index(g, high), idx, "g={g} high of {idx}");
+            }
+            // The last bucket reaches u64::MAX.
+            assert_eq!(bucket_index(g, u64::MAX), bucket_len(g) - 1);
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        let g = 5u32;
+        let h = Histogram::new(g);
+        let mut x = 1u64;
+        for _ in 0..5000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x >> (x % 40) as u32; // spread across magnitudes
+            let (low, high) = h.range_of(v);
+            assert!(low <= v && v <= high, "{v} outside [{low}, {high}]");
+            let width = high - low;
+            assert!(
+                (width as f64) <= (low.max(1) as f64) * h.relative_error() + 1.0,
+                "bucket [{low}, {high}] too wide for v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_rank_correct_on_a_known_set() {
+        let mut h = Histogram::new(7);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.value_at_quantile(1.0), 1000);
+        assert_eq!(h.max(), 1000);
+        for (q, exact) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let got = h.value_at_quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= h.relative_error() + 0.002,
+                "q={q}: got {got}, exact {exact}"
+            );
+            assert!(got >= exact, "upper-bound reporting never understates");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new(5);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new(5);
+        let mut b = Histogram::new(5);
+        let mut whole = Histogram::new(5);
+        for v in [3u64, 99, 4096, 70_000, 1 << 40] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [1u64, 12, 800, 1 << 33] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.min(), whole.min());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.value_at_quantile(q), whole.value_at_quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merging_mismatched_precision_panics() {
+        let mut a = Histogram::new(4);
+        a.merge(&Histogram::new(6));
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain() {
+        let a = AtomicHistogram::new(5);
+        let mut plain = Histogram::new(5);
+        for v in [0u64, 7, 31, 32, 1000, 123_456_789] {
+            a.record(v);
+            plain.record(v);
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.sum(), plain.sum());
+        assert_eq!(snap.max(), plain.max());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.nonzero_buckets(), plain.nonzero_buckets());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(AtomicHistogram::new(5));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + (i % 97));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn grid_bits_are_clamped() {
+        assert_eq!(Histogram::new(0).grid_bits(), MIN_GRID_BITS);
+        assert_eq!(Histogram::new(99).grid_bits(), MAX_GRID_BITS);
+        assert_eq!(
+            Histogram::with_default_precision().grid_bits(),
+            DEFAULT_GRID_BITS
+        );
+    }
+}

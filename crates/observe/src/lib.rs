@@ -44,11 +44,15 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod flight;
+pub mod histogram;
 pub mod json;
 pub mod render;
 pub mod sink;
 
 pub use event::Event;
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, NameId};
+pub use histogram::{AtomicHistogram, Histogram};
 pub use json::{Json, JsonError};
 pub use render::{aggregate_phases, format_us, mark_counts, span_tree, PhaseAgg};
 pub use sink::{Collector, Fanout, HumanReporter, JsonLinesSink, NoopSink, Sink};
@@ -182,6 +186,14 @@ pub fn attach(handle: Option<Handle>) -> Guard {
 /// Whether an observability context is attached to this thread.
 pub fn is_active() -> bool {
     CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// The sink the current thread reports into, or `None` when
+/// observability is off. Lets a caller layer a filtering/teeing sink
+/// over whatever is already installed (e.g. the daemon's per-query
+/// phase capture forwarding to an operator-configured trace sink).
+pub fn current_sink() -> Option<Arc<dyn Sink>> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| ctx.sink.clone()))
 }
 
 fn with_ctx(f: impl FnOnce(&Arc<Ctx>)) {

@@ -20,6 +20,12 @@
 //!   in-flight work under a deadline, rejects new admissions, flushes
 //!   the cache, and exits cleanly; `kill -9` is recovered by the cache's
 //!   checksums and the store's atomic publish discipline.
+//! * **Observability** ([`metrics`]) — per-query latency histograms
+//!   (queue wait, service time, scan1/scan2/derive/cache phases),
+//!   Prometheus-style exposition via the `metrics` op and
+//!   `--metrics-out`, a JSON-lines access log with slow-query span
+//!   detail, and an always-on flight recorder dumped on `SIGUSR1`,
+//!   panic containment, and overload shedding.
 //!
 //! The error taxonomy ([`ErrorCode`]) is shared with the CLI, so
 //! `ppm query` exits with the same codes the daemon speaks on the wire.
@@ -32,6 +38,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod signal;
@@ -39,5 +46,6 @@ pub mod store;
 
 pub use cache::{CacheKey, CacheOutcome, CacheStats, CachedResult, CachedRow, ResultCache};
 pub use error::ErrorCode;
+pub use metrics::{AccessLog, AccessRecord, PhaseCapture, ServeMetrics};
 pub use server::{Bind, BoundAddr, ServeConfig, Server};
 pub use store::{Store, StoreRegistry};

@@ -31,7 +31,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ppm_core::{Algorithm, MineConfig, MiningResult, Pattern};
-use ppm_observe::Json;
+use ppm_observe::{FlightKind, FlightRecorder, Json, NameId};
 use ppm_timeseries::{
     Fault, FaultInjectingSource, FaultPlan, FeatureCatalog, MemorySource, QuarantineMode,
     QuarantiningSource, SeriesBuilder, SeriesSource,
@@ -39,6 +39,7 @@ use ppm_timeseries::{
 
 use crate::cache::{CacheKey, CacheOutcome, CachedResult, CachedRow, ResultCache};
 use crate::error::ErrorCode;
+use crate::metrics::{self, AccessLog, AccessRecord, PhaseCapture, ServeMetrics};
 use crate::protocol::{
     self, error_response, overload_response, req_f64, req_str, req_u64, result_response,
 };
@@ -95,6 +96,20 @@ pub struct ServeConfig {
     /// Enables the fault-injection surface (`panic` op, `inject_garbage`)
     /// for tests and soaks; production daemons leave it off.
     pub test_faults: bool,
+    /// Prometheus-style exposition file, rewritten atomically about once
+    /// a second (and on shutdown); `None` disables the file (the
+    /// `metrics` op serves the same text on demand either way).
+    pub metrics_out: Option<PathBuf>,
+    /// JSON-lines access log, one line per query; `None` disables it.
+    pub access_log: Option<PathBuf>,
+    /// Service-time threshold (ms) at or above which an access-log line
+    /// carries full captured span detail; `None` disables slow logging.
+    pub slow_ms: Option<u64>,
+    /// Where flight-recorder dumps land (`SIGUSR1`, panic containment,
+    /// overload shedding); `None` dumps to stderr.
+    pub flight_path: Option<PathBuf>,
+    /// Events the flight recorder retains per worker ring.
+    pub flight_events: usize,
 }
 
 impl ServeConfig {
@@ -110,18 +125,24 @@ impl ServeConfig {
             drain_ms: 5_000,
             retry_after_ms: 100,
             test_faults: false,
+            metrics_out: None,
+            access_log: None,
+            slow_ms: None,
+            flight_path: None,
+            flight_events: ppm_observe::flight::DEFAULT_RING_EVENTS,
         }
     }
 }
 
-/// Daemon-level counters exposed through the `stats` op and mirrored to
-/// `ppm-observe` gauges.
-#[derive(Debug, Default)]
-struct Gauges {
-    queue_depth: AtomicU64,
-    shed: AtomicU64,
-    served: AtomicU64,
-    panics: AtomicU64,
+/// Pre-interned flight-recorder event names (interning takes a lock;
+/// the hot path must not).
+#[derive(Debug, Clone, Copy)]
+struct FlightNames {
+    request: NameId,
+    shed: NameId,
+    panic: NameId,
+    queue_depth: NameId,
+    queue_wait: NameId,
 }
 
 enum Listener {
@@ -180,8 +201,10 @@ impl Write for Conn {
 }
 
 /// The admission queue shared between the accept loop and the workers.
+/// Each connection carries its admission instant so the dequeuing worker
+/// can record the queue wait.
 struct Queue {
-    conns: Mutex<VecDeque<Conn>>,
+    conns: Mutex<VecDeque<(Conn, Instant)>>,
     ready: Condvar,
     stop: AtomicBool,
     drain_until: Mutex<Option<Instant>>,
@@ -196,7 +219,12 @@ pub struct Server {
     registry: StoreRegistry,
     config: ServeConfig,
     cache: Mutex<ResultCache>,
-    gauges: Gauges,
+    metrics: ServeMetrics,
+    flight: FlightRecorder,
+    flight_names: FlightNames,
+    access_log: Option<AccessLog>,
+    /// Throttles shed-triggered flight dumps (µs timestamp of the last).
+    last_shed_dump_us: AtomicU64,
     stop: Arc<AtomicBool>,
 }
 
@@ -222,13 +250,36 @@ impl Server {
             Some(p) => ResultCache::open(p),
             None => ResultCache::in_memory(),
         };
+        // One ring per worker plus one for the accept loop; names are
+        // interned now so recording never touches the name table.
+        let flight = FlightRecorder::new(config.workers.max(1) + 1, config.flight_events);
+        let flight_names = FlightNames {
+            request: flight.register("serve.request"),
+            shed: flight.register("serve.shed"),
+            panic: flight.register("serve.panic"),
+            queue_depth: flight.register("serve.queue_depth"),
+            queue_wait: flight.register("serve.queue_wait_us"),
+        };
+        let access_log = match &config.access_log {
+            Some(p) => Some(AccessLog::open(
+                p,
+                config
+                    .slow_ms
+                    .map_or(u64::MAX, |ms| ms.saturating_mul(1_000)),
+            )?),
+            None => None,
+        };
         Ok(Server {
             listener,
             bound,
             registry,
             config,
             cache: Mutex::new(cache),
-            gauges: Gauges::default(),
+            metrics: ServeMetrics::new(),
+            flight,
+            flight_names,
+            access_log,
+            last_shed_dump_us: AtomicU64::new(u64::MAX),
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -273,22 +324,35 @@ impl Server {
         };
         let obs = ppm_observe::current();
 
+        signal::install_usr1_handler();
+
         std::thread::scope(|scope| {
-            for _ in 0..self.config.workers.max(1) {
+            for worker in 0..self.config.workers.max(1) {
                 let obs = obs.clone();
                 let queue = &queue;
                 let server = &self;
                 scope.spawn(move || {
                     let _g = ppm_observe::attach(obs);
-                    server.worker_loop(queue);
+                    server.worker_loop(queue, worker);
                 });
             }
 
-            // Accept loop: poll-accept so the shutdown flag is observed
-            // within one tick even with no traffic.
+            // Accept loop: poll-accept so the shutdown flag (and a
+            // pending SIGUSR1 flight-dump request) is observed within one
+            // tick even with no traffic.
+            let mut last_exposition = Instant::now();
             loop {
                 if self.shutting_down() {
                     break;
+                }
+                if signal::take_flight_dump() {
+                    self.dump_flight("usr1");
+                }
+                if self.config.metrics_out.is_some()
+                    && last_exposition.elapsed() >= Duration::from_secs(1)
+                {
+                    self.write_metrics_file();
+                    last_exposition = Instant::now();
                 }
                 let accepted = match &self.listener {
                     Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
@@ -312,22 +376,72 @@ impl Server {
         });
 
         self.cache.lock().expect("cache poisoned").flush();
+        self.write_metrics_file();
         if let BoundAddr::Unix(path) = &self.bound {
             std::fs::remove_file(path).ok();
         }
         ppm_observe::mark("serve.stopped", || {
             format!(
                 "served {} queries, shed {}, {} panics contained",
-                self.gauges.served.load(Ordering::Relaxed),
-                self.gauges.shed.load(Ordering::Relaxed),
-                self.gauges.panics.load(Ordering::Relaxed)
+                self.metrics.served.load(Ordering::Relaxed),
+                self.metrics.shed.load(Ordering::Relaxed),
+                self.metrics.panics.load(Ordering::Relaxed)
             )
         });
         Ok(())
     }
 
+    /// The current Prometheus exposition text.
+    fn exposition(&self) -> String {
+        let cache = self.cache.lock().expect("cache poisoned").stats();
+        metrics::prometheus_text(&self.metrics, &cache, self.registry.len())
+    }
+
+    /// Atomically rewrites the `--metrics-out` file (no-op when not
+    /// configured; write failures are swallowed — metrics must never
+    /// take the daemon down).
+    fn write_metrics_file(&self) {
+        if let Some(path) = &self.config.metrics_out {
+            let _ = metrics::write_exposition(path, &self.exposition());
+        }
+    }
+
+    /// Dumps the flight recorder as JSON lines — a header object naming
+    /// the trigger, then every retained event — to the configured dump
+    /// path (truncating; each dump is a complete snapshot) or stderr.
+    fn dump_flight(&self, reason: &str) {
+        let mut buf = Vec::new();
+        let header = Json::Obj(vec![
+            ("kind".to_owned(), Json::Str("flight_dump".to_owned())),
+            ("reason".to_owned(), Json::Str(reason.to_owned())),
+            ("at_us".to_owned(), Json::from_u64(self.metrics.now_us())),
+            ("rings".to_owned(), Json::from_usize(self.flight.rings())),
+            (
+                "capacity".to_owned(),
+                Json::from_usize(self.flight.capacity()),
+            ),
+        ]);
+        let _ = writeln!(buf, "{}", header.render());
+        let _ = self.flight.dump_json_lines(&mut buf);
+        match &self.config.flight_path {
+            Some(path) => {
+                let _ = std::fs::write(path, &buf);
+            }
+            None => {
+                let _ = io::stderr().write_all(&buf);
+            }
+        }
+    }
+
+    /// The accept loop's flight-recorder ring (workers own `0..workers`).
+    fn accept_ring(&self) -> usize {
+        self.config.workers.max(1)
+    }
+
     /// Admission control: into the bounded queue, or shed with an
-    /// explicit overload frame.
+    /// explicit overload frame. A shed triggers a flight dump (throttled
+    /// to one per second — shedding happens in bursts) so the recent
+    /// history that led to the overload is preserved.
     fn admit(&self, conn: Conn, queue: &Queue) {
         if conn.configure().is_err() {
             return;
@@ -335,24 +449,47 @@ impl Server {
         let mut conns = queue.conns.lock().expect("queue poisoned");
         if conns.len() >= self.config.queue_cap {
             drop(conns);
-            self.gauges.shed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
             ppm_observe::counter("serve.shed", 1);
+            self.flight.record(
+                self.accept_ring(),
+                FlightKind::Counter,
+                self.flight_names.shed,
+                self.metrics.now_us(),
+                1,
+                0,
+            );
             let mut conn = conn;
             let _ =
                 protocol::write_frame(&mut conn, &overload_response(self.config.retry_after_ms));
+            let now_us = self.metrics.now_us();
+            let last = self.last_shed_dump_us.load(Ordering::Relaxed);
+            if last == u64::MAX || now_us.saturating_sub(last) >= 1_000_000 {
+                self.last_shed_dump_us.store(now_us, Ordering::Relaxed);
+                self.dump_flight("shed");
+            }
             return;
         }
-        conns.push_back(conn);
+        conns.push_back((conn, Instant::now()));
         let depth = conns.len() as u64;
         drop(conns);
-        self.gauges.queue_depth.store(depth, Ordering::Relaxed);
+        self.metrics.queue_depth.store(depth, Ordering::Relaxed);
         ppm_observe::gauge("serve.queue_depth", depth);
+        self.flight.record(
+            self.accept_ring(),
+            FlightKind::Gauge,
+            self.flight_names.queue_depth,
+            self.metrics.now_us(),
+            depth,
+            0,
+        );
         queue.ready.notify_one();
     }
 
     /// One worker: pop connections until the queue closes (or the drain
-    /// deadline expires), serving every frame on each.
-    fn worker_loop(&self, queue: &Queue) {
+    /// deadline expires), serving every frame on each. `worker` is this
+    /// worker's flight-recorder ring.
+    fn worker_loop(&self, queue: &Queue, worker: usize) {
         loop {
             let conn = {
                 let mut conns = queue.conns.lock().expect("queue poisoned");
@@ -368,11 +505,13 @@ impl Server {
                             break None;
                         }
                     }
-                    if let Some(c) = conns.pop_front() {
-                        self.gauges
-                            .queue_depth
-                            .store(conns.len() as u64, Ordering::Relaxed);
-                        break Some(c);
+                    if let Some((c, admitted_at)) = conns.pop_front() {
+                        let depth = conns.len() as u64;
+                        self.metrics.queue_depth.store(depth, Ordering::Relaxed);
+                        // The gauge must fall on dequeue too, or an idle
+                        // daemon reports its last high-water mark forever.
+                        ppm_observe::gauge("serve.queue_depth", depth);
+                        break Some((c, admitted_at));
                     }
                     if stopping {
                         break None;
@@ -385,26 +524,76 @@ impl Server {
                 }
             };
             match conn {
-                Some(c) => self.serve_conn(c),
+                Some((c, admitted_at)) => {
+                    let queue_wait_us = admitted_at.elapsed().as_micros() as u64;
+                    self.metrics.queue_wait_us.record(queue_wait_us);
+                    self.flight.record(
+                        worker,
+                        FlightKind::Mark,
+                        self.flight_names.queue_wait,
+                        self.metrics.now_us(),
+                        queue_wait_us,
+                        0,
+                    );
+                    let busy = Instant::now();
+                    self.serve_conn(c, queue_wait_us, worker);
+                    self.metrics
+                        .worker_busy_us
+                        .fetch_add(busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+                }
                 None => break,
             }
         }
     }
 
     /// Serves every frame on one connection; a panic inside dispatch is
-    /// contained to an error response.
-    fn serve_conn(&self, mut conn: Conn) {
+    /// contained to an error response (and triggers a flight dump).
+    /// `queue_wait_us` is attributed to the first frame's access-log
+    /// line; subsequent frames on the same connection never waited.
+    fn serve_conn(&self, mut conn: Conn, queue_wait_us: u64, worker: usize) {
+        let mut first_frame = true;
         loop {
             let req = match protocol::read_frame(&mut conn) {
                 Ok(Some(req)) => req,
                 Ok(None) | Err(_) => return,
             };
+            let started = Instant::now();
+            let span_id = 2 * self.metrics.served.load(Ordering::Relaxed) + worker as u64;
+            self.flight.record(
+                worker,
+                FlightKind::SpanStart,
+                self.flight_names.request,
+                self.metrics.now_us(),
+                span_id,
+                0,
+            );
             let _span = ppm_observe::span("serve.request");
-            let resp = match catch_unwind(AssertUnwindSafe(|| self.dispatch(&req))) {
+            // Layer the per-query phase capture over whatever sink the
+            // operator installed: phases are measured even when tracing
+            // is off, and the outer sink keeps seeing every event.
+            let capture = Arc::new(PhaseCapture::new(ppm_observe::current_sink()));
+            let dispatched = {
+                let capture = capture.clone();
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _phases = ppm_observe::install(capture);
+                    self.dispatch(&req)
+                }))
+            };
+            let panicked = dispatched.is_err();
+            let resp = match dispatched {
                 Ok(resp) => resp,
                 Err(payload) => {
-                    self.gauges.panics.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.panics.fetch_add(1, Ordering::Relaxed);
                     ppm_observe::counter("serve.panics", 1);
+                    self.flight.record(
+                        worker,
+                        FlightKind::Mark,
+                        self.flight_names.panic,
+                        self.metrics.now_us(),
+                        1,
+                        0,
+                    );
+                    self.dump_flight("panic");
                     let what = panic_message(&payload);
                     error_response(
                         ErrorCode::Internal,
@@ -413,7 +602,36 @@ impl Server {
                     )
                 }
             };
-            self.gauges.served.fetch_add(1, Ordering::Relaxed);
+            let service_us = started.elapsed().as_micros() as u64;
+            self.metrics.service_us.record(service_us);
+            let (scan1, scan2, derive) = capture.phase_us();
+            if scan1 > 0 {
+                self.metrics.scan1_us.record(scan1);
+            }
+            if scan2 > 0 {
+                self.metrics.scan2_us.record(scan2);
+            }
+            if derive > 0 {
+                self.metrics.derive_us.record(derive);
+            }
+            self.flight.record(
+                worker,
+                FlightKind::SpanEnd,
+                self.flight_names.request,
+                self.metrics.now_us(),
+                span_id,
+                service_us,
+            );
+            self.metrics.served.fetch_add(1, Ordering::Relaxed);
+            self.log_access(
+                &req,
+                &resp,
+                panicked,
+                if first_frame { queue_wait_us } else { 0 },
+                service_us,
+                &capture,
+            );
+            first_frame = false;
             if protocol::write_frame(&mut conn, &resp).is_err() {
                 return;
             }
@@ -421,6 +639,58 @@ impl Server {
                 return;
             }
         }
+    }
+
+    /// Writes one access-log line for a served frame (no-op when the log
+    /// is not configured).
+    fn log_access(
+        &self,
+        req: &Json,
+        resp: &Json,
+        panicked: bool,
+        queue_us: u64,
+        service_us: u64,
+        capture: &PhaseCapture,
+    ) {
+        let Some(log) = &self.access_log else {
+            return;
+        };
+        let store = req.get("store").and_then(Json::as_str);
+        let fingerprint = store
+            .and_then(|s| self.registry.get(s))
+            .map(|s| s.fingerprint());
+        let (outcome, code) = if panicked {
+            ("panic", ErrorCode::Internal.wire())
+        } else {
+            match resp.get("type").and_then(Json::as_str) {
+                Some("error") => (
+                    "error",
+                    resp.get("code").and_then(Json::as_u64).unwrap_or(1),
+                ),
+                _ => ("ok", 0),
+            }
+        };
+        let detail = if service_us >= log.slow_us {
+            Some(capture.events())
+        } else {
+            None
+        };
+        log.log(
+            self.metrics.now_us(),
+            &AccessRecord {
+                op: req.get("op").and_then(Json::as_str).unwrap_or("?"),
+                store,
+                fingerprint,
+                period: req.get("period").and_then(Json::as_u64),
+                engine: req.get("engine").and_then(Json::as_str),
+                cached: resp.get("cached").and_then(Json::as_str),
+                queue_us,
+                service_us,
+                outcome,
+                code,
+                slow_detail: detail.as_deref(),
+            },
+        );
     }
 
     /// Validates the envelope and routes to the op handler; every failure
@@ -455,6 +725,10 @@ impl Server {
             "verify" => self.op_verify(req),
             "info" => self.op_info(req),
             "stats" => Ok(self.op_stats()),
+            "metrics" => Ok(result_response(
+                "metrics",
+                vec![("exposition".to_owned(), Json::Str(self.exposition()))],
+            )),
             "shutdown" => {
                 self.stop.store(true, Ordering::SeqCst);
                 Ok(result_response(
@@ -464,7 +738,7 @@ impl Server {
             }
             "panic" if self.config.test_faults => panic!("injected test panic"),
             other => Err(OpError::usage(format!(
-                "unknown op {other:?} (mine|rules|verify|info|stats|shutdown)"
+                "unknown op {other:?} (mine|rules|verify|info|stats|metrics|shutdown)"
             ))),
         };
         match outcome {
@@ -491,16 +765,27 @@ impl Server {
             engine: q.engine.clone(),
         };
         if !q.no_cache {
+            let lookup_started = Instant::now();
             let (cached, outcome) = self.cache.lock().expect("cache poisoned").lookup(&key);
+            self.metrics
+                .cache_lookup_us
+                .record(lookup_started.elapsed().as_micros() as u64);
             if let Some(c) = cached {
                 let label = match outcome {
                     CacheOutcome::Hit => "hit",
                     CacheOutcome::Derived => "derived",
                     CacheOutcome::Miss => unreachable!("lookup returned a value"),
                 };
+                self.metrics.count_cache_label(label);
                 ppm_observe::counter("serve.cache.answers", 1);
+                match label {
+                    "hit" => ppm_observe::counter("serve.cache.hits", 1),
+                    _ => ppm_observe::counter("serve.cache.derived", 1),
+                }
                 return Ok(mine_response(&q, &c, label, None));
             }
+            self.metrics.count_cache_label("miss");
+            ppm_observe::counter("serve.cache.misses", 1);
         }
 
         let _span = ppm_observe::span("serve.mine");
@@ -679,21 +964,29 @@ impl Server {
             vec![
                 (
                     "queue_depth".to_owned(),
-                    Json::from_u64(self.gauges.queue_depth.load(Ordering::Relaxed)),
+                    Json::from_u64(self.metrics.queue_depth.load(Ordering::Relaxed)),
                 ),
                 (
                     "shed".to_owned(),
-                    Json::from_u64(self.gauges.shed.load(Ordering::Relaxed)),
+                    Json::from_u64(self.metrics.shed.load(Ordering::Relaxed)),
                 ),
                 (
                     "served".to_owned(),
-                    Json::from_u64(self.gauges.served.load(Ordering::Relaxed)),
+                    Json::from_u64(self.metrics.served.load(Ordering::Relaxed)),
                 ),
                 (
                     "panics".to_owned(),
-                    Json::from_u64(self.gauges.panics.load(Ordering::Relaxed)),
+                    Json::from_u64(self.metrics.panics.load(Ordering::Relaxed)),
                 ),
                 ("stores".to_owned(), Json::from_usize(self.registry.len())),
+                (
+                    "uptime_s".to_owned(),
+                    Json::from_u64(self.metrics.uptime_s()),
+                ),
+                (
+                    "worker_busy_us".to_owned(),
+                    Json::from_u64(self.metrics.worker_busy_us.load(Ordering::Relaxed)),
+                ),
                 (
                     "cache".to_owned(),
                     Json::Obj(vec![
@@ -704,6 +997,7 @@ impl Server {
                         ("rejected".to_owned(), Json::from_u64(cache.rejected)),
                     ]),
                 ),
+                ("latency".to_owned(), self.metrics.latency_json()),
             ],
         )
     }

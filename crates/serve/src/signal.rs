@@ -13,10 +13,13 @@ use std::sync::Arc;
 
 /// `SIGINT` on every platform this workspace targets.
 const SIGINT: i32 = 2;
+/// `SIGUSR1` on every platform this workspace targets.
+const SIGUSR1: i32 = 10;
 /// `SIGTERM` on every platform this workspace targets.
 const SIGTERM: i32 = 15;
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static FLIGHT_DUMP: AtomicBool = AtomicBool::new(false);
 
 extern "C" {
     fn signal(signum: i32, handler: usize) -> usize;
@@ -24,6 +27,10 @@ extern "C" {
 
 extern "C" fn on_signal(_signum: i32) {
     SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" fn on_usr1(_signum: i32) {
+    FLIGHT_DUMP.store(true, Ordering::SeqCst);
 }
 
 /// Installs the termination handler (idempotent) and returns the flag it
@@ -41,6 +48,28 @@ pub fn install_termination_handler() -> Arc<ShutdownFlag> {
 /// was called programmatically).
 pub fn requested() -> bool {
     SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Installs the `SIGUSR1` handler (idempotent). The daemon's accept loop
+/// polls [`take_flight_dump`] and writes the flight-recorder dump when it
+/// fires — the handler itself only stores one atomic flag.
+pub fn install_usr1_handler() {
+    unsafe {
+        signal(SIGUSR1, on_usr1 as *const () as usize);
+    }
+}
+
+/// Consumes a pending flight-dump request: returns `true` at most once
+/// per `SIGUSR1` (or per [`request_flight_dump`]).
+pub fn take_flight_dump() -> bool {
+    FLIGHT_DUMP.swap(false, Ordering::SeqCst)
+}
+
+/// Requests a flight-recorder dump programmatically — what `SIGUSR1`
+/// does, without a signal, so in-process tests can exercise the dump
+/// path.
+pub fn request_flight_dump() {
+    FLIGHT_DUMP.store(true, Ordering::SeqCst);
 }
 
 /// A handle over the process-wide shutdown flag.

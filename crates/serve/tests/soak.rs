@@ -301,6 +301,185 @@ fn cache_survives_restart_and_derives_tighter_confidences() {
 }
 
 #[test]
+fn stats_and_metrics_expose_real_latency_histograms() {
+    let store = sample_store("latency");
+    let name = store.file_stem().unwrap().to_str().unwrap().to_owned();
+    let pid = std::process::id();
+    let metrics_path = std::env::temp_dir().join(format!("ppm-soak-metrics-{pid}.prom"));
+    let access_path = std::env::temp_dir().join(format!("ppm-soak-access-{pid}.jsonl"));
+    std::fs::remove_file(&metrics_path).ok();
+    std::fs::remove_file(&access_path).ok();
+    let (m, a) = (metrics_path.clone(), access_path.clone());
+    let (addr, handle, _stop) = start(&store, move |c| {
+        c.workers = 2;
+        c.metrics_out = Some(m);
+        c.access_log = Some(a);
+        c.slow_ms = Some(0); // everything is "slow": every line carries spans
+    });
+
+    for period in [2u64, 3, 5] {
+        let resp = request(addr, &mine_req(&name, period, 0.5, "vertical"));
+        assert_eq!(resp.get("type").unwrap().as_str(), Some("result"));
+    }
+
+    // The stats op reports the histograms the daemon actually recorded.
+    let resp = request(
+        addr,
+        &obj(vec![
+            ("v", Json::from_u64(VERSION)),
+            ("op", Json::Str("stats".into())),
+        ]),
+    );
+    let latency = resp.get("latency").expect("stats carries latency");
+    for hist in ["queue_wait", "service"] {
+        let h = latency.get(hist).unwrap();
+        assert!(
+            h.get("count").unwrap().as_u64().unwrap() >= 3,
+            "{hist}: {h:?}"
+        );
+        let q = |k: &str| h.get(k).unwrap().as_u64().unwrap();
+        assert!(q("p50_us") <= q("p95_us"), "{hist}: {h:?}");
+        assert!(q("p95_us") <= q("p99_us"), "{hist}: {h:?}");
+        assert!(q("p99_us") <= q("max_us"), "{hist}: {h:?}");
+    }
+    // Vertical mines ran, so the scan1 phase histogram has samples too.
+    assert!(
+        latency
+            .get("scan1")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 3,
+        "{latency:?}"
+    );
+
+    // The metrics op returns the same state as Prometheus exposition.
+    let resp = request(
+        addr,
+        &obj(vec![
+            ("v", Json::from_u64(VERSION)),
+            ("op", Json::Str("metrics".into())),
+        ]),
+    );
+    let text = resp
+        .get("exposition")
+        .and_then(Json::as_str)
+        .expect("exposition text");
+    for needle in [
+        "ppm_serve_served_total",
+        "ppm_serve_queue_wait_us_bucket{le=\"",
+        "ppm_serve_queue_wait_us_count",
+        "ppm_serve_service_us_p50",
+        "ppm_serve_service_us_p95",
+        "ppm_serve_service_us_p99",
+        "ppm_serve_phase_scan1_us_count",
+        "ppm_serve_queue_depth",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+
+    request(addr, &shutdown_req());
+    handle.join().unwrap();
+
+    // Shutdown published a final exposition file atomically.
+    let published = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(published.contains("ppm_serve_served_total"), "{published}");
+
+    // Every access-log line is parseable JSON with the fixed fields; the
+    // slow-ms 0 threshold forces span detail onto each mine line.
+    let log = std::fs::read_to_string(&access_path).unwrap();
+    let mut mines = 0;
+    for line in log.lines() {
+        let rec = Json::parse(line).expect("access line parses");
+        assert!(rec.get("op").is_some(), "{line}");
+        assert!(rec.get("outcome").is_some(), "{line}");
+        assert!(rec.get("service_us").is_some(), "{line}");
+        if rec.get("op").unwrap().as_str() == Some("mine") {
+            mines += 1;
+            assert_eq!(rec.get("outcome").unwrap().as_str(), Some("ok"), "{line}");
+            assert_eq!(rec.get("slow"), Some(&Json::Bool(true)), "{line}");
+            assert!(rec.get("spans").is_some(), "{line}");
+        }
+    }
+    assert_eq!(mines, 3, "{log}");
+
+    std::fs::remove_file(store).ok();
+    std::fs::remove_file(metrics_path).ok();
+    std::fs::remove_file(access_path).ok();
+}
+
+#[test]
+fn flight_dumps_are_parseable_json_lines() {
+    let store = sample_store("flight");
+    let name = store.file_stem().unwrap().to_str().unwrap().to_owned();
+    let flight = std::env::temp_dir().join(format!("ppm-soak-flight-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&flight).ok();
+    let f = flight.clone();
+    let (addr, handle, _stop) = start(&store, move |c| c.flight_path = Some(f));
+
+    // Real traffic first, so the rings hold request events.
+    let resp = request(addr, &mine_req(&name, 3, 0.5, "hitset"));
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("result"));
+
+    // A contained panic dumps the recorder before the error response is
+    // written, so the file is complete once the client sees the error.
+    let resp = request(
+        addr,
+        &obj(vec![
+            ("v", Json::from_u64(VERSION)),
+            ("op", Json::Str("panic".into())),
+        ]),
+    );
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("error"));
+    let dump = std::fs::read_to_string(&flight).unwrap();
+    let header = Json::parse(dump.lines().next().unwrap()).unwrap();
+    assert_eq!(header.get("kind").unwrap().as_str(), Some("flight_dump"));
+    assert_eq!(header.get("reason").unwrap().as_str(), Some("panic"));
+    let events: Vec<Json> = dump
+        .lines()
+        .skip(1)
+        .map(|l| Json::parse(l).expect("event line parses"))
+        .collect();
+    assert!(!events.is_empty(), "{dump}");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("serve.request")),
+        "{dump}"
+    );
+
+    // The SIGUSR1 path, driven through the programmatic hook the signal
+    // handler uses: the accept loop polls the flag every tick. The flag
+    // is process-global, so a concurrently running soak daemon may steal
+    // one request — re-arm until OUR daemon's dump lands.
+    let mut reason = String::new();
+    for _ in 0..200 {
+        ppm_serve::signal::request_flight_dump();
+        thread::sleep(Duration::from_millis(10));
+        if let Ok(dump) = std::fs::read_to_string(&flight) {
+            if let Some(first) = dump.lines().next() {
+                let header = Json::parse(first).unwrap();
+                if header.get("reason").and_then(Json::as_str) == Some("usr1") {
+                    reason = "usr1".to_owned();
+                    for line in dump.lines().skip(1) {
+                        Json::parse(line).expect("usr1 event line parses");
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    assert_eq!(reason, "usr1", "accept loop never served the dump request");
+
+    request(addr, &shutdown_req());
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+    std::fs::remove_file(flight).ok();
+}
+
+#[test]
 fn quarantine_path_reports_injected_garbage() {
     let store = sample_store("quarantine");
     let name = store.file_stem().unwrap().to_str().unwrap().to_owned();

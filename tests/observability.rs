@@ -237,6 +237,152 @@ fn json_lines_schema_round_trips() {
     assert!(totals.iter().any(|(n, _)| *n == "hitset.segments"));
 }
 
+/// A deterministic LCG stream — the repo's stand-in for a property-test
+/// generator (the workspace is dependency-free; no proptest).
+fn lcg_stream(seed: u64, len: usize, span: u64) -> Vec<u64> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 11) % span
+        })
+        .collect()
+}
+
+/// Merging histograms is associative and order-independent: any grouping
+/// of per-worker histograms collapses to the same totals as recording
+/// every sample into one. This is what makes the scheduler's per-worker
+/// recording trustworthy.
+#[test]
+fn histogram_merge_is_associative() {
+    use partial_periodic::observe::Histogram;
+
+    let samples = lcg_stream(42, 3_000, 50_000_000);
+    let chunks: Vec<&[u64]> = samples.chunks(samples.len() / 4).collect();
+    let record_all = |vals: &[&[u64]]| {
+        let mut h = Histogram::with_default_precision();
+        for chunk in vals {
+            for &v in *chunk {
+                h.record(v);
+            }
+        }
+        h
+    };
+    let one = record_all(&chunks);
+
+    // ((a+b)+(c+d)) and (a+(b+(c+d))) and reversed order, all equal.
+    let part: Vec<Histogram> = chunks
+        .iter()
+        .map(|c| {
+            let mut h = Histogram::with_default_precision();
+            for &v in *c {
+                h.record(v);
+            }
+            h
+        })
+        .collect();
+    let mut left = part[0].clone();
+    left.merge(&part[1]);
+    let mut right = part[2].clone();
+    right.merge(&part[3]);
+    left.merge(&right);
+
+    let mut nested = part[3].clone();
+    nested.merge(&part[2]);
+    nested.merge(&part[1]);
+    nested.merge(&part[0]);
+
+    for merged in [&left, &nested] {
+        assert_eq!(merged.count(), one.count());
+        assert_eq!(merged.sum(), one.sum());
+        assert_eq!(merged.max(), one.max());
+        assert_eq!(merged.min(), one.min());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.value_at_quantile(q), one.value_at_quantile(q), "{q}");
+        }
+    }
+}
+
+/// Quantiles never decrease as q grows, and the extremes are exact: q→0
+/// touches the recorded minimum's bucket, q=1 is the exact maximum.
+#[test]
+fn histogram_quantiles_are_monotone() {
+    use partial_periodic::observe::Histogram;
+
+    let mut h = Histogram::with_default_precision();
+    let samples = lcg_stream(7, 5_000, 10_000_000);
+    for &v in &samples {
+        h.record(v);
+    }
+    let mut last = 0u64;
+    for i in 0..=100 {
+        let q = i as f64 / 100.0;
+        let v = h.value_at_quantile(q);
+        assert!(v >= last, "quantile dipped at q={q}: {v} < {last}");
+        last = v;
+    }
+    assert_eq!(h.value_at_quantile(1.0), *samples.iter().max().unwrap());
+}
+
+/// Every reported quantile sits within the histogram's advertised relative
+/// error of a true (sorted-array) percentile — the bucket-bound guarantee
+/// that makes the serve dashboards honest.
+#[test]
+fn histogram_error_stays_within_advertised_precision() {
+    use partial_periodic::observe::Histogram;
+
+    for grid_bits in [2, 5, 10] {
+        let mut h = Histogram::new(grid_bits);
+        let mut sorted = lcg_stream(99, 4_000, 1_000_000_000);
+        for &v in &sorted {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        for q in [0.01, 0.10, 0.50, 0.90, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let approx = h.value_at_quantile(q) as f64;
+            let bound = exact * h.relative_error() + 1.0;
+            assert!(
+                (approx - exact).abs() <= bound,
+                "grid {grid_bits} q={q}: approx {approx} vs exact {exact} (bound {bound})"
+            );
+        }
+    }
+}
+
+/// Control characters in strings — panic payloads, store names — must
+/// escape to `\uXXXX` so access-log and flight-dump lines stay one line
+/// of valid JSON each, and round-trip through the bundled parser.
+#[test]
+fn json_escaping_handles_control_characters() {
+    use partial_periodic::observe::json::escape;
+
+    // `escape` yields the full string literal, surrounding quotes included.
+    assert_eq!(escape("plain"), "\"plain\"");
+    assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    assert_eq!(
+        escape("line\nbreak\ttab\rret"),
+        "\"line\\nbreak\\ttab\\rret\""
+    );
+    for c in (0u8..0x20).map(char::from) {
+        let escaped = escape(&c.to_string());
+        assert!(
+            !escaped.chars().any(|e| (e as u32) < 0x20),
+            "control char {:#04x} leaked through: {escaped:?}",
+            c as u32
+        );
+        let line = format!("{{\"s\":{escaped}}}");
+        let doc = Json::parse(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
+        assert_eq!(doc.get("s").unwrap().as_str(), Some(c.to_string().as_str()));
+    }
+    // Multi-byte text passes through untouched.
+    let doc = Json::parse(&format!("{{\"s\":{}}}", escape("héllo ∀x"))).unwrap();
+    assert_eq!(doc.get("s").unwrap().as_str(), Some("héllo ∀x"));
+}
+
 /// The load-bearing guarantee: results are bit-identical with no sink, the
 /// no-op sink, and a collecting sink.
 #[test]
