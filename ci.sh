@@ -298,4 +298,78 @@ kill -TERM "$serve_pid"
 wait "$serve_pid"
 grep -q "daemon stopped cleanly" "$smoke_dir/serve2.log"
 
+echo "==> chaos smoke: replicated serve, seeded chaos proxy, SIGKILL failover"
+# Two replicas of the same store, bounded caches. Replica A is reachable
+# only through `ppm chaos` (a fixed-seed fault schedule: delays,
+# truncations, corruptions, duplicates, severs), and is SIGKILLed
+# mid-stream; the failover client must absorb all of it with stdout
+# byte-identical to the direct `ppm mine` baselines captured above.
+./target/release/ppm serve --stores "$smoke_dir/smoke.ppmc" --port 0 \
+  --cache-max-entries 4 >"$smoke_dir/serveA.log" &
+replica_a=$!
+./target/release/ppm serve --stores "$smoke_dir/smoke.ppmc" --port 0 \
+  --cache-max-entries 4 >"$smoke_dir/serveB.log" &
+replica_b=$!
+for f in serveA serveB; do
+  for _ in $(seq 50); do
+    grep -q "listening on tcp" "$smoke_dir/$f.log" 2>/dev/null && break
+    sleep 0.1
+  done
+done
+port_a="$(sed -n 's/^listening on tcp .*:\([0-9][0-9]*\) .*/\1/p' "$smoke_dir/serveA.log")"
+port_b="$(sed -n 's/^listening on tcp .*:\([0-9][0-9]*\) .*/\1/p' "$smoke_dir/serveB.log")"
+test -n "$port_a" && test -n "$port_b"
+./target/release/ppm chaos --upstream "127.0.0.1:$port_a" --port 0 \
+  --seed 3405 --fault-percent 80 --delay-ms 20 >"$smoke_dir/chaos.log" &
+chaos_pid=$!
+for _ in $(seq 50); do
+  grep -q "listening on tcp" "$smoke_dir/chaos.log" 2>/dev/null && break
+  sleep 0.1
+done
+chaos_port="$(sed -n 's/^listening on tcp .*:\([0-9][0-9]*\)$/\1/p' "$smoke_dir/chaos.log")"
+test -n "$chaos_port"
+endpoints="127.0.0.1:$chaos_port,127.0.0.1:$port_b"
+# Phase 1: both replicas up, faults raging on A's path. Every answer must
+# still match the direct baseline exactly (the client's retry note goes
+# to stderr, so stdout stays diffable).
+: >"$smoke_dir/chaos-client.log"
+for eng in hitset apriori vertical; do
+  for period in 24 25; do
+    ./target/release/ppm query --endpoints "$endpoints" --store smoke \
+      --period "$period" --min-conf 0.6 --engine "$eng" \
+      --retries 6 --backoff-ms 5 --backoff-max-ms 50 --seed 7 \
+      >"$smoke_dir/chaos-$eng-$period.log" 2>>"$smoke_dir/chaos-client.log"
+    cmp "$smoke_dir/direct-$eng-$period.log" "$smoke_dir/chaos-$eng-$period.log"
+  done
+done
+# Phase 2: SIGKILL replica A mid-stream — no drain, no goodbye. The
+# remaining queries must fail over to B and still match the baselines.
+kill -9 "$replica_a"
+wait "$replica_a" 2>/dev/null || true
+for eng in hitset apriori vertical; do
+  ./target/release/ppm query --endpoints "$endpoints" --store smoke \
+    --period 26 --min-conf 0.6 --engine "$eng" \
+    --retries 6 --backoff-ms 5 --backoff-max-ms 50 --seed 7 \
+    >"$smoke_dir/chaos-$eng-26.log" 2>>"$smoke_dir/chaos-client.log"
+  cmp "$smoke_dir/direct-$eng-26.log" "$smoke_dir/chaos-$eng-26.log"
+done
+grep -q "failover(s)" "$smoke_dir/chaos-client.log"
+# Readiness probe: the survivor is healthy, no stores quarantined.
+./target/release/ppm query --port "$port_b" --op health \
+  >"$smoke_dir/chaos-health.log"
+grep -q "ready: true degraded: false" "$smoke_dir/chaos-health.log"
+# The survivor took the whole circus without a single contained panic,
+# and its bounded cache held the line (9 distinct query shapes, 4 slots).
+./target/release/ppm query --port "$port_b" --op metrics \
+  >"$smoke_dir/chaos-metrics.log"
+grep -q "^ppm_serve_panics_total 0$" "$smoke_dir/chaos-metrics.log"
+cache_entries="$(sed -n 's/^ppm_serve_cache_entries \([0-9]*\)$/\1/p' "$smoke_dir/chaos-metrics.log")"
+test -n "$cache_entries"
+if [ "$cache_entries" -gt 4 ]; then
+  echo "bounded cache exceeded its cap: $cache_entries entries > 4" >&2; exit 1
+fi
+kill -TERM "$chaos_pid" "$replica_b"
+wait "$chaos_pid" "$replica_b" 2>/dev/null || true
+grep -q "daemon stopped cleanly" "$smoke_dir/serveB.log"
+
 echo "CI green."

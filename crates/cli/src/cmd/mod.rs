@@ -1,5 +1,6 @@
 //! Command implementations.
 
+pub mod chaos;
 pub mod convert;
 pub mod evolve;
 pub mod generate;

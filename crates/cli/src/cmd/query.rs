@@ -1,23 +1,30 @@
-//! `ppm query` — client for a running `ppm serve` daemon.
+//! `ppm query` — replication-aware client for running `ppm serve`
+//! daemons.
 //!
 //! Sends one request frame and renders the response. A `mine` query
 //! prints byte-for-byte what a direct `ppm mine` against the same store
 //! would print, so scripts can diff the two; daemon-side failures carry
 //! their wire code straight through to the exit status (see
 //! [`crate::error::CliError`] for the taxonomy).
+//!
+//! Transport is [`ppm_serve::FailoverClient`]: `--endpoints a,b,c` names
+//! replicas, transients are retried with exponential backoff + seeded
+//! jitter (`--retries`, `--backoff-ms`, `--seed`), overload hints are
+//! honored, and `--hedge-ms T` duplicates a slow request to the next
+//! replica, asserting byte-identical answers. With a single endpoint the
+//! same bounded retry policy applies before exiting 5 (retries
+//! exhausted) or 6 (overloaded).
 
 use std::io::Write;
-use std::net::TcpStream;
-use std::os::unix::net::UnixStream;
 
 use ppm_observe::Json;
-use ppm_serve::protocol::{self, read_frame, write_frame};
-use ppm_serve::ErrorCode;
+use ppm_serve::protocol;
+use ppm_serve::{ClientError, Endpoint, ErrorCode, FailoverClient, RetryPolicy};
 
 use crate::args::Parsed;
 use crate::error::CliError;
 
-/// Runs one query against the daemon.
+/// Runs one query against the daemon(s).
 pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     let op = args.get("op").unwrap_or("mine");
     let request = build_request(op, args)?;
@@ -88,37 +95,87 @@ fn build_request(op: &str, args: &Parsed) -> Result<Json, CliError> {
                 fields.push(("store".to_owned(), Json::Str(store.to_owned())));
             }
         }
+        "health" => {
+            if args.switch("recheck") {
+                fields.push(("recheck".to_owned(), Json::Bool(true)));
+            }
+        }
         "stats" | "metrics" | "shutdown" | "panic" => {}
         other => {
             return Err(CliError::Usage(format!(
-                "unknown --op {other:?} (mine|rules|verify|info|stats|metrics|shutdown)"
+                "unknown --op {other:?} (mine|rules|verify|info|health|stats|metrics|shutdown)"
             )))
         }
     }
     Ok(Json::Obj(fields))
 }
 
-/// Connects (TCP via `--host`/`--port`, or `--socket PATH`), sends the
-/// request, reads the one response frame.
-fn exchange(args: &Parsed, request: &Json) -> Result<Json, CliError> {
-    let read = |resp: std::io::Result<Option<Json>>| -> Result<Json, CliError> {
-        resp?.ok_or_else(|| {
-            CliError::Daemon(
-                ErrorCode::Internal,
-                "daemon closed the connection without responding".into(),
-            )
-        })
-    };
+/// The replica list: `--endpoints a,b,c` (each `host:port` or
+/// `unix:/path`), or the single classic `--host`/`--port` / `--socket`
+/// target.
+fn endpoints_from(args: &Parsed) -> Result<Vec<Endpoint>, CliError> {
+    if let Some(list) = args.get("endpoints") {
+        let endpoints: Vec<Endpoint> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(Endpoint::parse)
+            .collect();
+        if endpoints.is_empty() {
+            return Err(CliError::Usage("--endpoints names no endpoints".into()));
+        }
+        return Ok(endpoints);
+    }
     if let Some(path) = args.get("socket") {
-        let mut conn = UnixStream::connect(path)?;
-        write_frame(&mut conn, request)?;
-        return read(read_frame(&mut conn));
+        return Ok(vec![Endpoint::Unix(path.into())]);
     }
     let host = args.get("host").unwrap_or("127.0.0.1");
     let port: u16 = args.required_parsed("port")?;
-    let mut conn = TcpStream::connect((host, port))?;
-    write_frame(&mut conn, request)?;
-    read(read_frame(&mut conn))
+    Ok(vec![Endpoint::Tcp(format!("{host}:{port}"))])
+}
+
+/// The retry/failover/hedging policy from the command-line flags.
+fn policy_from(args: &Parsed) -> Result<RetryPolicy, CliError> {
+    let defaults = RetryPolicy::default();
+    Ok(RetryPolicy {
+        retries: args.parsed_or("retries", defaults.retries)?,
+        backoff_ms: args.parsed_or("backoff-ms", defaults.backoff_ms)?,
+        backoff_max_ms: args.parsed_or("backoff-max-ms", defaults.backoff_max_ms)?,
+        io_timeout_ms: args.parsed_or("io-timeout-ms", defaults.io_timeout_ms)?,
+        hedge_after_ms: if args.switch("hedge-ms") {
+            Some(args.required_parsed("hedge-ms")?)
+        } else {
+            None
+        },
+        seed: args.parsed_or("seed", defaults.seed)?,
+    })
+}
+
+/// Issues the request through the failover client; transient trouble is
+/// retried across endpoints per the policy, and only transport-level
+/// defeat becomes an error here (typed daemon errors flow to
+/// [`render`]). What the client had to do to get the answer is noted on
+/// stderr so scripts diffing stdout stay clean.
+fn exchange(args: &Parsed, request: &Json) -> Result<Json, CliError> {
+    let mut client = FailoverClient::new(endpoints_from(args)?, policy_from(args)?);
+    let outcome = client.request(request);
+    let stats = client.stats();
+    if stats.failovers > 0 || stats.hedges > 0 || stats.backoffs > 0 {
+        eprintln!(
+            "ppm query: {} attempt(s), {} failover(s), {} backoff sleep(s), \
+             {} hedge(s) ({} won by the hedge)",
+            stats.attempts, stats.failovers, stats.backoffs, stats.hedges, stats.hedge_wins
+        );
+    }
+    outcome.map_err(|e| match e {
+        ClientError::Exhausted {
+            overloaded: true, ..
+        } => CliError::Daemon(ErrorCode::Overloaded, e.to_string()),
+        ClientError::Exhausted { .. } => {
+            CliError::Daemon(ErrorCode::RetriesExhausted, e.to_string())
+        }
+        ClientError::Diverged { .. } => CliError::Daemon(ErrorCode::Internal, e.to_string()),
+    })
 }
 
 /// Renders the response and maps failures onto the exit-code taxonomy.
@@ -263,20 +320,62 @@ fn render_result(
             }
             Ok(())
         }
+        "health" => {
+            let degraded = matches!(resp.get("degraded"), Some(Json::Bool(true)));
+            writeln!(
+                out,
+                "ready: {} degraded: {} ({}/{} stores quarantined)",
+                matches!(resp.get("ready"), Some(Json::Bool(true))),
+                degraded,
+                u("stores_quarantined"),
+                u("stores_total"),
+            )?;
+            if let Some(Json::Arr(stores)) = resp.get("stores") {
+                for s in stores {
+                    writeln!(
+                        out,
+                        "  {}: {} (fingerprint {})",
+                        s.get("name").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("status").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("fingerprint").and_then(Json::as_str).unwrap_or("?"),
+                    )?;
+                }
+            }
+            if degraded {
+                // Scripts probing readiness get the quarantine exit code
+                // without having to parse the listing.
+                return Err(CliError::Daemon(
+                    ErrorCode::Quarantined,
+                    format!("{} store(s) quarantined", u("stores_quarantined")),
+                ));
+            }
+            Ok(())
+        }
         "stats" => {
             for field in [
                 "queue_depth",
                 "shed",
                 "served",
                 "panics",
+                "conn_reaped",
+                "bad_frames",
                 "stores",
+                "stores_quarantined",
                 "uptime_s",
                 "worker_busy_us",
             ] {
                 writeln!(out, "{field}: {}", u(field))?;
             }
             if let Some(cache) = resp.get("cache") {
-                for field in ["entries", "hits", "derived", "misses", "rejected"] {
+                for field in [
+                    "entries",
+                    "bytes",
+                    "hits",
+                    "derived",
+                    "misses",
+                    "rejected",
+                    "evictions",
+                ] {
                     writeln!(
                         out,
                         "cache.{field}: {}",
@@ -393,9 +492,31 @@ mod tests {
     }
 
     #[test]
-    fn connection_refused_is_io_error() {
-        // Port 1 is privileged and never our daemon.
-        let err = run_cli("query --op stats --port 1").unwrap_err();
-        assert_eq!(err.exit_code(), 1);
+    fn connection_refused_retries_then_exits_5() {
+        // Port 1 is privileged and never our daemon. Even with a single
+        // endpoint the bounded retry policy applies: the client makes its
+        // rounds, then exits with the retries-exhausted code — not a
+        // generic I/O failure on the first refusal.
+        let err = run_cli("query --op stats --port 1 --retries 2 --backoff-ms 1").unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        assert!(err.to_string().contains("2 attempt(s)"), "{err}");
+    }
+
+    #[test]
+    fn endpoints_flag_accepts_a_replica_list() {
+        // Both replicas refuse; the client must rotate over both per
+        // round (2 retries × 2 endpoints = 4 attempts) and then exit 5.
+        let err = run_cli(
+            "query --op stats --endpoints 127.0.0.1:1,127.0.0.1:2 --retries 2 --backoff-ms 1",
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        assert!(err.to_string().contains("4 attempt(s)"), "{err}");
+    }
+
+    #[test]
+    fn empty_endpoints_list_is_usage_error() {
+        let err = run_cli("query --op stats --endpoints ,").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 }

@@ -45,6 +45,18 @@ pub fn run(args: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     config.drain_ms = args.parsed_or("drain-ms", 5_000)?;
     config.retry_after_ms = args.parsed_or("retry-after-ms", 100)?;
     config.test_faults = args.switch("test-faults");
+    // Connection hardening and health: per-frame/idle deadlines, the
+    // per-connection request budget, the store re-verification interval
+    // (0 disables), and the result-cache growth bounds.
+    config.idle_timeout_ms = args.parsed_or("idle-timeout-ms", config.idle_timeout_ms)?;
+    config.frame_deadline_ms = args.parsed_or("frame-deadline-ms", config.frame_deadline_ms)?;
+    config.max_requests_per_conn =
+        args.parsed_or("max-requests-per-conn", config.max_requests_per_conn)?;
+    config.verify_interval_ms = args.parsed_or("verify-interval-ms", config.verify_interval_ms)?;
+    config.cache_limits.max_entries =
+        args.parsed_or("cache-max-entries", config.cache_limits.max_entries)?;
+    config.cache_limits.max_bytes =
+        args.parsed_or("cache-max-bytes", config.cache_limits.max_bytes)?;
     // Observability surface: `--metrics-out` is the continuously
     // rewritten Prometheus exposition file (not the JSON-lines sink the
     // one-shot commands write), `--access-log` the per-query JSON-lines

@@ -45,6 +45,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "verify" => cmd::verify::run(&parsed, out),
         "serve" => cmd::serve::run(&parsed, out),
         "query" => cmd::query::run(&parsed, out),
+        "chaos" => cmd::chaos::run(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -85,13 +86,21 @@ USAGE:
                [--to text|binary|stream|columnar]
   ppm serve    --stores A.ppmc,B.ppmc [--port P | --socket PATH]
                [--workers N] [--queue N] [--cache FILE]
+               [--cache-max-entries N] [--cache-max-bytes B]
                [--deadline-ms MS] [--max-tree-nodes N]
                [--drain-ms MS] [--retry-after-ms MS] [--test-faults]
-  ppm query    [--port P | --socket PATH] [--op mine|rules|verify|info|stats|shutdown]
+               [--idle-timeout-ms MS] [--frame-deadline-ms MS]
+               [--max-requests-per-conn N] [--verify-interval-ms MS]
+  ppm query    [--port P | --socket PATH | --endpoints A,B,C]
+               [--op mine|rules|verify|info|health|stats|shutdown]
                [--store NAME --period P --min-conf C]
                [--engine hitset|apriori|vertical] [--limit N] [--no-cache]
                [--quarantine [--inject-garbage T]] [--show-cached]
                [--deadline-ms MS] [--max-tree-nodes N] [--min-rule-conf R]
+               [--retries N] [--backoff-ms MS] [--backoff-max-ms MS]
+               [--io-timeout-ms MS] [--hedge-ms MS] [--seed S] [--recheck]
+  ppm chaos    --upstream HOST:PORT [--port P] [--seed S]
+               [--fault-percent PCT] [--delay-ms MS]
   ppm help
 
 Series files by extension: .ppms (block binary, checksummed), .ppmstream
@@ -112,6 +121,25 @@ entry also answers higher-confidence queries by anti-monotone filtering.
 SIGTERM drains in-flight queries under --drain-ms, flushes the cache,
 and exits cleanly. ppm query is the matching client; its mine output is
 byte-identical to direct ppm mine on the same store.
+
+Replication: run several `ppm serve` daemons over the same .ppmc files
+and point `ppm query --endpoints a,b,c` at all of them. The client
+retries transients (connect failures, truncated responses, overload,
+quarantined stores) in rounds over the replicas with exponential
+backoff + seeded jitter, honors overload retry_after_ms hints, and with
+--hedge-ms T duplicates a request still unanswered after T ms to the
+next replica — first answer wins, and when both answer they must match
+byte-for-byte (minus cache provenance). The daemon re-verifies store
+checksums every --verify-interval-ms and quarantines a store whose file
+went bad (healthy stores keep serving; `--op health [--recheck]`
+reports per-store status and exits 4 when degraded). The result cache
+is bounded (--cache-max-entries / --cache-max-bytes, second-chance
+eviction, crash-safe). Connections are hardened: --idle-timeout-ms
+reaps idle peers, --frame-deadline-ms bounds one frame end to end (slow
+feeders can't hold workers), --max-requests-per-conn closes chatty
+connections. ppm chaos is a deterministic seeded proxy that delays,
+truncates, corrupts, duplicates, and severs responses — the harness the
+soak tests use to prove all of the above.
 
 Exit codes (shared between direct commands and the daemon): 0 success;
 1 internal failure; 2 usage; 3 partial result (a --deadline-ms /

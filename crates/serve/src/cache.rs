@@ -29,6 +29,17 @@
 //! name* (the offending line number and, when parseable, its key are
 //! reported) while intact entries survive — a torn tail after `kill -9`
 //! costs at most the entry being written, never the warm cache.
+//!
+//! ## Bounded growth
+//!
+//! The cache is capped by entry count *and* by approximate resident
+//! bytes ([`CacheLimits`]). Past either cap, inserts evict via
+//! second-chance (clock): a lookup that answered from an entry — exact
+//! hit or anti-monotone donor — sets its referenced bit; the clock hand
+//! gives each referenced entry one more round before evicting it.
+//! Eviction rewrites the file through the same temp + atomic-rename
+//! publish as every save, so `kill -9` mid-evict leaves either the old
+//! complete file or the new complete file, never a hybrid.
 
 use std::fmt::Write as _;
 use std::fs::File;
@@ -124,8 +135,42 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries rejected as damaged at load time.
     pub rejected: u64,
+    /// Entries evicted by the second-chance bound.
+    pub evictions: u64,
     /// Live entries.
     pub entries: usize,
+    /// Approximate resident bytes (serialized entry sizes).
+    pub bytes: usize,
+}
+
+/// The growth bounds the cache enforces on every insert (and at load).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheLimits {
+    /// Maximum live entries; 0 disables caching entirely.
+    pub max_entries: usize,
+    /// Maximum approximate resident bytes (serialized entry sizes).
+    pub max_bytes: usize,
+}
+
+impl Default for CacheLimits {
+    fn default() -> Self {
+        CacheLimits {
+            max_entries: 1024,
+            max_bytes: 16 << 20,
+        }
+    }
+}
+
+/// One resident entry plus its second-chance bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    key: CacheKey,
+    value: CachedResult,
+    /// Serialized size, charged against [`CacheLimits::max_bytes`].
+    bytes: usize,
+    /// Second-chance bit: set when the entry answered a lookup (exact hit
+    /// or anti-monotone donor), cleared when the clock hand passes it.
+    referenced: bool,
 }
 
 /// The cache proper. All mutation goes through [`Self::insert`], which
@@ -133,38 +178,61 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct ResultCache {
     path: Option<PathBuf>,
-    entries: Vec<(CacheKey, CachedResult)>,
+    entries: Vec<Entry>,
+    limits: CacheLimits,
+    /// The second-chance clock hand (index into `entries`).
+    hand: usize,
     hits: u64,
     derived: u64,
     misses: u64,
     rejected: u64,
+    evictions: u64,
 }
 
 impl ResultCache {
-    /// An in-memory cache (no persistence).
+    /// An in-memory cache (no persistence) with default limits.
     pub fn in_memory() -> Self {
+        Self::in_memory_with_limits(CacheLimits::default())
+    }
+
+    /// An in-memory cache with explicit growth bounds.
+    pub fn in_memory_with_limits(limits: CacheLimits) -> Self {
         ResultCache {
             path: None,
             entries: Vec::new(),
+            limits,
+            hand: 0,
             hits: 0,
             derived: 0,
             misses: 0,
             rejected: 0,
+            evictions: 0,
         }
+    }
+
+    /// Opens (or initializes) a persistent cache at `path` with default
+    /// limits. See [`Self::open_with_limits`].
+    pub fn open(path: impl AsRef<Path>) -> Self {
+        Self::open_with_limits(path, CacheLimits::default())
     }
 
     /// Opens (or initializes) a persistent cache at `path`. A missing file
     /// starts empty; a present file is loaded entry by entry, rejecting
-    /// damaged lines by name while keeping every intact one.
-    pub fn open(path: impl AsRef<Path>) -> Self {
+    /// damaged lines by name while keeping every intact one. A file that
+    /// outgrew the configured limits (say, after a config change) is
+    /// trimmed back under them immediately.
+    pub fn open_with_limits(path: impl AsRef<Path>, limits: CacheLimits) -> Self {
         let path = path.as_ref().to_path_buf();
         let mut cache = ResultCache {
             path: Some(path.clone()),
             entries: Vec::new(),
+            limits,
+            hand: 0,
             hits: 0,
             derived: 0,
             misses: 0,
             rejected: 0,
+            evictions: 0,
         };
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -186,7 +254,15 @@ impl ResultCache {
                 continue;
             }
             match Self::parse_entry(line) {
-                Ok((key, value)) => cache.entries.push((key, value)),
+                Ok((key, value)) => {
+                    let bytes = Self::entry_json(&key, &value).render().len();
+                    cache.entries.push(Entry {
+                        key,
+                        value,
+                        bytes,
+                        referenced: false,
+                    });
+                }
                 Err(why) => {
                     cache.rejected += 1;
                     ppm_observe::mark("serve.cache.rejected", || {
@@ -194,6 +270,11 @@ impl ResultCache {
                     });
                 }
             }
+        }
+        // A file written under looser limits must come back under ours.
+        if cache.over_limit() {
+            cache.evict_to_limit();
+            cache.flush();
         }
         cache
     }
@@ -284,9 +365,10 @@ impl ResultCache {
     /// *lower* confidence answers by anti-monotone filtering (see module
     /// docs). Counters update accordingly.
     pub fn lookup(&mut self, key: &CacheKey) -> (Option<CachedResult>, CacheOutcome) {
-        if let Some((_, v)) = self.entries.iter().find(|(k, _)| k == key) {
+        if let Some(e) = self.entries.iter_mut().find(|e| &e.key == key) {
+            e.referenced = true;
             self.hits += 1;
-            return (Some(v.clone()), CacheOutcome::Hit);
+            return (Some(e.value.clone()), CacheOutcome::Hit);
         }
         if matches!(key.engine.as_str(), "hitset" | "vertical") {
             let conf = key.conf();
@@ -294,15 +376,17 @@ impl ResultCache {
             // query's, so the filter discards as little as possible.
             let donor = self
                 .entries
-                .iter()
-                .filter(|(k, _)| {
-                    k.fingerprint == key.fingerprint
-                        && k.period == key.period
-                        && k.engine == key.engine
-                        && k.conf() <= conf
+                .iter_mut()
+                .filter(|e| {
+                    e.key.fingerprint == key.fingerprint
+                        && e.key.period == key.period
+                        && e.key.engine == key.engine
+                        && e.key.conf() <= conf
                 })
-                .max_by(|(a, _), (b, _)| a.conf().total_cmp(&b.conf()));
-            if let Some((_, v)) = donor {
+                .max_by(|a, b| a.key.conf().total_cmp(&b.key.conf()));
+            if let Some(e) = donor {
+                e.referenced = true;
+                let v = &e.value;
                 let min_count = match MineConfig::new(conf) {
                     Ok(c) => c.min_count(v.segment_count),
                     Err(_) => {
@@ -329,13 +413,61 @@ impl ResultCache {
         (None, CacheOutcome::Miss)
     }
 
-    /// Inserts (or replaces) an entry and persists the cache when backed
-    /// by a file. Persistence failures are reported as a mark, not an
-    /// error — the cache is an accelerator, never a correctness gate.
+    /// Inserts (or replaces) an entry, evicts past the configured bounds
+    /// (second-chance), and persists the cache when backed by a file.
+    /// Persistence failures are reported as a mark, not an error — the
+    /// cache is an accelerator, never a correctness gate.
     pub fn insert(&mut self, key: CacheKey, value: CachedResult) {
-        self.entries.retain(|(k, _)| k != &key);
-        self.entries.push((key, value));
+        if self.limits.max_entries == 0 {
+            return;
+        }
+        self.entries.retain(|e| e.key != key);
+        let bytes = Self::entry_json(&key, &value).render().len();
+        // A fresh entry starts referenced: it survives the first clock
+        // sweep its own insert triggers, so inserting can never evict the
+        // entry being inserted while older unreferenced ones remain.
+        self.entries.push(Entry {
+            key,
+            value,
+            bytes,
+            referenced: true,
+        });
+        if self.over_limit() {
+            self.evict_to_limit();
+        }
         self.flush();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    fn over_limit(&self) -> bool {
+        self.entries.len() > self.limits.max_entries
+            || self.resident_bytes() > self.limits.max_bytes
+    }
+
+    /// Second-chance (clock) eviction down to the configured bounds. The
+    /// hand sweeps the entry list; a referenced entry spends its bit and
+    /// survives the round, an unreferenced one is evicted. Terminates
+    /// because every sweep either evicts or clears a bit.
+    fn evict_to_limit(&mut self) {
+        while self.over_limit() && !self.entries.is_empty() {
+            if self.hand >= self.entries.len() {
+                self.hand = 0;
+            }
+            if self.entries[self.hand].referenced {
+                self.entries[self.hand].referenced = false;
+                self.hand += 1;
+            } else {
+                let victim = self.entries.remove(self.hand);
+                self.evictions += 1;
+                ppm_observe::counter("serve.cache.evictions", 1);
+                ppm_observe::mark("serve.cache.evicted", || {
+                    format!("evicted {} ({} bytes)", victim.key.describe(), victim.bytes)
+                });
+            }
+        }
     }
 
     /// Writes the cache file atomically (no-op for in-memory caches).
@@ -352,8 +484,8 @@ impl ResultCache {
         let mut text = String::with_capacity(1024);
         text.push_str(MAGIC);
         text.push('\n');
-        for (key, value) in &self.entries {
-            let json = Self::entry_json(key, value).render();
+        for e in &self.entries {
+            let json = Self::entry_json(&e.key, &e.value).render();
             let _ = writeln!(text, "entry {:016x} {json}", fnv64(json.as_bytes()));
         }
         let mut tmp = path.as_os_str().to_owned();
@@ -416,7 +548,9 @@ impl ResultCache {
             derived: self.derived,
             misses: self.misses,
             rejected: self.rejected,
+            evictions: self.evictions,
             entries: self.entries.len(),
+            bytes: self.resident_bytes(),
         }
     }
 }
@@ -566,5 +700,103 @@ mod tests {
         let c = ResultCache::open(temp("missing"));
         assert_eq!(c.stats().entries, 0);
         assert_eq!(c.stats().rejected, 0);
+    }
+
+    fn limits(max_entries: usize, max_bytes: usize) -> CacheLimits {
+        CacheLimits {
+            max_entries,
+            max_bytes,
+        }
+    }
+
+    #[test]
+    fn entry_cap_is_enforced_on_every_insert() {
+        let mut c = ResultCache::in_memory_with_limits(limits(3, usize::MAX));
+        for period in 1..=10usize {
+            let mut k = key(0.5);
+            k.period = period;
+            c.insert(k, sample_value());
+            assert!(c.stats().entries <= 3, "after period {period}");
+        }
+        let s = c.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.evictions, 7);
+    }
+
+    #[test]
+    fn byte_cap_is_enforced_too() {
+        let one_entry_bytes = {
+            let mut c = ResultCache::in_memory();
+            c.insert(key(0.5), sample_value());
+            c.stats().bytes
+        };
+        // Room for two entries, not three.
+        let mut c = ResultCache::in_memory_with_limits(limits(100, one_entry_bytes * 2 + 1));
+        for period in 1..=5usize {
+            let mut k = key(0.5);
+            k.period = period;
+            c.insert(k, sample_value());
+        }
+        let s = c.stats();
+        assert!(s.entries <= 2, "{s:?}");
+        assert!(s.bytes <= one_entry_bytes * 2 + 1, "{s:?}");
+        assert!(s.evictions >= 3, "{s:?}");
+    }
+
+    #[test]
+    fn second_chance_keeps_the_recently_answered_entry() {
+        let mut c = ResultCache::in_memory_with_limits(limits(2, usize::MAX));
+        let mut hot = key(0.5);
+        hot.period = 1;
+        let mut cold = key(0.5);
+        cold.period = 2;
+        c.insert(hot.clone(), sample_value());
+        c.insert(cold.clone(), sample_value());
+        // Spend both insert-time bits so only the lookup below re-arms one.
+        c.entries.iter_mut().for_each(|e| e.referenced = false);
+        assert_eq!(c.lookup(&hot).1, CacheOutcome::Hit);
+        let mut third = key(0.5);
+        third.period = 3;
+        c.insert(third.clone(), sample_value());
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.lookup(&hot).1, CacheOutcome::Hit, "hot entry survived");
+        assert_eq!(c.lookup(&third).1, CacheOutcome::Hit, "new entry resident");
+        assert_eq!(c.lookup(&cold).1, CacheOutcome::Miss, "cold entry evicted");
+    }
+
+    #[test]
+    fn zero_entry_limit_disables_caching() {
+        let mut c = ResultCache::in_memory_with_limits(limits(0, usize::MAX));
+        c.insert(key(0.5), sample_value());
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.lookup(&key(0.5)).1, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn oversized_file_is_trimmed_at_load_and_eviction_is_crash_safe() {
+        let path = temp("trim");
+        {
+            let mut c = ResultCache::open(&path);
+            for period in 1..=6usize {
+                let mut k = key(0.5);
+                k.period = period;
+                c.insert(k, sample_value());
+            }
+        }
+        // Reopen under a tighter bound: trimmed immediately, and the
+        // trimmed file is republished atomically.
+        let c = ResultCache::open_with_limits(&path, limits(2, usize::MAX));
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.stats().evictions, 4);
+        drop(c);
+        // Simulate kill -9 at every byte of the post-evict publish: the
+        // surviving file is always a loadable prefix within the bound.
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let c = ResultCache::open_with_limits(&path, limits(2, usize::MAX));
+            assert!(c.stats().entries <= 2, "cut {cut}");
+        }
+        std::fs::remove_file(path).ok();
     }
 }

@@ -20,6 +20,19 @@
 //!   in-flight work under a deadline, rejects new admissions, flushes
 //!   the cache, and exits cleanly; `kill -9` is recovered by the cache's
 //!   checksums and the store's atomic publish discipline.
+//! * **Health gating** ([`store`], [`server`]) — periodic checksum
+//!   re-verification quarantines a store whose backing file went bad;
+//!   healthy stores keep serving while the quarantined one returns a
+//!   typed error the failover client treats as "try another replica".
+//! * **Replication-aware querying** ([`client`]) — a failover client
+//!   that retries transients with exponential backoff + jitter across
+//!   replica endpoints, honors overload `retry_after_ms` hints, and can
+//!   hedge a duplicate request after a latency threshold, asserting
+//!   byte-identical results whichever replica answers.
+//! * **Chaos testing** ([`chaos`]) — a deterministic seeded proxy that
+//!   delays, truncates, corrupts, duplicates, and severs frames between
+//!   client and daemon; the harness the soak tests and CI use to prove
+//!   the mechanisms above actually hold.
 //! * **Observability** ([`metrics`]) — per-query latency histograms
 //!   (queue wait, service time, scan1/scan2/derive/cache phases),
 //!   Prometheus-style exposition via the `metrics` op and
@@ -37,6 +50,8 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
+pub mod client;
 pub mod error;
 pub mod metrics;
 pub mod protocol;
@@ -44,7 +59,11 @@ pub mod server;
 pub mod signal;
 pub mod store;
 
-pub use cache::{CacheKey, CacheOutcome, CacheStats, CachedResult, CachedRow, ResultCache};
+pub use cache::{
+    CacheKey, CacheLimits, CacheOutcome, CacheStats, CachedResult, CachedRow, ResultCache,
+};
+pub use chaos::{ChaosConfig, ChaosProxy};
+pub use client::{ClientError, ClientStats, Endpoint, FailoverClient, RetryPolicy};
 pub use error::ErrorCode;
 pub use metrics::{AccessLog, AccessRecord, PhaseCapture, ServeMetrics};
 pub use server::{Bind, BoundAddr, ServeConfig, Server};

@@ -54,6 +54,11 @@ pub struct ServeMetrics {
     pub shed: AtomicU64,
     /// Panics contained by the per-query `catch_unwind`.
     pub panics: AtomicU64,
+    /// Connections reaped by the deadline enforcement (idle peers and
+    /// slow-loris/short-write stalls alike).
+    pub conn_reaped: AtomicU64,
+    /// Malformed wire frames answered with a typed error and a close.
+    pub bad_frames: AtomicU64,
     /// Current admission-queue depth.
     pub queue_depth: AtomicU64,
     /// Exact-key cache answers.
@@ -93,6 +98,8 @@ impl ServeMetrics {
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            conn_reaped: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_derived: AtomicU64::new(0),
@@ -173,7 +180,12 @@ pub fn summary_json(h: &Histogram) -> Json {
 }
 
 /// Renders the full daemon state as Prometheus text exposition.
-pub fn prometheus_text(metrics: &ServeMetrics, cache: &CacheStats, stores: usize) -> String {
+pub fn prometheus_text(
+    metrics: &ServeMetrics,
+    cache: &CacheStats,
+    stores: usize,
+    stores_quarantined: usize,
+) -> String {
     let mut out = String::new();
     let c = |out: &mut String, name: &str, help: &str, v: u64| {
         scalar(out, name, "counter", help, v);
@@ -198,6 +210,18 @@ pub fn prometheus_text(metrics: &ServeMetrics, cache: &CacheStats, stores: usize
         "ppm_serve_panics_total",
         "Panics contained per-query",
         metrics.panics.load(Ordering::Relaxed),
+    );
+    c(
+        &mut out,
+        "ppm_serve_conn_reaped_total",
+        "Connections reaped by deadline enforcement",
+        metrics.conn_reaped.load(Ordering::Relaxed),
+    );
+    c(
+        &mut out,
+        "ppm_serve_bad_frames_total",
+        "Malformed wire frames answered with a typed error",
+        metrics.bad_frames.load(Ordering::Relaxed),
     );
     c(
         &mut out,
@@ -238,15 +262,33 @@ pub fn prometheus_text(metrics: &ServeMetrics, cache: &CacheStats, stores: usize
     g(&mut out, "ppm_serve_stores", "Stores served", stores as u64);
     g(
         &mut out,
+        "ppm_serve_stores_quarantined",
+        "Stores quarantined by checksum re-verification",
+        stores_quarantined as u64,
+    );
+    g(
+        &mut out,
         "ppm_serve_cache_entries",
         "Live result-cache entries",
         cache.entries as u64,
+    );
+    g(
+        &mut out,
+        "ppm_serve_cache_bytes",
+        "Approximate bytes held by live cache entries",
+        cache.bytes as u64,
     );
     c(
         &mut out,
         "ppm_serve_cache_rejected_total",
         "Cache entries rejected as damaged at load",
         cache.rejected,
+    );
+    c(
+        &mut out,
+        "ppm_serve_cache_evictions_total",
+        "Cache entries evicted by the size bounds",
+        cache.evictions,
     );
     histogram_text(
         &mut out,
@@ -561,8 +603,11 @@ mod tests {
         }
         m.served.fetch_add(4, Ordering::Relaxed);
         let cache = CacheStats::default();
-        let text = prometheus_text(&m, &cache, 3);
+        let text = prometheus_text(&m, &cache, 3, 1);
         assert!(text.contains("# TYPE ppm_serve_queue_wait_us histogram"));
+        assert!(text.contains("ppm_serve_stores_quarantined 1"));
+        assert!(text.contains("ppm_serve_conn_reaped_total 0"));
+        assert!(text.contains("ppm_serve_cache_evictions_total 0"));
         assert!(text.contains("ppm_serve_queue_wait_us_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("ppm_serve_queue_wait_us_count 4"));
         assert!(text.contains("ppm_serve_service_us_p95 "));

@@ -37,7 +37,7 @@ use ppm_timeseries::{
     QuarantiningSource, SeriesBuilder, SeriesSource,
 };
 
-use crate::cache::{CacheKey, CacheOutcome, CachedResult, CachedRow, ResultCache};
+use crate::cache::{CacheKey, CacheLimits, CacheOutcome, CachedResult, CachedRow, ResultCache};
 use crate::error::ErrorCode;
 use crate::metrics::{self, AccessLog, AccessRecord, PhaseCapture, ServeMetrics};
 use crate::protocol::{
@@ -110,6 +110,22 @@ pub struct ServeConfig {
     pub flight_path: Option<PathBuf>,
     /// Events the flight recorder retains per worker ring.
     pub flight_events: usize,
+    /// How long a worker waits for the *next* frame on a kept-alive
+    /// connection before reaping it (ms). Bounds the cost of idle peers.
+    pub idle_timeout_ms: u64,
+    /// Total budget for reading or writing one frame (ms), measured from
+    /// its first byte. Bounds slow-loris drip-feeding and short-write
+    /// stalls: a peer trickling one byte at a time costs a worker at most
+    /// this long per frame, never a hang.
+    pub frame_deadline_ms: u64,
+    /// Requests served on one connection before it is politely closed, so
+    /// a single chatty peer cannot monopolize a worker while others queue.
+    pub max_requests_per_conn: u64,
+    /// Store checksum re-verification interval (ms); 0 disables the
+    /// periodic check (the `health` op's `recheck` still works).
+    pub verify_interval_ms: u64,
+    /// Result-cache growth bounds (entries and approximate bytes).
+    pub cache_limits: CacheLimits,
 }
 
 impl ServeConfig {
@@ -130,6 +146,11 @@ impl ServeConfig {
             slow_ms: None,
             flight_path: None,
             flight_events: ppm_observe::flight::DEFAULT_RING_EVENTS,
+            idle_timeout_ms: 2_000,
+            frame_deadline_ms: 5_000,
+            max_requests_per_conn: 256,
+            verify_interval_ms: 30_000,
+            cache_limits: CacheLimits::default(),
         }
     }
 }
@@ -150,52 +171,137 @@ enum Listener {
     Unix(UnixListener),
 }
 
-enum Conn {
+/// The raw accepted socket.
+enum Stream {
     Tcp(TcpStream),
     Unix(UnixStream),
 }
 
-impl Conn {
-    /// Blocking mode with bounded timeouts: a stalled peer costs a worker
-    /// at most the timeout, never a hang.
-    fn configure(&self) -> io::Result<()> {
-        let t = Some(Duration::from_secs(2));
+impl Stream {
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
         match self {
-            Conn::Tcp(s) => {
-                s.set_nonblocking(false)?;
-                s.set_read_timeout(t)?;
-                s.set_write_timeout(t)
-            }
-            Conn::Unix(s) => {
-                s.set_nonblocking(false)?;
-                s.set_read_timeout(t)?;
-                s.set_write_timeout(t)
-            }
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+            Stream::Unix(s) => s.set_nonblocking(nb),
         }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(t),
+            Stream::Unix(s) => s.set_write_timeout(t),
+        }
+    }
+}
+
+/// A hardened connection: every read and write is bounded by a phase
+/// deadline, so no peer — idle, drip-feeding bytes (slow loris), or
+/// stalling a short write — can hold a worker past its budget.
+///
+/// Two phases. *Idle*: waiting for the first byte of the next frame,
+/// bounded by `idle_timeout`; expiry here is the idle reaper firing.
+/// *In-frame*: from that first byte, the whole rest of the frame (and,
+/// on the write side, the whole response) must land within
+/// `frame_deadline` — the socket timeout is re-armed with the remaining
+/// budget before every syscall, so trickling one byte per second buys a
+/// peer nothing.
+struct Conn {
+    stream: Stream,
+    idle_timeout: Duration,
+    frame_deadline: Duration,
+    deadline: Instant,
+    idle: bool,
+}
+
+impl Conn {
+    fn new(stream: Stream, config: &ServeConfig) -> io::Result<Conn> {
+        stream.set_nonblocking(false)?;
+        let idle_timeout = Duration::from_millis(config.idle_timeout_ms.max(1));
+        let frame_deadline = Duration::from_millis(config.frame_deadline_ms.max(1));
+        Ok(Conn {
+            stream,
+            idle_timeout,
+            frame_deadline,
+            deadline: Instant::now() + idle_timeout,
+            idle: true,
+        })
+    }
+
+    /// Arms the idle phase: the peer has `idle_timeout` to start the next
+    /// frame; its first byte switches to the frame budget.
+    fn arm_idle(&mut self) {
+        self.idle = true;
+        self.deadline = Instant::now() + self.idle_timeout;
+    }
+
+    /// Arms a whole-frame budget immediately (writes have no idle phase:
+    /// the response starts now).
+    fn arm_frame(&mut self) {
+        self.idle = false;
+        self.deadline = Instant::now() + self.frame_deadline;
+    }
+
+    /// Whether the connection was still between frames when I/O failed
+    /// (distinguishes a reaped idle peer from a mid-frame stall).
+    fn was_idle(&self) -> bool {
+        self.idle
+    }
+
+    /// Time left in the current phase, or `TimedOut` once it is spent.
+    fn remaining(&self) -> io::Result<Duration> {
+        self.deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    if self.idle {
+                        "idle timeout"
+                    } else {
+                        "frame deadline exceeded"
+                    },
+                )
+            })
     }
 }
 
 impl Read for Conn {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.read(buf),
-            Conn::Unix(s) => s.read(buf),
+        let left = self.remaining()?;
+        self.stream.set_read_timeout(Some(left))?;
+        let n = match &mut self.stream {
+            Stream::Tcp(s) => s.read(buf)?,
+            Stream::Unix(s) => s.read(buf)?,
+        };
+        if n > 0 && self.idle {
+            // First byte of a frame: the peer now has the frame budget to
+            // deliver the rest, however slowly it drips.
+            self.arm_frame();
         }
+        Ok(n)
     }
 }
 
 impl Write for Conn {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.write(buf),
-            Conn::Unix(s) => s.write(buf),
+        let left = self.remaining()?;
+        self.stream.set_write_timeout(Some(left))?;
+        match &mut self.stream {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
         }
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.flush(),
-            Conn::Unix(s) => s.flush(),
+        match &mut self.stream {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
         }
     }
 }
@@ -247,8 +353,8 @@ impl Server {
             }
         };
         let cache = match &config.cache_path {
-            Some(p) => ResultCache::open(p),
-            None => ResultCache::in_memory(),
+            Some(p) => ResultCache::open_with_limits(p, config.cache_limits),
+            None => ResultCache::in_memory_with_limits(config.cache_limits),
         };
         // One ring per worker plus one for the accept loop; names are
         // interned now so recording never touches the name table.
@@ -341,6 +447,7 @@ impl Server {
             // pending SIGUSR1 flight-dump request) is observed within one
             // tick even with no traffic.
             let mut last_exposition = Instant::now();
+            let mut last_verify = Instant::now();
             loop {
                 if self.shutting_down() {
                     break;
@@ -354,12 +461,21 @@ impl Server {
                     self.write_metrics_file();
                     last_exposition = Instant::now();
                 }
+                if self.config.verify_interval_ms > 0
+                    && last_verify.elapsed()
+                        >= Duration::from_millis(self.config.verify_interval_ms)
+                {
+                    // Store health check: a store whose file went corrupt
+                    // is quarantined here; the rest keep serving.
+                    self.registry.reverify_all();
+                    last_verify = Instant::now();
+                }
                 let accepted = match &self.listener {
-                    Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
-                    Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+                    Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+                    Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
                 };
                 match accepted {
-                    Ok(conn) => self.admit(conn, &queue),
+                    Ok(stream) => self.admit(stream, &queue),
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
@@ -394,7 +510,12 @@ impl Server {
     /// The current Prometheus exposition text.
     fn exposition(&self) -> String {
         let cache = self.cache.lock().expect("cache poisoned").stats();
-        metrics::prometheus_text(&self.metrics, &cache, self.registry.len())
+        metrics::prometheus_text(
+            &self.metrics,
+            &cache,
+            self.registry.len(),
+            self.registry.quarantined_count(),
+        )
     }
 
     /// Atomically rewrites the `--metrics-out` file (no-op when not
@@ -442,10 +563,10 @@ impl Server {
     /// explicit overload frame. A shed triggers a flight dump (throttled
     /// to one per second — shedding happens in bursts) so the recent
     /// history that led to the overload is preserved.
-    fn admit(&self, conn: Conn, queue: &Queue) {
-        if conn.configure().is_err() {
+    fn admit(&self, stream: Stream, queue: &Queue) {
+        let Ok(conn) = Conn::new(stream, &self.config) else {
             return;
-        }
+        };
         let mut conns = queue.conns.lock().expect("queue poisoned");
         if conns.len() >= self.config.queue_cap {
             drop(conns);
@@ -460,6 +581,7 @@ impl Server {
                 0,
             );
             let mut conn = conn;
+            conn.arm_frame();
             let _ =
                 protocol::write_frame(&mut conn, &overload_response(self.config.retry_after_ms));
             let now_us = self.metrics.now_us();
@@ -552,11 +674,23 @@ impl Server {
     /// line; subsequent frames on the same connection never waited.
     fn serve_conn(&self, mut conn: Conn, queue_wait_us: u64, worker: usize) {
         let mut first_frame = true;
+        let mut frames_served: u64 = 0;
         loop {
+            if frames_served >= self.config.max_requests_per_conn.max(1) {
+                // Per-connection budget spent: close politely; a
+                // reconnect goes through admission behind everyone else.
+                return;
+            }
+            conn.arm_idle();
             let req = match protocol::read_frame(&mut conn) {
                 Ok(Some(req)) => req,
-                Ok(None) | Err(_) => return,
+                Ok(None) => return,
+                Err(e) => {
+                    self.close_on_read_error(&mut conn, &e);
+                    return;
+                }
             };
+            frames_served += 1;
             let started = Instant::now();
             let span_id = 2 * self.metrics.served.load(Ordering::Relaxed) + worker as u64;
             self.flight.record(
@@ -632,12 +766,45 @@ impl Server {
                 &capture,
             );
             first_frame = false;
+            conn.arm_frame();
             if protocol::write_frame(&mut conn, &resp).is_err() {
                 return;
             }
             if self.shutting_down() {
                 return;
             }
+        }
+    }
+
+    /// Classifies a failed frame read before the connection closes.
+    /// Malformed bytes (oversized or garbage length prefix, bad
+    /// UTF-8/JSON) get a typed `error` frame first — the peer is told
+    /// what it sent, never silently dropped or hung. Deadline expiries
+    /// count toward `conn_reaped` (idle peers and slow-loris drips
+    /// alike). Plain disconnects are just closed.
+    fn close_on_read_error(&self, conn: &mut Conn, e: &io::Error) {
+        match e.kind() {
+            io::ErrorKind::InvalidData => {
+                self.metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                ppm_observe::counter("serve.bad_frames", 1);
+                conn.arm_frame();
+                let _ = protocol::write_frame(
+                    conn,
+                    &error_response(ErrorCode::Usage, format!("bad frame: {e}"), Vec::new()),
+                );
+            }
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+                self.metrics.conn_reaped.fetch_add(1, Ordering::Relaxed);
+                ppm_observe::counter("serve.conn_reaped", 1);
+                ppm_observe::mark("serve.conn_reaped", || {
+                    if conn.was_idle() {
+                        "reaped idle connection".to_owned()
+                    } else {
+                        "reaped mid-frame stall (slow-loris defense)".to_owned()
+                    }
+                });
+            }
+            _ => {}
         }
     }
 
@@ -724,6 +891,7 @@ impl Server {
             "rules" => self.op_rules(req),
             "verify" => self.op_verify(req),
             "info" => self.op_info(req),
+            "health" => Ok(self.op_health(req)),
             "stats" => Ok(self.op_stats()),
             "metrics" => Ok(result_response(
                 "metrics",
@@ -738,7 +906,7 @@ impl Server {
             }
             "panic" if self.config.test_faults => panic!("injected test panic"),
             other => Err(OpError::usage(format!(
-                "unknown op {other:?} (mine|rules|verify|info|stats|metrics|shutdown)"
+                "unknown op {other:?} (mine|rules|verify|info|health|stats|metrics|shutdown)"
             ))),
         };
         match outcome {
@@ -753,6 +921,7 @@ impl Server {
             .registry
             .get(&q.store)
             .ok_or_else(|| OpError::usage(format!("unknown store {:?}", q.store)))?;
+        gate_health(store)?;
 
         if q.quarantine {
             return self.mine_quarantined(store, &q);
@@ -858,6 +1027,7 @@ impl Server {
             .registry
             .get(&q.store)
             .ok_or_else(|| OpError::usage(format!("unknown store {:?}", q.store)))?;
+        gate_health(store)?;
         let min_rule_conf = req
             .get("min_rule_conf")
             .and_then(Json::as_f64)
@@ -890,6 +1060,7 @@ impl Server {
             .registry
             .get(&q.store)
             .ok_or_else(|| OpError::usage(format!("unknown store {:?}", q.store)))?;
+        gate_health(store)?;
         let _span = ppm_observe::span("serve.verify");
         let check = ppm_core::audit::cross_check_view(
             store.view(),
@@ -957,6 +1128,57 @@ impl Server {
         ))
     }
 
+    /// The readiness probe: per-store health with optional synchronous
+    /// re-verification (`"recheck": true`). `ready` means the daemon is
+    /// still admitting queries at all; `degraded` means at least one
+    /// store is quarantined (every healthy store keeps serving).
+    fn op_health(&self, req: &Json) -> Json {
+        if matches!(req.get("recheck"), Some(Json::Bool(true))) {
+            self.registry.reverify_all();
+        }
+        let stores: Vec<Json> = self
+            .registry
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".to_owned(), Json::Str(s.name.clone())),
+                    (
+                        "status".to_owned(),
+                        Json::Str(
+                            if s.is_quarantined() {
+                                "quarantined"
+                            } else {
+                                "ok"
+                            }
+                            .to_owned(),
+                        ),
+                    ),
+                    (
+                        "fingerprint".to_owned(),
+                        Json::Str(format!("{:016x}", s.fingerprint())),
+                    ),
+                ])
+            })
+            .collect();
+        let quarantined = self.registry.quarantined_count();
+        result_response(
+            "health",
+            vec![
+                ("ready".to_owned(), Json::Bool(!self.shutting_down())),
+                ("degraded".to_owned(), Json::Bool(quarantined > 0)),
+                (
+                    "stores_total".to_owned(),
+                    Json::from_usize(self.registry.len()),
+                ),
+                (
+                    "stores_quarantined".to_owned(),
+                    Json::from_usize(quarantined),
+                ),
+                ("stores".to_owned(), Json::Arr(stores)),
+            ],
+        )
+    }
+
     fn op_stats(&self) -> Json {
         let cache = self.cache.lock().expect("cache poisoned").stats();
         result_response(
@@ -978,7 +1200,19 @@ impl Server {
                     "panics".to_owned(),
                     Json::from_u64(self.metrics.panics.load(Ordering::Relaxed)),
                 ),
+                (
+                    "conn_reaped".to_owned(),
+                    Json::from_u64(self.metrics.conn_reaped.load(Ordering::Relaxed)),
+                ),
+                (
+                    "bad_frames".to_owned(),
+                    Json::from_u64(self.metrics.bad_frames.load(Ordering::Relaxed)),
+                ),
                 ("stores".to_owned(), Json::from_usize(self.registry.len())),
+                (
+                    "stores_quarantined".to_owned(),
+                    Json::from_usize(self.registry.quarantined_count()),
+                ),
                 (
                     "uptime_s".to_owned(),
                     Json::from_u64(self.metrics.uptime_s()),
@@ -991,10 +1225,12 @@ impl Server {
                     "cache".to_owned(),
                     Json::Obj(vec![
                         ("entries".to_owned(), Json::from_usize(cache.entries)),
+                        ("bytes".to_owned(), Json::from_usize(cache.bytes)),
                         ("hits".to_owned(), Json::from_u64(cache.hits)),
                         ("derived".to_owned(), Json::from_u64(cache.derived)),
                         ("misses".to_owned(), Json::from_u64(cache.misses)),
                         ("rejected".to_owned(), Json::from_u64(cache.rejected)),
+                        ("evictions".to_owned(), Json::from_u64(cache.evictions)),
                     ]),
                 ),
                 ("latency".to_owned(), self.metrics.latency_json()),
@@ -1067,6 +1303,25 @@ impl MineQuery {
             no_cache: matches!(req.get("no_cache"), Some(Json::Bool(true))),
         })
     }
+}
+
+/// Rejects queries against a quarantined store with the typed error the
+/// failover client keys on: code 4 plus `store_quarantined: true` means
+/// "this replica's copy is bad — a healthy replica may still serve it",
+/// which is precisely a failover trigger, not a client mistake.
+fn gate_health(store: &crate::store::Store) -> Result<(), OpError> {
+    if store.is_quarantined() {
+        return Err(OpError {
+            code: ErrorCode::Quarantined,
+            message: format!(
+                "store {:?} is quarantined (checksum re-verification failed); \
+                 a healthy replica may still serve it",
+                store.name
+            ),
+            extras: vec![("store_quarantined".to_owned(), Json::Bool(true))],
+        });
+    }
+    Ok(())
 }
 
 /// A typed op failure on its way to an `error` frame.

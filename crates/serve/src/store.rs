@@ -6,8 +6,21 @@
 //! immutable after load, so sharing needs no locks). Stores are addressed
 //! by their file stem — `trades.ppmc` serves as `"trades"` — and each
 //! carries the content fingerprint the result cache keys on.
+//!
+//! ## Health gating
+//!
+//! Each store also carries a health bit. [`StoreRegistry::reverify`]
+//! re-opens every backing file, re-running the full trailer-checksum
+//! validation, and compares the fingerprint against the resident load: a
+//! store whose file has vanished, gone corrupt, or been replaced with
+//! different content is **quarantined** — queries against it get a typed
+//! error while every healthy store keeps serving. A store whose file is
+//! restored to the original content heals on the next re-verification.
+//! The daemon re-verifies on an interval and on demand via the `health`
+//! wire op.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use ppm_timeseries::columnar::ColumnarReader;
 use ppm_timeseries::EncodedSeriesView;
@@ -21,6 +34,9 @@ pub struct Store {
     pub path: PathBuf,
     /// The validated load, shared read-only.
     pub reader: ColumnarReader,
+    /// Health bit: `true` once checksum re-verification has failed (and
+    /// until a later re-verification succeeds again).
+    quarantined: AtomicBool,
 }
 
 impl Store {
@@ -33,6 +49,38 @@ impl Store {
     /// [`ColumnarReader::fingerprint`]).
     pub fn fingerprint(&self) -> u64 {
         self.reader.fingerprint()
+    }
+
+    /// Whether the last checksum re-verification failed.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::SeqCst)
+    }
+
+    /// Re-validates the backing file: a full checksummed re-open whose
+    /// fingerprint must match the resident load. Updates the health bit
+    /// and returns the verdict (`Ok` = healthy). The resident reader is
+    /// untouched either way — quarantine gates *serving*, not memory.
+    pub fn reverify(&self) -> Result<(), String> {
+        let verdict = match ColumnarReader::open(&self.path) {
+            Err(e) => Err(format!("re-open failed: {e}")),
+            Ok(fresh) if fresh.fingerprint() != self.fingerprint() => Err(format!(
+                "fingerprint changed on disk: resident {:016x}, file {:016x}",
+                self.fingerprint(),
+                fresh.fingerprint()
+            )),
+            Ok(_) => Ok(()),
+        };
+        let was = self.quarantined.swap(verdict.is_err(), Ordering::SeqCst);
+        match (&verdict, was) {
+            (Err(why), false) => ppm_observe::mark("serve.store.quarantined", || {
+                format!("store {} quarantined: {why}", self.name)
+            }),
+            (Ok(()), true) => ppm_observe::mark("serve.store.healed", || {
+                format!("store {} healed by re-verification", self.name)
+            }),
+            _ => {}
+        }
+        verdict
     }
 }
 
@@ -67,9 +115,25 @@ impl StoreRegistry {
             }
             let reader = ColumnarReader::open(&path)
                 .map_err(|e| format!("cannot open store {}: {e}", path.display()))?;
-            stores.push(Store { name, path, reader });
+            stores.push(Store {
+                name,
+                path,
+                reader,
+                quarantined: AtomicBool::new(false),
+            });
         }
         Ok(StoreRegistry { stores })
+    }
+
+    /// Re-verifies every store (see [`Store::reverify`]); returns the
+    /// number currently quarantined.
+    pub fn reverify_all(&self) -> usize {
+        self.stores.iter().filter(|s| s.reverify().is_err()).count()
+    }
+
+    /// How many stores are currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.stores.iter().filter(|s| s.is_quarantined()).count()
     }
 
     /// The store named `name`, if loaded.
@@ -124,6 +188,33 @@ mod tests {
         assert!(reg.get("nope").is_none());
         assert!(!reg.is_empty());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupting_the_file_quarantines_and_restoring_heals() {
+        let path = sample_store("health");
+        let reg = StoreRegistry::open(&[&path]).unwrap();
+        let store = reg.iter().next().unwrap();
+        assert!(!store.is_quarantined());
+        assert_eq!(reg.reverify_all(), 0, "pristine file verifies clean");
+
+        let good = std::fs::read(&path).unwrap();
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(reg.reverify_all(), 1, "corrupt file quarantines");
+        assert!(store.is_quarantined());
+        assert_eq!(reg.quarantined_count(), 1);
+        // The resident view still works — quarantine gates serving only.
+        assert_eq!(store.reader.len(), 12);
+
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(reg.reverify_all(), 0, "restored file heals");
+        assert!(!store.is_quarantined());
+
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reg.reverify_all(), 1, "vanished file quarantines");
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Wire-protocol fuzzing: hostile bytes against a live daemon.
+//!
+//! Every malformed thing a peer can put on the socket — oversized and
+//! garbage length prefixes, truncated headers, mid-frame EOF, control
+//! characters and invalid UTF-8, lying length fields, idle stalls and
+//! slow-loris drips — must produce a typed error or a clean close,
+//! never a hang, and never a panic. After every abuse the daemon keeps
+//! answering real queries correctly.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ppm_observe::Json;
+use ppm_serve::protocol::{read_frame, write_frame, MAX_FRAME, VERSION};
+use ppm_serve::server::{Bind, BoundAddr, ServeConfig, Server};
+use ppm_serve::StoreRegistry;
+use ppm_timeseries::columnar::write_columnar;
+use ppm_timeseries::{FeatureCatalog, SeriesBuilder};
+
+fn sample_store(tag: &str) -> PathBuf {
+    let mut catalog = FeatureCatalog::new();
+    let a = catalog.intern("alpha");
+    let b = catalog.intern("beta");
+    let mut builder = SeriesBuilder::new();
+    for j in 0..30 {
+        builder.push_instant([a]);
+        builder.push_instant(if j % 3 != 0 { vec![b] } else { vec![] });
+        builder.push_instant([]);
+    }
+    let path = std::env::temp_dir().join(format!("ppm-fuzz-{}-{tag}.ppmc", std::process::id()));
+    write_columnar(&path, &builder.finish(), &catalog).unwrap();
+    path
+}
+
+fn start(
+    store: &PathBuf,
+    tweak: impl FnOnce(&mut ServeConfig),
+) -> (
+    std::net::SocketAddr,
+    thread::JoinHandle<()>,
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+) {
+    let registry = StoreRegistry::open(&[store]).unwrap();
+    let mut config = ServeConfig::new(Bind::Tcp("127.0.0.1:0".into()));
+    tweak(&mut config);
+    let server = Server::bind(registry, config).unwrap();
+    let addr = match server.local_addr() {
+        BoundAddr::Tcp(a) => *a,
+        BoundAddr::Unix(_) => unreachable!("bound tcp"),
+    };
+    let stop = server.stop_handle();
+    let handle = thread::spawn(move || server.run().unwrap());
+    (addr, handle, stop)
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn op_req(op: &str) -> Json {
+    obj(vec![
+        ("v", Json::from_u64(VERSION)),
+        ("op", Json::Str(op.into())),
+    ])
+}
+
+fn request(addr: std::net::SocketAddr, req: &Json) -> Json {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(&mut conn, req).unwrap();
+    read_frame(&mut conn).unwrap().expect("a response frame")
+}
+
+/// Sends raw bytes, then reads whatever comes back until EOF (bounded).
+/// Returns the parsed response frame if the daemon sent one.
+fn send_raw(addr: std::net::SocketAddr, bytes: &[u8]) -> Option<Json> {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(bytes).unwrap();
+    conn.flush().unwrap();
+    let resp = read_frame(&mut conn).ok().flatten();
+    // Whatever happened, the daemon must close; a hang here fails the
+    // test by timeout rather than blocking forever.
+    let mut rest = Vec::new();
+    let _ = conn.take(64 * 1024).read_to_end(&mut rest);
+    resp
+}
+
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut b = (payload.len() as u32).to_le_bytes().to_vec();
+    b.extend_from_slice(payload);
+    b
+}
+
+fn assert_usage_error(resp: &Option<Json>, what: &str) {
+    let resp = resp
+        .as_ref()
+        .unwrap_or_else(|| panic!("{what}: daemon closed without a typed error"));
+    assert_eq!(
+        resp.get("type").and_then(Json::as_str),
+        Some("error"),
+        "{what}: {resp:?}"
+    );
+    assert_eq!(
+        resp.get("code").and_then(Json::as_u64),
+        Some(2),
+        "{what}: {resp:?}"
+    );
+    let message = resp.get("message").and_then(Json::as_str).unwrap();
+    assert!(message.contains("bad frame"), "{what}: {message}");
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_clean_closes() {
+    let store = sample_store("malformed");
+    let name = store.file_stem().unwrap().to_str().unwrap().to_owned();
+    let (addr, handle, _stop) = start(&store, |_| {});
+
+    // Oversized length prefix: one past the frame cap.
+    let oversized = ((MAX_FRAME as u32) + 1).to_le_bytes().to_vec();
+    assert_usage_error(&send_raw(addr, &oversized), "oversized length");
+
+    // Garbage length prefix: all ones, ~4 GiB.
+    assert_usage_error(&send_raw(addr, &u32::MAX.to_le_bytes()), "garbage length");
+
+    // Control characters and invalid UTF-8 where JSON should be.
+    assert_usage_error(
+        &send_raw(addr, &frame_bytes(&[0x00, 0x01, 0x02, 0xff, 0xfe, 0x07])),
+        "control chars",
+    );
+
+    // A length field that lies: 5 bytes declared, so the JSON object is
+    // cut off mid-token and cannot parse.
+    let mut lying = frame_bytes(br#"{"v":1,"op":"stats"}"#);
+    lying[..4].copy_from_slice(&5u32.to_le_bytes());
+    assert_usage_error(&send_raw(addr, &lying), "length mismatch");
+
+    // Valid UTF-8 that is not JSON at all.
+    assert_usage_error(&send_raw(addr, &frame_bytes(b"not json")), "non-json");
+
+    // Truncated header: two of four length bytes, then EOF. The daemon
+    // just closes — nothing useful to say to a vanished peer.
+    assert_eq!(send_raw(addr, &[0x10, 0x00]), None, "truncated header");
+
+    // Mid-frame EOF: header promises 100 bytes, 10 arrive.
+    let mut partial = 100u32.to_le_bytes().to_vec();
+    partial.extend_from_slice(&[b'{'; 10]);
+    assert_eq!(send_raw(addr, &partial), None, "mid-frame EOF");
+
+    // After all that abuse: zero panics, every malformed frame counted,
+    // and real queries still answer correctly.
+    let resp = request(
+        addr,
+        &obj(vec![
+            ("v", Json::from_u64(VERSION)),
+            ("op", Json::Str("mine".into())),
+            ("store", Json::Str(name)),
+            ("period", Json::from_u64(3)),
+            ("min_conf", Json::Num(0.5)),
+        ]),
+    );
+    assert_eq!(
+        resp.get("type").and_then(Json::as_str),
+        Some("result"),
+        "{resp:?}"
+    );
+
+    let stats = request(addr, &op_req("stats"));
+    assert_eq!(stats.get("panics").and_then(Json::as_u64), Some(0));
+    assert!(
+        stats.get("bad_frames").and_then(Json::as_u64).unwrap() >= 5,
+        "{stats:?}"
+    );
+
+    request(addr, &op_req("shutdown"));
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let store = sample_store("idle");
+    let (addr, handle, _stop) = start(&store, |c| c.idle_timeout_ms = 100);
+
+    // Connect and say nothing. The daemon must hang up on us, not hold
+    // a worker hostage.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 16];
+    let n = conn.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "idle connection must be closed, not written to");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "reap took {:?}",
+        started.elapsed()
+    );
+
+    let stats = request(addr, &op_req("stats"));
+    assert!(
+        stats.get("conn_reaped").and_then(Json::as_u64).unwrap() >= 1,
+        "{stats:?}"
+    );
+    assert_eq!(stats.get("panics").and_then(Json::as_u64), Some(0));
+
+    request(addr, &op_req("shutdown"));
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+}
+
+#[test]
+fn slow_loris_drip_cannot_hold_a_worker_past_the_frame_deadline() {
+    let store = sample_store("loris");
+    let (addr, handle, _stop) = start(&store, |c| {
+        c.frame_deadline_ms = 300;
+        c.idle_timeout_ms = 10_000; // only the in-frame deadline may trip
+    });
+
+    // Promise a plausible frame, then drip one byte at a time — each
+    // write inside any naive per-read timeout, but the *total* far past
+    // the frame deadline.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(&200u32.to_le_bytes()).unwrap();
+    let started = Instant::now();
+    let mut cut_off = false;
+    for _ in 0..100 {
+        thread::sleep(Duration::from_millis(40));
+        if conn.write_all(b"{").and_then(|()| conn.flush()).is_err() {
+            cut_off = true;
+            break;
+        }
+        // The close may also surface as EOF on the read side first.
+        conn.set_read_timeout(Some(Duration::from_millis(1)))
+            .unwrap();
+        if matches!(conn.read(&mut [0u8; 8]), Ok(0)) {
+            cut_off = true;
+            break;
+        }
+    }
+    assert!(cut_off, "drip-feeding was never cut off");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "cut-off took {:?}, deadline is 300ms",
+        started.elapsed()
+    );
+
+    let stats = request(addr, &op_req("stats"));
+    assert!(
+        stats.get("conn_reaped").and_then(Json::as_u64).unwrap() >= 1,
+        "{stats:?}"
+    );
+    assert_eq!(stats.get("panics").and_then(Json::as_u64), Some(0));
+
+    request(addr, &op_req("shutdown"));
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+}
+
+#[test]
+fn request_budget_closes_chatty_connections_politely() {
+    let store = sample_store("budget");
+    let (addr, handle, _stop) = start(&store, |c| c.max_requests_per_conn = 2);
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    for i in 0..2 {
+        write_frame(&mut conn, &op_req("stats")).unwrap();
+        let resp = read_frame(&mut conn).unwrap().expect("budgeted response");
+        assert_eq!(
+            resp.get("type").and_then(Json::as_str),
+            Some("result"),
+            "req {i}"
+        );
+    }
+    // The third request on the same connection meets a closed socket
+    // (either the write or the read notices). A fresh connection works.
+    let third = write_frame(&mut conn, &op_req("stats"))
+        .and_then(|()| read_frame(&mut conn))
+        .ok()
+        .flatten();
+    assert!(third.is_none(), "{third:?}");
+    let resp = request(addr, &op_req("stats"));
+    assert_eq!(resp.get("type").and_then(Json::as_str), Some("result"));
+
+    request(addr, &op_req("shutdown"));
+    handle.join().unwrap();
+    std::fs::remove_file(store).ok();
+}
